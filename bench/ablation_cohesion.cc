@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Ablation of Cohesion design choices beyond the paper's figures,
+ * probing the Section 4.6 message/directory/time interplay:
+ *
+ *  1. coarse+fine tables vs fine-table-only (disable the coarse
+ *     region table, forcing stacks/code/globals through the in-memory
+ *     fine table and the directory);
+ *  2. the cost of dynamic transitions: heat with its SWcc buffers
+ *     converted HWcc<->SWcc around every iteration versus statically
+ *     SWcc (transition traffic vs steady-state savings);
+ *  3. directory sharer representation under Cohesion: full map vs
+ *     Dir4B at equal entry counts.
+ */
+
+#include "bench/bench_common.hh"
+#include "runtime/ctx.hh"
+
+namespace {
+
+/** A heat-like two-buffer relaxation that converts its buffers
+ *  between domains every iteration (transition stress). */
+class TransitionHeat : public kernels::Kernel
+{
+  public:
+    explicit TransitionHeat(const kernels::Params &params)
+        : Kernel(params), _n(32 * params.scale)
+    {}
+
+    const char *name() const override { return "transition-heat"; }
+
+    void
+    setup(runtime::CohesionRuntime &rt) override
+    {
+        const std::uint32_t cells = _n * _n;
+        _a = rt.cohMalloc(cells * 4);
+        _b = rt.cohMalloc(cells * 4);
+        for (std::uint32_t i = 0; i < cells; ++i) {
+            rt.poke<float>(_a + i * 4, static_cast<float>(i % 17));
+            rt.poke<float>(_b + i * 4, static_cast<float>(i % 17));
+        }
+        std::uint32_t rows = _n - 2;
+        std::uint32_t chunk = std::max<std::uint32_t>(
+            1, rows / (2 * rt.chip().totalCores()));
+        for (unsigned t = 0; t < _iters; ++t)
+            _phases.push_back(addPhase(rt, chunkTasks(rows, chunk)));
+    }
+
+    sim::CoTask
+    taskBody(runtime::Ctx &ctx, runtime::TaskDesc td, mem::Addr src,
+             mem::Addr dst)
+    {
+        const std::uint32_t first = td.arg0 + 1;
+        const std::uint32_t rows = td.arg1;
+        if (ctx.swccManaged(src)) {
+            co_await ctx.invRegion(src + (first - 1) * _n * 4,
+                                   (rows + 2) * _n * 4);
+        }
+        for (std::uint32_t r = first; r < first + rows; ++r) {
+            for (std::uint32_t c = 1; c + 1 < _n; ++c) {
+                mem::Addr base = src + (r * _n + c) * 4;
+                float up = runtime::Ctx::asF32(
+                    co_await ctx.load32(base - _n * 4));
+                float dn = runtime::Ctx::asF32(
+                    co_await ctx.load32(base + _n * 4));
+                float lf = runtime::Ctx::asF32(
+                    co_await ctx.load32(base - 4));
+                float rt2 = runtime::Ctx::asF32(
+                    co_await ctx.load32(base + 4));
+                co_await ctx.compute(6);
+                co_await ctx.storeF32(dst + (r * _n + c) * 4,
+                                      0.25f * (up + dn + lf + rt2));
+            }
+        }
+        if (ctx.swccManaged(dst)) {
+            co_await ctx.flushRegion(dst + first * _n * 4,
+                                     rows * _n * 4);
+        }
+    }
+
+    sim::CoTask
+    worker(runtime::Ctx ctx) override
+    {
+        ctx.core().setCodeRegion(runtime::Layout::codeBase + 0x9000,
+                                 768);
+        const std::uint32_t bytes = _n * _n * 4;
+        for (unsigned t = 0; t < _iters; ++t) {
+            mem::Addr src = (t % 2 == 0) ? _a : _b;
+            mem::Addr dst = (t % 2 == 0) ? _b : _a;
+            if (_dynamic && ctx.coreId() == 0) {
+                // Phase prologue on core 0: output buffer to HWcc
+                // for this iteration, input back to SWcc.
+                co_await ctx.toHWcc(dst, bytes);
+                co_await ctx.toSWcc(src, bytes);
+            }
+            co_await ctx.barrier();
+            co_await ctx.forEachTask(
+                _phases[t],
+                [this, src, dst](runtime::Ctx &c,
+                                 const runtime::TaskDesc &td) {
+                    return taskBody(c, td, src, dst);
+                });
+            co_await ctx.barrier();
+        }
+    }
+
+    void verify(runtime::CohesionRuntime &) override {}
+
+    void setDynamic(bool d) { _dynamic = d; }
+
+  private:
+    std::uint32_t _n;
+    unsigned _iters = 4;
+    bool _dynamic = false;
+    mem::Addr _a = 0;
+    mem::Addr _b = 0;
+    std::vector<unsigned> _phases;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args = bench::Args::parse(argc, argv);
+
+    harness::banner(std::cout,
+                    "Ablation 1: coarse+fine region tables vs "
+                    "fine-table-only\n" + args.describe());
+    {
+        harness::Table t({"bench", "tables", "cycles", "msgs",
+                          "table lookups", "dir avg"});
+        for (const auto &k : {std::string("heat"), std::string("gjk"),
+                              std::string("dmm")}) {
+            for (bool coarse : {true, false}) {
+                arch::MachineConfig cfg =
+                    bench::configure(args, bench::DesignPoint::Cohesion);
+                auto kernel = kernels::kernelFactory(k)(args.params());
+
+                arch::Chip chip(cfg, runtime::Layout::tableBase);
+                runtime::CohesionRuntime rt(chip);
+                kernel->setup(rt);
+                if (!coarse) {
+                    // Fine-table-only: mark the coarse regions in the
+                    // fine table instead, then drop the coarse table.
+                    for (const auto &r : chip.coarseTable().regions()) {
+                        cohesion::fine_table::pokeRegion(
+                            chip.store(), chip.map(), r.start, r.size,
+                            true);
+                    }
+                    chip.coarseTable().clear();
+                }
+                chip.enableOccupancySampling(1000);
+                std::vector<sim::CoTask> workers;
+                for (unsigned c = 0; c < chip.totalCores(); ++c) {
+                    workers.push_back(
+                        kernel->worker(runtime::Ctx(rt, chip.core(c))));
+                }
+                for (auto &w : workers)
+                    w.start();
+                sim::Tick end = chip.runUntilQuiescent();
+                std::uint64_t lookups = 0;
+                for (unsigned b = 0; b < chip.numBanks(); ++b)
+                    lookups += chip.bank(b).tableLookups();
+                t.addRow({k, coarse ? "coarse+fine" : "fine-only",
+                          std::to_string(end),
+                          harness::Table::fmtCount(
+                              chip.aggregateMessages().total()),
+                          harness::Table::fmtCount(lookups),
+                          harness::Table::fmt(
+                              chip.occupancyAverageTotal(), 1)});
+            }
+        }
+        t.print(std::cout);
+        std::cout << "Coarse-table hits cost nothing; fine-only adds "
+                     "an L3 table access per directory miss.\n";
+    }
+
+    harness::banner(std::cout,
+                    "Ablation 2: static SWcc vs per-iteration dynamic "
+                    "HWcc<->SWcc transitions (transition-stress heat)");
+    {
+        harness::Table t({"variant", "cycles", "msgs", "transitions",
+                          "unc/atomic msgs"});
+        for (bool dynamic : {false, true}) {
+            arch::MachineConfig cfg =
+                bench::configure(args, bench::DesignPoint::Cohesion);
+            TransitionHeat kernel(args.params());
+            kernel.setDynamic(dynamic);
+            harness::RunResult r = harness::runKernel(cfg, kernel);
+            t.addRow({dynamic ? "dynamic transitions" : "static SWcc",
+                      std::to_string(r.cycles),
+                      harness::Table::fmtCount(r.msgs.total()),
+                      harness::Table::fmtCount(r.transitions),
+                      harness::Table::fmtCount(r.msgs.get(
+                          arch::MsgClass::UncachedAtomic))});
+        }
+        t.print(std::cout);
+        std::cout << "Per-line transitions are serialized at the home "
+                     "bank; converting whole buffers every iteration "
+                     "adds latency and atomic traffic (the paper defers "
+                     "such remapping strategies to future work).\n";
+    }
+
+    harness::banner(std::cout,
+                    "Ablation 3: Cohesion directory sharer encoding at "
+                    "equal capacity (full map vs Dir4B)");
+    {
+        harness::Table t({"bench", "sharers", "cycles", "msgs",
+                          "probe responses"});
+        for (const auto &k : {std::string("heat"), std::string("cg")}) {
+            for (auto kind : {coherence::SharerKind::FullMap,
+                              coherence::SharerKind::LimitedPtr}) {
+                arch::MachineConfig cfg =
+                    bench::configure(args, bench::DesignPoint::Cohesion);
+                cfg.directory = bench::realisticDirectory(cfg, kind);
+                harness::RunResult r = harness::runKernel(
+                    cfg, kernels::kernelFactory(k), args.params());
+                t.addRow({k,
+                          kind == coherence::SharerKind::FullMap
+                              ? "full-map"
+                              : "Dir4B",
+                          std::to_string(r.cycles),
+                          harness::Table::fmtCount(r.msgs.total()),
+                          harness::Table::fmtCount(r.msgs.get(
+                              arch::MsgClass::ProbeResponse))});
+            }
+        }
+        t.print(std::cout);
+    }
+
+    harness::banner(std::cout,
+                    "Ablation 4: on-die fine-grain table cache "
+                    "(Section 3.4's optional optimization)");
+    {
+        harness::Table t({"bench", "table cache", "cycles",
+                          "table lookups", "cache hit rate"});
+        for (const auto &k :
+             {std::string("gjk"), std::string("heat"),
+              std::string("kmeans")}) {
+            for (std::uint32_t entries : {0u, 256u}) {
+                arch::MachineConfig cfg =
+                    bench::configure(args, bench::DesignPoint::Cohesion);
+                cfg.tableCacheEntries = entries;
+                harness::RunResult r = harness::runKernel(
+                    cfg, kernels::kernelFactory(k), args.params());
+                double rate =
+                    (r.tableCacheHits + r.tableCacheMisses)
+                        ? double(r.tableCacheHits) /
+                              (r.tableCacheHits + r.tableCacheMisses)
+                        : 0.0;
+                t.addRow({k,
+                          entries ? sim::cat(entries, " words")
+                                  : std::string("off"),
+                          std::to_string(r.cycles),
+                          harness::Table::fmtCount(r.tableLookups),
+                          harness::Table::fmt(rate)});
+            }
+        }
+        t.print(std::cout);
+        std::cout << "A small per-bank word cache absorbs nearly all "
+                     "fine-grain lookups (no coherence needed: the "
+                     "tbloff hash homes each word to its own bank).\n";
+    }
+
+    harness::banner(std::cout,
+                    "Ablation 5: MSI (paper) vs MESI under pure "
+                    "hardware coherence — quantifying Section 3.2's "
+                    "decision to omit the E state");
+    {
+        harness::Table t({"bench", "protocol", "cycles", "WrReq",
+                          "probe responses", "msgs"});
+        for (const auto &k :
+             {std::string("cg"), std::string("dmm"),
+              std::string("heat"), std::string("sobel")}) {
+            for (bool mesi : {false, true}) {
+                arch::MachineConfig cfg =
+                    bench::configure(args, bench::DesignPoint::HWccIdeal);
+                cfg.useMesi = mesi;
+                harness::RunResult r = harness::runKernel(
+                    cfg, kernels::kernelFactory(k), args.params());
+                t.addRow({k, mesi ? "MESI" : "MSI",
+                          std::to_string(r.cycles),
+                          harness::Table::fmtCount(r.msgs.get(
+                              arch::MsgClass::WriteRequest)),
+                          harness::Table::fmtCount(r.msgs.get(
+                              arch::MsgClass::ProbeResponse)),
+                          harness::Table::fmtCount(r.msgs.total())});
+            }
+        }
+        t.print(std::cout);
+        std::cout << "E saves upgrade write-requests on read-then-write "
+                     "lines but adds downgrade probes for read-shared "
+                     "data — the cost the paper cites for omitting it.\n";
+    }
+    return 0;
+}

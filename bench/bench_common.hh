@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: command-line
+ * parsing (machine scale, workload scale), the four evaluation
+ * configurations of Section 4.1, and result caching across benches
+ * that need the same runs.
+ */
+
+#ifndef COHESION_BENCH_BENCH_COMMON_HH
+#define COHESION_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <iostream>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "kernels/registry.hh"
+
+namespace bench {
+
+struct Args
+{
+    unsigned clusters = 4; ///< 32 cores by default (8 per cluster).
+    unsigned scale = 4;    ///< Workload size multiplier (4 => working
+                           ///< sets exceed the scaled L2s, as the
+                           ///< paper datasets exceed its 8 MB of L2).
+    bool paper = false;    ///< Full 1024-core Table 3 machine.
+
+    static Args
+    parse(int argc, char **argv)
+    {
+        Args a;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--clusters") && i + 1 < argc) {
+                a.clusters = std::atoi(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+                a.scale = std::atoi(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--paper")) {
+                a.paper = true;
+            } else if (!std::strcmp(argv[i], "--help")) {
+                std::cout << "usage: " << argv[0]
+                          << " [--clusters N] [--scale N] [--paper]\n";
+                std::exit(0);
+            }
+        }
+        return a;
+    }
+
+    arch::MachineConfig
+    base() const
+    {
+        return paper ? arch::MachineConfig::paper1024()
+                     : arch::MachineConfig::scaled(clusters);
+    }
+
+    kernels::Params
+    params() const
+    {
+        kernels::Params p;
+        p.scale = scale;
+        return p;
+    }
+
+    std::string
+    describe() const
+    {
+        return base().summary() +
+               sim::cat(", workload scale ", scale);
+    }
+};
+
+/**
+ * The realistic sparse directory for a (possibly scaled) machine:
+ * Table 3 provisions 16K entries x 128 ways per bank for 128 L2s over
+ * 32 banks — i.e. 2x the resident L2 lines, split across banks. The
+ * same coverage rule is applied at scaled sizes.
+ */
+inline coherence::DirectoryConfig
+realisticDirectory(const arch::MachineConfig &cfg,
+                   coherence::SharerKind kind =
+                       coherence::SharerKind::FullMap)
+{
+    std::uint64_t l2_lines =
+        std::uint64_t(cfg.numClusters) * (cfg.l2Bytes / mem::lineBytes);
+    std::uint32_t entries_per_bank =
+        static_cast<std::uint32_t>(2 * l2_lines / cfg.numL3Banks);
+    // Keep the paper's 128-way associativity (and a power-of-two set
+    // count).
+    if (entries_per_bank < 128)
+        entries_per_bank = 128;
+    return coherence::DirectoryConfig{entries_per_bank, 128, kind, 4};
+}
+
+/** The four Section 4.1 design points. */
+enum class DesignPoint
+{
+    SWcc,        ///< No directory; software coherence only.
+    HWccIdeal,   ///< Infinite full-map directory (optimistic).
+    HWccReal,    ///< 128-way sparse directory (realistic).
+    Cohesion,    ///< Hybrid with the same realistic directory.
+    CohesionOpt, ///< Hybrid with the optimistic directory.
+};
+
+inline const char *
+designPointName(DesignPoint p)
+{
+    switch (p) {
+      case DesignPoint::SWcc:
+        return "SWcc";
+      case DesignPoint::HWccIdeal:
+        return "HWccIdeal";
+      case DesignPoint::HWccReal:
+        return "HWccReal";
+      case DesignPoint::Cohesion:
+        return "Cohesion";
+      case DesignPoint::CohesionOpt:
+        return "CohesionOpt";
+    }
+    return "?";
+}
+
+inline arch::MachineConfig
+configure(const Args &args, DesignPoint p)
+{
+    arch::MachineConfig cfg = args.base();
+    switch (p) {
+      case DesignPoint::SWcc:
+        cfg.mode = arch::CoherenceMode::SWccOnly;
+        break;
+      case DesignPoint::HWccIdeal:
+        cfg.mode = arch::CoherenceMode::HWccOnly;
+        cfg.directory = coherence::DirectoryConfig::optimistic();
+        break;
+      case DesignPoint::HWccReal:
+        cfg.mode = arch::CoherenceMode::HWccOnly;
+        cfg.directory = realisticDirectory(cfg);
+        break;
+      case DesignPoint::Cohesion:
+        cfg.mode = arch::CoherenceMode::Cohesion;
+        cfg.directory = realisticDirectory(cfg);
+        break;
+      case DesignPoint::CohesionOpt:
+        cfg.mode = arch::CoherenceMode::Cohesion;
+        cfg.directory = coherence::DirectoryConfig::optimistic();
+        break;
+    }
+    return cfg;
+}
+
+inline harness::RunResult
+run(const Args &args, const std::string &kernel, DesignPoint p,
+    const harness::RunOptions &opts = {})
+{
+    arch::MachineConfig cfg = configure(args, p);
+    return harness::runKernel(cfg, kernels::kernelFactory(kernel),
+                              args.params(), opts);
+}
+
+/** Geometric mean helper for cross-benchmark aggregates. */
+class GeoMean
+{
+  public:
+    void
+    add(double v)
+    {
+        _log += std::log(v);
+        ++_n;
+    }
+
+    double value() const { return _n ? std::exp(_log / _n) : 0.0; }
+
+  private:
+    double _log = 0.0;
+    unsigned _n = 0;
+};
+
+} // namespace bench
+
+#endif // COHESION_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 8: L2 output message counts for SWcc, Cohesion, optimistic
+ * HWcc (infinite full-map directory), and realistic HWcc (128-way
+ * sparse directory per bank), normalized to SWcc. Also prints the
+ * paper's headline aggregate: Cohesion's message reduction relative
+ * to realizable hardware coherence (~2x in the paper).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args = bench::Args::parse(argc, argv);
+
+    harness::banner(std::cout,
+                    "Figure 8: L2 output messages across design points "
+                    "(normalized to SWcc)\n" + args.describe());
+
+    using MC = arch::MsgClass;
+    const bench::DesignPoint points[] = {
+        bench::DesignPoint::SWcc, bench::DesignPoint::Cohesion,
+        bench::DesignPoint::HWccIdeal, bench::DesignPoint::HWccReal};
+
+    harness::Table table({"bench", "config", "total", "norm", "RdReq",
+                          "WrReq", "Instr", "Unc/Atomic", "Evict",
+                          "SWFlush", "RdRel", "ProbeResp"});
+
+    bench::GeoMean real_over_cohesion;
+    bench::GeoMean ideal_over_cohesion;
+    for (const auto &k : kernels::allKernelNames()) {
+        double sw_total = 0;
+        double cohesion_total = 0;
+        for (auto p : points) {
+            harness::RunResult r = bench::run(args, k, p);
+            double total = static_cast<double>(r.msgs.total());
+            if (p == bench::DesignPoint::SWcc)
+                sw_total = total;
+            if (p == bench::DesignPoint::Cohesion)
+                cohesion_total = total;
+            if (p == bench::DesignPoint::HWccReal)
+                real_over_cohesion.add(total / cohesion_total);
+            if (p == bench::DesignPoint::HWccIdeal)
+                ideal_over_cohesion.add(total / cohesion_total);
+            table.addRow(
+                {k, bench::designPointName(p),
+                 harness::Table::fmtCount(total),
+                 harness::Table::fmt(total / sw_total),
+                 harness::Table::fmtCount(r.msgs.get(MC::ReadRequest)),
+                 harness::Table::fmtCount(r.msgs.get(MC::WriteRequest)),
+                 harness::Table::fmtCount(
+                     r.msgs.get(MC::InstructionRequest)),
+                 harness::Table::fmtCount(
+                     r.msgs.get(MC::UncachedAtomic)),
+                 harness::Table::fmtCount(r.msgs.get(MC::CacheEviction)),
+                 harness::Table::fmtCount(r.msgs.get(MC::SoftwareFlush)),
+                 harness::Table::fmtCount(r.msgs.get(MC::ReadRelease)),
+                 harness::Table::fmtCount(
+                     r.msgs.get(MC::ProbeResponse))});
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\nGeomean message ratio HWccReal/Cohesion:  "
+              << harness::Table::fmtX(real_over_cohesion.value())
+              << "   (paper headline: ~2x reduction)\n"
+              << "Geomean message ratio HWccIdeal/Cohesion: "
+              << harness::Table::fmtX(ideal_over_cohesion.value())
+              << '\n';
+    return 0;
+}

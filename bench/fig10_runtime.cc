@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 10: relative runtime of the six design points — Cohesion
+ * with a full-map sparse directory, Cohesion with a Dir4B limited
+ * sparse directory, SWcc, optimistic HWcc, realistic HWcc (full-map
+ * sparse), and HWcc with the Dir4B limited sparse directory — all
+ * normalized to Cohesion (full-map).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args = bench::Args::parse(argc, argv);
+
+    harness::banner(std::cout,
+                    "Figure 10: runtime normalized to Cohesion\n" +
+                        args.describe());
+
+    struct Point
+    {
+        const char *label;
+        arch::CoherenceMode mode;
+        bool limited; ///< Dir4B sharer representation.
+        bool optimistic;
+    };
+    const Point points[] = {
+        {"Cohesion", arch::CoherenceMode::Cohesion, false, false},
+        {"Cohesion(Dir4B)", arch::CoherenceMode::Cohesion, true, false},
+        {"SWcc", arch::CoherenceMode::SWccOnly, false, false},
+        {"HWccOpt", arch::CoherenceMode::HWccOnly, false, true},
+        {"HWccReal", arch::CoherenceMode::HWccOnly, false, false},
+        {"HWcc(Dir4B)", arch::CoherenceMode::HWccOnly, true, false},
+    };
+
+    harness::Table table({"bench", "config", "cycles", "norm",
+                          "msgs", "dir evictions"});
+
+    std::map<std::string, bench::GeoMean> geo;
+    for (const auto &k : kernels::allKernelNames()) {
+        double cohesion_cycles = 0;
+        for (const Point &p : points) {
+            arch::MachineConfig cfg = args.base();
+            cfg.mode = p.mode;
+            if (p.mode == arch::CoherenceMode::SWccOnly) {
+                // no directory
+            } else if (p.optimistic) {
+                cfg.directory = coherence::DirectoryConfig::optimistic();
+            } else {
+                cfg.directory = bench::realisticDirectory(
+                    cfg, p.limited ? coherence::SharerKind::LimitedPtr
+                                   : coherence::SharerKind::FullMap);
+            }
+            harness::RunResult r = harness::runKernel(
+                cfg, kernels::kernelFactory(k), args.params());
+            if (p.label == std::string("Cohesion"))
+                cohesion_cycles = static_cast<double>(r.cycles);
+            double norm = r.cycles / cohesion_cycles;
+            geo[p.label].add(norm);
+            table.addRow({k, p.label, std::to_string(r.cycles),
+                          harness::Table::fmt(norm),
+                          harness::Table::fmtCount(r.msgs.total()),
+                          harness::Table::fmtCount(r.dirEvictions)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nGeomean runtime normalized to Cohesion:\n";
+    for (const auto &[label, g] : geo) {
+        std::cout << "  " << label << ": "
+                  << harness::Table::fmtX(g.value()) << '\n';
+    }
+    std::cout << "(paper Fig. 10: Cohesion is competitive with "
+                 "optimistic HWcc and SWcc, and many times faster than "
+                 "realistic HWcc on directory-thrashing workloads)\n";
+    return 0;
+}

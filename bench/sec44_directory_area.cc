@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Section 4.4: on-die directory area estimates — full-map sparse,
+ * Dir4B limited sparse, and duplicate tags with 1..8 replicas — in
+ * absolute bytes and as a fraction of the aggregate 8 MB of L2, plus
+ * the Cohesion saving projected from the measured >=2x utilization
+ * reduction.
+ */
+
+#include "bench/bench_common.hh"
+#include "coherence/area_model.hh"
+
+int
+main(int, char **)
+{
+    harness::banner(std::cout,
+                    "Section 4.4: directory area estimates (paper-scale "
+                    "machine: 128 L2s x 2048 lines, 8 MB aggregate L2)");
+
+    coherence::AreaInputs in;
+
+    harness::Table t({"scheme", "size", "% of L2", "paper"});
+    auto fmt_mb = [](double bytes) {
+        return bytes >= 1024 * 1024
+                   ? harness::Table::fmt(bytes / (1024.0 * 1024.0)) +
+                         " MB"
+                   : harness::Table::fmt(bytes / 1024.0) + " KB";
+    };
+
+    auto fm = coherence::fullMapArea(in);
+    t.addRow({"Full-map sparse (146 b/entry)", fmt_mb(fm.bytes),
+              harness::Table::fmt(100 * fm.fractionOfL2, 1) + "%",
+              "9.28 MB (113%)"});
+
+    auto lim = coherence::limitedArea(in);
+    t.addRow({"Dir4B limited sparse (46 b/entry)", fmt_mb(lim.bytes),
+              harness::Table::fmt(100 * lim.fractionOfL2, 1) + "%",
+              "2.88 MB (35.1%)"});
+
+    for (unsigned replicas : {1u, 2u, 4u, 8u}) {
+        auto dup = coherence::duplicateTagArea(in, replicas);
+        t.addRow({sim::cat("Duplicate tags x", replicas),
+                  fmt_mb(dup.bytes),
+                  harness::Table::fmt(100 * dup.fractionOfL2, 1) + "%",
+                  replicas == 1 ? "736 KB (8.98%)" : "736 KB x N"});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nWith Cohesion's measured >=2x directory-utilization "
+           "reduction (Fig. 9C), halving each structure yields the "
+           "paper's projected 5%-55% reduction in L2-relative "
+           "directory overhead:\n";
+    harness::Table s({"scheme", "halved size", "% of L2 saved"});
+    s.addRow({"Full-map sparse", fmt_mb(fm.bytes / 2),
+              harness::Table::fmt(100 * fm.fractionOfL2 / 2, 1) + "%"});
+    s.addRow({"Dir4B limited", fmt_mb(lim.bytes / 2),
+              harness::Table::fmt(100 * lim.fractionOfL2 / 2, 1) + "%"});
+    s.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 3: timing and sizing parameters of the baseline architecture,
+ * printed from the live MachineConfig so the reproduction's
+ * configuration is auditable against the paper.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args = bench::Args::parse(argc, argv);
+    arch::MachineConfig c = arch::MachineConfig::paper1024();
+
+    harness::banner(std::cout,
+                    "Table 3: baseline architecture parameters "
+                    "(paper-scale column plus this run's scaled "
+                    "machine)");
+
+    arch::MachineConfig s = args.base();
+    harness::Table t({"parameter", "paper (1024-core)", "bench default"});
+    auto row = [&](const std::string &name, const std::string &paper,
+                   const std::string &ours) {
+        t.addRow({name, paper, ours});
+    };
+
+    row("Cores", std::to_string(c.totalCores()),
+        std::to_string(s.totalCores()));
+    row("Cores per cluster", std::to_string(c.coresPerCluster),
+        std::to_string(s.coresPerCluster));
+    row("Line size", "32 B", "32 B");
+    row("L1I size/assoc",
+        sim::cat(c.l1iBytes / 1024, "KB / ", c.l1iAssoc, "-way"),
+        sim::cat(s.l1iBytes / 1024, "KB / ", s.l1iAssoc, "-way"));
+    row("L1D size/assoc", sim::cat(c.l1dBytes, "B / ", c.l1dAssoc, "-way"),
+        sim::cat(s.l1dBytes, "B / ", s.l1dAssoc, "-way"));
+    row("L2 size/assoc",
+        sim::cat(c.l2Bytes / 1024, "KB / ", c.l2Assoc, "-way"),
+        sim::cat(s.l2Bytes / 1024, "KB / ", s.l2Assoc, "-way"));
+    row("L2 total",
+        sim::cat(c.numClusters * (c.l2Bytes / 1024) / 1024, "MB"),
+        sim::cat(s.numClusters * (s.l2Bytes / 1024), "KB"));
+    row("L2 latency / ports", sim::cat(c.l2Latency, " clk / ", c.l2Ports),
+        sim::cat(s.l2Latency, " clk / ", s.l2Ports));
+    row("L3 size",
+        sim::cat(c.l3TotalBytes() / (1024 * 1024), "MB / ", c.numL3Banks,
+                 " banks"),
+        sim::cat(s.l3TotalBytes() / 1024, "KB / ", s.numL3Banks,
+                 " banks"));
+    row("L3 latency / assoc",
+        sim::cat(c.l3Latency, "+ clk / ", c.l3Assoc, "-way"),
+        sim::cat(s.l3Latency, "+ clk / ", s.l3Assoc, "-way"));
+    row("DRAM channels (GDDR5)", std::to_string(c.numChannels),
+        std::to_string(s.numChannels));
+    row("Memory BW", "192 GB/s",
+        sim::cat(s.numChannels * 24, " GB/s"));
+    row("Core frequency", "1.5 GHz", "1.5 GHz");
+
+    auto real = bench::realisticDirectory(c);
+    auto sreal = bench::realisticDirectory(s);
+    row("Directory (realistic)",
+        sim::cat(real.entries / 1024, "K entries/bank, ", real.assoc,
+                 "-way"),
+        sim::cat(sreal.entries, " entries/bank, ", sreal.assoc, "-way"));
+    row("Directory (optimistic)", "infinite, fully assoc",
+        "infinite, fully assoc");
+
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: build a small Cohesion machine, run the heat kernel in
+ * all three coherence modes (SWcc-only, optimistic HWcc, Cohesion),
+ * and print runtime plus the L2 output message breakdown — a
+ * miniature of the paper's Figure 8 on one workload.
+ *
+ * Usage: quickstart [clusters] [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "kernels/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    unsigned clusters = argc > 1 ? std::atoi(argv[1]) : 4;
+    unsigned scale = argc > 2 ? std::atoi(argv[2]) : 1;
+
+    kernels::Params params;
+    params.scale = scale;
+
+    harness::banner(std::cout, "Cohesion quickstart: heat kernel, " +
+                                   std::to_string(clusters * 8) +
+                                   " cores");
+
+    harness::Table table({"config", "cycles", "total msgs", "rd", "wr",
+                          "instr", "atomic", "evict", "flush", "rdrel",
+                          "probe"});
+
+    struct ModeRow
+    {
+        const char *label;
+        arch::CoherenceMode mode;
+    };
+    const ModeRow rows[] = {
+        {"SWcc", arch::CoherenceMode::SWccOnly},
+        {"HWcc(opt)", arch::CoherenceMode::HWccOnly},
+        {"Cohesion", arch::CoherenceMode::Cohesion},
+    };
+
+    for (const auto &row : rows) {
+        arch::MachineConfig cfg = arch::MachineConfig::scaled(clusters);
+        cfg.mode = row.mode;
+        cfg.directory = coherence::DirectoryConfig::optimistic();
+
+        auto kernel = kernels::kernelFactory("heat")(params);
+        harness::RunResult r = harness::runKernel(cfg, *kernel);
+
+        using MC = arch::MsgClass;
+        table.addRow({row.label, std::to_string(r.cycles),
+                      harness::Table::fmtCount(r.msgs.total()),
+                      harness::Table::fmtCount(r.msgs.get(MC::ReadRequest)),
+                      harness::Table::fmtCount(r.msgs.get(MC::WriteRequest)),
+                      harness::Table::fmtCount(
+                          r.msgs.get(MC::InstructionRequest)),
+                      harness::Table::fmtCount(
+                          r.msgs.get(MC::UncachedAtomic)),
+                      harness::Table::fmtCount(
+                          r.msgs.get(MC::CacheEviction)),
+                      harness::Table::fmtCount(
+                          r.msgs.get(MC::SoftwareFlush)),
+                      harness::Table::fmtCount(r.msgs.get(MC::ReadRelease)),
+                      harness::Table::fmtCount(
+                          r.msgs.get(MC::ProbeResponse))});
+        std::cout << "  " << row.label << ": verified OK in " << r.cycles
+                  << " cycles\n";
+    }
+
+    table.print(std::cout);
+    std::cout << "\nAll three coherence modes produced the verified "
+                 "numerical result.\n";
+    return 0;
+}

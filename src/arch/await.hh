@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Awaitable building blocks for protocol coroutines: fixed-tick
+ * delays, ack-gathering gates (probe fan-out), and a per-line lock
+ * table that serializes all transactions for a line through its home
+ * bank — the paper's race-avoidance mechanism (Section 3.2).
+ */
+
+#ifndef COHESION_ARCH_AWAIT_HH
+#define COHESION_ARCH_AWAIT_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace arch {
+
+/** Awaitable that resumes the coroutine at an absolute tick. */
+struct Delay
+{
+    sim::EventQueue &eq;
+    sim::Tick until;
+
+    bool await_ready() const { return until <= eq.now(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        eq.schedule(until, [h]() { h.resume(); });
+    }
+
+    void await_resume() const {}
+};
+
+/**
+ * Counts expected acknowledgements; the awaiting coroutine resumes
+ * when all have arrived. signal() may be called before wait() begins
+ * (acks can beat the await), which completes synchronously.
+ */
+class AckGate
+{
+  public:
+    /** Declare how many acks are expected. Resets previous state. */
+    void
+    expect(unsigned n)
+    {
+        panic_if(_waiter, "AckGate re-armed while awaited");
+        _expected = n;
+        _arrived = 0;
+    }
+
+    /** One ack arrived; resumes the waiter when the count completes. */
+    void
+    signal()
+    {
+        ++_arrived;
+        panic_if(_arrived > _expected, "more acks than expected");
+        if (_arrived == _expected && _waiter) {
+            auto h = _waiter;
+            _waiter = nullptr;
+            h.resume();
+        }
+    }
+
+    struct Awaiter
+    {
+        AckGate &gate;
+
+        bool
+        await_ready() const
+        {
+            return gate._arrived >= gate._expected;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            gate._waiter = h;
+        }
+
+        void await_resume() const {}
+    };
+
+    /** Await all expected acks. */
+    Awaiter wait() { return Awaiter{*this}; }
+
+  private:
+    unsigned _expected = 0;
+    unsigned _arrived = 0;
+    std::coroutine_handle<> _waiter;
+};
+
+/**
+ * Per-line mutual exclusion for home-bank transactions. Acquisition
+ * order is FIFO; release hands the line to the next waiter via a
+ * zero-delay event (avoiding unbounded resume recursion).
+ */
+class LineLockTable
+{
+  public:
+    explicit LineLockTable(sim::EventQueue &eq) : _eq(eq) {}
+
+    struct Acquire
+    {
+        LineLockTable &table;
+        std::uint32_t line;
+
+        bool
+        await_ready() const
+        {
+            auto it = table._lines.find(line);
+            return it == table._lines.end() || !it->second.held;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            table._lines[line].waiters.push_back(h);
+        }
+
+        void
+        await_resume() const
+        {
+            table._lines[line].held = true;
+        }
+    };
+
+    /** Await exclusive ownership of @p line. Pair with release(). */
+    Acquire acquire(std::uint32_t line) { return Acquire{*this, line}; }
+
+    /** Release @p line, waking the next queued transaction. */
+    void
+    release(std::uint32_t line)
+    {
+        auto it = _lines.find(line);
+        panic_if(it == _lines.end() || !it->second.held,
+                 "releasing a line lock that is not held");
+        if (it->second.waiters.empty()) {
+            _lines.erase(it);
+            return;
+        }
+        // Hand the hold directly to the next waiter (held stays true so
+        // a newcomer cannot sneak in before the waiter's resume event).
+        auto h = it->second.waiters.front();
+        it->second.waiters.pop_front();
+        _eq.scheduleIn(0, [h]() { h.resume(); });
+    }
+
+    /** True if any transaction holds or waits on @p line. */
+    bool
+    busy(std::uint32_t line) const
+    {
+        return _lines.count(line) != 0;
+    }
+
+  private:
+    struct LineState
+    {
+        bool held = false;
+        std::deque<std::coroutine_handle<>> waiters;
+    };
+
+    sim::EventQueue &_eq;
+    std::unordered_map<std::uint32_t, LineState> _lines;
+};
+
+} // namespace arch
+
+#endif // COHESION_ARCH_AWAIT_HH

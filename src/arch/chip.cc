@@ -1,0 +1,137 @@
+#include "arch/chip.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace arch {
+
+Chip::Chip(const MachineConfig &config, mem::Addr table_base)
+    : _config(config),
+      _map(config.numL3Banks, config.numChannels, table_base),
+      _dram(_map, config.dram), _fabric(config)
+{
+    for (unsigned c = 0; c < config.numClusters; ++c)
+        _clusters.push_back(std::make_unique<Cluster>(*this, c));
+    for (unsigned b = 0; b < config.numL3Banks; ++b)
+        _banks.push_back(std::make_unique<L3Bank>(*this, b));
+}
+
+void
+Chip::sendResponse(unsigned bank, unsigned cluster_id, Response resp,
+                   unsigned data_words)
+{
+    sim::Tick arrive = _fabric.bankToCluster(
+        bank, cluster_id, msgBytes(data_words), _eq.now());
+    _eq.schedule(arrive, [this, cluster_id, resp]() {
+        cluster(cluster_id).handleResponse(resp);
+    });
+}
+
+void
+Chip::sendProbe(unsigned bank, unsigned cluster_id, ProbeType type,
+                mem::Addr addr,
+                std::function<void(unsigned, const ProbeResult &)> done)
+{
+    sim::Tick arrive =
+        _fabric.bankToCluster(bank, cluster_id, msgBytes(0), _eq.now());
+    _eq.schedule(arrive, [this, bank, cluster_id, type, addr,
+                          done = std::move(done)]() {
+        ProbeResult r = cluster(cluster_id).handleProbe(type, addr);
+        cluster(cluster_id).msgCounters().count(MsgClass::ProbeResponse);
+        unsigned words =
+            r.dirty ? std::popcount(static_cast<unsigned>(r.dirtyMask)) : 0;
+        sim::Tick back = _fabric.clusterToBank(cluster_id, bank,
+                                               msgBytes(words), _eq.now());
+        _eq.schedule(back, [done, cluster_id, r]() {
+            done(cluster_id, r);
+        });
+    });
+}
+
+std::uint32_t
+Chip::coherentRead32(mem::Addr a)
+{
+    mem::Addr base = mem::lineBase(a);
+    mem::WordMask bit = mem::wordBit(a);
+
+    // A dirty word in any L2 is the newest value.
+    for (auto &cl : _clusters) {
+        if (cache::Line *l = cl->l2().probe(base)) {
+            if ((l->dirtyMask & bit) && (l->validMask & bit)) {
+                std::uint32_t v = 0;
+                l->read(a, &v, 4);
+                return v;
+            }
+        }
+    }
+    // Then the L3 copy, then memory.
+    cache::Line *l3line = bank(_map.bankOf(base)).l3().probe(base);
+    if (l3line && (l3line->validMask & bit)) {
+        std::uint32_t v = 0;
+        l3line->read(a, &v, 4);
+        return v;
+    }
+    return _store.readT<std::uint32_t>(a);
+}
+
+void
+Chip::sampleOccupancy()
+{
+    std::array<double, numSegments> counts{};
+    double total = 0;
+    for (auto &b : _banks) {
+        b->directory().forEach([&](const coherence::DirEntry &e) {
+            Segment seg = _classifier ? _classifier(e.base)
+                                      : Segment::HeapGlobal;
+            counts[static_cast<unsigned>(seg)] += 1;
+            total += 1;
+        });
+    }
+    for (unsigned s = 0; s < numSegments; ++s)
+        _occupancy[s].sample(counts[s]);
+    _occupancyTotal.sample(total);
+}
+
+sim::Tick
+Chip::runUntilQuiescent()
+{
+    const sim::Tick limit = _config.maxCycles;
+    if (_samplePeriod == 0) {
+        bool drained = _eq.run(limit);
+        fatal_if(!drained, "watchdog: simulation exceeded ", limit,
+                 " cycles (deadlock or runaway workload)");
+        return _eq.now();
+    }
+    while (true) {
+        sim::Tick next = _eq.now() + _samplePeriod;
+        fatal_if(next > limit, "watchdog: simulation exceeded ", limit,
+                 " cycles (deadlock or runaway workload)");
+        bool drained = _eq.run(next);
+        sampleOccupancy();
+        if (drained)
+            return _eq.now();
+    }
+}
+
+MsgCounters
+Chip::aggregateMessages() const
+{
+    MsgCounters agg;
+    for (const auto &cl : _clusters)
+        agg.merge(cl->msgCounters());
+    return agg;
+}
+
+std::uint64_t
+Chip::totalInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &cl : _clusters) {
+        for (unsigned c = 0; c < cl->numCores(); ++c)
+            n += const_cast<Cluster &>(*cl).core(c).instructions();
+    }
+    return n;
+}
+
+} // namespace arch

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Top-level chip: clusters, interconnect, L3 banks with directory
+ * slices, DRAM channels, the coarse region table, and the backing
+ * store holding architectural memory contents. Also provides untimed
+ * debug access for workload setup/verification and the directory
+ * occupancy sampler used by Fig. 9c.
+ */
+
+#ifndef COHESION_ARCH_CHIP_HH
+#define COHESION_ARCH_CHIP_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/cluster.hh"
+#include "arch/fabric.hh"
+#include "arch/l3bank.hh"
+#include "arch/machine_config.hh"
+#include "cohesion/region_table.hh"
+#include "mem/address_map.hh"
+#include "mem/backing_store.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/trace.hh"
+
+namespace arch {
+
+/** Segment classes for directory-occupancy accounting (Fig. 9c). */
+enum class Segment : std::uint8_t { Code, Stack, HeapGlobal };
+constexpr unsigned numSegments = 3;
+
+class Chip
+{
+  public:
+    explicit Chip(const MachineConfig &config, mem::Addr table_base);
+
+    const MachineConfig &config() const { return _config; }
+    sim::EventQueue &eq() { return _eq; }
+    mem::AddressMap &map() { return _map; }
+    mem::BackingStore &store() { return _store; }
+    mem::DramModel &dram() { return _dram; }
+    Fabric &fabric() { return _fabric; }
+    cohesion::CoarseRegionTable &coarseTable() { return _coarseTable; }
+    sim::Tracer &tracer() { return _tracer; }
+
+    Cluster &cluster(unsigned i) { return *_clusters.at(i); }
+    unsigned numClusters() const { return _clusters.size(); }
+    L3Bank &bank(unsigned i) { return *_banks.at(i); }
+    unsigned numBanks() const { return _banks.size(); }
+
+    /** Core by global id (cluster-major order). */
+    Core &
+    core(unsigned global_id)
+    {
+        return cluster(global_id / _config.coresPerCluster)
+            .core(global_id % _config.coresPerCluster);
+    }
+
+    unsigned totalCores() const { return _config.totalCores(); }
+
+    bool cohesionEnabled() const
+    {
+        return _config.mode == CoherenceMode::Cohesion;
+    }
+
+    // --- Messaging helpers (used by clusters and banks) -----------------
+
+    /** Deliver a bank response to a cluster through the fabric. */
+    void sendResponse(unsigned bank, unsigned cluster, Response resp,
+                      unsigned data_words);
+
+    /**
+     * Send a probe from @p bank to @p cluster; the probe is applied at
+     * arrival, the cluster's ProbeResponse is counted and sent back,
+     * and @p done runs at the response's arrival at the bank.
+     */
+    void sendProbe(unsigned bank, unsigned cluster, ProbeType type,
+                   mem::Addr addr,
+                   std::function<void(unsigned, const ProbeResult &)> done);
+
+    // --- Untimed debug access (setup / verification) --------------------
+
+    void
+    debugWrite(mem::Addr a, const void *src, unsigned bytes)
+    {
+        _store.write(a, src, bytes);
+    }
+
+    void
+    debugRead(mem::Addr a, void *out, unsigned bytes) const
+    {
+        _store.read(a, out, bytes);
+    }
+
+    template <typename T>
+    void
+    debugWriteT(mem::Addr a, T v)
+    {
+        _store.writeT(a, v);
+    }
+
+    template <typename T>
+    T
+    debugReadT(mem::Addr a) const
+    {
+        return _store.readT<T>(a);
+    }
+
+    /**
+     * Read a 32-bit word with full visibility into the hierarchy:
+     * a dirty L2 copy wins, then a valid L3 copy, then memory. Used
+     * by kernel verification so results need not be flushed first.
+     */
+    std::uint32_t coherentRead32(mem::Addr a);
+
+    // --- Directory occupancy sampling (Fig. 9c) -------------------------
+
+    using SegmentClassifier = std::function<Segment(mem::Addr)>;
+
+    void setSegmentClassifier(SegmentClassifier fn)
+    {
+        _classifier = std::move(fn);
+    }
+
+    /** Enable periodic sampling (default: paper's 1000 cycles). */
+    void
+    enableOccupancySampling(sim::Tick period = 1000)
+    {
+        _samplePeriod = period;
+    }
+
+    /** Time-average directory entries in @p seg across banks. */
+    double occupancyAverage(Segment seg) const
+    {
+        return _occupancy[static_cast<unsigned>(seg)].timeAverage();
+    }
+
+    double occupancyAverageTotal() const { return _occupancyTotal.timeAverage(); }
+    double occupancyMax() const { return _occupancyTotal.maximum(); }
+
+    // --- Execution -------------------------------------------------------
+
+    /**
+     * Run until the event queue drains (all cores quiescent) or the
+     * watchdog limit is hit (fatal). Interleaves occupancy samples.
+     * @return final tick.
+     */
+    sim::Tick runUntilQuiescent();
+
+    /** Aggregate L2 output message counters across clusters. */
+    MsgCounters aggregateMessages() const;
+
+    /** Total instructions retired across all cores. */
+    std::uint64_t totalInstructions() const;
+
+  private:
+    void sampleOccupancy();
+
+    MachineConfig _config;
+    sim::EventQueue _eq;
+    sim::Tracer _tracer{_eq};
+    mem::AddressMap _map;
+    mem::BackingStore _store;
+    mem::DramModel _dram;
+    Fabric _fabric;
+    cohesion::CoarseRegionTable _coarseTable;
+    std::vector<std::unique_ptr<Cluster>> _clusters;
+    std::vector<std::unique_ptr<L3Bank>> _banks;
+
+    SegmentClassifier _classifier;
+    sim::Tick _samplePeriod = 0;
+    std::array<sim::TimeSampler, numSegments> _occupancy;
+    sim::TimeSampler _occupancyTotal;
+};
+
+} // namespace arch
+
+#endif // COHESION_ARCH_CHIP_HH

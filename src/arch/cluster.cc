@@ -1,0 +1,750 @@
+#include "arch/cluster.hh"
+
+#include <bit>
+
+#include "arch/chip.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace arch {
+
+namespace {
+
+unsigned
+maskWords(mem::WordMask m)
+{
+    return std::popcount(static_cast<unsigned>(m));
+}
+
+} // namespace
+
+Cluster::Cluster(Chip &chip, unsigned id)
+    : _chip(chip), _id(id),
+      _l2(sim::cat("cluster", id, ".l2"), chip.config().l2Bytes,
+          chip.config().l2Assoc),
+      _l2PortFree(chip.config().l2Ports, 0)
+{
+    const MachineConfig &cfg = chip.config();
+    for (unsigned c = 0; c < cfg.coresPerCluster; ++c) {
+        _cores.push_back(std::make_unique<Core>(
+            *this, id * cfg.coresPerCluster + c, c, cfg.l1iBytes,
+            cfg.l1iAssoc, cfg.l1dBytes, cfg.l1dAssoc));
+    }
+}
+
+sim::Tick
+Cluster::l2Access(sim::Tick when)
+{
+    // Pick the earliest-free port; each access occupies it one cycle.
+    unsigned best = 0;
+    for (unsigned p = 1; p < _l2PortFree.size(); ++p) {
+        if (_l2PortFree[p] < _l2PortFree[best])
+            best = p;
+    }
+    sim::Tick start = std::max(when, _l2PortFree[best]);
+    _l2PortFree[best] = start + 1;
+    return start + _chip.config().l2Latency;
+}
+
+/** Complete an op at the core's local time, parking the coroutine on
+ *  the event queue if the core has run too far ahead of global time
+ *  (conservative-quantum slack bound). */
+static MemOp
+finish(Chip &chip, Core &core, std::uint64_t value)
+{
+    sim::EventQueue &eq = chip.eq();
+    if (core.localTime() > eq.now() + chip.config().slackWindow) {
+        eq.schedule(core.localTime(),
+                    [&core, value]() { core.completeOp(value); });
+        return MemOp::pending(core);
+    }
+    return MemOp::ready(value);
+}
+
+std::uint32_t
+Cluster::readWord(const cache::Line &line, mem::Addr addr,
+                  unsigned bytes) const
+{
+    std::uint32_t v = 0;
+    line.read(addr, &v, bytes);
+    return v;
+}
+
+void
+Cluster::applyStore(cache::Line &line, mem::Addr addr, std::uint32_t value,
+                    unsigned bytes)
+{
+    line.write(addr, &value, bytes);
+}
+
+void
+Cluster::fillL1(Core &core, const cache::Line &l2_line)
+{
+    // The L1D only caches fully-valid lines; partial SWcc lines are
+    // served from the L2.
+    if (l2_line.validMask != mem::fullMask)
+        return;
+    cache::CacheArray &l1 = core.l1d();
+    cache::Line &v = l1.victim(l2_line.base);
+    if (v.valid)
+        v.reset(); // L1 is write-through: drops are always silent.
+    l1.claim(v, l2_line.base);
+    v.data = l2_line.data;
+    v.validMask = mem::fullMask;
+    v.dirtyMask = 0;
+    v.incoherent = l2_line.incoherent;
+    v.hwState = l2_line.hwState;
+}
+
+void
+Cluster::backInvalidateL1(mem::Addr base, bool also_l1i)
+{
+    for (auto &core : _cores) {
+        if (cache::Line *l = core->l1d().probe(base))
+            l->reset();
+        if (also_l1i) {
+            if (cache::Line *l = core->l1i().probe(base))
+                l->reset();
+        }
+    }
+}
+
+cache::Line &
+Cluster::selectVictim(mem::Addr base)
+{
+    cache::Line *set = _l2.setFor(base);
+    cache::Line *best = nullptr;
+    for (unsigned w = 0; w < _l2.assoc(); ++w) {
+        cache::Line &line = set[w];
+        if (!line.valid)
+            return line;
+        if (_mshrs.count(line.base))
+            continue; // fill or upgrade in flight; not safe to evict
+        if (!best || line.lruStamp < best->lruStamp)
+            best = &line;
+    }
+    if (!best) {
+        // Pathological: every way has a transaction in flight. Fall
+        // back to plain LRU; the install path tolerates a missing line.
+        warn("cluster ", _id, ": all ways busy in set of 0x", std::hex,
+             base);
+        best = &_l2.victim(base);
+    }
+    return *best;
+}
+
+void
+Cluster::evictLine(cache::Line &line, sim::Tick when)
+{
+    panic_if(!line.valid, "evicting an invalid line");
+    TRACE(_chip.tracer(), sim::Category::Cache, "cluster", _id,
+          ": evict 0x", std::hex, line.base, std::dec,
+          line.incoherent ? " SWcc" : " HWcc",
+          line.dirty() ? " dirty" : " clean");
+    if (line.incoherent) {
+        if (line.dirty()) {
+            Request r;
+            r.type = ReqType::Eviction;
+            r.cluster = _id;
+            r.addr = line.base;
+            r.mask = line.dirtyMask;
+            r.data = line.data;
+            ++_outstandingWrites;
+            sendRequest(r, MsgClass::CacheEviction, when,
+                        maskWords(r.mask));
+        }
+        // Clean SWcc evictions are silent: no message at all.
+    } else if (line.hwState == cache::CohState::Modified) {
+        Request r;
+        r.type = ReqType::WriteRelease;
+        r.cluster = _id;
+        r.addr = line.base;
+        r.mask = line.dirtyMask ? line.dirtyMask : mem::fullMask;
+        r.data = line.data;
+        sendRequest(r, MsgClass::CacheEviction, when, maskWords(r.mask));
+    } else if (line.hwState == cache::CohState::Shared ||
+               line.hwState == cache::CohState::Exclusive) {
+        // No silent evictions under HWcc: notify the directory (a
+        // clean Exclusive line releases like a Shared one).
+        Request r;
+        r.type = ReqType::ReadRelease;
+        r.cluster = _id;
+        r.addr = line.base;
+        sendRequest(r, MsgClass::ReadRelease, when, 0);
+    }
+    backInvalidateL1(line.base, true);
+    line.reset();
+}
+
+void
+Cluster::sendRequest(const Request &req, MsgClass cls, sim::Tick depart,
+                     unsigned data_words)
+{
+    _msgs.count(cls);
+    unsigned bank = _chip.map().bankOf(req.addr);
+    sim::Tick arrive = _chip.fabric().clusterToBank(
+        _id, bank, msgBytes(data_words), depart);
+    _chip.eq().schedule(arrive, [this, bank, req]() {
+        _chip.bank(bank).receiveRequest(req);
+    });
+}
+
+// --------------------------------------------------------------------
+// Instruction fetch
+// --------------------------------------------------------------------
+
+void
+Cluster::fetchLine(Core &core, mem::Addr addr)
+{
+    mem::Addr base = mem::lineBase(addr);
+    if (cache::Line *l1 = core.l1i().probe(base)) {
+        core.l1i().touch(*l1);
+        // Pipelined fetch: an L1I hit adds no stall.
+        core._ifetchHitRun += mem::lineBytes;
+        if (core._ifetchHitRun >= core._codeBytes)
+            core._ifetchWarm = true;
+        return;
+    }
+    core._ifetchHitRun = 0;
+
+    sim::Tick t = l2Access(core.localTime());
+    cache::Line *l2line = _l2.probe(base);
+    if (l2line) {
+        _l2.touch(*l2line);
+        _l2Hits.inc();
+        core.setLocalTime(t);
+    } else {
+        _l2Misses.inc();
+        // Fire-and-forget instruction request; nothing consumes the
+        // bytes, so the core only pays the latency.
+        if (!_mshrs.count(base)) {
+            _mshrs.emplace(base, MshrEntry{ReqType::Instr, false, {}});
+            Request r;
+            r.type = ReqType::Instr;
+            r.cluster = _id;
+            r.core = core.localId();
+            r.addr = base;
+            sendRequest(r, MsgClass::InstructionRequest, t, 0);
+        }
+        const MachineConfig &cfg = _chip.config();
+        core.setLocalTime(t + 2 * cfg.netLatency + cfg.l3Latency);
+    }
+
+    // Install into the L1I (contents are immaterial to execution).
+    cache::Line &v = core.l1i().victim(base);
+    if (v.valid)
+        v.reset();
+    core.l1i().claim(v, base);
+    v.validMask = mem::fullMask;
+    v.incoherent = true;
+}
+
+void
+Cluster::ifetch(Core &core, std::uint64_t instrs)
+{
+    if (core._ifetchWarm)
+        return;
+    std::uint64_t bytes = instrs * 4;
+    while (bytes > 0 && !core._ifetchWarm) {
+        std::uint32_t line_off = core._fetchOffset & (mem::lineBytes - 1);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(bytes, mem::lineBytes - line_off);
+        if (line_off == 0)
+            fetchLine(core, core._codeBase + core._fetchOffset);
+        core._fetchOffset += chunk;
+        if (core._fetchOffset >= core._codeBytes)
+            core._fetchOffset = 0;
+        bytes -= chunk;
+    }
+}
+
+// --------------------------------------------------------------------
+// Core operations
+// --------------------------------------------------------------------
+
+MemOp
+Cluster::coreLoad(Core &core, mem::Addr addr, unsigned bytes)
+{
+    // An idle core cannot issue in the past: sync to global time.
+    core.advanceLocalTime(_chip.eq().now());
+    panic_if(!mem::withinLine(addr, bytes), "load crosses a line");
+    core.countInstructions(1);
+    ifetch(core, 1);
+
+    mem::Addr base = mem::lineBase(addr);
+    mem::WordMask need = mem::wordMaskFor(addr, bytes);
+
+    if (cache::Line *l1 = core.l1d().probe(base)) {
+        core.l1d().touch(*l1);
+        core.advanceLocalTime(core.localTime() +
+                              _chip.config().l1Latency);
+        return finish(_chip, core, readWord(*l1, addr, bytes));
+    }
+
+    sim::Tick t = l2Access(core.localTime() + _chip.config().l1Latency);
+    cache::Line *l2line = _l2.probe(base);
+    if (l2line && (l2line->validMask & need) == need) {
+        _l2.touch(*l2line);
+        _l2Hits.inc();
+        core.setLocalTime(t);
+        fillL1(core, *l2line);
+        return finish(_chip, core, readWord(*l2line, addr, bytes));
+    }
+    _l2Misses.inc();
+    core.setLocalTime(t);
+
+    auto it = _mshrs.find(base);
+    if (it != _mshrs.end()) {
+        it->second.waiters.push_back(Waiter{&core, false, addr, bytes, 0});
+        return MemOp::pending(core);
+    }
+    MshrEntry m;
+    m.sentType = ReqType::Read;
+    m.waiters.push_back(Waiter{&core, false, addr, bytes, 0});
+    _mshrs.emplace(base, std::move(m));
+
+    Request r;
+    r.type = ReqType::Read;
+    r.cluster = _id;
+    r.core = core.localId();
+    r.addr = base;
+    sendRequest(r, MsgClass::ReadRequest, t, 0);
+    return MemOp::pending(core);
+}
+
+MemOp
+Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
+                   unsigned bytes)
+{
+    // An idle core cannot issue in the past: sync to global time.
+    core.advanceLocalTime(_chip.eq().now());
+    panic_if(!mem::withinLine(addr, bytes), "store crosses a line");
+    core.countInstructions(1);
+    ifetch(core, 1);
+
+    mem::Addr base = mem::lineBase(addr);
+
+    // Write-through L1D with bus snooping inside the cluster: update
+    // our own copy, invalidate the other cores' copies.
+    for (auto &other : _cores) {
+        cache::Line *l1 = other->l1d().probe(base);
+        if (!l1)
+            continue;
+        if (other.get() == &core) {
+            l1->write(addr, &value, bytes);
+            l1->dirtyMask = 0; // write-through: L1 stays clean
+        } else {
+            l1->reset();
+        }
+    }
+
+    sim::Tick t = l2Access(core.localTime() + _chip.config().l1Latency);
+    cache::Line *l2line = _l2.probe(base);
+    if (l2line) {
+        if (l2line->incoherent ||
+            l2line->hwState == cache::CohState::Modified ||
+            l2line->hwState == cache::CohState::Exclusive) {
+            // MESI: an Exclusive holder upgrades to Modified silently
+            // (no directory message) — the benefit the E state buys.
+            if (l2line->hwState == cache::CohState::Exclusive)
+                l2line->hwState = cache::CohState::Modified;
+            _l2.touch(*l2line);
+            _l2Hits.inc();
+            applyStore(*l2line, addr, value, bytes);
+            core.setLocalTime(t);
+            return finish(_chip, core, 0);
+        }
+        if (l2line->hwState == cache::CohState::Shared) {
+            // S -> M upgrade through the directory.
+            _l2Misses.inc();
+            core.setLocalTime(t);
+            auto it = _mshrs.find(base);
+            if (it != _mshrs.end()) {
+                it->second.waiters.push_back(
+                    Waiter{&core, true, addr, bytes, value});
+                return MemOp::pending(core);
+            }
+            MshrEntry m;
+            m.sentType = ReqType::Write;
+            m.upgradeSent = true;
+            m.waiters.push_back(Waiter{&core, true, addr, bytes, value});
+            _mshrs.emplace(base, std::move(m));
+            Request r;
+            r.type = ReqType::Write;
+            r.cluster = _id;
+            r.core = core.localId();
+            r.addr = base;
+            r.upgrade = true;
+            sendRequest(r, MsgClass::WriteRequest, t, 0);
+            return MemOp::pending(core);
+        }
+    }
+
+    _l2Misses.inc();
+    core.setLocalTime(t);
+
+    if (_chip.config().mode == CoherenceMode::SWccOnly) {
+        // TCMM write-allocate: the store retires immediately; the fill
+        // request completes in the background and merges around the
+        // locally dirty words.
+        auto it = _mshrs.find(base);
+        if (it != _mshrs.end()) {
+            it->second.waiters.push_back(
+                Waiter{&core, true, addr, bytes, value});
+            return MemOp::pending(core);
+        }
+        cache::Line &v = selectVictim(base);
+        if (v.valid)
+            evictLine(v, t);
+        _l2.claim(v, base);
+        v.incoherent = true;
+        applyStore(v, addr, value, bytes);
+        _mshrs.emplace(base, MshrEntry{ReqType::Write, false, {}});
+        Request r;
+        r.type = ReqType::Write;
+        r.cluster = _id;
+        r.core = core.localId();
+        r.addr = base;
+        sendRequest(r, MsgClass::WriteRequest, t, 0);
+        return finish(_chip, core, 0);
+    }
+
+    // Cohesion / HWcc: the store blocks until the home bank responds
+    // (M grant or an incoherent fill for SWcc-domain data).
+    auto it = _mshrs.find(base);
+    if (it != _mshrs.end()) {
+        it->second.waiters.push_back(Waiter{&core, true, addr, bytes,
+                                            value});
+        return MemOp::pending(core);
+    }
+    MshrEntry m;
+    m.sentType = ReqType::Write;
+    m.waiters.push_back(Waiter{&core, true, addr, bytes, value});
+    _mshrs.emplace(base, std::move(m));
+    Request r;
+    r.type = ReqType::Write;
+    r.cluster = _id;
+    r.core = core.localId();
+    r.addr = base;
+    sendRequest(r, MsgClass::WriteRequest, t, 0);
+    return MemOp::pending(core);
+}
+
+MemOp
+Cluster::coreAtomic(Core &core, AtomicOp op, mem::Addr addr,
+                    std::uint32_t operand, std::uint32_t operand2)
+{
+    // An idle core cannot issue in the past: sync to global time.
+    core.advanceLocalTime(_chip.eq().now());
+    core.countInstructions(1);
+    ifetch(core, 1);
+
+    mem::Addr base = mem::lineBase(addr);
+    sim::Tick depart = core.localTime() + 1;
+
+    // Uncached: local copies must not linger. The drop goes through
+    // the eviction protocol — dirty data is pushed out so the RMW
+    // observes it, and HWcc lines notify the directory (a silent drop
+    // of a clean Exclusive line would leave the home bank waiting
+    // forever for a writeback that never comes).
+    if (cache::Line *l2line = _l2.probe(base)) {
+        if (_mshrs.count(base)) {
+            // A fill or upgrade for this line is already in flight; an
+            // eviction notification now would cross it and corrupt the
+            // directory's sharer view. Leave the copy — the home
+            // bank's recall is serialized behind the in-flight
+            // transaction and will collect it.
+            backInvalidateL1(base, false);
+        } else {
+            evictLine(*l2line, depart);
+        }
+    } else {
+        backInvalidateL1(base, false);
+    }
+
+    Request r;
+    r.type = ReqType::Atomic;
+    r.cluster = _id;
+    r.core = core.localId();
+    r.addr = addr;
+    r.op = op;
+    r.operand = operand;
+    r.operand2 = operand2;
+    sendRequest(r, MsgClass::UncachedAtomic, depart, 1);
+    core.setLocalTime(depart);
+    return MemOp::pending(core);
+}
+
+MemOp
+Cluster::coreFlush(Core &core, mem::Addr addr)
+{
+    // An idle core cannot issue in the past: sync to global time.
+    core.advanceLocalTime(_chip.eq().now());
+    core.countInstructions(1);
+    ifetch(core, 1);
+    _flushIssued.inc();
+
+    mem::Addr base = mem::lineBase(addr);
+    sim::Tick t = l2Access(core.localTime());
+    core.setLocalTime(t);
+
+    cache::Line *l2line = _l2.probe(base);
+    if (!l2line)
+        return finish(_chip, core, 0); // wasted instruction (Fig. 3)
+    _flushUseful.inc();
+    if (l2line->incoherent && l2line->dirty()) {
+        Request r;
+        r.type = ReqType::Flush;
+        r.cluster = _id;
+        r.core = core.localId();
+        r.addr = base;
+        r.mask = l2line->dirtyMask;
+        r.data = l2line->data;
+        ++_outstandingWrites;
+        sendRequest(r, MsgClass::SoftwareFlush, t, maskWords(r.mask));
+        l2line->dirtyMask = 0; // line transitions to the Clean state
+    }
+    return finish(_chip, core, 0);
+}
+
+MemOp
+Cluster::coreInv(Core &core, mem::Addr addr)
+{
+    // An idle core cannot issue in the past: sync to global time.
+    core.advanceLocalTime(_chip.eq().now());
+    core.countInstructions(1);
+    ifetch(core, 1);
+    _invIssued.inc();
+
+    mem::Addr base = mem::lineBase(addr);
+    sim::Tick t = l2Access(core.localTime());
+    core.setLocalTime(t);
+
+    cache::Line *l2line = _l2.probe(base);
+    if (!l2line)
+        return finish(_chip, core, 0); // wasted instruction (Fig. 3)
+    if (l2line->incoherent) {
+        _invUseful.inc();
+        // TCMM invalidation discards the local copy without traffic.
+        backInvalidateL1(base, false);
+        l2line->reset();
+    }
+    return finish(_chip, core, 0);
+}
+
+MemOp
+Cluster::coreDrain(Core &core)
+{
+    if (_outstandingWrites == 0)
+        return finish(_chip, core, 0);
+    _drainWaiters.push_back(&core);
+    return MemOp::pending(core);
+}
+
+MemOp
+Cluster::coreCompute(Core &core, std::uint64_t instrs)
+{
+    // An idle core cannot issue in the past: sync to global time.
+    core.advanceLocalTime(_chip.eq().now());
+    core.countInstructions(instrs);
+    ifetch(core, instrs);
+    core.setLocalTime(core.localTime() + instrs);
+    return finish(_chip, core, 0);
+}
+
+// --------------------------------------------------------------------
+// Network-facing handlers
+// --------------------------------------------------------------------
+
+void
+Cluster::writebackAcked()
+{
+    panic_if(_outstandingWrites == 0, "writeback ack underflow");
+    --_outstandingWrites;
+    if (_outstandingWrites == 0 && !_drainWaiters.empty()) {
+        std::vector<Core *> waiters;
+        waiters.swap(_drainWaiters);
+        for (Core *c : waiters) {
+            c->advanceLocalTime(_chip.eq().now());
+            c->completeOp(0);
+        }
+    }
+}
+
+void
+Cluster::handleResponse(const Response &resp)
+{
+    switch (resp.type) {
+      case ReqType::Atomic: {
+          Core &c = core(resp.core);
+          c.advanceLocalTime(_chip.eq().now());
+          c.completeOp(resp.atomicOld);
+          return;
+      }
+      case ReqType::Flush:
+      case ReqType::Eviction:
+        writebackAcked();
+        return;
+      default:
+        installFill(resp);
+    }
+}
+
+void
+Cluster::installFill(const Response &resp)
+{
+    TRACE(_chip.tracer(), sim::Category::Cache, "cluster", _id,
+          ": fill 0x", std::hex, resp.addr, std::dec,
+          resp.incoherent ? " incoherent" : " coherent");
+    mem::Addr base = mem::lineBase(resp.addr);
+    auto node = _mshrs.extract(base);
+
+    cache::Line *line = _l2.probe(base);
+    if (!line) {
+        cache::Line &v = selectVictim(base);
+        if (v.valid)
+            evictLine(v, _chip.eq().now());
+        _l2.claim(v, base);
+        line = &v;
+    } else {
+        _l2.touch(*line);
+    }
+
+    if (resp.incoherent) {
+        line->incoherent = true;
+        line->hwState = cache::CohState::Invalid;
+    } else {
+        line->incoherent = false;
+        line->hwState = resp.grant;
+    }
+    line->fill(resp.data.data(), mem::fullMask);
+
+    if (node.empty())
+        return; // instruction fill / background SWcc store fill
+
+    MshrEntry m = std::move(node.mapped());
+
+    // Apply stores and compute load results first; resume afterwards
+    // so re-entrant ops from resumed coroutines cannot disturb the
+    // line mid-service.
+    std::vector<std::pair<Core *, std::uint64_t>> completions;
+    std::vector<Waiter> upgrade_waiters;
+    bool can_store = line->incoherent ||
+                     line->hwState == cache::CohState::Modified ||
+                     line->hwState == cache::CohState::Exclusive;
+    if (can_store && line->hwState == cache::CohState::Exclusive) {
+        // Stores joined a read miss that was granted Exclusive:
+        // silent upgrade.
+        bool any_store = false;
+        for (const Waiter &w : m.waiters)
+            any_store |= w.isStore;
+        if (any_store)
+            line->hwState = cache::CohState::Modified;
+    }
+    for (const Waiter &w : m.waiters) {
+        if (w.isStore) {
+            if (can_store) {
+                applyStore(*line, w.addr, w.value, w.bytes);
+                completions.emplace_back(w.core, 0);
+            } else {
+                upgrade_waiters.push_back(w); // granted S; need M
+            }
+        } else {
+            completions.emplace_back(w.core,
+                                     readWord(*line, w.addr, w.bytes));
+            fillL1(*w.core, *line); // response path fills the L1D
+        }
+    }
+
+    if (!upgrade_waiters.empty()) {
+        MshrEntry up;
+        up.sentType = ReqType::Write;
+        up.upgradeSent = true;
+        unsigned core_id = upgrade_waiters.front().core->localId();
+        up.waiters = std::move(upgrade_waiters);
+        _mshrs.emplace(base, std::move(up));
+        Request r;
+        r.type = ReqType::Write;
+        r.cluster = _id;
+        r.core = core_id;
+        r.addr = base;
+        r.upgrade = true;
+        sendRequest(r, MsgClass::WriteRequest, _chip.eq().now(), 0);
+    }
+
+    for (auto &[c, value] : completions) {
+        c->advanceLocalTime(_chip.eq().now());
+        c->completeOp(value);
+    }
+}
+
+ProbeResult
+Cluster::handleProbe(ProbeType type, mem::Addr addr)
+{
+    mem::Addr base = mem::lineBase(addr);
+    l2Access(_chip.eq().now()); // tag access occupies a port
+
+    ProbeResult res;
+    cache::Line *l = _l2.probe(base);
+    if (!l)
+        return res; // nack: already evicted/released
+
+    switch (type) {
+      case ProbeType::Invalidate:
+      case ProbeType::WritebackInvalidate:
+        res.found = true;
+        if (l->dirty()) {
+            res.dirty = true;
+            res.dirtyMask = l->dirtyMask;
+            res.data = l->data;
+        }
+        backInvalidateL1(base, false);
+        l->reset();
+        break;
+
+      case ProbeType::Downgrade:
+        res.found = true;
+        if (l->dirty()) {
+            res.dirty = true;
+            res.dirtyMask = l->dirtyMask;
+            res.data = l->data;
+            l->dirtyMask = 0;
+        }
+        l->hwState = cache::CohState::Shared;
+        // L1 copies may serve stale data until the next store probes
+        // them out; conservatively drop them.
+        backInvalidateL1(base, false);
+        break;
+
+      case ProbeType::CleanQuery:
+        if (!l->incoherent) {
+            // Already HWcc (e.g., re-converted earlier): report clean.
+            res.found = true;
+        } else if (l->dirty()) {
+            res.found = true;
+            res.dirty = true;
+            res.dirtyMask = l->dirtyMask;
+            // The line is kept; round two collects the data.
+        } else {
+            // Clean SWcc line joins the HWcc domain as a sharer.
+            res.found = true;
+            l->incoherent = false;
+            l->hwState = cache::CohState::Shared;
+        }
+        break;
+
+      case ProbeType::MakeOwner:
+        if (l->incoherent && l->dirty()) {
+            res.found = true;
+            res.dirty = true;
+            l->incoherent = false;
+            l->hwState = cache::CohState::Modified;
+        } else if (l) {
+            res.found = true; // raced away; report what we have
+        }
+        break;
+    }
+    return res;
+}
+
+} // namespace arch

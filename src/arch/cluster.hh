@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A Rigel-style cluster: eight in-order cores sharing a unified L2
+ * cache through a pipelined split-phase bus. The cluster cache
+ * controller implements the client side of *both* coherence worlds:
+ *
+ *  - SWcc (incoherent-bit lines): write-allocate stores with per-word
+ *    dirty/valid bits, silent clean evictions, explicit software flush
+ *    and invalidate instructions;
+ *  - HWcc (MSI lines): blocking misses through the directory, read
+ *    releases on clean evictions, responses to directory probes.
+ *
+ * Every message the cluster sends toward the L3 is accounted to one
+ * of the eight Fig. 2 message classes.
+ */
+
+#ifndef COHESION_ARCH_CLUSTER_HH
+#define COHESION_ARCH_CLUSTER_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/core.hh"
+#include "arch/msg.hh"
+#include "arch/protocol.hh"
+#include "cache/cache_array.hh"
+#include "mem/types.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace arch {
+
+class Chip;
+
+class Cluster
+{
+  public:
+    Cluster(Chip &chip, unsigned id);
+
+    unsigned id() const { return _id; }
+    Core &core(unsigned local) { return *_cores.at(local); }
+    unsigned numCores() const { return _cores.size(); }
+    cache::CacheArray &l2() { return _l2; }
+    Chip &chip() { return _chip; }
+
+    // --- Core operation implementations (called by Core) ---------------
+    MemOp coreLoad(Core &core, mem::Addr addr, unsigned bytes);
+    MemOp coreStore(Core &core, mem::Addr addr, std::uint32_t value,
+                    unsigned bytes);
+    MemOp coreAtomic(Core &core, AtomicOp op, mem::Addr addr,
+                     std::uint32_t operand, std::uint32_t operand2);
+    MemOp coreFlush(Core &core, mem::Addr addr);
+    MemOp coreInv(Core &core, mem::Addr addr);
+    MemOp coreDrain(Core &core);
+    MemOp coreCompute(Core &core, std::uint64_t instrs);
+
+    // --- Network-facing entry points ------------------------------------
+    /** Deliver a response from a bank (called at the arrival event). */
+    void handleResponse(const Response &resp);
+
+    /**
+     * Apply a directory probe to the L2 (synchronous state change at
+     * the probe-arrival event) and return the observation.
+     */
+    ProbeResult handleProbe(ProbeType type, mem::Addr addr);
+
+    // --- Statistics -----------------------------------------------------
+    MsgCounters &msgCounters() { return _msgs; }
+    const MsgCounters &msgCounters() const { return _msgs; }
+
+    std::uint64_t flushesIssued() const { return _flushIssued.value(); }
+    std::uint64_t flushesUseful() const { return _flushUseful.value(); }
+    std::uint64_t invsIssued() const { return _invIssued.value(); }
+    std::uint64_t invsUseful() const { return _invUseful.value(); }
+    std::uint64_t l2Hits() const { return _l2Hits.value(); }
+    std::uint64_t l2Misses() const { return _l2Misses.value(); }
+
+    /** SWcc writebacks (flushes + dirty evictions) awaiting L3 acks. */
+    unsigned outstandingWrites() const { return _outstandingWrites; }
+
+  private:
+    friend class Chip;
+
+    struct Waiter
+    {
+        Core *core;
+        bool isStore;
+        mem::Addr addr;
+        unsigned bytes;
+        std::uint32_t value;
+    };
+
+    struct MshrEntry
+    {
+        ReqType sentType = ReqType::Read;
+        bool upgradeSent = false;
+        std::vector<Waiter> waiters;
+    };
+
+    /** Arbitrate for an L2 port at local time @p when; returns the
+     *  tick at which the access completes. */
+    sim::Tick l2Access(sim::Tick when);
+
+    /** Walk the I-fetch stream for @p instrs instructions. */
+    void ifetch(Core &core, std::uint64_t instrs);
+
+    /** Fetch one code line through L1I/L2 (may send InstrReq). */
+    void fetchLine(Core &core, mem::Addr line_base);
+
+    /** Send a request toward @p addr's home bank. */
+    void sendRequest(const Request &req, MsgClass cls, sim::Tick depart,
+                     unsigned data_words);
+
+    /** Install a fill response into the L2 and service MSHR waiters. */
+    void installFill(const Response &resp);
+
+    /** Choose an L2 victim way for @p base, avoiding MSHR-busy lines. */
+    cache::Line &selectVictim(mem::Addr base);
+
+    /** Evict a valid line: emit the protocol-required message. */
+    void evictLine(cache::Line &line, sim::Tick when);
+
+    /** Drop @p base from every core's L1D (and optionally L1I). */
+    void backInvalidateL1(mem::Addr base, bool also_l1i = false);
+
+    /** Fill a core's L1D with a fully-valid L2 line. */
+    void fillL1(Core &core, const cache::Line &l2_line);
+
+    /** Serve a load hit from a line; returns the loaded value. */
+    std::uint32_t readWord(const cache::Line &line, mem::Addr addr,
+                           unsigned bytes) const;
+
+    void applyStore(cache::Line &line, mem::Addr addr, std::uint32_t value,
+                    unsigned bytes);
+
+    /** One SWcc writeback ack arrived; wake drain waiters at zero. */
+    void writebackAcked();
+
+    Chip &_chip;
+    unsigned _id;
+    std::vector<std::unique_ptr<Core>> _cores;
+    cache::CacheArray _l2;
+    std::vector<sim::Tick> _l2PortFree;
+    std::unordered_map<mem::Addr, MshrEntry> _mshrs;
+
+    unsigned _outstandingWrites = 0;
+    std::vector<Core *> _drainWaiters;
+
+    MsgCounters _msgs;
+    sim::Counter _flushIssued, _flushUseful;
+    sim::Counter _invIssued, _invUseful;
+    sim::Counter _l2Hits, _l2Misses;
+};
+
+} // namespace arch
+
+#endif // COHESION_ARCH_CLUSTER_HH

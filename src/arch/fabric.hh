@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interconnect timing model: pipelined split-phase cluster bus feeding
+ * a two-level tree/crossbar network to the L3 banks (Section 3.1). The
+ * model is arithmetic: given a departure tick and message size it
+ * returns the arrival tick, enforcing per-cluster uplink/downlink and
+ * per-bank port serialization with next-free counters. Latencies are
+ * symmetric and constant, so point-to-point ordering is preserved —
+ * the property the home-bank serialization argument relies on.
+ */
+
+#ifndef COHESION_ARCH_FABRIC_HH
+#define COHESION_ARCH_FABRIC_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/machine_config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace arch {
+
+class Fabric
+{
+  public:
+    explicit Fabric(const MachineConfig &config)
+        : _latency(config.netLatency),
+          _bytesPerCycle(config.linkBytesPerCycle),
+          _clusterUp(config.numClusters, 0),
+          _clusterDown(config.numClusters, 0),
+          _bankIn(config.numL3Banks, 0),
+          _bankOut(config.numL3Banks, 0)
+    {}
+
+    /**
+     * Send a message from cluster @p cluster to bank @p bank.
+     * @return the tick at which the message is available at the bank.
+     */
+    sim::Tick
+    clusterToBank(unsigned cluster, unsigned bank, unsigned bytes,
+                  sim::Tick depart)
+    {
+        sim::Tick start = std::max(depart, _clusterUp[cluster]);
+        sim::Tick ser = serialization(bytes);
+        _clusterUp[cluster] = start + ser;
+        sim::Tick at_bank = start + ser + _latency;
+        sim::Tick accept = std::max(at_bank, _bankIn[bank]);
+        _bankIn[bank] = accept + 1; // one message accepted per cycle
+        _bytesUp.inc(bytes);
+        return accept;
+    }
+
+    /**
+     * Send a message from bank @p bank to cluster @p cluster.
+     * @return the arrival tick at the cluster.
+     */
+    sim::Tick
+    bankToCluster(unsigned bank, unsigned cluster, unsigned bytes,
+                  sim::Tick depart)
+    {
+        sim::Tick start = std::max(depart, _bankOut[bank]);
+        sim::Tick ser = serialization(bytes);
+        _bankOut[bank] = start + ser;
+        sim::Tick at_cluster = start + ser + _latency;
+        sim::Tick accept = std::max(at_cluster, _clusterDown[cluster]);
+        _clusterDown[cluster] = accept + 1;
+        _bytesDown.inc(bytes);
+        return accept;
+    }
+
+    std::uint64_t bytesUp() const { return _bytesUp.value(); }
+    std::uint64_t bytesDown() const { return _bytesDown.value(); }
+
+  private:
+    sim::Tick
+    serialization(unsigned bytes) const
+    {
+        return (bytes + _bytesPerCycle - 1) / _bytesPerCycle;
+    }
+
+    sim::Tick _latency;
+    unsigned _bytesPerCycle;
+    std::vector<sim::Tick> _clusterUp;
+    std::vector<sim::Tick> _clusterDown;
+    std::vector<sim::Tick> _bankIn;
+    std::vector<sim::Tick> _bankOut;
+    sim::Counter _bytesUp, _bytesDown;
+};
+
+} // namespace arch
+
+#endif // COHESION_ARCH_FABRIC_HH

@@ -1,0 +1,781 @@
+#include "arch/l3bank.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "arch/chip.hh"
+#include "cohesion/region_table.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace arch {
+
+namespace {
+
+/** RAII line-lock holder (release on scope exit, move-only). */
+class [[nodiscard]] Held
+{
+  public:
+    Held(LineLockTable &t, std::uint32_t line) : _table(&t), _line(line) {}
+
+    Held(Held &&o) noexcept
+        : _table(std::exchange(o._table, nullptr)), _line(o._line)
+    {}
+
+    Held(const Held &) = delete;
+    Held &operator=(const Held &) = delete;
+    Held &operator=(Held &&) = delete;
+
+    ~Held()
+    {
+        if (_table)
+            _table->release(_line);
+    }
+
+  private:
+    LineLockTable *_table;
+    std::uint32_t _line;
+};
+
+} // namespace
+
+L3Bank::L3Bank(Chip &chip, unsigned id)
+    : _chip(chip), _id(id),
+      _l3(sim::cat("l3bank", id), chip.config().l3BankBytes,
+          chip.config().l3Assoc),
+      _dir(chip.config().directory, chip.config().numClusters),
+      _tableCache(chip.config().tableCacheEntries), _locks(chip.eq())
+{}
+
+void
+L3Bank::pruneTransactions()
+{
+    for (auto it = _running.begin(); it != _running.end();) {
+        if (it->done()) {
+            it->rethrow();
+            it = _running.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+L3Bank::receiveRequest(const Request &req)
+{
+    TRACE(_chip.tracer(), sim::Category::Protocol, "bank", _id, ": ",
+          reqTypeName(req.type), " 0x", std::hex, req.addr, std::dec,
+          " from cluster ", req.cluster);
+    pruneTransactions();
+    _running.push_back(transaction(req));
+    _running.back().start();
+}
+
+sim::CoTask
+L3Bank::transaction(Request req)
+{
+    if (req.type == ReqType::Atomic && _chip.cohesionEnabled() &&
+        _chip.map().inTable(req.addr)) {
+        co_await handleTableUpdate(req);
+        co_return;
+    }
+    switch (req.type) {
+      case ReqType::Read:
+      case ReqType::Instr:
+        co_await handleRead(req);
+        break;
+      case ReqType::Write:
+        co_await handleWrite(req);
+        break;
+      case ReqType::Atomic:
+        co_await handleAtomic(req);
+        break;
+      default:
+        co_await handleWriteback(req);
+        break;
+    }
+}
+
+void
+L3Bank::respond(const Request &req, Response resp, unsigned data_words)
+{
+    _chip.sendResponse(_id, req.cluster, resp, data_words);
+}
+
+void
+L3Bank::sendProbes(const std::vector<unsigned> &targets, ProbeType type,
+                   mem::Addr addr,
+                   std::vector<std::pair<unsigned, ProbeResult>> *results,
+                   AckGate *gate)
+{
+    TRACE(_chip.tracer(), sim::Category::Protocol, "bank", _id, ": ",
+          probeTypeName(type), " 0x", std::hex, addr, std::dec, " -> ",
+          targets.size(), " cluster(s)");
+    for (unsigned cl : targets) {
+        _chip.sendProbe(_id, cl, type, addr,
+                        [results, gate](unsigned c, const ProbeResult &r) {
+                            results->emplace_back(c, r);
+                            gate->signal();
+                        });
+    }
+}
+
+std::pair<cache::Line *, sim::Tick>
+L3Bank::l3AccessPrep(mem::Addr base, bool write, sim::Tick start)
+{
+    (void)write;
+    base = mem::lineBase(base);
+    start = std::max(start, _l3PortFree);
+    _l3PortFree = start + 1;
+    sim::Tick ready = start + _chip.config().l3Latency;
+
+    if (cache::Line *line = _l3.probe(base)) {
+        _l3.touch(*line);
+        _l3Hits.inc();
+        return {line, ready};
+    }
+    _l3Misses.inc();
+
+    cache::Line &v = _l3.victim(base);
+    if (v.valid) {
+        if (v.dirty()) {
+            // Victim writeback uses the channel but is off the
+            // critical path of this access.
+            _chip.store().write(v.base, v.data.data(), mem::lineBytes);
+            _chip.dram().access(v.base, true, start);
+        }
+        v.reset();
+    }
+    _l3.claim(v, base);
+    _chip.store().read(base, v.data.data(), mem::lineBytes);
+    v.validMask = mem::fullMask;
+    v.dirtyMask = 0;
+
+    sim::Tick fill_done = _chip.dram().access(base, false, ready);
+    return {&v, fill_done + 1};
+}
+
+sim::CoTask
+L3Bank::mergeIntoL3(mem::Addr base,
+                    const std::array<std::uint8_t, mem::lineBytes> &data,
+                    mem::WordMask mask)
+{
+    auto [line, t] = l3AccessPrep(base, true, _chip.eq().now());
+    line->merge(data.data(), mask);
+    co_await Delay{_chip.eq(), t};
+}
+
+std::uint32_t
+L3Bank::applyAtomic(cache::Line &line, mem::Addr addr, AtomicOp op,
+                    std::uint32_t operand, std::uint32_t operand2)
+{
+    std::uint32_t old = 0;
+    line.read(addr, &old, 4);
+    std::uint32_t next = old;
+    switch (op) {
+      case AtomicOp::AddU32:
+        next = old + operand;
+        break;
+      case AtomicOp::AddF32: {
+          float f = std::bit_cast<float>(old) + std::bit_cast<float>(operand);
+          next = std::bit_cast<std::uint32_t>(f);
+          break;
+      }
+      case AtomicOp::MinF32: {
+          float a = std::bit_cast<float>(old);
+          float b = std::bit_cast<float>(operand);
+          next = std::bit_cast<std::uint32_t>(std::min(a, b));
+          break;
+      }
+      case AtomicOp::Or:
+        next = old | operand;
+        break;
+      case AtomicOp::And:
+        next = old & operand;
+        break;
+      case AtomicOp::Xchg:
+        next = operand;
+        break;
+      case AtomicOp::Cas:
+        next = (old == operand2) ? operand : old;
+        break;
+    }
+    line.write(addr, &next, 4);
+    return old;
+}
+
+sim::CoTask
+L3Bank::recallEntry(mem::Addr base, bool *incomplete)
+{
+    *incomplete = false;
+    coherence::DirEntry *e = _dir.find(base);
+    if (!e || e->sharers.empty())
+        co_return;
+
+    bool modified = e->state == cache::CohState::Modified ||
+                    e->state == cache::CohState::Exclusive;
+    std::vector<unsigned> targets = e->sharers.probeTargets();
+    ProbeType pt = modified ? ProbeType::WritebackInvalidate
+                            : ProbeType::Invalidate;
+    std::vector<std::pair<unsigned, ProbeResult>> results;
+    AckGate gate;
+    gate.expect(targets.size());
+    sendProbes(targets, pt, base, &results, &gate);
+    co_await gate.wait();
+
+    bool any_found = false;
+    for (const auto &[cl, r] : results) {
+        any_found |= r.found;
+        if (r.dirty)
+            co_await mergeIntoL3(base, r.data, r.dirtyMask);
+    }
+    if (modified && !any_found) {
+        // The owner evicted concurrently: its WrRel carries the dirty
+        // data and is in flight to this bank. The caller must let it
+        // acquire the line and merge before retrying.
+        *incomplete = true;
+    }
+}
+
+sim::CoTask
+L3Bank::recallEntryRetry(mem::Addr base, std::uint32_t lock_key)
+{
+    while (true) {
+        bool incomplete = false;
+        co_await recallEntry(base, &incomplete);
+        if (!incomplete)
+            co_return;
+        _locks.release(lock_key);
+        co_await Delay{_chip.eq(), _chip.eq().now() + 8};
+        co_await _locks.acquire(lock_key);
+    }
+}
+
+sim::CoTask
+L3Bank::makeRoom(mem::Addr base)
+{
+    base = mem::lineBase(base);
+    while (_dir.needsVictim(base)) {
+        coherence::DirEntry *v = _dir.victimExcluding(
+            base, [this](mem::Addr a) {
+                return _locks.busy(mem::lineNumber(a));
+            });
+        if (!v) {
+            // Every candidate is mid-transaction; retry shortly.
+            co_await Delay{_chip.eq(), _chip.eq().now() + 8};
+            continue;
+        }
+        mem::Addr vbase = v->base;
+        co_await _locks.acquire(mem::lineNumber(vbase));
+        Held held(_locks, mem::lineNumber(vbase));
+        // Entries evicted from the directory have all sharers
+        // invalidated (Section 3.2).
+        co_await recallEntryRetry(vbase, mem::lineNumber(vbase));
+        if (_dir.find(vbase))
+            _dir.erase(vbase);
+        _dirEvictions.inc();
+    }
+}
+
+sim::CoTask
+L3Bank::lookupDomain(mem::Addr base, bool *out_swcc)
+{
+    // The coarse-grain table is checked in parallel with the directory
+    // and adds no latency.
+    if (_chip.coarseTable().contains(base)) {
+        *out_swcc = true;
+        co_return;
+    }
+    // Fine-grain lookup: one extra L3 data access for the table word
+    // (Section 3.4: "a minimum of one cycle of delay ... more under
+    // contention at the L3 or if an L3 cache miss for the table
+    // occurs").
+    _tableLookups.inc();
+    const mem::AddressMap &map = _chip.map();
+    mem::Addr word_addr = map.tableWordAddr(base);
+
+    // Optional on-die table cache: a hit avoids the L3 access
+    // entirely (one cycle, like the coarse table).
+    if (auto cached = _tableCache.lookup(word_addr)) {
+        co_await Delay{_chip.eq(), _chip.eq().now() + 1};
+        *out_swcc = cohesion::fine_table::bitFromWord(*cached, map, base);
+        co_return;
+    }
+
+    auto [tline, t] = l3AccessPrep(word_addr, false, _chip.eq().now());
+    std::uint32_t word = 0;
+    tline->read(word_addr, &word, 4);
+    _tableCache.fill(word_addr, word);
+    co_await Delay{_chip.eq(), t};
+    *out_swcc = cohesion::fine_table::bitFromWord(word, map, base);
+    TRACE(_chip.tracer(), sim::Category::Transition, "bank", _id,
+          ": lookup 0x", std::hex, base, std::dec, " -> ",
+          *out_swcc ? "SWcc" : "HWcc");
+}
+
+sim::CoTask
+L3Bank::handleRead(Request req)
+{
+    const mem::Addr base = mem::lineBase(req.addr);
+    const std::uint32_t key = mem::lineNumber(base);
+    co_await _locks.acquire(key);
+    Held held(_locks, key);
+
+    sim::EventQueue &eq = _chip.eq();
+    const CoherenceMode mode = _chip.config().mode;
+
+    // Directory lookup (one cycle through the directory port).
+    sim::Tick dstart = std::max(eq.now(), _dirPortFree);
+    _dirPortFree = dstart + 1;
+    co_await Delay{eq, dstart + 1};
+
+    coherence::DirEntry *e =
+        mode == CoherenceMode::SWccOnly ? nullptr : _dir.find(base);
+
+    Response resp;
+    resp.type = req.type;
+    resp.core = req.core;
+    resp.addr = base;
+
+    while (e && (e->state == cache::CohState::Modified ||
+                 e->state == cache::CohState::Exclusive)) {
+        if (e->sharers.contains(req.cluster) &&
+            e->sharers.count() == 1 && !e->sharers.broadcast()) {
+            // The owner itself is filling invalid words of a
+            // partially-valid line (post-MakeOwner): serve from
+            // the L3 and keep its exclusive state.
+            auto [line, t] = l3AccessPrep(base, false, eq.now());
+            resp.grant = e->state;
+            resp.data = line->data;
+            co_await Delay{eq, t};
+            respond(req, resp, mem::wordsPerLine);
+            co_return;
+        }
+        // Downgrade the owner; its dirty data moves to the L3.
+        std::vector<unsigned> targets = e->sharers.probeTargets();
+        std::vector<std::pair<unsigned, ProbeResult>> results;
+        AckGate gate;
+        gate.expect(targets.size());
+        sendProbes(targets, ProbeType::Downgrade, base, &results, &gate);
+        co_await gate.wait();
+        bool any_found = false;
+        for (const auto &[cl, r] : results) {
+            any_found |= r.found;
+            if (r.dirty)
+                co_await mergeIntoL3(base, r.data, r.dirtyMask);
+        }
+        if (!any_found) {
+            // The owner evicted concurrently; wait for its in-flight
+            // WrRel to land (it needs the line lock) and re-evaluate.
+            _locks.release(key);
+            co_await Delay{eq, eq.now() + 8};
+            co_await _locks.acquire(key);
+            e = _dir.find(base);
+            continue;
+        }
+        e = _dir.find(base);
+        panic_if(!e, "directory entry vanished during downgrade");
+        e->state = cache::CohState::Shared;
+        break;
+    }
+    if (e) {
+        e->sharers.add(req.cluster);
+        auto [line, t] = l3AccessPrep(base, false, eq.now());
+        resp.grant = cache::CohState::Shared;
+        resp.data = line->data;
+        co_await Delay{eq, t};
+        respond(req, resp, mem::wordsPerLine);
+        co_return;
+    }
+
+    // Directory miss: decide the coherence domain.
+    bool swcc = false;
+    if (mode == CoherenceMode::SWccOnly) {
+        swcc = true;
+    } else if (mode == CoherenceMode::Cohesion) {
+        co_await lookupDomain(base, &swcc);
+    }
+
+    if (swcc) {
+        auto [line, t] = l3AccessPrep(base, false, eq.now());
+        resp.incoherent = true;
+        resp.data = line->data;
+        co_await Delay{eq, t};
+        respond(req, resp, mem::wordsPerLine);
+        co_return;
+    }
+
+    co_await makeRoom(base);
+    coherence::DirEntry &ne = _dir.insert(base);
+    // MESI extension: a sole reader takes Exclusive and can later
+    // upgrade to Modified silently; MSI (the paper) grants Shared.
+    ne.state = _chip.config().useMesi ? cache::CohState::Exclusive
+                                      : cache::CohState::Shared;
+    ne.sharers.add(req.cluster);
+    auto [line, t] = l3AccessPrep(base, false, eq.now());
+    resp.grant = ne.state;
+    resp.data = line->data;
+    co_await Delay{eq, t};
+    respond(req, resp, mem::wordsPerLine);
+}
+
+sim::CoTask
+L3Bank::handleWrite(Request req)
+{
+    const mem::Addr base = mem::lineBase(req.addr);
+    const std::uint32_t key = mem::lineNumber(base);
+    co_await _locks.acquire(key);
+    Held held(_locks, key);
+
+    sim::EventQueue &eq = _chip.eq();
+    const CoherenceMode mode = _chip.config().mode;
+
+    sim::Tick dstart = std::max(eq.now(), _dirPortFree);
+    _dirPortFree = dstart + 1;
+    co_await Delay{eq, dstart + 1};
+
+    coherence::DirEntry *e =
+        mode == CoherenceMode::SWccOnly ? nullptr : _dir.find(base);
+
+    Response resp;
+    resp.type = ReqType::Write;
+    resp.core = req.core;
+    resp.addr = base;
+
+    if (!e) {
+        bool swcc = false;
+        if (mode == CoherenceMode::SWccOnly) {
+            swcc = true;
+        } else if (mode == CoherenceMode::Cohesion) {
+            co_await lookupDomain(base, &swcc);
+        }
+        if (swcc) {
+            // SWcc fill: the cluster allocates with the incoherent bit.
+            auto [line, t] = l3AccessPrep(base, false, eq.now());
+            resp.incoherent = true;
+            resp.data = line->data;
+            co_await Delay{eq, t};
+            respond(req, resp, mem::wordsPerLine);
+            co_return;
+        }
+        co_await makeRoom(base);
+        coherence::DirEntry &ne = _dir.insert(base);
+        ne.state = cache::CohState::Modified;
+        ne.sharers.add(req.cluster);
+        auto [line, t] = l3AccessPrep(base, false, eq.now());
+        resp.grant = cache::CohState::Modified;
+        resp.data = line->data;
+        co_await Delay{eq, t};
+        respond(req, resp, mem::wordsPerLine);
+        co_return;
+    }
+
+    // Invalidate every other holder; collect a dirty owner's data.
+    while (e) {
+        std::vector<unsigned> targets;
+        for (unsigned cl : e->sharers.probeTargets()) {
+            if (cl != req.cluster)
+                targets.push_back(cl);
+        }
+        if (targets.empty())
+            break;
+        bool expect_dirty = e->state == cache::CohState::Modified ||
+                            e->state == cache::CohState::Exclusive;
+        ProbeType pt = expect_dirty ? ProbeType::WritebackInvalidate
+                                    : ProbeType::Invalidate;
+        std::vector<std::pair<unsigned, ProbeResult>> results;
+        AckGate gate;
+        gate.expect(targets.size());
+        sendProbes(targets, pt, base, &results, &gate);
+        co_await gate.wait();
+        bool any_found = false;
+        for (const auto &[cl, r] : results) {
+            any_found |= r.found;
+            if (r.dirty)
+                co_await mergeIntoL3(base, r.data, r.dirtyMask);
+        }
+        if (expect_dirty && !any_found) {
+            // Owner evicted concurrently: wait for its WrRel.
+            _locks.release(key);
+            co_await Delay{eq, eq.now() + 8};
+            co_await _locks.acquire(key);
+            e = _dir.find(base);
+            continue;
+        }
+        e = _dir.find(base);
+        panic_if(!e, "directory entry vanished during invalidation");
+        break;
+    }
+    if (!e) {
+        // The entry was erased while we waited for an in-flight WrRel.
+        // A concurrent HWcc=>SWcc transition may also have changed the
+        // line's domain in that window, so the domain decision must be
+        // redone — blindly re-inserting would resurrect an HWcc entry
+        // for a now-SWcc line.
+        bool swcc = false;
+        if (mode == CoherenceMode::Cohesion)
+            co_await lookupDomain(base, &swcc);
+        if (swcc) {
+            auto [line, t] = l3AccessPrep(base, false, eq.now());
+            resp.incoherent = true;
+            resp.data = line->data;
+            co_await Delay{eq, t};
+            respond(req, resp, mem::wordsPerLine);
+            co_return;
+        }
+        co_await makeRoom(base);
+        e = &_dir.insert(base);
+    }
+    e->sharers.clear();
+    e->sharers.add(req.cluster);
+    e->state = cache::CohState::Modified;
+    auto [line, t] = l3AccessPrep(base, false, eq.now());
+    resp.grant = cache::CohState::Modified;
+    resp.data = line->data;
+    co_await Delay{eq, t};
+    respond(req, resp, mem::wordsPerLine);
+}
+
+sim::CoTask
+L3Bank::handleAtomic(Request req)
+{
+    const mem::Addr base = mem::lineBase(req.addr);
+    const std::uint32_t key = mem::lineNumber(base);
+    co_await _locks.acquire(key);
+    Held held(_locks, key);
+
+    sim::EventQueue &eq = _chip.eq();
+
+    if (_chip.config().mode != CoherenceMode::SWccOnly) {
+        sim::Tick dstart = std::max(eq.now(), _dirPortFree);
+        _dirPortFree = dstart + 1;
+        co_await Delay{eq, dstart + 1};
+        if (_dir.find(base)) {
+            // Cached HWcc copies must be recalled so the RMW is
+            // globally ordered.
+            co_await recallEntryRetry(base, key);
+            if (_dir.find(base))
+                _dir.erase(base);
+        }
+    }
+
+    auto [line, t] = l3AccessPrep(base, true, eq.now());
+    std::uint32_t old =
+        applyAtomic(*line, req.addr, req.op, req.operand, req.operand2);
+    _atomics.inc();
+    co_await Delay{eq, t};
+
+    Response resp;
+    resp.type = ReqType::Atomic;
+    resp.core = req.core;
+    resp.addr = req.addr;
+    resp.atomicOld = old;
+    respond(req, resp, 1);
+}
+
+sim::CoTask
+L3Bank::handleWriteback(Request req)
+{
+    const mem::Addr base = mem::lineBase(req.addr);
+    const std::uint32_t key = mem::lineNumber(base);
+    co_await _locks.acquire(key);
+    Held held(_locks, key);
+
+    switch (req.type) {
+      case ReqType::WriteRelease: {
+          co_await mergeIntoL3(base, req.data, req.mask);
+          if (_chip.config().mode != CoherenceMode::SWccOnly) {
+              if (coherence::DirEntry *e = _dir.find(base)) {
+                  e->sharers.remove(req.cluster);
+                  if (e->sharers.empty())
+                      _dir.erase(base);
+              }
+          }
+          break;
+      }
+      case ReqType::ReadRelease: {
+          if (coherence::DirEntry *e = _dir.find(base)) {
+              e->sharers.remove(req.cluster);
+              if (e->sharers.empty())
+                  _dir.erase(base);
+          }
+          break;
+      }
+      case ReqType::Eviction:
+      case ReqType::Flush: {
+          co_await mergeIntoL3(base, req.data, req.mask);
+          Response resp;
+          resp.type = req.type;
+          resp.core = req.core;
+          resp.addr = base;
+          respond(req, resp, 0);
+          break;
+      }
+      default:
+        panic("unexpected writeback type ", reqTypeName(req.type));
+    }
+}
+
+sim::CoTask
+L3Bank::swccToHwcc(mem::Addr base)
+{
+    sim::EventQueue &eq = _chip.eq();
+
+    // Round 1: broadcast clean request to every cluster (Section 3.6).
+    std::vector<unsigned> all;
+    for (unsigned c = 0; c < _chip.numClusters(); ++c)
+        all.push_back(c);
+    std::vector<std::pair<unsigned, ProbeResult>> results;
+    AckGate gate;
+    gate.expect(all.size());
+    sendProbes(all, ProbeType::CleanQuery, base, &results, &gate);
+    co_await gate.wait();
+
+    std::vector<unsigned> clean_sharers;
+    std::vector<unsigned> dirty_holders;
+    mem::WordMask seen_dirty = 0;
+    bool overlap = false;
+    for (const auto &[cl, r] : results) {
+        if (!r.found)
+            continue;
+        if (r.dirty) {
+            dirty_holders.push_back(cl);
+            if (seen_dirty & r.dirtyMask)
+                overlap = true;
+            seen_dirty |= r.dirtyMask;
+        } else {
+            clean_sharers.push_back(cl);
+        }
+    }
+
+    if (dirty_holders.empty()) {
+        // Cases 1b/2b: clean copies (if any) joined HWcc as sharers
+        // during the query; allocate the matching entry.
+        if (!clean_sharers.empty()) {
+            co_await makeRoom(base);
+            coherence::DirEntry &e = _dir.insert(base);
+            e.state = cache::CohState::Shared;
+            for (unsigned cl : clean_sharers)
+                e.sharers.add(cl);
+        }
+        co_return;
+    }
+
+    if (dirty_holders.size() == 1 && clean_sharers.empty()) {
+        // Case 3b: single writer, no readers — upgrade in place, no
+        // writeback ("saving bandwidth").
+        std::vector<std::pair<unsigned, ProbeResult>> r2;
+        AckGate g2;
+        g2.expect(1);
+        sendProbes({dirty_holders.front()}, ProbeType::MakeOwner, base,
+                   &r2, &g2);
+        co_await g2.wait();
+        if (r2.front().second.found && r2.front().second.dirty) {
+            co_await makeRoom(base);
+            coherence::DirEntry &e = _dir.insert(base);
+            e.state = cache::CohState::Modified;
+            e.sharers.add(dirty_holders.front());
+        }
+        co_return;
+    }
+
+    // Cases 4b/5b: invalidate the readers, write back every writer,
+    // merge disjoint write sets at the L3. Overlapping write sets are
+    // the Fig. 7b case 5b hardware race (last merge wins).
+    if (overlap)
+        _mergeConflicts.inc();
+    std::vector<std::pair<unsigned, ProbeResult>> r2;
+    AckGate g2;
+    g2.expect(clean_sharers.size() + dirty_holders.size());
+    sendProbes(clean_sharers, ProbeType::Invalidate, base, &r2, &g2);
+    sendProbes(dirty_holders, ProbeType::WritebackInvalidate, base, &r2,
+               &g2);
+    co_await g2.wait();
+    for (const auto &[cl, r] : r2) {
+        if (r.dirty)
+            co_await mergeIntoL3(base, r.data, r.dirtyMask);
+    }
+    (void)eq;
+}
+
+sim::CoTask
+L3Bank::handleTableUpdate(Request req)
+{
+    sim::EventQueue &eq = _chip.eq();
+    const mem::AddressMap &map = _chip.map();
+    panic_if(req.op != AtomicOp::Or && req.op != AtomicOp::And,
+             "fine-table updates must use atom.or/atom.and");
+
+    const mem::Addr word_addr = req.addr & ~mem::Addr(3);
+    const mem::Addr tbl_base = mem::lineBase(word_addr);
+    const std::uint32_t tbl_key = mem::lineNumber(tbl_base);
+    co_await _locks.acquire(tbl_key);
+    Held held(_locks, tbl_key);
+
+    // Read the current word to find which bits change.
+    auto [tline, t0] = l3AccessPrep(tbl_base, true, eq.now());
+    std::uint32_t old = 0;
+    tline->read(word_addr, &old, 4);
+    co_await Delay{eq, t0};
+
+    std::uint32_t next =
+        req.op == AtomicOp::Or ? (old | req.operand) : (old & req.operand);
+    std::uint32_t changed = old ^ next;
+    const mem::Addr block_base = map.coveredBlockBase(word_addr);
+
+    // Serialize transitions line by line (Section 3.6: "the directory
+    // serializes the requests line-by-line").
+    for (unsigned bit = 0; bit < 32 && changed; ++bit) {
+        if (!((changed >> bit) & 1u))
+            continue;
+        mem::Addr lb = block_base + bit * mem::lineBytes;
+        std::uint32_t lkey = mem::lineNumber(lb);
+        bool self = (lkey == tbl_key);
+        if (!self)
+            co_await _locks.acquire(lkey);
+
+        bool to_swcc = (next >> bit) & 1u;
+        TRACE(_chip.tracer(), sim::Category::Transition, "bank", _id,
+              ": line 0x", std::hex, lb, std::dec, " -> ",
+              to_swcc ? "SWcc" : "HWcc");
+        if (to_swcc) {
+            // HWcc => SWcc (Fig. 7a): flush any directory state.
+            if (_dir.find(lb)) {
+                co_await recallEntryRetry(lb, lkey);
+                if (_dir.find(lb)) {
+                    TRACE(_chip.tracer(), sim::Category::Transition,
+                          "bank", _id, ": erase 0x", std::hex, lb);
+                    _dir.erase(lb);
+                }
+            }
+        } else {
+            // SWcc => HWcc (Fig. 7b): broadcast clean request.
+            co_await swccToHwcc(lb);
+        }
+
+        // Commit this line's bit under its lock. The table line may
+        // have been evicted from the L3 during the probes; re-prep.
+        auto [tl, tt] = l3AccessPrep(tbl_base, true, eq.now());
+        std::uint32_t cur = 0;
+        tl->read(word_addr, &cur, 4);
+        cur = to_swcc ? (cur | (1u << bit)) : (cur & ~(1u << bit));
+        tl->write(word_addr, &cur, 4);
+        _tableCache.update(word_addr, cur);
+        _transitions.inc();
+        co_await Delay{eq, tt};
+
+        if (!self)
+            _locks.release(lkey);
+    }
+
+    // The issuing core blocks until the transition completes
+    // (Section 3.6) — the ack carries the prior word value.
+    Response resp;
+    resp.type = ReqType::Atomic;
+    resp.core = req.core;
+    resp.addr = req.addr;
+    resp.atomicOld = old;
+    respond(req, resp, 1);
+}
+
+} // namespace arch

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * One L3 cache bank with its co-located directory slice and the
+ * Cohesion transition engine (Sections 3.2, 3.4, 3.6). All requests
+ * for a line are serialized through its home bank; each incoming
+ * request runs as a coroutine transaction under a per-line lock.
+ *
+ * The bank implements:
+ *  - the home side of the MSI directory protocol (reads, writes with
+ *    invalidation/recall, read releases, writebacks, directory-entry
+ *    evictions with sharer invalidation);
+ *  - SWcc support (incoherent fills, per-word merge of flushes and
+ *    dirty evictions);
+ *  - Cohesion lookups (coarse region table in parallel with the
+ *    directory; fine-grain table reads through the L3 on a miss);
+ *  - the atomic unit (atom.* executed at the bank, recalling any
+ *    HWcc copies first);
+ *  - the coherence-domain transition protocol: the bank snoops
+ *    atomics to the fine-table range and performs the Fig. 7 flows,
+ *    including the SWcc=>HWcc broadcast clean request and the
+ *    single-owner upgrade, serialized line by line.
+ */
+
+#ifndef COHESION_ARCH_L3BANK_HH
+#define COHESION_ARCH_L3BANK_HH
+
+#include <list>
+#include <utility>
+#include <vector>
+
+#include "arch/await.hh"
+#include "arch/protocol.hh"
+#include "cache/cache_array.hh"
+#include "coherence/directory.hh"
+#include "cohesion/table_cache.hh"
+#include "mem/types.hh"
+#include "sim/cotask.hh"
+#include "sim/stats.hh"
+
+namespace arch {
+
+class Chip;
+
+class L3Bank
+{
+  public:
+    L3Bank(Chip &chip, unsigned id);
+
+    unsigned id() const { return _id; }
+    coherence::Directory &directory() { return _dir; }
+    const coherence::Directory &directory() const { return _dir; }
+    cache::CacheArray &l3() { return _l3; }
+
+    /** Accept a request (called at the fabric arrival event). */
+    void receiveRequest(const Request &req);
+
+    // --- Statistics -----------------------------------------------------
+    std::uint64_t transitions() const { return _transitions.value(); }
+    std::uint64_t tableLookups() const { return _tableLookups.value(); }
+    std::uint64_t dirEvictions() const { return _dirEvictions.value(); }
+    std::uint64_t atomics() const { return _atomics.value(); }
+    /** Fig. 7b case 5b: overlapping multi-writer merges observed. */
+    std::uint64_t mergeConflicts() const { return _mergeConflicts.value(); }
+    std::uint64_t l3Hits() const { return _l3Hits.value(); }
+    std::uint64_t l3Misses() const { return _l3Misses.value(); }
+    const cohesion::TableCache &tableCache() const { return _tableCache; }
+
+  private:
+    /** Top-level protocol transaction for one request. */
+    sim::CoTask transaction(Request req);
+
+    /** Read/Instr request flow. */
+    sim::CoTask handleRead(Request req);
+    /** Write request flow (miss or S->M upgrade). */
+    sim::CoTask handleWrite(Request req);
+    /** Atomic RMW at the bank (non-table addresses). */
+    sim::CoTask handleAtomic(Request req);
+    /** Snooped fine-table update: coherence domain transitions. */
+    sim::CoTask handleTableUpdate(Request req);
+    /** Writebacks / releases / flushes. */
+    sim::CoTask handleWriteback(Request req);
+
+    /**
+     * Invalidate every sharer of @p base's directory entry, writing
+     * back a dirty owner into the L3 (directory eviction and
+     * HWcc=>SWcc cases 2a/3a). The caller erases the entry.
+     *
+     * If the modified owner NACKs the probe, its WrRel is already in
+     * flight; *@p incomplete is set and the caller must release the
+     * line lock, wait, and retry so the writeback can land first.
+     */
+    sim::CoTask recallEntry(mem::Addr base, bool *incomplete);
+
+    /** Retry wrapper: recall under @p lock_key until complete. */
+    sim::CoTask recallEntryRetry(mem::Addr base, std::uint32_t lock_key);
+
+    /**
+     * Make room for a new directory entry covering @p base, evicting
+     * (and recalling) a victim entry if required.
+     */
+    sim::CoTask makeRoom(mem::Addr base);
+
+    /** SWcc => HWcc transition for one line (Fig. 7b). */
+    sim::CoTask swccToHwcc(mem::Addr base);
+
+    /** Decide SWcc/HWcc domain for a directory miss; may touch the
+     *  fine table through the L3. Result via @p out_swcc. */
+    sim::CoTask lookupDomain(mem::Addr base, bool *out_swcc);
+
+    /** Fan probes out to @p targets and collect results. */
+    void sendProbes(const std::vector<unsigned> &targets, ProbeType type,
+                    mem::Addr addr,
+                    std::vector<std::pair<unsigned, ProbeResult>> *results,
+                    AckGate *gate);
+
+    /**
+     * Ensure @p base is resident in the L3 (filling from DRAM and
+     * writing back a dirty victim as needed); returns the line and
+     * the tick at which the access completes. State changes are
+     * applied immediately; the caller awaits the returned tick.
+     */
+    std::pair<cache::Line *, sim::Tick> l3AccessPrep(mem::Addr base,
+                                                     bool write,
+                                                     sim::Tick start);
+
+    /** Merge @p mask words of @p data into the L3 copy of @p base. */
+    sim::CoTask mergeIntoL3(mem::Addr base,
+                            const std::array<std::uint8_t,
+                                             mem::lineBytes> &data,
+                            mem::WordMask mask);
+
+    /** Reply to the requester (data words sized by @p data_words). */
+    void respond(const Request &req, Response resp, unsigned data_words);
+
+    /** Apply one atomic op; returns the old value. */
+    std::uint32_t applyAtomic(cache::Line &line, mem::Addr addr,
+                              AtomicOp op, std::uint32_t operand,
+                              std::uint32_t operand2);
+
+    /** Drop finished transaction frames. */
+    void pruneTransactions();
+
+    Chip &_chip;
+    unsigned _id;
+    cache::CacheArray _l3;
+    coherence::Directory _dir;
+    cohesion::TableCache _tableCache;
+    LineLockTable _locks;
+    sim::Tick _l3PortFree = 0;
+    sim::Tick _dirPortFree = 0;
+    std::list<sim::CoTask> _running;
+
+    sim::Counter _transitions, _tableLookups, _dirEvictions, _atomics;
+    sim::Counter _mergeConflicts, _l3Hits, _l3Misses;
+};
+
+} // namespace arch
+
+#endif // COHESION_ARCH_L3BANK_HH

@@ -1,0 +1,37 @@
+#include "arch/machine_config.hh"
+
+#include "sim/logging.hh"
+
+namespace arch {
+
+const char *
+coherenceModeName(CoherenceMode m)
+{
+    switch (m) {
+      case CoherenceMode::SWccOnly:
+        return "SWcc";
+      case CoherenceMode::HWccOnly:
+        return "HWcc";
+      case CoherenceMode::Cohesion:
+        return "Cohesion";
+    }
+    return "?";
+}
+
+std::string
+MachineConfig::summary() const
+{
+    return sim::cat(coherenceModeName(mode), " ", totalCores(), " cores (",
+                    numClusters, "x", coresPerCluster, "), ", numL3Banks,
+                    " L3 banks x ", l3BankBytes / 1024, "KB, ", numChannels,
+                    " channels, L2 ", l2Bytes / 1024, "KB/", l2Assoc,
+                    "-way, dir ",
+                    directory.infinite()
+                        ? std::string("infinite")
+                        : sim::cat(directory.entries, "e/",
+                                   directory.assoc == 0
+                                       ? std::string("full")
+                                       : sim::cat(directory.assoc, "w")));
+}
+
+} // namespace arch

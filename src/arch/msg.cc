@@ -1,0 +1,40 @@
+#include "arch/msg.hh"
+
+namespace arch {
+
+const char *
+msgClassName(MsgClass c)
+{
+    switch (c) {
+      case MsgClass::ReadRequest:
+        return "ReadRequests";
+      case MsgClass::WriteRequest:
+        return "WriteRequests";
+      case MsgClass::InstructionRequest:
+        return "InstructionRequests";
+      case MsgClass::UncachedAtomic:
+        return "UncachedAtomics";
+      case MsgClass::CacheEviction:
+        return "CacheEvictions";
+      case MsgClass::SoftwareFlush:
+        return "SoftwareFlushes";
+      case MsgClass::ReadRelease:
+        return "ReadReleases";
+      case MsgClass::ProbeResponse:
+        return "ProbeResponses";
+      case MsgClass::NumClasses:
+        break;
+    }
+    return "?";
+}
+
+void
+MsgCounters::exportTo(sim::StatSet &out, const std::string &prefix) const
+{
+    for (unsigned i = 0; i < numMsgClasses; ++i) {
+        out.add(prefix + msgClassName(static_cast<MsgClass>(i)),
+                static_cast<double>(_counts[i]));
+    }
+}
+
+} // namespace arch

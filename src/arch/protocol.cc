@@ -1,0 +1,47 @@
+#include "arch/protocol.hh"
+
+namespace arch {
+
+const char *
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::Read:
+        return "RdReq";
+      case ReqType::Write:
+        return "WrReq";
+      case ReqType::Instr:
+        return "InstrReq";
+      case ReqType::Atomic:
+        return "Atomic";
+      case ReqType::WriteRelease:
+        return "WrRel";
+      case ReqType::ReadRelease:
+        return "RdRel";
+      case ReqType::Eviction:
+        return "Evict";
+      case ReqType::Flush:
+        return "Flush";
+    }
+    return "?";
+}
+
+const char *
+probeTypeName(ProbeType t)
+{
+    switch (t) {
+      case ProbeType::Invalidate:
+        return "Inv";
+      case ProbeType::WritebackInvalidate:
+        return "WbInv";
+      case ProbeType::Downgrade:
+        return "Downgrade";
+      case ProbeType::CleanQuery:
+        return "CleanQuery";
+      case ProbeType::MakeOwner:
+        return "MakeOwner";
+    }
+    return "?";
+}
+
+} // namespace arch

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Wire-level protocol types exchanged between cluster caches (L2) and
+ * L3 banks: requests, responses, directory probes, and probe results.
+ * Figure 6 of the paper names the request types; the comments below
+ * map them.
+ */
+
+#ifndef COHESION_ARCH_PROTOCOL_HH
+#define COHESION_ARCH_PROTOCOL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/msg.hh"
+#include "cache/cache_array.hh"
+#include "mem/types.hh"
+
+namespace arch {
+
+/** L2 -> L3 request types. */
+enum class ReqType : std::uint8_t {
+    Read,         ///< RdReq: load miss (grant S or incoherent data).
+    Write,        ///< WrReq: store miss / S->M upgrade.
+    Instr,        ///< Instruction fetch miss.
+    Atomic,       ///< atom.*: uncached RMW performed at the L3.
+    WriteRelease, ///< WrRel: HWcc dirty eviction writeback.
+    ReadRelease,  ///< RdRel: HWcc clean eviction notification.
+    Eviction,     ///< SWcc dirty eviction writeback (per-word mask).
+    Flush         ///< SWcc software flush (per-word mask), acked.
+};
+
+const char *reqTypeName(ReqType t);
+
+/** A request message from a cluster to a line's home bank. */
+struct Request
+{
+    ReqType type = ReqType::Read;
+    unsigned cluster = 0;            ///< Source L2 id.
+    unsigned core = 0;               ///< Issuing core (for acks).
+    mem::Addr addr = 0;              ///< Word address (line-aligned ok).
+    mem::WordMask mask = 0;          ///< Dirty words for writebacks.
+    std::array<std::uint8_t, mem::lineBytes> data{}; ///< WB payload.
+    bool upgrade = false;            ///< Write: already hold S copy.
+
+    // Atomic-only fields.
+    AtomicOp op = AtomicOp::AddU32;
+    std::uint32_t operand = 0;
+    std::uint32_t operand2 = 0;      ///< CAS expected value.
+};
+
+/** A response from the home bank back to the requesting cluster. */
+struct Response
+{
+    ReqType type = ReqType::Read;
+    unsigned core = 0;
+    mem::Addr addr = 0;
+    bool incoherent = false;         ///< Line granted in SWcc domain.
+    cache::CohState grant = cache::CohState::Invalid; ///< S or M.
+    std::array<std::uint8_t, mem::lineBytes> data{};
+    std::uint32_t atomicOld = 0;     ///< Prior value for atomics.
+};
+
+/** Directory -> L2 probe types. */
+enum class ProbeType : std::uint8_t {
+    Invalidate,          ///< Drop the line (S sharers).
+    WritebackInvalidate, ///< Return dirty data and drop (M owner).
+    Downgrade,           ///< Return dirty data, keep as S (M->S).
+    CleanQuery,          ///< Cohesion SWcc->HWcc round 1: report
+                         ///< state; clean lines join HWcc as S.
+    MakeOwner            ///< Cohesion SWcc->HWcc: single dirty owner
+                         ///< upgraded to HWcc M in place (no WB).
+};
+
+const char *probeTypeName(ProbeType t);
+
+/** Result of a probe as observed at the probed L2. */
+struct ProbeResult
+{
+    bool found = false;
+    bool dirty = false;
+    mem::WordMask dirtyMask = 0;
+    std::array<std::uint8_t, mem::lineBytes> data{};
+};
+
+} // namespace arch
+
+#endif // COHESION_ARCH_PROTOCOL_HH

@@ -1,0 +1,21 @@
+#include "cache/cache_array.hh"
+
+namespace cache {
+
+const char *
+cohStateName(CohState s)
+{
+    switch (s) {
+      case CohState::Invalid:
+        return "I";
+      case CohState::Shared:
+        return "S";
+      case CohState::Exclusive:
+        return "E";
+      case CohState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+} // namespace cache

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Directory organization for one L3 bank. Supports the three
+ * configurations evaluated in the paper:
+ *
+ *  - optimistic: infinite capacity, fully associative (no evictions);
+ *  - realistic sparse: 16K entries per bank, 128-way set associative;
+ *  - fully-associative finite capacities for the Fig. 9 sweep.
+ *
+ * The directory is inclusive of the L2s and may hold entries for lines
+ * absent from the L3 (the hierarchy is non-inclusive). A conflict or
+ * capacity victim must have its sharers invalidated by the protocol
+ * engine before the new entry is installed; the directory therefore
+ * exposes victim selection separately from insertion.
+ */
+
+#ifndef COHESION_COHERENCE_DIRECTORY_HH
+#define COHESION_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "coherence/sharer_set.hh"
+#include "mem/types.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace coherence {
+
+/** Directory organization parameters. */
+struct DirectoryConfig
+{
+    /** 0 => infinite (optimistic full-map baseline). */
+    std::uint32_t entries = 0;
+    /** 0 => fully associative; otherwise ways per set. */
+    std::uint32_t assoc = 0;
+    /** Sharer representation. */
+    SharerKind sharerKind = SharerKind::FullMap;
+    /** Pointers for the limited scheme (Dir4B => 4). */
+    unsigned pointers = 4;
+
+    bool infinite() const { return entries == 0; }
+
+    std::uint32_t
+    numSets() const
+    {
+        if (infinite() || assoc == 0)
+            return 1;
+        return entries / assoc;
+    }
+
+    /** Paper's realistic sparse directory (Table 3). */
+    static DirectoryConfig
+    sparseRealistic(SharerKind kind = SharerKind::FullMap)
+    {
+        return DirectoryConfig{16 * 1024, 128, kind, 4};
+    }
+
+    /** Optimistic: infinite, fully associative, full map. */
+    static DirectoryConfig
+    optimistic()
+    {
+        return DirectoryConfig{0, 0, SharerKind::FullMap, 4};
+    }
+
+    /** Fully-associative finite size (Fig. 9 sweep points). */
+    static DirectoryConfig
+    fullyAssociative(std::uint32_t entries,
+                     SharerKind kind = SharerKind::FullMap)
+    {
+        return DirectoryConfig{entries, 0, kind, 4};
+    }
+};
+
+/** One directory entry: MSI state plus the sharer set. */
+struct DirEntry
+{
+    mem::Addr base = 0;
+    cache::CohState state = cache::CohState::Invalid;
+    SharerSet sharers;
+};
+
+/** Sparse/full/infinite directory for one L3 bank. */
+class Directory
+{
+  public:
+    Directory(const DirectoryConfig &config, unsigned num_caches)
+        : _config(config), _numCaches(num_caches)
+    {
+        fatal_if(!config.infinite() && config.assoc != 0 &&
+                     config.entries % config.assoc != 0,
+                 "directory entries not divisible by associativity");
+        _sets.resize(_config.numSets());
+    }
+
+    const DirectoryConfig &config() const { return _config; }
+
+    /** Find the entry for @p base, or nullptr. Updates LRU. */
+    DirEntry *
+    find(mem::Addr base)
+    {
+        base = mem::lineBase(base);
+        auto it = _index.find(base);
+        if (it == _index.end())
+            return nullptr;
+        Set &set = _sets[setOf(base)];
+        // Move to MRU position.
+        set.lru.splice(set.lru.end(), set.lru, it->second.lruIt);
+        return &it->second.entry;
+    }
+
+    /** True if installing @p base requires evicting another entry. */
+    bool
+    needsVictim(mem::Addr base) const
+    {
+        if (_config.infinite())
+            return false;
+        return _sets[setOf(mem::lineBase(base))].lru.size() >= waysPerSet();
+    }
+
+    /**
+     * The entry that must be evicted before @p base can be installed
+     * (LRU of the target set). Only valid when needsVictim() is true.
+     */
+    DirEntry &
+    victim(mem::Addr base)
+    {
+        Set &set = _sets[setOf(mem::lineBase(base))];
+        panic_if(set.lru.empty(), "victim() without a conflict");
+        return _index.at(set.lru.front()).entry;
+    }
+
+    /**
+     * Pick an eviction victim for @p base's set, skipping entries for
+     * which @p excluded returns true (e.g., lines with transactions in
+     * flight). Scans in LRU order; returns nullptr if every candidate
+     * is excluded. Only meaningful when needsVictim() is true.
+     */
+    template <typename Pred>
+    DirEntry *
+    victimExcluding(mem::Addr base, Pred &&excluded)
+    {
+        Set &set = _sets[setOf(mem::lineBase(base))];
+        for (mem::Addr cand : set.lru) {
+            if (!excluded(cand))
+                return &_index.at(cand).entry;
+        }
+        return nullptr;
+    }
+
+    /** Install a fresh entry for @p base (caller resolved conflicts). */
+    DirEntry &
+    insert(mem::Addr base)
+    {
+        base = mem::lineBase(base);
+        panic_if(_index.count(base), "inserting duplicate directory entry for 0x", std::hex, base, std::dec, " state ", static_cast<int>(_index.at(base).entry.state));
+        panic_if(needsVictim(base), "inserting into a full set");
+        Set &set = _sets[setOf(base)];
+        set.lru.push_back(base);
+        auto lru_it = std::prev(set.lru.end());
+        auto [it, ok] = _index.emplace(base, Node{DirEntry{}, lru_it});
+        panic_if(!ok, "index insert failed");
+        DirEntry &e = it->second.entry;
+        e.base = base;
+        e.state = cache::CohState::Invalid;
+        e.sharers = SharerSet(_config.sharerKind, _numCaches,
+                              _config.pointers);
+        _insertions.inc();
+        if (_index.size() > _peakEntries)
+            _peakEntries = _index.size();
+        return e;
+    }
+
+    /** Remove the entry for @p base (sharer count reached zero). */
+    void
+    erase(mem::Addr base)
+    {
+        base = mem::lineBase(base);
+        auto it = _index.find(base);
+        panic_if(it == _index.end(), "erasing missing directory entry");
+        _sets[setOf(base)].lru.erase(it->second.lruIt);
+        _index.erase(it);
+    }
+
+    /** Current number of allocated entries. */
+    std::uint32_t size() const { return _index.size(); }
+
+    /** High-water mark of allocated entries. */
+    std::uint32_t peakEntries() const { return _peakEntries; }
+
+    /** Total insertions (allocation churn diagnostic). */
+    std::uint64_t insertions() const { return _insertions.value(); }
+
+    /** Apply @p fn to each allocated entry (occupancy sampling). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[base, node] : _index)
+            fn(node.entry);
+    }
+
+  private:
+    std::uint32_t
+    waysPerSet() const
+    {
+        if (_config.assoc != 0)
+            return _config.assoc;
+        return _config.entries; // fully associative: one set, all ways
+    }
+
+    std::uint32_t
+    setOf(mem::Addr base) const
+    {
+        return (base >> mem::lineShift) & (_sets.size() - 1);
+    }
+
+    struct Node
+    {
+        DirEntry entry;
+        std::list<mem::Addr>::iterator lruIt;
+    };
+
+    struct Set
+    {
+        std::list<mem::Addr> lru; // front = LRU, back = MRU
+    };
+
+    DirectoryConfig _config;
+    unsigned _numCaches;
+    std::vector<Set> _sets;
+    std::unordered_map<mem::Addr, Node> _index;
+    std::uint32_t _peakEntries = 0;
+    sim::Counter _insertions;
+};
+
+} // namespace coherence
+
+#endif // COHESION_COHERENCE_DIRECTORY_HH

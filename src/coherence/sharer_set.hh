@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Sharer tracking for directory entries. Two representations from the
+ * paper: a full-map bit vector (one bit per L2/cluster cache, used by
+ * the optimistic baseline) and a limited-pointer Dir4B scheme
+ * (Agarwal et al. [2]): four pointers plus a broadcast bit; pointer
+ * overflow degrades to broadcast, after which invalidations must be
+ * sent to every L2 and only an approximate sharer count remains.
+ */
+
+#ifndef COHESION_COHERENCE_SHARER_SET_HH
+#define COHESION_COHERENCE_SHARER_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace coherence {
+
+/** Sharer representation selector. */
+enum class SharerKind : std::uint8_t {
+    FullMap,   ///< One presence bit per L2 (exact).
+    LimitedPtr ///< DiriB: i pointers + broadcast bit (approximate).
+};
+
+class SharerSet
+{
+  public:
+    /**
+     * @param kind      Representation.
+     * @param num_caches Number of L2 caches in the system.
+     * @param pointers  Pointer count for LimitedPtr (4 => Dir4B).
+     */
+    SharerSet(SharerKind kind = SharerKind::FullMap,
+              unsigned num_caches = 0, unsigned pointers = 4)
+        : _kind(kind), _numCaches(num_caches), _maxPointers(pointers)
+    {
+        if (_kind == SharerKind::FullMap)
+            _bitmap.assign((num_caches + 63) / 64, 0);
+    }
+
+    SharerKind kind() const { return _kind; }
+    bool broadcast() const { return _broadcast; }
+    unsigned count() const { return _count; }
+    bool empty() const { return _count == 0; }
+
+    /** Add cache @p id as a sharer. Idempotent. */
+    void
+    add(unsigned id)
+    {
+        if (contains(id))
+            return;
+        if (_kind == SharerKind::FullMap) {
+            _bitmap[id / 64] |= std::uint64_t(1) << (id % 64);
+        } else if (!_broadcast) {
+            if (_pointers.size() < _maxPointers) {
+                _pointers.push_back(static_cast<std::uint16_t>(id));
+            } else {
+                // Pointer overflow: degrade to broadcast mode.
+                _broadcast = true;
+                _pointers.clear();
+            }
+        }
+        ++_count;
+    }
+
+    /**
+     * Remove cache @p id. Under broadcast the identity of sharers is
+     * lost, so only the approximate count is decremented.
+     */
+    void
+    remove(unsigned id)
+    {
+        if (_kind == SharerKind::FullMap) {
+            std::uint64_t bit = std::uint64_t(1) << (id % 64);
+            if (!(_bitmap[id / 64] & bit))
+                return;
+            _bitmap[id / 64] &= ~bit;
+            --_count;
+        } else if (_broadcast) {
+            if (_count > 0)
+                --_count;
+            if (_count == 0)
+                _broadcast = false;
+        } else {
+            for (auto it = _pointers.begin(); it != _pointers.end(); ++it) {
+                if (*it == id) {
+                    _pointers.erase(it);
+                    --_count;
+                    return;
+                }
+            }
+        }
+    }
+
+    /**
+     * True if @p id may be a sharer. Exact for full-map and in-pointer
+     * entries; conservatively true for everyone in broadcast mode.
+     */
+    bool
+    contains(unsigned id) const
+    {
+        if (_kind == SharerKind::FullMap)
+            return _bitmap[id / 64] & (std::uint64_t(1) << (id % 64));
+        if (_broadcast)
+            return _count > 0;
+        for (auto p : _pointers) {
+            if (p == id)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * The set of caches an invalidation must probe: the exact sharers,
+     * or every cache in the system when in broadcast mode.
+     */
+    std::vector<unsigned>
+    probeTargets() const
+    {
+        std::vector<unsigned> out;
+        if (_kind == SharerKind::FullMap) {
+            for (unsigned id = 0; id < _numCaches; ++id) {
+                if (contains(id))
+                    out.push_back(id);
+            }
+        } else if (_broadcast) {
+            out.reserve(_numCaches);
+            for (unsigned id = 0; id < _numCaches; ++id)
+                out.push_back(id);
+        } else {
+            out.assign(_pointers.begin(), _pointers.end());
+        }
+        return out;
+    }
+
+    /** The single sharer id; only valid when count() == 1 and exact. */
+    unsigned
+    soleSharer() const
+    {
+        panic_if(_count != 1 || _broadcast, "soleSharer on non-singleton");
+        if (_kind == SharerKind::LimitedPtr)
+            return _pointers.front();
+        for (unsigned id = 0; id < _numCaches; ++id) {
+            if (contains(id))
+                return id;
+        }
+        panic("full-map count/bitmap mismatch");
+    }
+
+    /** Drop all sharers. */
+    void
+    clear()
+    {
+        if (_kind == SharerKind::FullMap)
+            _bitmap.assign(_bitmap.size(), 0);
+        _pointers.clear();
+        _broadcast = false;
+        _count = 0;
+    }
+
+  private:
+    SharerKind _kind;
+    unsigned _numCaches;
+    unsigned _maxPointers;
+    unsigned _count = 0;
+    bool _broadcast = false;
+    std::vector<std::uint16_t> _pointers;
+    std::vector<std::uint64_t> _bitmap;
+};
+
+} // namespace coherence
+
+#endif // COHESION_COHERENCE_SHARER_SET_HH

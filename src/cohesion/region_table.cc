@@ -1,0 +1,21 @@
+#include "cohesion/region_table.hh"
+
+namespace cohesion {
+
+const char *
+regionKindName(RegionKind k)
+{
+    switch (k) {
+      case RegionKind::Code:
+        return "code";
+      case RegionKind::Stack:
+        return "stack";
+      case RegionKind::Immutable:
+        return "immutable";
+      case RegionKind::Other:
+        return "other";
+    }
+    return "?";
+}
+
+} // namespace cohesion

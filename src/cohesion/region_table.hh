@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cohesion region tables (Section 3.4, Figure 5).
+ *
+ * The coarse-grain region table is a small on-die structure holding
+ * address ranges that are permanently in the SWcc domain — code,
+ * per-core stacks, and immutable global data. It is consulted in
+ * parallel with the directory on every directory miss.
+ *
+ * The fine-grain region table is *not* an on-die structure: it is a
+ * 16 MB bitmap in simulated memory (1 bit per 32 B line of the 4 GB
+ * space), cached in the L3 like any other data, and updated only with
+ * uncached atomic operations that the directory snoops. This file
+ * provides the bit-manipulation helpers; the storage and timing are
+ * the memory system's.
+ */
+
+#ifndef COHESION_COHESION_REGION_TABLE_HH
+#define COHESION_COHESION_REGION_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/backing_store.hh"
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace cohesion {
+
+/** Why a coarse region is software-coherent (for diagnostics). */
+enum class RegionKind : std::uint8_t { Code, Stack, Immutable, Other };
+
+const char *regionKindName(RegionKind k);
+
+struct CoarseRegion
+{
+    mem::Addr start = 0;
+    std::uint32_t size = 0;
+    RegionKind kind = RegionKind::Other;
+
+    bool
+    contains(mem::Addr a) const
+    {
+        return a >= start && a - start < size;
+    }
+};
+
+/**
+ * The on-die coarse-grain region table. Lookups are combinational
+ * (performed in parallel with the directory lookup), so they add no
+ * latency in the timing model.
+ */
+class CoarseRegionTable
+{
+  public:
+    /** Register [start, start+size) as permanently SWcc. */
+    void
+    add(mem::Addr start, std::uint32_t size, RegionKind kind)
+    {
+        fatal_if(size == 0, "empty coarse region");
+        fatal_if(start & (mem::lineBytes - 1),
+                 "coarse region start must be line aligned");
+        _regions.push_back(CoarseRegion{start, size, kind});
+    }
+
+    /** True if @p a lies in any registered SWcc region. */
+    bool
+    contains(mem::Addr a) const
+    {
+        for (const auto &r : _regions) {
+            if (r.contains(a))
+                return true;
+        }
+        return false;
+    }
+
+    const std::vector<CoarseRegion> &regions() const { return _regions; }
+    void clear() { _regions.clear(); }
+
+  private:
+    std::vector<CoarseRegion> _regions;
+};
+
+/**
+ * Helpers for reading/writing fine-grain table bits in a raw line
+ * image or a backing store (boot-time initialization path).
+ */
+namespace fine_table {
+
+/** Read line(@p a)'s SWcc bit from the 32-bit word image @p word. */
+inline bool
+bitFromWord(std::uint32_t word, const mem::AddressMap &map, mem::Addr a)
+{
+    return (word >> map.tableBitIndex(a)) & 1u;
+}
+
+/** Boot-time (untimed) set/clear of a line's bit in the store. */
+inline void
+pokeBit(mem::BackingStore &store, const mem::AddressMap &map, mem::Addr a,
+        bool swcc)
+{
+    mem::Addr word_addr = map.tableWordAddr(a);
+    std::uint32_t word = store.readT<std::uint32_t>(word_addr);
+    std::uint32_t bit = 1u << map.tableBitIndex(a);
+    word = swcc ? (word | bit) : (word & ~bit);
+    store.writeT(word_addr, word);
+}
+
+/** Boot-time bit read from the store (test support). */
+inline bool
+peekBit(const mem::BackingStore &store, const mem::AddressMap &map,
+        mem::Addr a)
+{
+    return bitFromWord(store.readT<std::uint32_t>(map.tableWordAddr(a)),
+                       map, a);
+}
+
+/** Mark a whole region SWcc/HWcc at boot (untimed). */
+inline void
+pokeRegion(mem::BackingStore &store, const mem::AddressMap &map,
+           mem::Addr start, std::uint32_t size, bool swcc)
+{
+    for (mem::Addr a = mem::lineBase(start); a < start + size;
+         a += mem::lineBytes) {
+        pokeBit(store, map, a, swcc);
+    }
+}
+
+} // namespace fine_table
+} // namespace cohesion
+
+#endif // COHESION_COHESION_REGION_TABLE_HH

@@ -1,0 +1,104 @@
+#include "harness/report.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "harness/table.hh"
+
+namespace harness {
+
+sim::StatSet
+collectStats(const arch::MachineConfig &cfg, const RunResult &r)
+{
+    sim::StatSet s;
+    s.set("machine.cores", cfg.totalCores());
+    s.set("machine.clusters", cfg.numClusters);
+    s.set("machine.l3_banks", cfg.numL3Banks);
+    s.set("machine.channels", cfg.numChannels);
+    s.set("machine.mode", static_cast<double>(cfg.mode));
+
+    s.set("sim.cycles", static_cast<double>(r.cycles));
+    s.set("sim.instructions", static_cast<double>(r.instructions));
+    s.set("sim.ipc_per_core",
+          r.cycles ? double(r.instructions) / r.cycles / cfg.totalCores()
+                   : 0.0);
+
+    r.msgs.exportTo(s, "l2_out.");
+    s.set("l2_out.total", static_cast<double>(r.msgs.total()));
+
+    s.set("l2.hits", static_cast<double>(r.l2Hits));
+    s.set("l2.misses", static_cast<double>(r.l2Misses));
+    s.set("l2.hit_rate", (r.l2Hits + r.l2Misses)
+                             ? double(r.l2Hits) / (r.l2Hits + r.l2Misses)
+                             : 0.0);
+    s.set("l3.hits", static_cast<double>(r.l3Hits));
+    s.set("l3.misses", static_cast<double>(r.l3Misses));
+    s.set("l3.hit_rate", (r.l3Hits + r.l3Misses)
+                             ? double(r.l3Hits) / (r.l3Hits + r.l3Misses)
+                             : 0.0);
+
+    s.set("swcc.flush_issued", static_cast<double>(r.flushIssued));
+    s.set("swcc.flush_useful", static_cast<double>(r.flushUseful));
+    s.set("swcc.inv_issued", static_cast<double>(r.invIssued));
+    s.set("swcc.inv_useful", static_cast<double>(r.invUseful));
+    double coh_ops = double(r.flushIssued) + r.invIssued;
+    s.set("swcc.useful_fraction",
+          coh_ops ? (double(r.flushUseful) + r.invUseful) / coh_ops : 0.0);
+
+    s.set("dir.insertions", static_cast<double>(r.dirInsertions));
+    s.set("dir.evictions", static_cast<double>(r.dirEvictions));
+    s.set("dir.peak_entries", static_cast<double>(r.dirPeak));
+    s.set("dir.avg_entries", r.dirAvgTotal);
+    s.set("dir.avg_code", r.dirAvgBySegment[0]);
+    s.set("dir.avg_stack", r.dirAvgBySegment[1]);
+    s.set("dir.avg_heap_global", r.dirAvgBySegment[2]);
+    s.set("dir.max_entries", r.dirMax);
+
+    s.set("cohesion.transitions", static_cast<double>(r.transitions));
+    s.set("cohesion.table_lookups",
+          static_cast<double>(r.tableLookups));
+    s.set("cohesion.table_cache_hits",
+          static_cast<double>(r.tableCacheHits));
+    s.set("cohesion.table_cache_misses",
+          static_cast<double>(r.tableCacheMisses));
+    s.set("cohesion.merge_conflicts",
+          static_cast<double>(r.mergeConflicts));
+    s.set("atomics.executed", static_cast<double>(r.atomics));
+
+    s.set("dram.accesses", static_cast<double>(r.dramAccesses));
+    s.set("net.bytes", static_cast<double>(r.fabricBytes));
+    s.set("net.bytes_per_cycle",
+          r.cycles ? double(r.fabricBytes) / r.cycles : 0.0);
+    return s;
+}
+
+void
+printReport(std::ostream &os, const arch::MachineConfig &cfg,
+            const RunResult &r)
+{
+    banner(os, "Simulation report: " + cfg.summary());
+    sim::StatSet s = collectStats(cfg, r);
+    os << std::left;
+    for (const auto &[name, value] : s.values()) {
+        os << "  " << std::setw(32) << name << " ";
+        if (value == static_cast<double>(static_cast<long long>(value))) {
+            os << static_cast<long long>(value);
+        } else {
+            os << std::fixed << std::setprecision(4) << value
+               << std::defaultfloat;
+        }
+        os << '\n';
+    }
+}
+
+void
+printCsv(std::ostream &os, const arch::MachineConfig &cfg,
+         const RunResult &r)
+{
+    sim::StatSet s = collectStats(cfg, r);
+    os << "stat,value\n";
+    for (const auto &[name, value] : s.values())
+        os << name << ',' << value << '\n';
+}
+
+} // namespace harness

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Full-statistics report for a single simulation (in the spirit of
+ * gem5's stats.txt): machine configuration, runtime, instruction
+ * counts, the complete L2-output message breakdown, cache hit rates,
+ * SWcc instruction efficiency, directory activity and occupancy, DRAM
+ * behaviour, and network bytes. Used by the cohesion-sim CLI driver
+ * and available to any embedder.
+ */
+
+#ifndef COHESION_HARNESS_REPORT_HH
+#define COHESION_HARNESS_REPORT_HH
+
+#include <iosfwd>
+
+#include "harness/runner.hh"
+
+namespace harness {
+
+/** Flatten a RunResult into named scalar statistics. */
+sim::StatSet collectStats(const arch::MachineConfig &cfg,
+                          const RunResult &r);
+
+/** Print a human-readable report. */
+void printReport(std::ostream &os, const arch::MachineConfig &cfg,
+                 const RunResult &r);
+
+/** Print `name,value` CSV lines (with a header) for post-processing. */
+void printCsv(std::ostream &os, const arch::MachineConfig &cfg,
+              const RunResult &r);
+
+} // namespace harness
+
+#endif // COHESION_HARNESS_REPORT_HH

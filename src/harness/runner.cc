@@ -1,0 +1,94 @@
+#include "harness/runner.hh"
+
+#include <vector>
+
+#include "runtime/ctx.hh"
+#include "runtime/layout.hh"
+#include "sim/logging.hh"
+
+namespace harness {
+
+RunResult
+runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
+          const RunOptions &opts)
+{
+    arch::Chip chip(cfg, runtime::Layout::tableBase);
+    chip.tracer().setMask(opts.traceMask);
+    runtime::CohesionRuntime rt(chip);
+
+    kernel.setup(rt);
+
+    if (opts.sampleOccupancy)
+        chip.enableOccupancySampling(1000);
+
+    std::vector<sim::CoTask> workers;
+    workers.reserve(chip.totalCores());
+    for (unsigned c = 0; c < chip.totalCores(); ++c)
+        workers.push_back(kernel.worker(runtime::Ctx(rt, chip.core(c))));
+    for (auto &w : workers)
+        w.start();
+
+    sim::Tick end = chip.runUntilQuiescent();
+
+    for (unsigned c = 0; c < workers.size(); ++c) {
+        workers[c].rethrow();
+        fatal_if(!workers[c].done(), kernel.name(), ": core ", c,
+                 " did not finish (deadlock?) at cycle ", end);
+    }
+
+    if (!opts.skipVerify)
+        kernel.verify(rt);
+
+    RunResult r;
+    r.cycles = end;
+    r.instructions = chip.totalInstructions();
+    r.msgs = chip.aggregateMessages();
+
+    for (unsigned c = 0; c < chip.numClusters(); ++c) {
+        arch::Cluster &cl = chip.cluster(c);
+        r.flushIssued += cl.flushesIssued();
+        r.flushUseful += cl.flushesUseful();
+        r.invIssued += cl.invsIssued();
+        r.invUseful += cl.invsUseful();
+        r.l2Hits += cl.l2Hits();
+        r.l2Misses += cl.l2Misses();
+    }
+
+    for (unsigned b = 0; b < chip.numBanks(); ++b) {
+        arch::L3Bank &bank = chip.bank(b);
+        r.transitions += bank.transitions();
+        r.tableLookups += bank.tableLookups();
+        r.tableCacheHits += bank.tableCache().hits();
+        r.tableCacheMisses += bank.tableCache().misses();
+        r.dirEvictions += bank.dirEvictions();
+        r.atomics += bank.atomics();
+        r.mergeConflicts += bank.mergeConflicts();
+        r.dirInsertions += bank.directory().insertions();
+        r.dirPeak += bank.directory().peakEntries();
+        r.l3Hits += bank.l3Hits();
+        r.l3Misses += bank.l3Misses();
+    }
+
+    if (opts.sampleOccupancy) {
+        r.dirAvgTotal = chip.occupancyAverageTotal();
+        r.dirMax = chip.occupancyMax();
+        for (unsigned s = 0; s < arch::numSegments; ++s) {
+            r.dirAvgBySegment[s] =
+                chip.occupancyAverage(static_cast<arch::Segment>(s));
+        }
+    }
+
+    r.dramAccesses = chip.dram().totalAccesses();
+    r.fabricBytes = chip.fabric().bytesUp() + chip.fabric().bytesDown();
+    return r;
+}
+
+RunResult
+runKernel(const arch::MachineConfig &cfg, kernels::KernelFactory factory,
+          const kernels::Params &params, const RunOptions &opts)
+{
+    auto kernel = factory(params);
+    return runKernel(cfg, *kernel, opts);
+}
+
+} // namespace harness

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment runner: builds a machine in a given configuration, boots
+ * the runtime, executes a kernel to completion on every core, verifies
+ * the result, and collects the statistics every figure of the paper is
+ * derived from.
+ */
+
+#ifndef COHESION_HARNESS_RUNNER_HH
+#define COHESION_HARNESS_RUNNER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/chip.hh"
+#include "arch/machine_config.hh"
+#include "kernels/kernel.hh"
+#include "sim/trace.hh"
+
+namespace harness {
+
+/** Everything the benches need from one simulation. */
+struct RunResult
+{
+    sim::Tick cycles = 0;
+    std::uint64_t instructions = 0;
+
+    arch::MsgCounters msgs; ///< L2 output messages by Fig. 2 class.
+
+    // Fig. 3: SWcc coherence-instruction efficiency.
+    std::uint64_t flushIssued = 0;
+    std::uint64_t flushUseful = 0;
+    std::uint64_t invIssued = 0;
+    std::uint64_t invUseful = 0;
+
+    // Fig. 9c: directory occupancy (time-averaged, 1000-cycle samples).
+    double dirAvgTotal = 0;
+    std::array<double, arch::numSegments> dirAvgBySegment{};
+    double dirMax = 0;
+
+    // Protocol activity.
+    std::uint64_t transitions = 0;
+    std::uint64_t tableLookups = 0;
+    std::uint64_t tableCacheHits = 0;
+    std::uint64_t tableCacheMisses = 0;
+    std::uint64_t dirEvictions = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t mergeConflicts = 0;
+    std::uint64_t dirInsertions = 0;
+    std::uint64_t dirPeak = 0;
+
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t l3Misses = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t fabricBytes = 0;
+};
+
+/** Options controlling a run. */
+struct RunOptions
+{
+    /** Sample the directory every 1000 cycles (Fig. 9c). */
+    bool sampleOccupancy = false;
+    /** Skip numerical verification (sweep speed). */
+    bool skipVerify = false;
+    /** Debug-trace categories to enable (sim/trace.hh). */
+    sim::Category traceMask = sim::Category::None;
+};
+
+/**
+ * Run @p kernel on a machine configured by @p cfg.
+ * Calls fatal() on deadlock or verification failure.
+ */
+RunResult runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
+                    const RunOptions &opts = {});
+
+/** Convenience: build the kernel from a factory and run it. */
+RunResult runKernel(const arch::MachineConfig &cfg,
+                    kernels::KernelFactory factory,
+                    const kernels::Params &params,
+                    const RunOptions &opts = {});
+
+} // namespace harness
+
+#endif // COHESION_HARNESS_RUNNER_HH

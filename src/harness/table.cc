@@ -1,0 +1,86 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace harness {
+
+Table::Table(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(_headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            for (std::size_t pad = cells[c].size(); pad < widths[c] + 2;
+                 ++pad) {
+                os << ' ';
+            }
+        }
+        os << '\n';
+    };
+
+    emit(_headers);
+    std::string rule;
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+std::string
+Table::fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+Table::fmtX(double v, int prec)
+{
+    return fmt(v, prec) + "x";
+}
+
+std::string
+Table::fmtCount(double v)
+{
+    char buf[64];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+void
+banner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << std::string(72, '=') << '\n'
+       << title << '\n'
+       << std::string(72, '=') << '\n';
+}
+
+} // namespace harness

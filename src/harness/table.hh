@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Column-aligned text table used by every bench binary to print
+ * paper-shaped rows (figures and tables from the evaluation).
+ */
+
+#ifndef COHESION_HARNESS_TABLE_HH
+#define COHESION_HARNESS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p prec decimals. */
+    static std::string fmt(double v, int prec = 2);
+    /** Format a ratio as "1.23x". */
+    static std::string fmtX(double v, int prec = 2);
+    /** Format with thousands grouping. */
+    static std::string fmtCount(double v);
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Print a section banner for a figure/table reproduction. */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace harness
+
+#endif // COHESION_HARNESS_TABLE_HH

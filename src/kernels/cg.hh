@@ -1,0 +1,83 @@
+/**
+ * @file
+ * cg: conjugate-gradient linear solver on a 2D-Laplacian sparse
+ * system in CSR form (Section 4.1). Each iteration is three
+ * barrier-separated phases (q = Ap with a p.q reduction; x/r update
+ * with an r.r reduction; p update). Reductions use atomic
+ * floating-point adds at the L3; scalars are fresh per iteration.
+ */
+
+#ifndef COHESION_KERNELS_CG_HH
+#define COHESION_KERNELS_CG_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class CgKernel : public Kernel
+{
+  public:
+    explicit CgKernel(const Params &params);
+
+    const char *name() const override { return "cg"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+  private:
+    sim::CoTask initTask(runtime::Ctx &ctx, runtime::TaskDesc td);
+    sim::CoTask matvecTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                           unsigned iter);
+    sim::CoTask xrTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                       unsigned iter);
+    sim::CoTask pTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                      unsigned iter);
+
+    // Scalar slots (one line per iteration): [pq, rnew].
+    mem::Addr pqAddr(unsigned it) const
+    {
+        return _scalars + it * mem::lineBytes;
+    }
+    mem::Addr rnewAddr(unsigned it) const
+    {
+        return _scalars + it * mem::lineBytes + 4;
+    }
+    /** r.r entering iteration @p it (rr0 for it==0). */
+    mem::Addr rrAddr(unsigned it) const
+    {
+        return it == 0 ? _rr0 : rnewAddr(it - 1);
+    }
+
+    std::uint32_t _grid = 0;
+    std::uint32_t _n = 0;
+    std::uint32_t _nnz = 0;
+    unsigned _iters = 0;
+
+    mem::Addr _rowPtr = 0;
+    mem::Addr _colIdx = 0;
+    mem::Addr _vals = 0;
+    mem::Addr _x = 0;
+    mem::Addr _r = 0;
+    mem::Addr _p = 0;
+    mem::Addr _q = 0;
+    mem::Addr _scalars = 0;
+    mem::Addr _rr0 = 0;
+
+    std::vector<std::uint32_t> _hRowPtr;
+    std::vector<std::uint32_t> _hColIdx;
+    std::vector<float> _hVals;
+    std::vector<float> _hB;
+
+    unsigned _phaseInit = 0;
+    std::vector<unsigned> _phaseMatvec;
+    std::vector<unsigned> _phaseXr;
+    std::vector<unsigned> _phaseP;
+};
+
+std::unique_ptr<Kernel> makeCg(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_CG_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * dmm: blocked dense matrix multiply C = A x B (Section 4.1). Inputs
+ * are immutable read-shared data; each task produces a block of C
+ * rows and eagerly flushes it under software-managed coherence.
+ */
+
+#ifndef COHESION_KERNELS_DMM_HH
+#define COHESION_KERNELS_DMM_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class DmmKernel : public Kernel
+{
+  public:
+    explicit DmmKernel(const Params &params);
+
+    const char *name() const override { return "dmm"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+  private:
+    sim::CoTask tileTask(runtime::Ctx &ctx, runtime::TaskDesc td);
+
+    std::uint32_t _n = 0;
+    mem::Addr _a = 0;
+    mem::Addr _b = 0;
+    mem::Addr _c = 0;
+    std::vector<float> _ha;
+    std::vector<float> _hb;
+    unsigned _phase = 0;
+};
+
+std::unique_ptr<Kernel> makeDmm(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_DMM_HH

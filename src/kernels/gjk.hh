@@ -1,0 +1,71 @@
+/**
+ * @file
+ * gjk: convex collision detection via iterative support mapping over
+ * Minkowski differences (Section 4.1). Object vertex sets are
+ * read-shared and irregularly sized, tasks are fine-grained (one pair
+ * each, so dequeue overhead matters — paper Section 4.5 notes gjk is
+ * limited by task-scheduling overhead), and the working simplex is
+ * kept in per-core stack memory.
+ */
+
+#ifndef COHESION_KERNELS_GJK_HH
+#define COHESION_KERNELS_GJK_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class GjkKernel : public Kernel
+{
+  public:
+    explicit GjkKernel(const Params &params);
+
+    const char *name() const override { return "gjk"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+    static constexpr unsigned kMaxIters = 8;
+
+  private:
+    struct Object
+    {
+        std::uint32_t vertOffset; ///< Index of first vertex.
+        std::uint32_t vertCount;
+        float cx, cy, cz;
+    };
+
+    sim::CoTask pairTask(runtime::Ctx &ctx, runtime::TaskDesc td);
+
+    /** Host-side replica of the simulated algorithm (verification). */
+    float hostPair(std::uint32_t a, std::uint32_t b) const;
+
+    mem::Addr vertAddr(std::uint32_t v, unsigned d) const
+    {
+        return _verts + (v * 3 + d) * 4;
+    }
+
+    mem::Addr objAddr(std::uint32_t o) const
+    {
+        return _objects + o * 8 * 4; // padded to 32 B
+    }
+
+    std::uint32_t _numObjects = 0;
+    std::uint32_t _numPairs = 0;
+    mem::Addr _verts = 0;
+    mem::Addr _objects = 0;
+    mem::Addr _pairs = 0;
+    mem::Addr _results = 0;
+    std::vector<Object> _hObjects;
+    std::vector<float> _hVerts;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> _hPairs;
+    unsigned _phase = 0;
+};
+
+std::unique_ptr<Kernel> makeGjk(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_GJK_HH

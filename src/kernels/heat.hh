@@ -1,0 +1,41 @@
+/**
+ * @file
+ * heat: 2D Jacobi stencil kernel (see heat.cc).
+ */
+
+#ifndef COHESION_KERNELS_HEAT_HH
+#define COHESION_KERNELS_HEAT_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class HeatKernel : public Kernel
+{
+  public:
+    explicit HeatKernel(const Params &params);
+
+    const char *name() const override { return "heat"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+  private:
+    sim::CoTask taskBody(runtime::Ctx &ctx, runtime::TaskDesc td,
+                         mem::Addr src, mem::Addr dst);
+
+    std::uint32_t _n = 0;
+    unsigned _iters = 0;
+    mem::Addr _a = 0;
+    mem::Addr _b = 0;
+    std::vector<float> _init;
+    std::vector<unsigned> _phases;
+};
+
+std::unique_ptr<Kernel> makeHeat(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_HEAT_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Benchmark kernel interface. Each of the paper's eight kernels
+ * (Section 4.1) implements this: untimed setup (input generation,
+ * allocation, task-queue phase construction), a per-core worker
+ * coroutine written in the barrier-synchronized task-queue model, and
+ * numerical verification of the result after the run.
+ *
+ * One kernel source serves all machine modes: SWcc coherence actions
+ * (flush/invalidate) are guarded by Ctx::swccManaged(), so the SWcc
+ * and Cohesion variants issue them for software-managed data while
+ * the HWcc variant issues none — exactly the paper's methodology.
+ */
+
+#ifndef COHESION_KERNELS_KERNEL_HH
+#define COHESION_KERNELS_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/ctx.hh"
+#include "runtime/runtime.hh"
+#include "sim/cotask.hh"
+#include "sim/random.hh"
+
+namespace kernels {
+
+/** Workload scaling knobs shared by all kernels. */
+struct Params
+{
+    /** Linear problem-size multiplier (1 = test-sized). */
+    unsigned scale = 1;
+    /** Deterministic input seed. */
+    std::uint64_t seed = 12345;
+};
+
+class Kernel
+{
+  public:
+    explicit Kernel(const Params &params) : _params(params) {}
+    virtual ~Kernel() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Untimed: allocate and initialize inputs, build queue phases. */
+    virtual void setup(runtime::CohesionRuntime &rt) = 0;
+
+    /** Per-core worker coroutine (ctx is copied into the frame). */
+    virtual sim::CoTask worker(runtime::Ctx ctx) = 0;
+
+    /** Check the computed result; calls fatal() on a mismatch. */
+    virtual void verify(runtime::CohesionRuntime &rt) = 0;
+
+    const Params &params() const { return _params; }
+
+  protected:
+    /** Allocate a queue phase in the metadata segment. */
+    unsigned
+    addPhase(runtime::CohesionRuntime &rt,
+             const std::vector<runtime::TaskDesc> &tasks)
+    {
+        mem::Addr descs = rt.metaAlloc(
+            std::max<std::uint32_t>(tasks.size(), 1) *
+            sizeof(runtime::TaskDesc));
+        mem::Addr counter = rt.metaAlloc(mem::lineBytes);
+        return rt.taskQueue().addPhase(tasks, descs, counter);
+    }
+
+    /** Chunk [0, n) into per-task (begin, count) descriptors. */
+    static std::vector<runtime::TaskDesc>
+    chunkTasks(std::uint32_t n, std::uint32_t chunk,
+               std::uint32_t arg2 = 0, std::uint32_t arg3 = 0)
+    {
+        std::vector<runtime::TaskDesc> out;
+        for (std::uint32_t b = 0; b < n; b += chunk) {
+            runtime::TaskDesc t;
+            t.arg0 = b;
+            t.arg1 = std::min(chunk, n - b);
+            t.arg2 = arg2;
+            t.arg3 = arg3;
+            out.push_back(t);
+        }
+        return out;
+    }
+
+    Params _params;
+    sim::Rng _rng{12345};
+};
+
+/** Factory signature used by the registry and the bench harnesses. */
+using KernelFactory = std::unique_ptr<Kernel> (*)(const Params &);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_KERNEL_HH

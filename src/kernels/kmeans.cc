@@ -1,0 +1,298 @@
+#include "kernels/kmeans.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace kernels {
+
+KmeansKernel::KmeansKernel(const Params &params) : Kernel(params)
+{
+    _numPoints = 768 * params.scale;
+    _iters = 3;
+    _rng = sim::Rng(params.seed ^ 0x4EA45);
+}
+
+void
+KmeansKernel::setup(runtime::CohesionRuntime &rt)
+{
+    // Points drawn around well-separated centers so assignments are
+    // robust to reduction-order float differences.
+    std::vector<std::array<float, kDims>> centers(kClusters);
+    for (unsigned k = 0; k < kClusters; ++k) {
+        for (unsigned d = 0; d < kDims; ++d)
+            centers[k][d] = 20.0f * k + static_cast<float>(
+                _rng.range(0.0, 4.0));
+    }
+
+    _points = rt.cohMalloc(_numPoints * kDims * 4);
+    // Centroids are rewritten by the update phase and re-read by all
+    // assign tasks: irregular sharing the Cohesion variant leaves HWcc.
+    _centroids = rt.malloc(kClusters * kDims * 4);
+
+    _hostPoints.resize(_numPoints * kDims);
+    for (std::uint32_t p = 0; p < _numPoints; ++p) {
+        unsigned k = p % kClusters;
+        for (unsigned d = 0; d < kDims; ++d) {
+            float v = centers[k][d] +
+                      static_cast<float>(_rng.range(-2.0, 2.0));
+            _hostPoints[p * kDims + d] = v;
+            rt.poke<float>(pointAddr(p, d), v);
+        }
+    }
+
+    _hostInitCentroids.resize(kClusters * kDims);
+    for (unsigned k = 0; k < kClusters; ++k) {
+        for (unsigned d = 0; d < kDims; ++d) {
+            float v = _hostPoints[k * kDims + d]; // first points seed
+            _hostInitCentroids[k * kDims + d] = v;
+            rt.poke<float>(centroidAddr(k, d), v);
+        }
+    }
+
+    unsigned cores = rt.chip().totalCores();
+    std::uint32_t chunk =
+        std::max<std::uint32_t>(4, _numPoints / (2 * cores));
+    auto tasks = chunkTasks(_numPoints, chunk);
+    _numTasks = tasks.size();
+    // Tag each task with its own index for the partial-slot variant.
+    for (std::uint32_t t = 0; t < tasks.size(); ++t)
+        tasks[t].arg2 = t;
+
+    // Global accumulators (fresh per iteration) and per-task slots.
+    _sums = rt.malloc(_iters * kClusters * (kDims + 1) * 4);
+    _slots = rt.malloc(_iters * _numTasks * kClusters * (kDims + 1) * 4);
+    for (mem::Addr a = _sums;
+         a < _sums + _iters * kClusters * (kDims + 1) * 4; a += 4) {
+        rt.poke<std::uint32_t>(a, 0);
+    }
+    for (mem::Addr a = _slots;
+         a < _slots + _iters * _numTasks * kClusters * (kDims + 1) * 4;
+         a += 4) {
+        rt.poke<std::uint32_t>(a, 0);
+    }
+
+    _assignPhases.clear();
+    _updatePhases.clear();
+    for (unsigned it = 0; it < _iters; ++it) {
+        _assignPhases.push_back(addPhase(rt, tasks));
+        _updatePhases.push_back(
+            addPhase(rt, chunkTasks(kClusters, 1)));
+    }
+}
+
+sim::CoTask
+KmeansKernel::assignTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                         unsigned iter)
+{
+    const std::uint32_t first = td.arg0;
+    const std::uint32_t count = td.arg1;
+    const std::uint32_t task_id = td.arg2;
+
+    // Re-read the centroids produced by the previous update phase.
+    if (ctx.swccManaged(_centroids))
+        co_await ctx.invRegion(_centroids, kClusters * kDims * 4);
+
+    // The centroid block exceeds the register file; spill it to the
+    // per-core stack and read it back through the L1 in the distance
+    // loop (stack residency is what Fig. 9c's stack segment counts).
+    const mem::Addr spill = ctx.stack();
+    for (unsigned k = 0; k < kClusters; ++k) {
+        for (unsigned d = 0; d < kDims; ++d) {
+            float v = runtime::Ctx::asF32(
+                co_await ctx.load32(centroidAddr(k, d)));
+            co_await ctx.storeF32(spill + (k * kDims + d) * 4, v);
+        }
+    }
+    float cents[kClusters][kDims];
+    for (unsigned k = 0; k < kClusters; ++k) {
+        for (unsigned d = 0; d < kDims; ++d) {
+            cents[k][d] = runtime::Ctx::asF32(
+                co_await ctx.load32(spill + (k * kDims + d) * 4));
+        }
+    }
+
+    // Atomic histogramming is the benchmark's native form (SWcc and
+    // pure HWcc); only the Cohesion variant applies the paper's
+    // "rely upon HWcc" optimization of pulling per-task partials.
+    const bool atomic_variant =
+        ctx.mode() != arch::CoherenceMode::Cohesion;
+    float partial[kClusters][kDims + 1] = {};
+
+    for (std::uint32_t p = first; p < first + count; ++p) {
+        float pt[kDims];
+        for (unsigned d = 0; d < kDims; ++d) {
+            pt[d] = runtime::Ctx::asF32(
+                co_await ctx.load32(pointAddr(p, d)));
+        }
+        co_await ctx.compute(kClusters * (2 * kDims + 1));
+        unsigned best = 0;
+        float best_d = 0;
+        for (unsigned k = 0; k < kClusters; ++k) {
+            float dist = 0;
+            for (unsigned d = 0; d < kDims; ++d) {
+                float diff = pt[d] - cents[k][d];
+                dist += diff * diff;
+            }
+            if (k == 0 || dist < best_d) {
+                best_d = dist;
+                best = k;
+            }
+        }
+        if (atomic_variant) {
+            // Uncached atomic histogramming: the kmeans signature.
+            for (unsigned d = 0; d < kDims; ++d) {
+                co_await ctx.atomicAddF32(sumAddr(iter, best, d),
+                                          pt[d]);
+            }
+            co_await ctx.atomicAdd(countAddr(iter, best), 1);
+        } else {
+            for (unsigned d = 0; d < kDims; ++d)
+                partial[best][d] += pt[d];
+            partial[best][kDims] += 1.0f;
+        }
+    }
+
+    if (!atomic_variant) {
+        // Publish partials through cached HWcc stores; the update
+        // phase pulls them on demand (paper Section 4.2's Cohesion
+        // optimization for kmeans).
+        for (unsigned k = 0; k < kClusters; ++k) {
+            for (unsigned d = 0; d <= kDims; ++d) {
+                co_await ctx.storeF32(slotAddr(iter, task_id, k, d),
+                                      partial[k][d]);
+            }
+        }
+        if (ctx.swccManaged(_slots)) {
+            co_await ctx.flushRegion(
+                slotAddr(iter, task_id, 0, 0),
+                kClusters * (kDims + 1) * 4);
+        }
+    }
+}
+
+sim::CoTask
+KmeansKernel::updateTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                         unsigned iter)
+{
+    const unsigned k = td.arg0;
+    const bool atomic_variant =
+        ctx.mode() != arch::CoherenceMode::Cohesion;
+
+    float sum[kDims] = {};
+    float cnt = 0;
+    if (atomic_variant) {
+        // Atomics updated the L3 copy directly; invalidate any stale
+        // cached copies before reading.
+        if (ctx.swccManaged(_sums)) {
+            co_await ctx.invRegion(sumAddr(iter, k, 0), (kDims + 1) * 4);
+        }
+        for (unsigned d = 0; d < kDims; ++d) {
+            sum[d] = runtime::Ctx::asF32(
+                co_await ctx.load32(sumAddr(iter, k, d)));
+        }
+        cnt = static_cast<float>(
+            co_await ctx.load32(countAddr(iter, k)));
+    } else {
+        for (std::uint32_t t = 0; t < _numTasks; ++t) {
+            if (ctx.swccManaged(_slots)) {
+                co_await ctx.invRegion(slotAddr(iter, t, k, 0),
+                                       (kDims + 1) * 4);
+            }
+            for (unsigned d = 0; d < kDims; ++d) {
+                sum[d] += runtime::Ctx::asF32(
+                    co_await ctx.load32(slotAddr(iter, t, k, d)));
+            }
+            cnt += runtime::Ctx::asF32(
+                co_await ctx.load32(slotAddr(iter, t, k, kDims)));
+        }
+    }
+
+    co_await ctx.compute(3 * kDims);
+    for (unsigned d = 0; d < kDims; ++d) {
+        float v = cnt > 0 ? sum[d] / cnt : 0.0f;
+        co_await ctx.storeF32(centroidAddr(k, d), v);
+    }
+    if (ctx.swccManaged(_centroids))
+        co_await ctx.flushRegion(centroidAddr(k, 0), kDims * 4);
+}
+
+sim::CoTask
+KmeansKernel::worker(runtime::Ctx ctx)
+{
+    ctx.core().setCodeRegion(runtime::Layout::codeBase + 0x5000, 1152);
+    for (unsigned it = 0; it < _iters; ++it) {
+        co_await ctx.forEachTask(
+            _assignPhases[it],
+            [this, it](runtime::Ctx &c, const runtime::TaskDesc &td) {
+                return assignTask(c, td, it);
+            });
+        co_await ctx.barrier();
+        co_await ctx.forEachTask(
+            _updatePhases[it],
+            [this, it](runtime::Ctx &c, const runtime::TaskDesc &td) {
+                return updateTask(c, td, it);
+            });
+        co_await ctx.barrier();
+    }
+}
+
+void
+KmeansKernel::verify(runtime::CohesionRuntime &rt)
+{
+    // Host reference with the same float formulae; reduction order may
+    // differ, so compare with tolerance. Assignments are robust: the
+    // clusters are 20 units apart with +/-2 noise.
+    std::vector<float> cents = _hostInitCentroids;
+    std::vector<std::uint32_t> counts(kClusters);
+    for (unsigned it = 0; it < _iters; ++it) {
+        std::vector<double> sums(kClusters * kDims, 0.0);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (std::uint32_t p = 0; p < _numPoints; ++p) {
+            unsigned best = 0;
+            float best_d = 0;
+            for (unsigned k = 0; k < kClusters; ++k) {
+                float dist = 0;
+                for (unsigned d = 0; d < kDims; ++d) {
+                    float diff = _hostPoints[p * kDims + d] -
+                                 cents[k * kDims + d];
+                    dist += diff * diff;
+                }
+                if (k == 0 || dist < best_d) {
+                    best_d = dist;
+                    best = k;
+                }
+            }
+            for (unsigned d = 0; d < kDims; ++d)
+                sums[best * kDims + d] += _hostPoints[p * kDims + d];
+            counts[best] += 1;
+        }
+        for (unsigned k = 0; k < kClusters; ++k) {
+            for (unsigned d = 0; d < kDims; ++d) {
+                cents[k * kDims + d] =
+                    counts[k] ? static_cast<float>(sums[k * kDims + d] /
+                                                   counts[k])
+                              : 0.0f;
+            }
+        }
+    }
+
+    for (unsigned k = 0; k < kClusters; ++k) {
+        for (unsigned d = 0; d < kDims; ++d) {
+            float got = rt.verifyReadF32(centroidAddr(k, d));
+            float want = cents[k * kDims + d];
+            fatal_if(std::fabs(got - want) >
+                         5e-2f + 1e-3f * std::fabs(want),
+                     "kmeans centroid mismatch at (", k, ",", d,
+                     "): got ", got, " want ", want);
+        }
+    }
+}
+
+std::unique_ptr<Kernel>
+makeKmeans(const Params &params)
+{
+    return std::make_unique<KmeansKernel>(params);
+}
+
+} // namespace kernels

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * kmeans: k-means clustering (Section 4.1). The assignment phase is
+ * dominated by atomic read-modify-write histogramming of per-cluster
+ * sums/counts — the paper's explanation for kmeans being the one
+ * benchmark where SWcc sends more messages than HWcc. Under Cohesion
+ * and HWcc the benchmark applies the paper's optimization of "relying
+ * upon HWcc" to replace most uncached atomics with cached stores to
+ * per-task partial buffers reduced in a pull phase.
+ */
+
+#ifndef COHESION_KERNELS_KMEANS_HH
+#define COHESION_KERNELS_KMEANS_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class KmeansKernel : public Kernel
+{
+  public:
+    explicit KmeansKernel(const Params &params);
+
+    const char *name() const override { return "kmeans"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+    static constexpr unsigned kDims = 4;
+    static constexpr unsigned kClusters = 8;
+
+  private:
+    sim::CoTask assignTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                           unsigned iter);
+    sim::CoTask updateTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                           unsigned iter);
+
+    mem::Addr pointAddr(std::uint32_t p, unsigned d) const
+    {
+        return _points + (p * kDims + d) * 4;
+    }
+
+    mem::Addr centroidAddr(unsigned k, unsigned d) const
+    {
+        return _centroids + (k * kDims + d) * 4;
+    }
+
+    /** Global accumulators, fresh per iteration: kClusters rows of
+     *  (kDims sums + count). */
+    mem::Addr sumAddr(unsigned iter, unsigned k, unsigned d) const
+    {
+        return _sums + (iter * kClusters + k) * (kDims + 1) * 4 + d * 4;
+    }
+
+    mem::Addr countAddr(unsigned iter, unsigned k) const
+    {
+        return sumAddr(iter, k, kDims);
+    }
+
+    /** Per-task partial slots (HWcc/Cohesion pull variant). */
+    mem::Addr slotAddr(unsigned iter, std::uint32_t task, unsigned k,
+                       unsigned d) const
+    {
+        return _slots +
+               ((iter * _numTasks + task) * kClusters + k) *
+                   (kDims + 1) * 4 +
+               d * 4;
+    }
+
+    std::uint32_t _numPoints = 0;
+    std::uint32_t _numTasks = 0;
+    unsigned _iters = 0;
+    mem::Addr _points = 0;
+    mem::Addr _centroids = 0;
+    mem::Addr _sums = 0;
+    mem::Addr _slots = 0;
+    std::vector<float> _hostPoints;
+    std::vector<float> _hostInitCentroids;
+    std::vector<unsigned> _assignPhases;
+    std::vector<unsigned> _updatePhases;
+};
+
+std::unique_ptr<Kernel> makeKmeans(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_KMEANS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * mri: non-Cartesian MRI reconstruction (the MRI-Q computation,
+ * Section 4.1). For every voxel, accumulate cos/sin contributions of
+ * all k-space samples — very high arithmetic intensity, so execution
+ * efficiency rather than coherence dominates (paper Section 4.5).
+ */
+
+#ifndef COHESION_KERNELS_MRI_HH
+#define COHESION_KERNELS_MRI_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class MriKernel : public Kernel
+{
+  public:
+    explicit MriKernel(const Params &params);
+
+    const char *name() const override { return "mri"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+  private:
+    sim::CoTask voxelTask(runtime::Ctx &ctx, runtime::TaskDesc td);
+
+    std::uint32_t _numSamples = 0;
+    std::uint32_t _numVoxels = 0;
+    mem::Addr _ksp = 0;    ///< K-space: (kx, ky, kz, phi) per sample.
+    mem::Addr _vox = 0;    ///< Voxels: (x, y, z) per voxel.
+    mem::Addr _qr = 0;     ///< Output real part.
+    mem::Addr _qi = 0;     ///< Output imaginary part.
+    std::vector<float> _hostKsp;
+    std::vector<float> _hostVox;
+    unsigned _phase = 0;
+};
+
+std::unique_ptr<Kernel> makeMri(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_MRI_HH

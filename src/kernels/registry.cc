@@ -1,0 +1,38 @@
+#include "kernels/registry.hh"
+
+#include "sim/logging.hh"
+
+namespace kernels {
+
+const std::vector<std::string> &
+allKernelNames()
+{
+    static const std::vector<std::string> names = {
+        "cg", "dmm", "gjk", "heat", "kmeans", "mri", "sobel", "stencil",
+    };
+    return names;
+}
+
+KernelFactory
+kernelFactory(const std::string &name)
+{
+    if (name == "cg")
+        return &makeCg;
+    if (name == "dmm")
+        return &makeDmm;
+    if (name == "gjk")
+        return &makeGjk;
+    if (name == "heat")
+        return &makeHeat;
+    if (name == "kmeans")
+        return &makeKmeans;
+    if (name == "mri")
+        return &makeMri;
+    if (name == "sobel")
+        return &makeSobel;
+    if (name == "stencil")
+        return &makeStencil;
+    fatal("unknown kernel: ", name);
+}
+
+} // namespace kernels

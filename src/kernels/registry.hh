@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Registry of the paper's eight benchmark kernels (Section 4.1):
+ * cg, dmm, gjk, heat, kmeans, mri, sobel, stencil.
+ */
+
+#ifndef COHESION_KERNELS_REGISTRY_HH
+#define COHESION_KERNELS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+std::unique_ptr<Kernel> makeCg(const Params &params);
+std::unique_ptr<Kernel> makeDmm(const Params &params);
+std::unique_ptr<Kernel> makeGjk(const Params &params);
+std::unique_ptr<Kernel> makeHeat(const Params &params);
+std::unique_ptr<Kernel> makeKmeans(const Params &params);
+std::unique_ptr<Kernel> makeMri(const Params &params);
+std::unique_ptr<Kernel> makeSobel(const Params &params);
+std::unique_ptr<Kernel> makeStencil(const Params &params);
+
+/** Names in the paper's presentation order. */
+const std::vector<std::string> &allKernelNames();
+
+/** Factory by name; fatal() on unknown names. */
+KernelFactory kernelFactory(const std::string &name);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_REGISTRY_HH

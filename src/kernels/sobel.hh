@@ -1,0 +1,47 @@
+/**
+ * @file
+ * sobel: 2D edge detection (Section 4.1). Phase 1 computes gradient
+ * magnitudes over a read-shared input image; phase 2 thresholds the
+ * edge map (produced by other tasks, hence lazily invalidated under
+ * SWcc) and counts edge pixels with atomic increments.
+ */
+
+#ifndef COHESION_KERNELS_SOBEL_HH
+#define COHESION_KERNELS_SOBEL_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class SobelKernel : public Kernel
+{
+  public:
+    explicit SobelKernel(const Params &params);
+
+    const char *name() const override { return "sobel"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+  private:
+    sim::CoTask gradientTask(runtime::Ctx &ctx, runtime::TaskDesc td);
+    sim::CoTask thresholdTask(runtime::Ctx &ctx, runtime::TaskDesc td);
+
+    std::uint32_t _w = 0;
+    std::uint32_t _h = 0;
+    float _threshold = 120.0f;
+    mem::Addr _img = 0;
+    mem::Addr _edges = 0;
+    mem::Addr _count = 0;
+    std::vector<float> _input;
+    unsigned _phaseGrad = 0;
+    unsigned _phaseThresh = 0;
+};
+
+std::unique_ptr<Kernel> makeSobel(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_SOBEL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * stencil: 3D 7-point stencil over barrier-separated iterations
+ * (Section 4.1). Tasks relax z-slabs; sources are lazily invalidated
+ * and destinations eagerly flushed under software-managed coherence.
+ */
+
+#ifndef COHESION_KERNELS_STENCIL_HH
+#define COHESION_KERNELS_STENCIL_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace kernels {
+
+class StencilKernel : public Kernel
+{
+  public:
+    explicit StencilKernel(const Params &params);
+
+    const char *name() const override { return "stencil"; }
+    void setup(runtime::CohesionRuntime &rt) override;
+    sim::CoTask worker(runtime::Ctx ctx) override;
+    void verify(runtime::CohesionRuntime &rt) override;
+
+  private:
+    sim::CoTask slabTask(runtime::Ctx &ctx, runtime::TaskDesc td,
+                         mem::Addr src, mem::Addr dst);
+
+    std::uint32_t
+    idx(std::uint32_t x, std::uint32_t y, std::uint32_t z) const
+    {
+        return (z * _n + y) * _n + x;
+    }
+
+    std::uint32_t _n = 0;
+    unsigned _iters = 0;
+    mem::Addr _a = 0;
+    mem::Addr _b = 0;
+    std::vector<float> _init;
+    std::vector<unsigned> _phases;
+};
+
+std::unique_ptr<Kernel> makeStencil(const Params &params);
+
+} // namespace kernels
+
+#endif // COHESION_KERNELS_STENCIL_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Address interleaving across L3 banks / DRAM channels and the
+ * fine-grain region-table offset hash (the paper's `hybrid.tbloff`
+ * instruction, Section 3.4, footnote 1).
+ *
+ * Interleave: addr[10..0] map to the same memory controller (2 KB DRAM
+ * row stride); the L3 bank field starts at bit 11 and the channel is
+ * the low bits of the bank field, so an eight-channel configuration
+ * strides channels across addr[13..11] exactly as the paper describes.
+ *
+ * The table hash implemented here is a parameterized variant of the
+ * paper's footnote-1 function. It provides the same architectural
+ * property for any power-of-two bank count: the slice of the 16 MB
+ * fine-grain table that covers a bank's addresses is itself homed to
+ * that bank, so a table lookup never requires a bank-to-bank query.
+ * The mapping is a bijection from the 22-bit table-word index space to
+ * the 22-bit word-offset space (property-tested in tests/).
+ */
+
+#ifndef COHESION_MEM_ADDRESS_MAP_HH
+#define COHESION_MEM_ADDRESS_MAP_HH
+
+#include <bit>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace mem {
+
+/** Byte size of the full fine-grain table: 1 bit per 32 B line of 4 GB. */
+constexpr std::uint32_t fineTableBytes = 1u << 24; // 16 MB
+
+class AddressMap
+{
+  public:
+    /**
+     * @param num_banks     Number of L3 cache banks (power of two).
+     * @param num_channels  Number of GDDR channels (power of two,
+     *                      <= num_banks).
+     * @param table_base    Base physical address of the fine-grain
+     *                      region table; must be 16 MB aligned.
+     */
+    AddressMap(unsigned num_banks, unsigned num_channels, Addr table_base)
+        : _numBanks(num_banks), _numChannels(num_channels),
+          _bankBits(std::bit_width(num_banks) - 1), _tableBase(table_base)
+    {
+        fatal_if(!std::has_single_bit(num_banks), "L3 bank count must be "
+                 "a power of two, got ", num_banks);
+        fatal_if(!std::has_single_bit(num_channels),
+                 "channel count must be a power of two, got ", num_channels);
+        fatal_if(num_channels > num_banks,
+                 "more channels than L3 banks");
+        fatal_if(table_base & (fineTableBytes - 1),
+                 "fine-grain table base must be 16 MB aligned");
+        fatal_if(_bankBits > 13, "bank field exceeds supported width");
+    }
+
+    unsigned numBanks() const { return _numBanks; }
+    unsigned numChannels() const { return _numChannels; }
+    Addr tableBase() const { return _tableBase; }
+
+    /** Home L3 bank of address @p a. */
+    unsigned
+    bankOf(Addr a) const
+    {
+        return (a >> bankShift) & (_numBanks - 1);
+    }
+
+    /** GDDR channel of address @p a (low bits of the bank field). */
+    unsigned
+    channelOf(Addr a) const
+    {
+        return bankOf(a) & (_numChannels - 1);
+    }
+
+    /** DRAM-internal bank within the channel (row-buffer locality). */
+    unsigned
+    dramBankOf(Addr a) const
+    {
+        return (a >> (bankShift + _bankBits)) & (dramBanksPerChannel - 1);
+    }
+
+    /** DRAM row identifier (for row-hit/miss modelling). */
+    std::uint32_t
+    dramRowOf(Addr a) const
+    {
+        return a >> (bankShift + _bankBits + 4);
+    }
+
+    /** True if @p a falls inside the fine-grain region table. */
+    bool
+    inTable(Addr a) const
+    {
+        return a >= _tableBase && a - _tableBase < fineTableBytes;
+    }
+
+    /**
+     * `hybrid.tbloff`: byte address of the 32-bit table word holding
+     * the region bit for the line containing @p a. Guaranteed to home
+     * to bankOf(a).
+     */
+    Addr
+    tableWordAddr(Addr a) const
+    {
+        return _tableBase + (permuteWordIndex(a >> 10) << 2);
+    }
+
+    /** Bit position of line(@p a)'s region bit within its table word. */
+    unsigned
+    tableBitIndex(Addr a) const
+    {
+        return (a >> lineShift) & 31;
+    }
+
+    /**
+     * Inverse of the word-index permutation: given a byte offset into
+     * the table, return the base address of the 1 KB block of memory
+     * whose region bits that word holds. Used by the directory to
+     * recover the target region on snooped table updates, and by the
+     * bijectivity tests.
+     */
+    Addr
+    coveredBlockBase(Addr table_addr) const
+    {
+        panic_if(!inTable(table_addr), "address not inside fine table");
+        return unpermuteWordIndex((table_addr - _tableBase) >> 2) << 10;
+    }
+
+    static constexpr unsigned bankShift = 11;
+    static constexpr unsigned dramBanksPerChannel = 16;
+
+  private:
+    /**
+     * Bijection over 22-bit word indices (= addr[31:10]). Index bit i
+     * corresponds to addr bit i+10 on the input side, and — because the
+     * word offset is index<<2 and the base is 16 MB aligned — to table
+     * address bit i+2 on the output side. The home-bank field of the
+     * table address therefore occupies *output* index bits
+     * [9 .. 9+bankBits-1], while the covered line's bank field arrives
+     * in *input* index bits [1 .. bankBits]. The permutation moves the
+     * bank field accordingly and scatters the remaining bits, in order,
+     * over the remaining positions.
+     */
+    std::uint32_t
+    permuteWordIndex(std::uint32_t idx) const
+    {
+        std::uint32_t out = 0;
+        for (unsigned i = 0; i < _bankBits; ++i) {
+            if (idx & (1u << (1 + i)))
+                out |= 1u << (9 + i);
+        }
+        unsigned out_pos = 0;
+        auto place = [&](unsigned in_bit) {
+            if (out_pos == 9)
+                out_pos += _bankBits; // skip the pinned bank field
+            if (idx & (1u << in_bit))
+                out |= 1u << out_pos;
+            ++out_pos;
+        };
+        place(0);
+        for (unsigned i = _bankBits + 1; i < 22; ++i)
+            place(i);
+        return out;
+    }
+
+    std::uint32_t
+    unpermuteWordIndex(std::uint32_t out) const
+    {
+        std::uint32_t idx = 0;
+        for (unsigned i = 0; i < _bankBits; ++i) {
+            if (out & (1u << (9 + i)))
+                idx |= 1u << (1 + i);
+        }
+        unsigned out_pos = 0;
+        auto take = [&](unsigned in_bit) {
+            if (out_pos == 9)
+                out_pos += _bankBits;
+            if (out & (1u << out_pos))
+                idx |= 1u << in_bit;
+            ++out_pos;
+        };
+        take(0);
+        for (unsigned i = _bankBits + 1; i < 22; ++i)
+            take(i);
+        return idx;
+    }
+
+    unsigned _numBanks;
+    unsigned _numChannels;
+    unsigned _bankBits;
+    Addr _tableBase;
+};
+
+} // namespace mem
+
+#endif // COHESION_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sparse backing store for the simulated 4 GB physical address space.
+ * This is the architectural "DRAM contents"; caches keep their own
+ * copies of line data so stale values are genuinely observable, which
+ * the SWcc correctness tests depend on.
+ */
+
+#ifndef COHESION_MEM_BACKING_STORE_HH
+#define COHESION_MEM_BACKING_STORE_HH
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace mem {
+
+/** Sparse page-granular byte store over the 32-bit space. */
+class BackingStore
+{
+  public:
+    static constexpr unsigned pageShift = 16; // 64 KB pages
+    static constexpr unsigned pageBytes = 1u << pageShift;
+
+    /** Read @p bytes at @p a into @p out. Untouched memory reads zero. */
+    void
+    read(Addr a, void *out, unsigned bytes) const
+    {
+        auto *dst = static_cast<std::uint8_t *>(out);
+        while (bytes > 0) {
+            unsigned chunk = chunkWithinPage(a, bytes);
+            const std::uint8_t *p = peek(a);
+            if (p) {
+                std::memcpy(dst, p, chunk);
+            } else {
+                std::memset(dst, 0, chunk);
+            }
+            a += chunk;
+            dst += chunk;
+            bytes -= chunk;
+        }
+    }
+
+    /** Write @p bytes at @p a from @p src, allocating pages on demand. */
+    void
+    write(Addr a, const void *src, unsigned bytes)
+    {
+        auto *s = static_cast<const std::uint8_t *>(src);
+        while (bytes > 0) {
+            unsigned chunk = chunkWithinPage(a, bytes);
+            std::memcpy(poke(a), s, chunk);
+            a += chunk;
+            s += chunk;
+            bytes -= chunk;
+        }
+    }
+
+    /** Typed convenience accessors. */
+    template <typename T>
+    T
+    readT(Addr a) const
+    {
+        T v;
+        read(a, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeT(Addr a, T v)
+    {
+        write(a, &v, sizeof(T));
+    }
+
+    /** Number of pages materialized (footprint diagnostics). */
+    std::size_t pagesAllocated() const { return _pages.size(); }
+
+  private:
+    static unsigned
+    chunkWithinPage(Addr a, unsigned bytes)
+    {
+        unsigned room = pageBytes - (a & (pageBytes - 1));
+        return bytes < room ? bytes : room;
+    }
+
+    const std::uint8_t *
+    peek(Addr a) const
+    {
+        auto it = _pages.find(a >> pageShift);
+        if (it == _pages.end())
+            return nullptr;
+        return it->second.get() + (a & (pageBytes - 1));
+    }
+
+    std::uint8_t *
+    poke(Addr a)
+    {
+        auto &page = _pages[a >> pageShift];
+        if (!page) {
+            page = std::make_unique<std::uint8_t[]>(pageBytes);
+            std::memset(page.get(), 0, pageBytes);
+        }
+        return page.get() + (a & (pageBytes - 1));
+    }
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<std::uint8_t[]>> _pages;
+};
+
+} // namespace mem
+
+#endif // COHESION_MEM_BACKING_STORE_HH

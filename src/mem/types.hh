@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental memory-system types: the 32-bit simulated physical
+ * address space, cache-line geometry (32-byte lines, eight 32-bit
+ * words, per the paper's Table 3), and per-word bit masks.
+ */
+
+#ifndef COHESION_MEM_TYPES_HH
+#define COHESION_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace mem {
+
+/** A simulated 32-bit physical address (the paper's single space). */
+using Addr = std::uint32_t;
+
+/** Cache-line geometry (Table 3: 32-byte lines). */
+constexpr unsigned lineBytes = 32;
+constexpr unsigned lineShift = 5;
+constexpr unsigned wordBytes = 4;
+constexpr unsigned wordsPerLine = lineBytes / wordBytes; // 8
+
+/** Bit mask with one bit per word of a line. */
+using WordMask = std::uint8_t;
+constexpr WordMask fullMask = 0xFF;
+
+/** Align @p a down to its line base. */
+constexpr Addr
+lineBase(Addr a)
+{
+    return a & ~Addr(lineBytes - 1);
+}
+
+/** Line number of @p a (address >> 5). */
+constexpr std::uint32_t
+lineNumber(Addr a)
+{
+    return a >> lineShift;
+}
+
+/** Word index of @p a within its line (0..7). */
+constexpr unsigned
+wordIndex(Addr a)
+{
+    return (a >> 2) & (wordsPerLine - 1);
+}
+
+/** Single-bit mask for the word containing @p a. */
+constexpr WordMask
+wordBit(Addr a)
+{
+    return WordMask(1u << wordIndex(a));
+}
+
+/** Mask covering @p bytes starting at @p a, within one line. */
+constexpr WordMask
+wordMaskFor(Addr a, unsigned bytes)
+{
+    unsigned first = wordIndex(a);
+    unsigned last = wordIndex(a + bytes - 1);
+    WordMask m = 0;
+    for (unsigned w = first; w <= last; ++w)
+        m |= WordMask(1u << w);
+    return m;
+}
+
+/** True if [a, a+bytes) stays within a single cache line. */
+constexpr bool
+withinLine(Addr a, unsigned bytes)
+{
+    return lineBase(a) == lineBase(a + bytes - 1);
+}
+
+} // namespace mem
+
+#endif // COHESION_MEM_TYPES_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Kernel execution context: the per-core view of the machine handed
+ * to benchmark worker coroutines. Wraps the core's architectural
+ * operations with typed helpers, region-granular SWcc management
+ * (flush/invalidate loops plus the drain fence), barrier and
+ * task-queue access, and the mode-policy query that lets one kernel
+ * source serve the SWcc, HWcc, and Cohesion configurations.
+ */
+
+#ifndef COHESION_RUNTIME_CTX_HH
+#define COHESION_RUNTIME_CTX_HH
+
+#include <bit>
+#include <functional>
+
+#include "runtime/runtime.hh"
+#include "sim/cotask.hh"
+
+namespace runtime {
+
+class Ctx
+{
+  public:
+    Ctx(CohesionRuntime &rt, arch::Core &core)
+        : _rt(rt), _core(core)
+    {}
+
+    CohesionRuntime &rt() { return _rt; }
+    arch::Core &core() { return _core; }
+    unsigned coreId() const { return _core.globalId(); }
+    unsigned numCores() const { return _rt.chip().totalCores(); }
+    arch::CoherenceMode mode() const
+    {
+        return _rt.chip().config().mode;
+    }
+
+    /** This core's private stack region. */
+    mem::Addr stack() const { return Layout::stackFor(_core.globalId()); }
+
+    // --- Typed memory operations ---------------------------------------
+
+    arch::MemOp load32(mem::Addr a) { return _core.load(a, 4); }
+    arch::MemOp store32(mem::Addr a, std::uint32_t v)
+    {
+        return _core.store(a, v, 4);
+    }
+
+    arch::MemOp
+    storeF32(mem::Addr a, float f)
+    {
+        return _core.store(a, std::bit_cast<std::uint32_t>(f), 4);
+    }
+
+    /** co_await yields the float (via bit pattern in the result). */
+    arch::MemOp loadF32raw(mem::Addr a) { return _core.load(a, 4); }
+
+    static float asF32(std::uint64_t bits)
+    {
+        return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+    }
+
+    arch::MemOp
+    atomicAdd(mem::Addr a, std::uint32_t v)
+    {
+        return _core.atomic(arch::AtomicOp::AddU32, a, v);
+    }
+
+    arch::MemOp
+    atomicAddF32(mem::Addr a, float v)
+    {
+        return _core.atomic(arch::AtomicOp::AddF32, a,
+                            std::bit_cast<std::uint32_t>(v));
+    }
+
+    arch::MemOp
+    atomicMinF32(mem::Addr a, float v)
+    {
+        return _core.atomic(arch::AtomicOp::MinF32, a,
+                            std::bit_cast<std::uint32_t>(v));
+    }
+
+    arch::MemOp
+    atomicCas(mem::Addr a, std::uint32_t expected, std::uint32_t desired)
+    {
+        return _core.atomic(arch::AtomicOp::Cas, a, desired, expected);
+    }
+
+    /** Model @p n single-issue compute instructions. */
+    arch::MemOp compute(std::uint64_t n) { return _core.compute(n); }
+
+    // --- SWcc management -------------------------------------------------
+
+    /** True if software owns coherence for @p a in this mode. */
+    bool swccManaged(mem::Addr a) const { return _rt.swccManaged(a); }
+
+    /**
+     * Eagerly write back [a, a+bytes) if software-managed: one flush
+     * instruction per line (wasted instructions on absent lines are
+     * the Fig. 3 inefficiency, reproduced faithfully).
+     */
+    sim::CoTask
+    flushRegion(mem::Addr a, std::uint32_t bytes)
+    {
+        if (!swccManaged(a))
+            co_return;
+        mem::Addr end = a + bytes;
+        for (mem::Addr p = mem::lineBase(a); p < end; p += mem::lineBytes)
+            co_await _core.flushLine(p);
+    }
+
+    /** Lazily invalidate [a, a+bytes) if software-managed. */
+    sim::CoTask
+    invRegion(mem::Addr a, std::uint32_t bytes)
+    {
+        if (!swccManaged(a))
+            co_return;
+        mem::Addr end = a + bytes;
+        for (mem::Addr p = mem::lineBase(a); p < end; p += mem::lineBytes)
+            co_await _core.invLine(p);
+    }
+
+    /** Wait until the cluster's SWcc writebacks are globally visible. */
+    arch::MemOp drain() { return _core.drainWrites(); }
+
+    // --- Synchronization / tasking ----------------------------------------
+
+    /** Global barrier; SWcc writebacks are drained first. */
+    sim::CoTask
+    barrier()
+    {
+        co_await _core.drainWrites();
+        co_await _rt.barrier().wait(_core);
+    }
+
+    /** Pop the next task of @p phase (got=false when exhausted). */
+    sim::CoTask
+    nextTask(unsigned phase, TaskDesc *out, bool *got)
+    {
+        co_await _rt.taskQueue().pop(_core, phase, out, got);
+    }
+
+    /**
+     * Dequeue-and-run every task of @p phase through @p body. The body
+     * is a coroutine factory (copied into this frame, so capturing
+     * worker-frame locals by reference is safe for the loop's
+     * duration).
+     *
+     * Each dispatch saves and restores a callee-saved context frame at
+     * the top of the core's stack, as a real runtime's indirect task
+     * call does — this is the stack residency Fig. 9c accounts under
+     * pure HWcc (and that Cohesion's coarse stack region exempts).
+     */
+    sim::CoTask
+    forEachTask(unsigned phase,
+                std::function<sim::CoTask(Ctx &, const TaskDesc &)> body)
+    {
+        constexpr unsigned frame_words = 40;
+        const mem::Addr frame = stack() + Layout::stackBytesPerCore -
+                                frame_words * mem::wordBytes;
+        TaskDesc td;
+        bool got = true;
+        while (true) {
+            co_await _rt.taskQueue().pop(_core, phase, &td, &got);
+            if (!got)
+                break;
+            for (unsigned w = 0; w < frame_words; ++w)
+                co_await store32(frame + w * 4, td.arg0 ^ (w * 0x9E37u));
+            co_await body(*this, td);
+            for (unsigned w = 0; w < frame_words; ++w)
+                co_await load32(frame + w * 4);
+        }
+    }
+
+    // --- Cohesion transitions ---------------------------------------------
+
+    sim::CoTask
+    toSWcc(mem::Addr a, std::uint32_t bytes)
+    {
+        co_await _rt.cohSWccRegion(_core, a, bytes);
+    }
+
+    sim::CoTask
+    toHWcc(mem::Addr a, std::uint32_t bytes)
+    {
+        co_await _rt.cohHWccRegion(_core, a, bytes);
+    }
+
+  private:
+    CohesionRuntime &_rt;
+    arch::Core &_core;
+};
+
+} // namespace runtime
+
+#endif // COHESION_RUNTIME_CTX_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Address-space layout used by the runtime (Section 3.5). A single
+ * 32-bit physical address space holds the code segment, immutable
+ * globals, per-core stacks, the conventional (coherent) heap, the
+ * incoherent heap, runtime metadata (task-queue counters, barrier
+ * counters), and the 16 MB fine-grain region table.
+ */
+
+#ifndef COHESION_RUNTIME_LAYOUT_HH
+#define COHESION_RUNTIME_LAYOUT_HH
+
+#include "arch/chip.hh"
+#include "mem/types.hh"
+
+namespace runtime {
+
+struct Layout
+{
+    static constexpr mem::Addr codeBase = 0x0010'0000;
+    static constexpr std::uint32_t codeBytes = 0x0010'0000; // 1 MB
+
+    static constexpr mem::Addr globalBase = 0x0100'0000;
+    static constexpr std::uint32_t globalBytes = 0x0100'0000; // 16 MB
+
+    static constexpr mem::Addr stackBase = 0x1000'0000;
+    static constexpr std::uint32_t stackBytesPerCore = 8 * 1024;
+
+    static constexpr mem::Addr cohHeapBase = 0x2000'0000;
+    static constexpr std::uint32_t cohHeapBytes = 0x1000'0000; // 256 MB
+
+    static constexpr mem::Addr incHeapBase = 0x6000'0000;
+    static constexpr std::uint32_t incHeapBytes = 0x1000'0000; // 256 MB
+
+    /** Runtime metadata: queue counters, barrier counters. */
+    static constexpr mem::Addr metaBase = 0xE000'0000;
+    static constexpr std::uint32_t metaBytes = 0x0100'0000; // 16 MB
+
+    /** Fine-grain region table (16 MB, 16 MB-aligned). */
+    static constexpr mem::Addr tableBase = 0xF000'0000;
+
+    static constexpr mem::Addr
+    stackFor(unsigned core_id)
+    {
+        return stackBase + core_id * stackBytesPerCore;
+    }
+
+    /** Segment classification for Fig. 9c occupancy accounting. */
+    static arch::Segment
+    classify(mem::Addr a)
+    {
+        if (a >= codeBase && a < codeBase + codeBytes)
+            return arch::Segment::Code;
+        if (a >= stackBase && a < cohHeapBase)
+            return arch::Segment::Stack;
+        return arch::Segment::HeapGlobal;
+    }
+};
+
+} // namespace runtime
+
+#endif // COHESION_RUNTIME_LAYOUT_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The Cohesion runtime: the programmer-visible API of Table 2
+ * (malloc / free / coh_malloc / coh_free / coh_SWcc_region /
+ * coh_HWcc_region), boot-time region-table initialization
+ * (Section 3.5), the barrier-synchronized task-queue programming
+ * model the benchmarks use (Section 4.1), and SWcc-management policy
+ * queries (which addresses need software flush/invalidate in the
+ * current machine mode).
+ */
+
+#ifndef COHESION_RUNTIME_RUNTIME_HH
+#define COHESION_RUNTIME_RUNTIME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "runtime/heap.hh"
+#include "runtime/layout.hh"
+#include "sim/cotask.hh"
+
+namespace runtime {
+
+/** A 16-byte task descriptor in the global work queue. */
+struct TaskDesc
+{
+    std::uint32_t arg0 = 0;
+    std::uint32_t arg1 = 0;
+    std::uint32_t arg2 = 0;
+    std::uint32_t arg3 = 0;
+};
+
+/**
+ * Global barrier for all cores. Arrival is one uncached atomic
+ * fetch-add at the counter's home bank (counted in the Uncached/
+ * Atomic message class); release is a hardware-style wakeup broadcast
+ * one network latency later. A fresh counter word is used per episode
+ * so no reset traffic is needed.
+ */
+class Barrier
+{
+  public:
+    Barrier(arch::Chip &chip, mem::Addr counter_base, unsigned parties)
+        : _chip(chip), _counterBase(counter_base), _parties(parties)
+    {}
+
+    /** Block @p core until all parties have arrived. */
+    sim::CoTask wait(arch::Core &core);
+
+    std::uint64_t episodes() const { return _episode; }
+
+  private:
+    void releaseAll();
+
+    arch::Chip &_chip;
+    mem::Addr _counterBase;
+    unsigned _parties;
+    std::uint64_t _episode = 0;
+    std::vector<arch::Core *> _waiting;
+};
+
+/**
+ * A barrier-phased global task queue: a set of phases, each an array
+ * of task descriptors plus an uncached dequeue counter. Dequeue is a
+ * single atomic fetch-add; descriptors are then read through the
+ * normal cached path (read-shared data).
+ */
+class TaskQueue
+{
+  public:
+    explicit TaskQueue(arch::Chip &chip) : _chip(chip) {}
+
+    /** Create a phase from @p tasks; returns the phase id. Descriptors
+     *  are installed untimed at setup (see DESIGN.md). @p desc_region
+     *  is the simulated address to place descriptors at. */
+    unsigned addPhase(const std::vector<TaskDesc> &tasks,
+                      mem::Addr desc_region, mem::Addr counter_addr);
+
+    unsigned numPhases() const { return _phases.size(); }
+    std::uint32_t phaseTasks(unsigned p) const
+    {
+        return _phases.at(p).count;
+    }
+
+    /**
+     * Pop the next task of phase @p p. Sets *@p got to false when the
+     * phase is exhausted, else fills *@p out.
+     */
+    sim::CoTask pop(arch::Core &core, unsigned p, TaskDesc *out, bool *got);
+
+  private:
+    struct Phase
+    {
+        mem::Addr counter = 0;
+        mem::Addr descs = 0;
+        std::uint32_t count = 0;
+    };
+
+    arch::Chip &_chip;
+    std::vector<Phase> _phases;
+};
+
+/** The runtime proper. One instance per simulated machine. */
+class CohesionRuntime
+{
+  public:
+    explicit CohesionRuntime(arch::Chip &chip);
+
+    arch::Chip &chip() { return _chip; }
+    Barrier &barrier() { return _barrier; }
+    TaskQueue &taskQueue() { return _queue; }
+
+    // --- Table 2 API -----------------------------------------------------
+
+    /** Allocate on the coherent heap: data is always HWcc. */
+    mem::Addr malloc(std::uint32_t bytes) { return _cohHeap.alloc(bytes); }
+
+    void free(mem::Addr a) { _cohHeap.free(a); }
+
+    /**
+     * Allocate on the incoherent heap: data may transition coherence
+     * domains; the initial state is SWcc and the data is not present
+     * in any private cache. Minimum allocation is 64 bytes.
+     */
+    mem::Addr cohMalloc(std::uint32_t bytes)
+    {
+        return _incHeap.alloc(bytes);
+    }
+
+    void cohFree(mem::Addr a) { _incHeap.free(a); }
+
+    /**
+     * Move [ptr, ptr+size) into the SWcc domain: the issuing core
+     * performs atom.or updates to the fine-grain table (one per
+     * covered table word, addressed via the tbloff hash) and blocks
+     * until the directory completes each transition.
+     */
+    sim::CoTask cohSWccRegion(arch::Core &core, mem::Addr ptr,
+                              std::uint32_t size);
+
+    /** Move [ptr, ptr+size) into the HWcc domain (atom.and updates). */
+    sim::CoTask cohHWccRegion(arch::Core &core, mem::Addr ptr,
+                              std::uint32_t size);
+
+    // --- Policy queries ---------------------------------------------------
+
+    /**
+     * True if software must manage coherence (flush/invalidate) for
+     * @p a in this machine mode: everything under SWcc-only, nothing
+     * under HWcc-only, and SWcc-domain data (incoherent heap, stacks,
+     * coarse regions) under Cohesion.
+     */
+    bool swccManaged(mem::Addr a) const;
+
+    // --- Setup helpers ----------------------------------------------------
+
+    /** Untimed scratch allocation in the metadata segment (counters,
+     *  descriptor arrays); never recycled, so stale copies of a prior
+     *  phase's metadata can never be observed. */
+    mem::Addr metaAlloc(std::uint32_t bytes);
+
+    /** Untimed write of @p v into simulated memory (workload setup). */
+    template <typename T>
+    void
+    poke(mem::Addr a, T v)
+    {
+        _chip.debugWriteT(a, v);
+    }
+
+    template <typename T>
+    T
+    peek(mem::Addr a) const
+    {
+        return _chip.debugReadT<T>(a);
+    }
+
+    /** Coherent (hierarchy-aware) 32-bit read for verification. */
+    std::uint32_t verifyRead32(mem::Addr a) { return _chip.coherentRead32(a); }
+
+    float
+    verifyReadF32(mem::Addr a)
+    {
+        std::uint32_t v = verifyRead32(a);
+        float f;
+        static_assert(sizeof(f) == sizeof(v));
+        __builtin_memcpy(&f, &v, sizeof(f));
+        return f;
+    }
+
+  private:
+    /** Boot: coarse regions, fine-table defaults, segment classifier. */
+    void boot();
+
+    sim::CoTask setRegionDomain(arch::Core &core, mem::Addr ptr,
+                                std::uint32_t size, bool swcc);
+
+    arch::Chip &_chip;
+    Heap _cohHeap;
+    Heap _incHeap;
+    Heap _metaHeap;
+    Barrier _barrier;
+    TaskQueue _queue;
+};
+
+} // namespace runtime
+
+#endif // COHESION_RUNTIME_RUNTIME_HH

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hh"
+
+namespace sim {
+
+void
+EventQueue::runOne()
+{
+    panic_if(_queue.empty(), "runOne on empty event queue");
+    // std::priority_queue::top() is const; move out via const_cast of the
+    // entry we are about to pop. The queue invariant is unaffected since
+    // the entry is removed immediately.
+    auto &top = const_cast<Entry &>(_queue.top());
+    Tick when = top.when;
+    Callback cb = std::move(top.cb);
+    _queue.pop();
+    _now = when;
+    ++_eventsRun;
+    cb();
+}
+
+bool
+EventQueue::run(Tick limit)
+{
+    while (!_queue.empty()) {
+        if (_queue.top().when > limit) {
+            _now = limit;
+            return false;
+        }
+        runOne();
+    }
+    return true;
+}
+
+} // namespace sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Discrete-event simulation core: a global tick counter and a priority
+ * queue of scheduled callbacks. Events scheduled at the same tick fire
+ * in FIFO order (a monotonically increasing sequence number breaks
+ * ties), which keeps simulations deterministic.
+ */
+
+#ifndef COHESION_SIM_EVENT_QUEUE_HH
+#define COHESION_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace sim {
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no limit". */
+constexpr Tick maxTick = ~Tick(0);
+
+/**
+ * The event queue. One instance drives one simulated machine; there are
+ * no globals so several machines can be simulated in one process (the
+ * parameter-sweep benches rely on this).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events executed so far (for perf accounting). */
+    std::uint64_t eventsRun() const { return _eventsRun; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return _queue.size(); }
+
+    /** Schedule @p cb to run at absolute tick @p when (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        panic_if(when < _now, "scheduling event in the past: ", when,
+                 " < ", _now);
+        _queue.push(Entry{when, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return _queue.empty(); }
+
+    /** Tick of the next pending event; maxTick when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return _queue.empty() ? maxTick : _queue.top().when;
+    }
+
+    /** Execute a single event, advancing time to it. */
+    void runOne();
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     * @return true if the queue drained, false if the limit stopped us.
+     */
+    bool run(Tick limit = maxTick);
+
+    /**
+     * Advance the clock to @p when without running anything; used by
+     * drivers that interleave synchronous work with events. It is an
+     * error to skip over a pending event.
+     */
+    void
+    advanceTo(Tick when)
+    {
+        panic_if(when < _now, "advanceTo moving backwards");
+        panic_if(nextEventTick() < when, "advanceTo skipping events");
+        _now = when;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _queue;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _eventsRun = 0;
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_EVENT_QUEUE_HH

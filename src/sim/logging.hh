@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom: panic() for simulator
+ * bugs, fatal() for user/configuration errors, warn()/inform() for
+ * non-fatal status messages.
+ */
+
+#ifndef COHESION_SIM_LOGGING_HH
+#define COHESION_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace sim {
+
+/** Concatenate arbitrary streamable arguments into a std::string. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Abort with a message: something happened that is a simulator bug. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit with a message: the simulation cannot continue (user error). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr; the simulation continues. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace sim
+
+#define panic(...) \
+    ::sim::panicImpl(__FILE__, __LINE__, ::sim::cat(__VA_ARGS__))
+#define fatal(...) \
+    ::sim::fatalImpl(__FILE__, __LINE__, ::sim::cat(__VA_ARGS__))
+#define warn(...) ::sim::warnImpl(::sim::cat(__VA_ARGS__))
+#define inform(...) ::sim::informImpl(::sim::cat(__VA_ARGS__))
+
+#define panic_if(cond, ...)                  \
+    do {                                     \
+        if (cond) { panic(__VA_ARGS__); }    \
+    } while (0)
+
+#define fatal_if(cond, ...)                  \
+    do {                                     \
+        if (cond) { fatal(__VA_ARGS__); }    \
+    } while (0)
+
+#endif // COHESION_SIM_LOGGING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**). All
+ * workload generation uses this so runs are reproducible bit-for-bit
+ * across hosts; std::mt19937 is avoided because libstdc++ does not
+ * guarantee distribution stability.
+ */
+
+#ifndef COHESION_SIM_RANDOM_HH
+#define COHESION_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace sim {
+
+/** xoshiro256** by Blackman & Vigna (public domain algorithm). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 seeding.
+        std::uint64_t x = seed;
+        for (auto &word : _state) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    range(double lo, double hi)
+    {
+        return lo + uniform() * (hi - lo);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_RANDOM_HH

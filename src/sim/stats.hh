@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Lightweight statistics containers: scalar counters, distributions,
+ * and a periodic time-sampler (used for directory-occupancy traces,
+ * Fig. 9c). Components hold concrete Stat members (cheap increments);
+ * a StatSet provides named export for reporting.
+ */
+
+#ifndef COHESION_SIM_STATS_HH
+#define COHESION_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/** A scalar event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running min/mean/max over observed samples. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (_count == 0) {
+            _min = _max = v;
+        } else {
+            _min = std::min(_min, v);
+            _max = std::max(_max, v);
+        }
+        _sum += v;
+        ++_count;
+    }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = _min = _max = 0.0;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Collects (time, value) samples at a fixed period; reports the
+ * time-average and the maximum, matching the paper's "sampled every
+ * 1000 cycles" methodology.
+ */
+class TimeSampler
+{
+  public:
+    explicit TimeSampler(std::uint64_t period = 1000) : _period(period) {}
+
+    std::uint64_t period() const { return _period; }
+
+    void sample(double v) { _dist.sample(v); }
+
+    double timeAverage() const { return _dist.mean(); }
+    double maximum() const { return _dist.max(); }
+    std::uint64_t samples() const { return _dist.count(); }
+    void reset() { _dist.reset(); }
+
+  private:
+    std::uint64_t _period;
+    Distribution _dist;
+};
+
+/** A named bag of scalar values for uniform reporting/CSV export. */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double v) { _values[name] = v; }
+    void add(const std::string &name, double v) { _values[name] += v; }
+
+    double
+    get(const std::string &name) const
+    {
+        auto it = _values.find(name);
+        return it == _values.end() ? 0.0 : it->second;
+    }
+
+    bool has(const std::string &name) const { return _values.count(name); }
+
+    const std::map<std::string, double> &values() const { return _values; }
+
+    /** Merge (sum) another set into this one. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[k, v] : other.values())
+            add(k, v);
+    }
+
+  private:
+    std::map<std::string, double> _values;
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_STATS_HH

@@ -1,0 +1,68 @@
+#include "sim/trace.hh"
+
+#include <iostream>
+#include <sstream>
+
+namespace sim {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Protocol:
+        return "protocol";
+      case Category::Cache:
+        return "cache";
+      case Category::Transition:
+        return "transition";
+      case Category::Net:
+        return "net";
+      case Category::Dram:
+        return "dram";
+      case Category::Runtime:
+        return "runtime";
+      case Category::None:
+        return "none";
+      case Category::All:
+        return "all";
+    }
+    return "?";
+}
+
+Category
+parseCategories(const std::string &spec)
+{
+    Category mask = Category::None;
+    std::stringstream ss(spec);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty())
+            continue;
+        if (tok == "all")
+            return Category::All;
+        if (tok == "none")
+            return Category::None;
+        bool known = false;
+        for (Category c : {Category::Protocol, Category::Cache,
+                           Category::Transition, Category::Net,
+                           Category::Dram, Category::Runtime}) {
+            if (tok == categoryName(c)) {
+                mask = mask | c;
+                known = true;
+                break;
+            }
+        }
+        fatal_if(!known, "unknown trace category: ", tok);
+    }
+    return mask;
+}
+
+void
+Tracer::emit(Category c, const std::string &msg)
+{
+    ++_records;
+    std::ostream &os = _os ? *_os : std::cerr;
+    os << _eq.now() << " [" << categoryName(c) << "] " << msg << '\n';
+}
+
+} // namespace sim

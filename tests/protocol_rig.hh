@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Test rig for protocol-level tests: a small machine plus helpers to
+ * run ad-hoc coroutines on chosen cores and inspect cache/directory
+ * state afterwards.
+ */
+
+#ifndef COHESION_TESTS_PROTOCOL_RIG_HH
+#define COHESION_TESTS_PROTOCOL_RIG_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "runtime/ctx.hh"
+#include "runtime/layout.hh"
+#include "runtime/runtime.hh"
+#include "sim/cotask.hh"
+
+namespace test {
+
+class Rig
+{
+  public:
+    explicit Rig(arch::CoherenceMode mode,
+                 coherence::DirectoryConfig dir =
+                     coherence::DirectoryConfig::optimistic(),
+                 unsigned clusters = 2)
+    {
+        cfg = arch::MachineConfig::scaled(clusters);
+        cfg.mode = mode;
+        cfg.directory = dir;
+        cfg.maxCycles = 50'000'000;
+        chip = std::make_unique<arch::Chip>(cfg,
+                                            runtime::Layout::tableBase);
+        rt = std::make_unique<runtime::CohesionRuntime>(*chip);
+    }
+
+    runtime::Ctx
+    ctx(unsigned global_core)
+    {
+        return runtime::Ctx(*rt, chip->core(global_core));
+    }
+
+    /** Run a set of coroutines to completion. */
+    void
+    run(std::vector<sim::CoTask> tasks)
+    {
+        for (auto &t : tasks)
+            t.start();
+        chip->runUntilQuiescent();
+        for (auto &t : tasks) {
+            t.rethrow();
+            if (!t.done())
+                fatal("test coroutine did not finish (deadlock)");
+        }
+    }
+
+    void
+    run1(sim::CoTask t)
+    {
+        std::vector<sim::CoTask> v;
+        v.push_back(std::move(t));
+        run(std::move(v));
+    }
+
+    /** L2 line of @p cluster holding @p addr (nullptr if absent). */
+    cache::Line *
+    l2Line(unsigned cluster, mem::Addr addr)
+    {
+        return chip->cluster(cluster).l2().probe(addr);
+    }
+
+    coherence::DirEntry *
+    dirEntry(mem::Addr addr)
+    {
+        return chip->bank(chip->map().bankOf(addr))
+            .directory()
+            .find(addr);
+    }
+
+    std::uint64_t
+    totalDirEntries()
+    {
+        std::uint64_t n = 0;
+        for (unsigned b = 0; b < chip->numBanks(); ++b)
+            n += chip->bank(b).directory().size();
+        return n;
+    }
+
+    std::uint64_t
+    msg(arch::MsgClass c)
+    {
+        return chip->aggregateMessages().get(c);
+    }
+
+    arch::MachineConfig cfg;
+    std::unique_ptr<arch::Chip> chip;
+    std::unique_ptr<runtime::CohesionRuntime> rt;
+};
+
+} // namespace test
+
+#endif // COHESION_TESTS_PROTOCOL_RIG_HH

@@ -1,0 +1,160 @@
+/** @file Cache array: tags, LRU, per-word masks, fill/merge. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+
+namespace {
+
+using cache::CacheArray;
+using cache::CohState;
+using cache::Line;
+
+TEST(CacheArray, GeometryChecks)
+{
+    CacheArray c("t", 1024, 2);
+    EXPECT_EQ(c.assoc(), 2u);
+    EXPECT_EQ(c.numSets(), 16u);
+    EXPECT_EQ(c.capacityBytes(), 1024u);
+    EXPECT_THROW(CacheArray("bad", 1000, 2), std::runtime_error);
+}
+
+TEST(CacheArray, ProbeMissesOnEmpty)
+{
+    CacheArray c("t", 1024, 2);
+    EXPECT_EQ(c.probe(0x100), nullptr);
+}
+
+TEST(CacheArray, ClaimThenProbeHits)
+{
+    CacheArray c("t", 1024, 2);
+    Line &v = c.victim(0x100);
+    c.claim(v, 0x10F); // any address in the line
+    Line *hit = c.probe(0x100);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->base, 0x100u);
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+TEST(CacheArray, LruVictimSelection)
+{
+    CacheArray c("t", 64, 2); // one set, two ways
+    Line &a = c.victim(0x000);
+    c.claim(a, 0x000);
+    Line &b = c.victim(0x020);
+    c.claim(b, 0x020);
+    // Touch A so B is LRU.
+    c.touch(*c.probe(0x000));
+    Line &v = c.victim(0x040);
+    EXPECT_EQ(v.base, 0x020u);
+}
+
+TEST(CacheArray, VictimPrefersInvalidWay)
+{
+    CacheArray c("t", 64, 2);
+    Line &a = c.victim(0x000);
+    c.claim(a, 0x000);
+    Line &v = c.victim(0x020);
+    EXPECT_FALSE(v.valid);
+}
+
+TEST(CacheArray, ClaimingValidLinePanics)
+{
+    CacheArray c("t", 64, 2);
+    Line &a = c.victim(0x000);
+    c.claim(a, 0x000);
+    EXPECT_THROW(c.claim(a, 0x020), std::logic_error);
+}
+
+TEST(Line, WriteSetsPerWordMasks)
+{
+    CacheArray c("t", 64, 2);
+    Line &l = c.victim(0x100);
+    c.claim(l, 0x100);
+    std::uint32_t v = 7;
+    l.write(0x108, &v, 4); // word 2
+    EXPECT_EQ(l.validMask, 1u << 2);
+    EXPECT_EQ(l.dirtyMask, 1u << 2);
+    EXPECT_TRUE(l.dirty());
+}
+
+TEST(Line, FillDoesNotClobberDirtyWords)
+{
+    CacheArray c("t", 64, 2);
+    Line &l = c.victim(0x100);
+    c.claim(l, 0x100);
+    std::uint32_t mine = 111;
+    l.write(0x100, &mine, 4); // word 0 locally dirty
+
+    std::uint8_t image[mem::lineBytes];
+    for (unsigned i = 0; i < mem::lineBytes; ++i)
+        image[i] = 0xAB;
+    l.fill(image, mem::fullMask);
+
+    std::uint32_t got = 0;
+    l.read(0x100, &got, 4);
+    EXPECT_EQ(got, 111u); // preserved
+    l.read(0x104, &got, 4);
+    EXPECT_EQ(got, 0xABABABABu); // filled
+    EXPECT_EQ(l.validMask, mem::fullMask);
+    EXPECT_EQ(l.dirtyMask, 1u); // still only word 0
+}
+
+TEST(Line, MergeMarksWordsValidAndDirty)
+{
+    CacheArray c("t", 64, 2);
+    Line &l = c.victim(0x200);
+    c.claim(l, 0x200);
+    std::uint8_t image[mem::lineBytes] = {};
+    image[4] = 0x11;
+    l.merge(image, mem::WordMask(1u << 1));
+    EXPECT_EQ(l.validMask, 1u << 1);
+    EXPECT_EQ(l.dirtyMask, 1u << 1);
+    std::uint32_t got = 0;
+    l.read(0x204, &got, 4);
+    EXPECT_EQ(got, 0x11u);
+}
+
+TEST(Line, ResetClearsEverything)
+{
+    CacheArray c("t", 64, 2);
+    Line &l = c.victim(0x100);
+    c.claim(l, 0x100);
+    l.incoherent = true;
+    l.hwState = CohState::Modified;
+    std::uint32_t v = 1;
+    l.write(0x100, &v, 4);
+    l.reset();
+    EXPECT_FALSE(l.valid);
+    EXPECT_FALSE(l.incoherent);
+    EXPECT_EQ(l.hwState, CohState::Invalid);
+    EXPECT_EQ(l.validMask, 0u);
+    EXPECT_EQ(l.dirtyMask, 0u);
+}
+
+TEST(CacheArray, ForEachValidVisitsAll)
+{
+    CacheArray c("t", 1024, 4);
+    for (mem::Addr a = 0; a < 8 * mem::lineBytes; a += mem::lineBytes) {
+        Line &v = c.victim(a);
+        c.claim(v, a);
+    }
+    unsigned n = 0;
+    c.forEachValid([&](Line &) { ++n; });
+    EXPECT_EQ(n, 8u);
+    c.flushAll();
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(WordMask, Helpers)
+{
+    EXPECT_EQ(mem::wordIndex(0x104), 1u);
+    EXPECT_EQ(mem::wordBit(0x104), 2u);
+    EXPECT_EQ(mem::wordMaskFor(0x100, 8), 0x3u);
+    EXPECT_EQ(mem::wordMaskFor(0x11C, 4), 0x80u);
+    EXPECT_TRUE(mem::withinLine(0x100, 32));
+    EXPECT_FALSE(mem::withinLine(0x11C, 8));
+    EXPECT_EQ(mem::lineBase(0x13F), 0x120u);
+}
+
+} // namespace

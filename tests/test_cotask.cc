@@ -1,0 +1,176 @@
+/** @file Unit tests for the coroutine task type and resumption slot. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cotask.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+sim::CoTask
+trivial(int *out)
+{
+    *out = 42;
+    co_return;
+}
+
+TEST(CoTask, LazyStart)
+{
+    int x = 0;
+    sim::CoTask t = trivial(&x);
+    EXPECT_EQ(x, 0); // not started yet
+    EXPECT_FALSE(t.done());
+    t.start();
+    EXPECT_EQ(x, 42);
+    EXPECT_TRUE(t.done());
+}
+
+struct ManualAwaiter
+{
+    sim::Resumer *resumer;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) { resumer->arm(h); }
+    void await_resume() const {}
+};
+
+sim::CoTask
+suspending(sim::Resumer *r, int *stage)
+{
+    *stage = 1;
+    co_await ManualAwaiter{r};
+    *stage = 2;
+}
+
+TEST(CoTask, SuspendAndResume)
+{
+    sim::Resumer r;
+    int stage = 0;
+    sim::CoTask t = suspending(&r, &stage);
+    t.start();
+    EXPECT_EQ(stage, 1);
+    EXPECT_FALSE(t.done());
+    EXPECT_TRUE(r.armed());
+    r.fire();
+    EXPECT_EQ(stage, 2);
+    EXPECT_TRUE(t.done());
+}
+
+sim::CoTask
+child(std::vector<int> *log)
+{
+    log->push_back(2);
+    co_return;
+}
+
+sim::CoTask
+parent(std::vector<int> *log)
+{
+    log->push_back(1);
+    co_await child(log);
+    log->push_back(3);
+}
+
+TEST(CoTask, NestingResumesParent)
+{
+    std::vector<int> log;
+    sim::CoTask t = parent(&log);
+    t.start();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(t.done());
+}
+
+sim::CoTask
+nestedSuspender(sim::Resumer *r, std::vector<int> *log)
+{
+    log->push_back(1);
+    co_await ManualAwaiter{r};
+    log->push_back(2);
+}
+
+sim::CoTask
+outer(sim::Resumer *r, std::vector<int> *log)
+{
+    co_await nestedSuspender(r, log);
+    log->push_back(3);
+}
+
+TEST(CoTask, SuspensionPropagatesThroughNesting)
+{
+    sim::Resumer r;
+    std::vector<int> log;
+    sim::CoTask t = outer(&r, &log);
+    t.start();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    r.fire();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(t.done());
+}
+
+sim::CoTask
+throwing()
+{
+    throw std::runtime_error("boom");
+    co_return;
+}
+
+TEST(CoTask, ExceptionSurfacesOnStart)
+{
+    sim::CoTask t = throwing();
+    EXPECT_THROW(t.start(), std::runtime_error);
+}
+
+sim::CoTask
+rethrows(bool *reached)
+{
+    co_await throwing();
+    *reached = true;
+}
+
+TEST(CoTask, ExceptionPropagatesFromChild)
+{
+    bool reached = false;
+    sim::CoTask t = rethrows(&reached);
+    EXPECT_THROW(t.start(), std::runtime_error);
+    EXPECT_FALSE(reached);
+}
+
+TEST(Resumer, DoubleArmPanics)
+{
+    sim::Resumer r;
+    int stage = 0;
+    sim::CoTask t = suspending(&r, &stage);
+    t.start();
+    EXPECT_THROW(r.arm(std::noop_coroutine()), std::logic_error);
+    r.fire();
+}
+
+TEST(Resumer, FireWhenEmptyPanics)
+{
+    sim::Resumer r;
+    EXPECT_THROW(r.fire(), std::logic_error);
+}
+
+TEST(CoTask, MoveTransfersOwnership)
+{
+    int x = 0;
+    sim::CoTask a = trivial(&x);
+    sim::CoTask b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.start();
+    EXPECT_EQ(x, 42);
+}
+
+TEST(CoTask, DestructionWhileSuspendedIsSafe)
+{
+    sim::Resumer r;
+    int stage = 0;
+    {
+        sim::CoTask t = suspending(&r, &stage);
+        t.start();
+        EXPECT_EQ(stage, 1);
+    } // frame destroyed at suspension point
+    EXPECT_EQ(stage, 1);
+}
+
+} // namespace

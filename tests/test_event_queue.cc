@@ -1,0 +1,117 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+TEST(EventQueue, StartsAtZeroAndEmpty)
+{
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTick(), sim::maxTick);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.scheduleIn(3, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndResumes)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    sim::EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    sim::EventQueue eq;
+    sim::Tick seen = 0;
+    eq.schedule(7, [&] {
+        eq.scheduleIn(5, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 12u);
+}
+
+TEST(EventQueue, AdvanceToMovesTimeWithoutEvents)
+{
+    sim::EventQueue eq;
+    eq.advanceTo(42);
+    EXPECT_EQ(eq.now(), 42u);
+    EXPECT_THROW(eq.advanceTo(41), std::logic_error);
+}
+
+TEST(EventQueue, CountsEventsRun)
+{
+    sim::EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsRun(), 5u);
+}
+
+TEST(EventQueue, RunOneExecutesExactlyOne)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(3, [&] { ++fired; });
+    eq.schedule(4, [&] { ++fired; });
+    eq.runOne();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 3u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+} // namespace

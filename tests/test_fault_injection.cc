@@ -1,0 +1,113 @@
+/** @file
+ * Fault-injection tests: the benchmark verifiers must actually detect
+ * corruption. Each test runs a kernel to a verified-green state, then
+ * injects a single-word fault into the result (directly into the
+ * memory hierarchy, as a protocol bug would) and asserts that
+ * verify() reports a mismatch. Guards against vacuous verification —
+ * a verifier that cannot fail would make every green kernel test
+ * meaningless.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "kernels/registry.hh"
+#include "runtime/ctx.hh"
+
+namespace {
+
+/** Run @p kernel, inject a fault via @p corrupt, expect verify to
+ *  throw. */
+void
+expectVerifierCatches(const std::string &name,
+                      std::function<void(arch::Chip &,
+                                         runtime::CohesionRuntime &)>
+                          corrupt)
+{
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
+    cfg.mode = arch::CoherenceMode::Cohesion;
+    kernels::Params params;
+    auto kernel = kernels::kernelFactory(name)(params);
+
+    arch::Chip chip(cfg, runtime::Layout::tableBase);
+    runtime::CohesionRuntime rt(chip);
+    kernel->setup(rt);
+    std::vector<sim::CoTask> workers;
+    for (unsigned c = 0; c < chip.totalCores(); ++c)
+        workers.push_back(kernel->worker(runtime::Ctx(rt, chip.core(c))));
+    for (auto &w : workers)
+        w.start();
+    chip.runUntilQuiescent();
+    for (auto &w : workers) {
+        w.rethrow();
+        ASSERT_TRUE(w.done());
+    }
+
+    kernel->verify(rt); // must pass clean
+
+    corrupt(chip, rt);
+    EXPECT_THROW(kernel->verify(rt), std::runtime_error)
+        << name << ": verifier did not detect the injected fault";
+}
+
+/** Flip one word of the first incoherent-heap line everywhere it may
+ *  be cached (L2s, L3, memory) so coherentRead32 sees the fault. */
+void
+smashWord(arch::Chip &chip, mem::Addr a, std::uint32_t v)
+{
+    chip.debugWriteT<std::uint32_t>(a, v);
+    mem::Addr base = mem::lineBase(a);
+    for (unsigned c = 0; c < chip.numClusters(); ++c) {
+        if (cache::Line *l = chip.cluster(c).l2().probe(base))
+            l->write(a, &v, 4);
+    }
+    if (cache::Line *l =
+            chip.bank(chip.map().bankOf(base)).l3().probe(base)) {
+        l->write(a, &v, 4);
+    }
+}
+
+TEST(FaultInjection, HeatVerifierCatchesCorruptCell)
+{
+    expectVerifierCatches("heat", [](arch::Chip &chip,
+                                     runtime::CohesionRuntime &) {
+        // Both heat buffers are the first two incoherent allocations.
+        smashWord(chip, runtime::Layout::incHeapBase + 5 * 4,
+                  0x7F000000);
+    });
+}
+
+TEST(FaultInjection, DmmVerifierCatchesCorruptProduct)
+{
+    expectVerifierCatches("dmm", [](arch::Chip &chip,
+                                    runtime::CohesionRuntime &) {
+        // C is the third allocation: A and B are n*n floats each.
+        std::uint32_t n = 32;
+        mem::Addr c_base =
+            runtime::Layout::incHeapBase + 2 * n * n * 4;
+        smashWord(chip, c_base + 17 * 4, 0x7F000000);
+    });
+}
+
+TEST(FaultInjection, SobelVerifierCatchesCorruptEdgeCount)
+{
+    expectVerifierCatches("sobel", [](arch::Chip &chip,
+                                      runtime::CohesionRuntime &) {
+        // The edge counter lives on the coherent heap (first alloc).
+        smashWord(chip, runtime::Layout::cohHeapBase, 12345678);
+    });
+}
+
+TEST(FaultInjection, CgVerifierCatchesCorruptSolution)
+{
+    expectVerifierCatches("cg", [](arch::Chip &chip,
+                                   runtime::CohesionRuntime &) {
+        // x is the first coherent-heap allocation in cg's setup.
+        for (unsigned i = 0; i < 64; ++i) {
+            smashWord(chip, runtime::Layout::cohHeapBase + i * 4,
+                      0x41200000); // 10.0f over a whole stretch
+        }
+    });
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+/** @file
+ * End-to-end kernel integration: every benchmark kernel runs to
+ * completion and verifies its numerical result under every coherence
+ * mode (the same property the paper's methodology depends on), plus
+ * per-kernel sanity checks of the expected coherence signature.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "kernels/registry.hh"
+
+namespace {
+
+using arch::CoherenceMode;
+using arch::MsgClass;
+
+struct Case
+{
+    std::string kernel;
+    CoherenceMode mode;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return info.param.kernel + "_" +
+           arch::coherenceModeName(info.param.mode);
+}
+
+class KernelMatrix : public ::testing::TestWithParam<Case>
+{};
+
+TEST_P(KernelMatrix, RunsAndVerifies)
+{
+    const Case &c = GetParam();
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2); // 16 cores
+    cfg.mode = c.mode;
+    cfg.directory = coherence::DirectoryConfig::optimistic();
+
+    kernels::Params params;
+    params.scale = 1;
+    harness::RunResult r = harness::runKernel(
+        cfg, kernels::kernelFactory(c.kernel), params);
+
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.msgs.total(), 0u);
+
+    if (c.mode == CoherenceMode::HWccOnly) {
+        // Pure HWcc issues no software coherence instructions.
+        EXPECT_EQ(r.flushIssued, 0u);
+        EXPECT_EQ(r.invIssued, 0u);
+        EXPECT_EQ(r.msgs.get(MsgClass::SoftwareFlush), 0u);
+    }
+    if (c.mode == CoherenceMode::SWccOnly) {
+        // Pure SWcc never probes and never allocates entries.
+        EXPECT_EQ(r.msgs.get(MsgClass::ProbeResponse), 0u);
+        EXPECT_EQ(r.msgs.get(MsgClass::ReadRelease), 0u);
+        EXPECT_EQ(r.dirInsertions, 0u);
+    }
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &k : kernels::allKernelNames()) {
+        for (auto m :
+             {CoherenceMode::SWccOnly, CoherenceMode::HWccOnly,
+              CoherenceMode::Cohesion}) {
+            cases.push_back(Case{k, m});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernelsAllModes, KernelMatrix,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(KernelSignatures, SWccFlushesOnlyWhereExpected)
+{
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
+    cfg.mode = CoherenceMode::SWccOnly;
+    kernels::Params params;
+
+    // Every kernel writes outputs, so every kernel flushes under SWcc.
+    for (const auto &k : kernels::allKernelNames()) {
+        harness::RunResult r = harness::runKernel(
+            cfg, kernels::kernelFactory(k), params);
+        EXPECT_GT(r.flushIssued, 0u) << k;
+        EXPECT_GE(r.flushIssued, r.flushUseful) << k;
+    }
+}
+
+TEST(KernelSignatures, KmeansIsAtomicDominatedUnderSWcc)
+{
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
+    kernels::Params params;
+
+    cfg.mode = CoherenceMode::SWccOnly;
+    auto sw = harness::runKernel(cfg, kernels::kernelFactory("kmeans"),
+                                 params);
+    cfg.mode = CoherenceMode::Cohesion;
+    auto coh = harness::runKernel(cfg, kernels::kernelFactory("kmeans"),
+                                  params);
+
+    // Paper Section 4.2: Cohesion reduces kmeans' uncached operations
+    // by relying upon HWcc.
+    EXPECT_GT(sw.msgs.get(MsgClass::UncachedAtomic),
+              2 * coh.msgs.get(MsgClass::UncachedAtomic));
+}
+
+TEST(KernelSignatures, CohesionAvoidsDirectoryEntriesForSWccData)
+{
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
+    kernels::Params params;
+
+    cfg.mode = CoherenceMode::HWccOnly;
+    auto hw = harness::runKernel(cfg, kernels::kernelFactory("heat"),
+                                 params, {true, false});
+    cfg.mode = CoherenceMode::Cohesion;
+    auto coh = harness::runKernel(cfg, kernels::kernelFactory("heat"),
+                                  params, {true, false});
+
+    // Fig. 9c: Cohesion needs far fewer directory entries.
+    EXPECT_LT(coh.dirAvgTotal, hw.dirAvgTotal);
+    EXPECT_GT(hw.dirAvgTotal, 0.0);
+}
+
+TEST(KernelSignatures, DeterministicAcrossRuns)
+{
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
+    cfg.mode = CoherenceMode::Cohesion;
+    kernels::Params params;
+
+    auto a = harness::runKernel(cfg, kernels::kernelFactory("sobel"),
+                                params);
+    auto b = harness::runKernel(cfg, kernels::kernelFactory("sobel"),
+                                params);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.msgs.total(), b.msgs.total());
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/** @file Backing store and DRAM timing model tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "mem/dram.hh"
+
+namespace {
+
+TEST(BackingStore, UntouchedMemoryReadsZero)
+{
+    mem::BackingStore store;
+    EXPECT_EQ(store.readT<std::uint32_t>(0x1234), 0u);
+    EXPECT_EQ(store.pagesAllocated(), 0u);
+}
+
+TEST(BackingStore, ReadBackWritten)
+{
+    mem::BackingStore store;
+    store.writeT<std::uint32_t>(0x100, 0xDEADBEEF);
+    EXPECT_EQ(store.readT<std::uint32_t>(0x100), 0xDEADBEEFu);
+    store.writeT<float>(0x104, 1.5f);
+    EXPECT_FLOAT_EQ(store.readT<float>(0x104), 1.5f);
+}
+
+TEST(BackingStore, CrossPageAccess)
+{
+    mem::BackingStore store;
+    const mem::Addr boundary = mem::BackingStore::pageBytes;
+    std::uint8_t src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    store.write(boundary - 4, src, 8);
+    std::uint8_t dst[8] = {};
+    store.read(boundary - 4, dst, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(dst[i], src[i]);
+    EXPECT_EQ(store.pagesAllocated(), 2u);
+}
+
+TEST(BackingStore, HighAddresses)
+{
+    mem::BackingStore store;
+    store.writeT<std::uint32_t>(0xFFFF'FFF0, 77);
+    EXPECT_EQ(store.readT<std::uint32_t>(0xFFFF'FFF0), 77u);
+}
+
+TEST(Dram, RowHitIsFasterThanMiss)
+{
+    mem::DramTiming t;
+    mem::DramChannel ch(t);
+    sim::Tick first = ch.access(0, 100, false, 0);
+    sim::Tick second = ch.access(0, 100, false, first);
+    sim::Tick third = ch.access(0, 101, false, second);
+    EXPECT_EQ(first - 0, t.rowMiss + t.burst);
+    EXPECT_EQ(second - first, t.rowHit + t.burst);
+    EXPECT_EQ(third - second, t.rowMiss + t.burst);
+    EXPECT_EQ(ch.rowHits(), 1u);
+    EXPECT_EQ(ch.rowMisses(), 2u);
+}
+
+TEST(Dram, BanksOverlapButBusSerializes)
+{
+    mem::DramTiming t;
+    mem::DramChannel ch(t);
+    // Two different banks issued at t=0: array access overlaps, the
+    // data bursts serialize on the channel bus.
+    sim::Tick a = ch.access(0, 1, false, 0);
+    sim::Tick b = ch.access(1, 1, false, 0);
+    EXPECT_EQ(a, t.rowMiss + t.burst);
+    EXPECT_EQ(b, a + t.burst); // bus busy until a
+}
+
+TEST(Dram, WriteRecoveryDelaysSameBank)
+{
+    mem::DramTiming t;
+    mem::DramChannel ch(t);
+    sim::Tick w = ch.access(0, 5, true, 0);
+    sim::Tick r = ch.access(0, 5, false, w);
+    // Bank is busy for writeRecovery after the write burst.
+    EXPECT_EQ(r, w + t.writeRecovery + t.rowHit + t.burst);
+    EXPECT_EQ(ch.writes(), 1u);
+    EXPECT_EQ(ch.reads(), 1u);
+}
+
+TEST(Dram, ModelRoutesByChannel)
+{
+    mem::AddressMap map(8, 2, 0xF000'0000);
+    mem::DramModel dram(map);
+    EXPECT_EQ(dram.numChannels(), 2u);
+    dram.access(0x0000, false, 0);        // bank 0 -> channel 0
+    dram.access(0x0800, false, 0);        // bank 1 -> channel 1
+    EXPECT_EQ(dram.channel(0).reads() + dram.channel(0).writes(), 1u);
+    EXPECT_EQ(dram.channel(1).reads() + dram.channel(1).writes(), 1u);
+    EXPECT_EQ(dram.totalAccesses(), 2u);
+}
+
+TEST(Dram, RequestsNeverCompleteBeforeIssue)
+{
+    mem::AddressMap map(8, 2, 0xF000'0000);
+    mem::DramModel dram(map);
+    sim::Tick done = dram.access(0x4000, false, 1000);
+    EXPECT_GT(done, 1000u);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/** @file
+ * MESI extension tests (MachineConfig::useMesi): the Exclusive state
+ * and its silent upgrade, downgrades on second readers, clean-E read
+ * releases, and the read-shared downgrade cost the paper cites as the
+ * reason to omit E from Cohesion's hardware protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol_rig.hh"
+
+namespace {
+
+using arch::CoherenceMode;
+using arch::MsgClass;
+using cache::CohState;
+using test::Rig;
+
+struct MesiRig : Rig
+{
+    MesiRig()
+        : Rig(CoherenceMode::HWccOnly,
+              coherence::DirectoryConfig::optimistic())
+    {
+        // Rebuild with MESI enabled.
+        cfg.useMesi = true;
+        chip = std::make_unique<arch::Chip>(cfg,
+                                            runtime::Layout::tableBase);
+        rt = std::make_unique<runtime::CohesionRuntime>(*chip);
+    }
+};
+
+sim::CoTask
+loadWord(runtime::Ctx ctx, mem::Addr a, std::uint32_t *out)
+{
+    *out = static_cast<std::uint32_t>(co_await ctx.load32(a));
+}
+
+sim::CoTask
+storeWord(runtime::Ctx ctx, mem::Addr a, std::uint32_t v)
+{
+    co_await ctx.store32(a, v);
+}
+
+TEST(Mesi, SoleReaderTakesExclusive)
+{
+    MesiRig rig;
+    mem::Addr a = rig.rt->malloc(64);
+    rig.rt->poke<std::uint32_t>(a, 9);
+
+    std::uint32_t got = 0;
+    rig.run1(loadWord(rig.ctx(0), a, &got));
+    EXPECT_EQ(got, 9u);
+    auto *e = rig.dirEntry(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, CohState::Exclusive);
+    EXPECT_EQ(rig.l2Line(0, a)->hwState, CohState::Exclusive);
+}
+
+TEST(Mesi, SilentUpgradeSendsNoWriteRequest)
+{
+    MesiRig rig;
+    mem::Addr a = rig.rt->malloc(64);
+
+    std::uint32_t got = 0;
+    rig.run1(loadWord(rig.ctx(0), a, &got)); // takes E
+    std::uint64_t wr_before = rig.msg(MsgClass::WriteRequest);
+    rig.run1(storeWord(rig.ctx(0), a, 5));   // silent E->M
+    EXPECT_EQ(rig.msg(MsgClass::WriteRequest), wr_before);
+    EXPECT_EQ(rig.l2Line(0, a)->hwState, CohState::Modified);
+
+    // The silently-modified data is still pulled correctly.
+    rig.run1(loadWord(rig.ctx(8), a, &got));
+    EXPECT_EQ(got, 5u);
+}
+
+TEST(Mesi, SecondReaderForcesDowngradeProbe)
+{
+    MesiRig rig;
+    mem::Addr a = rig.rt->malloc(64);
+    rig.rt->poke<std::uint32_t>(a, 3);
+
+    std::uint32_t got = 0;
+    rig.run1(loadWord(rig.ctx(0), a, &got)); // E in cluster 0
+    std::uint64_t probes_before = rig.msg(MsgClass::ProbeResponse);
+    rig.run1(loadWord(rig.ctx(8), a, &got)); // must probe the E owner
+    EXPECT_EQ(got, 3u);
+    EXPECT_GT(rig.msg(MsgClass::ProbeResponse), probes_before);
+
+    auto *e = rig.dirEntry(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, CohState::Shared);
+    EXPECT_EQ(e->sharers.count(), 2u);
+    EXPECT_EQ(rig.l2Line(0, a)->hwState, CohState::Shared);
+}
+
+TEST(Mesi, CleanExclusiveEvictionSendsReadRelease)
+{
+    MesiRig rig;
+    mem::Addr base = rig.rt->malloc(32 * 64 * 1024);
+    rig.run1([](runtime::Ctx ctx, mem::Addr b) -> sim::CoTask {
+        for (unsigned i = 0; i < 20; ++i)
+            co_await ctx.load32(b + i * 64 * 1024); // aliasing set
+    }(rig.ctx(0), base));
+    EXPECT_GE(rig.msg(MsgClass::ReadRelease), 4u);
+}
+
+TEST(Mesi, MsiBaselineNeverGrantsExclusive)
+{
+    Rig rig(CoherenceMode::HWccOnly); // useMesi defaults to false
+    mem::Addr a = rig.rt->malloc(64);
+    std::uint32_t got = 0;
+    rig.run1(loadWord(rig.ctx(0), a, &got));
+    EXPECT_EQ(rig.dirEntry(a)->state, CohState::Shared);
+}
+
+TEST(Mesi, ReadThenWritePatternSavesUpgrades)
+{
+    // The E-state benefit: read-modify-write on private lines costs an
+    // upgrade WrReq under MSI and nothing under MESI.
+    auto run = [](bool mesi) {
+        Rig rig(CoherenceMode::HWccOnly,
+                coherence::DirectoryConfig::optimistic());
+        if (mesi) {
+            rig.cfg.useMesi = true;
+            rig.chip = std::make_unique<arch::Chip>(
+                rig.cfg, runtime::Layout::tableBase);
+            rig.rt = std::make_unique<runtime::CohesionRuntime>(
+                *rig.chip);
+        }
+        mem::Addr b = rig.rt->malloc(256 * mem::lineBytes);
+        rig.run1([](runtime::Ctx ctx, mem::Addr base) -> sim::CoTask {
+            for (unsigned i = 0; i < 256; ++i) {
+                mem::Addr w = base + i * mem::lineBytes;
+                auto v = co_await ctx.load32(w);
+                co_await ctx.store32(
+                    w, static_cast<std::uint32_t>(v) + 1);
+            }
+        }(rig.ctx(0), b));
+        return rig.msg(MsgClass::WriteRequest);
+    };
+    std::uint64_t msi_wr = run(false);
+    std::uint64_t mesi_wr = run(true);
+    EXPECT_GE(msi_wr, 256u);
+    EXPECT_EQ(mesi_wr, 0u);
+}
+
+} // namespace

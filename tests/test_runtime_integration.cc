@@ -1,0 +1,172 @@
+/** @file Barrier, task queue, drain fence, and Cohesion API tests on
+ *  a live machine. */
+
+#include <gtest/gtest.h>
+
+#include "protocol_rig.hh"
+
+namespace {
+
+using arch::CoherenceMode;
+using arch::MsgClass;
+using test::Rig;
+
+TEST(Barrier, AllCoresRendezvous)
+{
+    Rig rig(CoherenceMode::Cohesion);
+    const unsigned n = rig.chip->totalCores();
+    mem::Addr flags = rig.rt->malloc(n * mem::lineBytes);
+
+    std::vector<sim::CoTask> v;
+    std::vector<std::uint32_t> seen(n, 0);
+    for (unsigned c = 0; c < n; ++c) {
+        v.push_back([](runtime::Ctx ctx, mem::Addr f, unsigned total,
+                       std::uint32_t *out) -> sim::CoTask {
+            // Publish, synchronize, then check everyone published.
+            co_await ctx.store32(
+                f + ctx.coreId() * mem::lineBytes, 1);
+            co_await ctx.barrier();
+            std::uint32_t sum = 0;
+            for (unsigned i = 0; i < total; ++i)
+                sum += static_cast<std::uint32_t>(
+                    co_await ctx.load32(f + i * mem::lineBytes));
+            *out = sum;
+        }(rig.ctx(c), flags, n, &seen[c]));
+    }
+    rig.run(std::move(v));
+    for (unsigned c = 0; c < n; ++c)
+        EXPECT_EQ(seen[c], n) << "core " << c;
+}
+
+TEST(Barrier, ReusableAcrossEpisodes)
+{
+    Rig rig(CoherenceMode::Cohesion);
+    const unsigned n = rig.chip->totalCores();
+    std::vector<sim::CoTask> v;
+    std::vector<unsigned> rounds(n, 0);
+    for (unsigned c = 0; c < n; ++c) {
+        v.push_back([](runtime::Ctx ctx, unsigned *count) -> sim::CoTask {
+            for (int i = 0; i < 5; ++i) {
+                co_await ctx.barrier();
+                ++*count;
+            }
+        }(rig.ctx(c), &rounds[c]));
+    }
+    rig.run(std::move(v));
+    for (unsigned c = 0; c < n; ++c)
+        EXPECT_EQ(rounds[c], 5u);
+    EXPECT_EQ(rig.rt->barrier().episodes(), 5u);
+}
+
+TEST(TaskQueue, EveryTaskPoppedExactlyOnce)
+{
+    Rig rig(CoherenceMode::Cohesion);
+    const unsigned n = rig.chip->totalCores();
+
+    std::vector<runtime::TaskDesc> tasks;
+    for (std::uint32_t i = 0; i < 100; ++i)
+        tasks.push_back(runtime::TaskDesc{i, i * 2, 0, 0});
+    mem::Addr descs =
+        rig.rt->metaAlloc(tasks.size() * sizeof(runtime::TaskDesc));
+    mem::Addr counter = rig.rt->metaAlloc(mem::lineBytes);
+    unsigned phase = rig.rt->taskQueue().addPhase(tasks, descs, counter);
+
+    std::vector<std::uint32_t> popped(100, 0);
+    std::vector<sim::CoTask> v;
+    for (unsigned c = 0; c < n; ++c) {
+        v.push_back([](runtime::Ctx ctx, unsigned ph,
+                       std::vector<std::uint32_t> *out) -> sim::CoTask {
+            runtime::TaskDesc td;
+            bool got = true;
+            while (true) {
+                co_await ctx.nextTask(ph, &td, &got);
+                if (!got)
+                    break;
+                EXPECT_EQ(td.arg1, td.arg0 * 2);
+                (*out)[td.arg0] += 1;
+            }
+        }(rig.ctx(c), phase, &popped));
+    }
+    rig.run(std::move(v));
+    for (std::uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(popped[i], 1u) << "task " << i;
+}
+
+TEST(Drain, WaitsForOutstandingFlushes)
+{
+    Rig rig(CoherenceMode::SWccOnly);
+    mem::Addr a = rig.rt->cohMalloc(1024);
+
+    rig.run1([](runtime::Ctx ctx, mem::Addr base) -> sim::CoTask {
+        for (unsigned i = 0; i < 32; ++i)
+            co_await ctx.store32(base + i * 4, i);
+        co_await ctx.flushRegion(base, 1024);
+        co_await ctx.drain();
+        // After the fence, the cluster has no outstanding writebacks.
+        EXPECT_EQ(ctx.core().cluster().outstandingWrites(), 0u);
+    }(rig.ctx(0), a));
+
+    // All flushed values reached the L3/memory.
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(rig.chip->coherentRead32(a + i * 4), i);
+}
+
+TEST(CohesionApi, MallocFreeRoundTrip)
+{
+    Rig rig(CoherenceMode::Cohesion);
+    mem::Addr a = rig.rt->malloc(100);
+    mem::Addr b = rig.rt->cohMalloc(100);
+    EXPECT_NE(a, b);
+    // Table 2: 64-byte minimum on the incoherent heap.
+    mem::Addr c = rig.rt->cohMalloc(1);
+    mem::Addr d = rig.rt->cohMalloc(1);
+    EXPECT_GE(d - c, 64u);
+    rig.rt->free(a);
+    rig.rt->cohFree(b);
+    rig.rt->cohFree(c);
+    rig.rt->cohFree(d);
+}
+
+TEST(CohesionApi, SwccManagedPolicy)
+{
+    Rig coh(CoherenceMode::Cohesion);
+    EXPECT_TRUE(coh.rt->swccManaged(coh.rt->cohMalloc(64)));
+    EXPECT_FALSE(coh.rt->swccManaged(coh.rt->malloc(64)));
+    EXPECT_TRUE(coh.rt->swccManaged(runtime::Layout::stackFor(0)));
+    EXPECT_TRUE(coh.rt->swccManaged(runtime::Layout::codeBase));
+
+    Rig sw(CoherenceMode::SWccOnly);
+    EXPECT_TRUE(sw.rt->swccManaged(sw.rt->malloc(64)));
+
+    Rig hw(CoherenceMode::HWccOnly);
+    EXPECT_FALSE(hw.rt->swccManaged(hw.rt->cohMalloc(64)));
+}
+
+TEST(InstructionFetch, MissesAreCountedThenWarm)
+{
+    Rig rig(CoherenceMode::Cohesion);
+    rig.run1([](runtime::Ctx ctx) -> sim::CoTask {
+        ctx.core().setCodeRegion(runtime::Layout::codeBase, 1024);
+        co_await ctx.compute(10000);
+    }(rig.ctx(0)));
+    std::uint64_t instr_reqs = rig.msg(MsgClass::InstructionRequest);
+    EXPECT_GE(instr_reqs, 1u);
+    // 1024-byte loop = 32 lines: cold misses only, then warm.
+    EXPECT_LE(instr_reqs, 32u);
+}
+
+TEST(Watchdog, DeadlockIsReported)
+{
+    Rig rig(CoherenceMode::Cohesion);
+    rig.cfg.maxCycles = 100000;
+    // Barrier with only one of the cores arriving: the queue drains
+    // with the worker still parked, which run() reports as fatal.
+    auto t = [](runtime::Ctx ctx) -> sim::CoTask {
+        co_await ctx.barrier();
+    }(rig.ctx(0));
+    t.start();
+    rig.chip->runUntilQuiescent();
+    EXPECT_FALSE(t.done());
+}
+
+} // namespace

@@ -1,0 +1,340 @@
+/** @file
+ * Randomized protocol stress tests (in the spirit of gem5's Ruby
+ * random tester). Every core issues a random stream of loads, stores,
+ * software flushes/invalidates, exchange atomics, periodic barriers,
+ * and — under Cohesion — concurrent coherence-domain transitions, all
+ * over a deliberately small, conflict-heavy line set and a tiny
+ * directory. After quiescence the full hierarchy is checked against
+ * protocol invariants:
+ *
+ *  I1  at most one L2 holds a line in Modified;
+ *  I2  a full-map directory entry's sharer set exactly matches the
+ *      L2s holding the line hardware-coherently (conservatively
+ *      contains() for limited/broadcast encodings);
+ *  I3  a Modified entry's owner really holds a dirty copy;
+ *  I4  cached-domain consistency with the fine-grain table bit
+ *      (no HWcc copies of SWcc lines and vice versa; Cohesion mode);
+ *  I5  every word's final value was actually written at some point
+ *      (no made-up or torn data, even through merges/transitions);
+ *  I6  clean HWcc copies agree with the authoritative value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "protocol_rig.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using arch::CoherenceMode;
+using cache::CohState;
+using test::Rig;
+
+struct StressCase
+{
+    CoherenceMode mode;
+    bool tinyDirectory;
+    bool limitedSharers;
+    bool transitions;
+    /**
+     * Disciplined transitions: domains change only inside an
+     * exclusive barrier window with no cached copies anywhere — the
+     * usage the paper's runtime would follow. Racy (undisciplined)
+     * transitions are also exercised; they may legitimately adopt
+     * stale clean SWcc copies into HWcc (the paper: "the data values
+     * may not be safe"), so the clean-copy-agreement invariant I6 is
+     * only checked in the disciplined runs.
+     */
+    bool safeTransitions;
+    /** Run the HWcc protocol as MESI (extension) instead of MSI. */
+    bool mesi = false;
+    std::uint64_t seed;
+};
+
+std::string
+stressName(const ::testing::TestParamInfo<StressCase> &info)
+{
+    const StressCase &c = info.param;
+    std::string s = arch::coherenceModeName(c.mode);
+    if (c.tinyDirectory)
+        s += "_tinydir";
+    if (c.limitedSharers)
+        s += "_dir4b";
+    if (c.transitions)
+        s += c.safeTransitions ? "_safetrans" : "_trans";
+    if (c.mesi)
+        s += "_mesi";
+    s += "_seed" + std::to_string(c.seed);
+    return s;
+}
+
+class StressTest : public ::testing::TestWithParam<StressCase>
+{
+  protected:
+    static constexpr unsigned kLines = 24;
+    static constexpr unsigned kOpsPerCore = 400;
+    static constexpr unsigned kBarrierEvery = 80;
+
+    /** All values ever written per word (host-side golden set). */
+    std::map<mem::Addr, std::set<std::uint32_t>> _written;
+
+    void
+    recordWrite(mem::Addr a, std::uint32_t v)
+    {
+        _written[a].insert(v);
+    }
+
+    sim::CoTask
+    chaos(runtime::Ctx ctx, mem::Addr base, const StressCase &cfg)
+    {
+        sim::Rng rng(cfg.seed * 977 + ctx.coreId() * 131 + 7);
+        std::uint32_t seq = 0;
+
+        for (unsigned op = 0; op < kOpsPerCore; ++op) {
+            if (op % kBarrierEvery == kBarrierEvery - 1) {
+                // Well-formed SWcc programs publish before barriers.
+                co_await ctx.flushRegion(base, kLines * mem::lineBytes);
+                co_await ctx.barrier();
+                co_await ctx.invRegion(base, kLines * mem::lineBytes);
+                co_await ctx.barrier();
+                if (cfg.transitions && cfg.safeTransitions &&
+                    ctx.coreId() ==
+                        (op / kBarrierEvery) % ctx.numCores()) {
+                    // Exclusive window: no copies are cached anywhere.
+                    for (int t = 0; t < 4; ++t) {
+                        mem::Addr l = base + rng.below(kLines) *
+                                                 mem::lineBytes;
+                        if (rng.below(2) == 0)
+                            co_await ctx.toSWcc(l, mem::lineBytes);
+                        else
+                            co_await ctx.toHWcc(l, mem::lineBytes);
+                    }
+                }
+                co_await ctx.barrier();
+                continue;
+            }
+
+            mem::Addr line = base + rng.below(kLines) * mem::lineBytes;
+            mem::Addr word = line + rng.below(mem::wordsPerLine) * 4;
+            unsigned kind = rng.below(100);
+
+            if (kind < 40) {
+                co_await ctx.load32(word);
+            } else if (kind < 70) {
+                std::uint32_t v =
+                    (ctx.coreId() << 20) | (++seq << 4) | 1u;
+                recordWrite(word, v);
+                co_await ctx.store32(word, v);
+            } else if (kind < 78) {
+                co_await ctx.core().flushLine(line);
+            } else if (kind < 85) {
+                co_await ctx.core().invLine(line);
+            } else if (kind < 90) {
+                std::uint32_t v =
+                    (ctx.coreId() << 20) | (++seq << 4) | 2u;
+                recordWrite(word, v);
+                co_await ctx.core().atomic(arch::AtomicOp::Xchg, word,
+                                           v);
+            } else if (kind < 95 && cfg.transitions &&
+                       !cfg.safeTransitions) {
+                bool to_swcc = rng.below(2) == 0;
+                if (to_swcc)
+                    co_await ctx.toSWcc(line, mem::lineBytes);
+                else
+                    co_await ctx.toHWcc(line, mem::lineBytes);
+            } else {
+                co_await ctx.compute(rng.below(64) + 1);
+            }
+        }
+        co_await ctx.drain();
+        co_await ctx.barrier();
+    }
+
+    void
+    checkInvariants(Rig &rig, mem::Addr base, const StressCase &cfg)
+    {
+        arch::Chip &chip = *rig.chip;
+        const bool cohesion = cfg.mode == CoherenceMode::Cohesion;
+
+        for (unsigned li = 0; li < kLines; ++li) {
+            mem::Addr line = base + li * mem::lineBytes;
+
+            // Gather the holders.
+            unsigned modified_holders = 0;
+            unsigned exclusive_holders = 0;
+            std::vector<unsigned> hw_holders;
+            for (unsigned cl = 0; cl < chip.numClusters(); ++cl) {
+                cache::Line *l = chip.cluster(cl).l2().probe(line);
+                if (!l)
+                    continue;
+                if (!l->incoherent) {
+                    hw_holders.push_back(cl);
+                    if (l->hwState == CohState::Modified)
+                        ++modified_holders;
+                    if (l->hwState == CohState::Exclusive)
+                        ++exclusive_holders;
+                }
+            }
+
+            // I1: single writer / single exclusive holder.
+            EXPECT_LE(modified_holders + exclusive_holders, 1u)
+                << "line " << li;
+
+            coherence::DirEntry *e = rig.dirEntry(line);
+
+            // I2/I3: directory <-> cache agreement.
+            if (e) {
+                for (unsigned cl : hw_holders) {
+                    EXPECT_TRUE(e->sharers.contains(cl))
+                        << "line " << li << " holder " << cl
+                        << " missing from sharer set";
+                }
+                if (!cfg.limitedSharers) {
+                    EXPECT_EQ(e->sharers.count(), hw_holders.size())
+                        << "line " << li;
+                }
+                if (e->state == CohState::Modified &&
+                    !cfg.limitedSharers) {
+                    ASSERT_EQ(hw_holders.size(), 1u) << "line " << li;
+                    cache::Line *l =
+                        chip.cluster(hw_holders[0]).l2().probe(line);
+                    EXPECT_EQ(l->hwState, CohState::Modified);
+                }
+            } else {
+                EXPECT_TRUE(hw_holders.empty())
+                    << "line " << li
+                    << " cached HWcc without a directory entry";
+            }
+
+            // I4: domain consistency with the table bit.
+            if (cohesion) {
+                mem::Addr w = chip.map().tableWordAddr(line);
+                bool swcc =
+                    (chip.coherentRead32(w) >>
+                     chip.map().tableBitIndex(line)) & 1u;
+                for (unsigned cl = 0; cl < chip.numClusters(); ++cl) {
+                    cache::Line *l = chip.cluster(cl).l2().probe(line);
+                    if (!l)
+                        continue;
+                    EXPECT_EQ(l->incoherent, swcc)
+                        << "line " << li << " cluster " << cl
+                        << " cached in the wrong domain";
+                }
+                EXPECT_EQ(e != nullptr && swcc, false)
+                    << "line " << li << " SWcc line has an entry";
+            }
+
+            // I5/I6: word values.
+            for (unsigned wi = 0; wi < mem::wordsPerLine; ++wi) {
+                mem::Addr word = line + wi * 4;
+                std::uint32_t truth = chip.coherentRead32(word);
+                auto it = _written.find(word);
+                if (it == _written.end()) {
+                    EXPECT_EQ(truth, 0u)
+                        << "unwritten word has data: line " << li
+                        << " word " << wi;
+                } else {
+                    EXPECT_TRUE(truth == 0u || it->second.count(truth))
+                        << "fabricated value 0x" << std::hex << truth
+                        << " at line " << std::dec << li << " word "
+                        << wi;
+                }
+
+                // Clean HWcc copies must agree with the truth —
+                // except after racy transitions, which may have
+                // adopted stale clean SWcc copies (see StressCase).
+                if (cfg.transitions && !cfg.safeTransitions)
+                    continue;
+                for (unsigned cl = 0; cl < chip.numClusters(); ++cl) {
+                    cache::Line *l = chip.cluster(cl).l2().probe(line);
+                    if (!l || l->incoherent || l->dirty())
+                        continue;
+                    if (!(l->validMask & (1u << wi)))
+                        continue;
+                    std::uint32_t v = 0;
+                    l->read(word, &v, 4);
+                    EXPECT_EQ(v, truth)
+                        << "stale clean HWcc copy: line " << li
+                        << " word " << wi << " cluster " << cl;
+                }
+            }
+        }
+    }
+};
+
+TEST_P(StressTest, RandomOpsPreserveInvariants)
+{
+    const StressCase &cfg = GetParam();
+
+    coherence::DirectoryConfig dir =
+        coherence::DirectoryConfig::optimistic();
+    if (cfg.tinyDirectory)
+        dir = coherence::DirectoryConfig::fullyAssociative(8);
+    if (cfg.limitedSharers)
+        dir.sharerKind = coherence::SharerKind::LimitedPtr;
+
+    Rig rig(cfg.mode, dir, 3); // 24 cores, >4 clusters not needed
+    if (cfg.mesi) {
+        rig.cfg.useMesi = true;
+        rig.chip = std::make_unique<arch::Chip>(
+            rig.cfg, runtime::Layout::tableBase);
+        rig.rt = std::make_unique<runtime::CohesionRuntime>(*rig.chip);
+    }
+    mem::Addr base = rig.rt->cohMalloc(kLines * mem::lineBytes);
+
+    _written.clear();
+
+    std::vector<sim::CoTask> workers;
+    for (unsigned c = 0; c < rig.chip->totalCores(); ++c)
+        workers.push_back(chaos(rig.ctx(c), base, cfg));
+    for (auto &w : workers)
+        w.start();
+    rig.chip->runUntilQuiescent();
+    for (auto &w : workers) {
+        w.rethrow();
+        ASSERT_TRUE(w.done()) << "stress worker deadlocked";
+    }
+
+    checkInvariants(rig, base, cfg);
+}
+
+std::vector<StressCase>
+stressCases()
+{
+    std::vector<StressCase> cases;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        cases.push_back({CoherenceMode::SWccOnly, false, false, false,
+                         false, false, seed});
+        cases.push_back({CoherenceMode::HWccOnly, false, false, false,
+                         false, false, seed});
+        cases.push_back({CoherenceMode::HWccOnly, true, false, false,
+                         false, false, seed});
+        cases.push_back({CoherenceMode::HWccOnly, false, true, false,
+                         false, false, seed});
+        cases.push_back({CoherenceMode::Cohesion, false, false, true,
+                         false, false, seed});
+        cases.push_back({CoherenceMode::Cohesion, true, false, true,
+                         false, false, seed});
+        cases.push_back({CoherenceMode::Cohesion, true, true, true,
+                         false, false, seed});
+        cases.push_back({CoherenceMode::Cohesion, false, false, true,
+                         true, false, seed});
+        cases.push_back({CoherenceMode::Cohesion, true, false, true,
+                         true, false, seed});
+        cases.push_back({CoherenceMode::HWccOnly, false, false, false,
+                         false, true, seed}); // MESI extension
+        cases.push_back({CoherenceMode::HWccOnly, true, false, false,
+                         false, true, seed});
+        cases.push_back({CoherenceMode::Cohesion, false, false, true,
+                         false, true, seed});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, StressTest,
+                         ::testing::ValuesIn(stressCases()), stressName);
+
+} // namespace

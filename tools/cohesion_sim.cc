@@ -1,0 +1,153 @@
+/**
+ * @file
+ * cohesion-sim: the command-line simulator driver. Runs one benchmark
+ * kernel on a configurable machine and prints either a full
+ * human-readable statistics report or machine-readable CSV.
+ *
+ *   cohesion-sim --kernel heat --mode cohesion --clusters 8 --scale 4
+ *   cohesion-sim --kernel kmeans --mode swcc --csv > stats.csv
+ *   cohesion-sim --list
+ *
+ * Options:
+ *   --kernel NAME     cg|dmm|gjk|heat|kmeans|mri|sobel|stencil
+ *   --mode MODE       swcc | hwcc | cohesion  (default cohesion)
+ *   --clusters N      clusters of 8 cores (default 4)
+ *   --paper           full 1024-core Table 3 machine
+ *   --scale N         workload scale (default 1)
+ *   --seed N          workload seed
+ *   --dir-entries N   per-bank directory entries (0 = infinite)
+ *   --dir-assoc N     directory associativity (0 = fully associative)
+ *   --dir4b           limited Dir4B sharer pointers
+ *   --occupancy       sample directory occupancy every 1000 cycles
+ *   --no-verify       skip numerical verification
+ *   --csv             emit CSV instead of the report
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/report.hh"
+#include "sim/trace.hh"
+#include "harness/runner.hh"
+#include "kernels/registry.hh"
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: cohesion-sim [--kernel NAME] [--mode swcc|hwcc|cohesion]\n"
+        "                    [--clusters N] [--paper] [--scale N]\n"
+        "                    [--seed N] [--dir-entries N] [--dir-assoc N]\n"
+        "                    [--dir4b] [--occupancy] [--no-verify]\n"
+        "                    [--table-cache N] [--trace CATEGORIES]\n"
+        "                    [--csv] [--list]\n"
+        "  trace categories: protocol,cache,transition,net,dram,\n"
+        "                    runtime,all\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel = "heat";
+    std::string mode = "cohesion";
+    unsigned clusters = 4;
+    bool paper = false;
+    kernels::Params params;
+    coherence::DirectoryConfig dir =
+        coherence::DirectoryConfig::optimistic();
+    bool dir4b = false;
+    std::uint32_t table_cache = 0;
+    harness::RunOptions opts;
+    bool csv = false;
+    std::string trace;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires a value\n";
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--kernel")) {
+            kernel = next("--kernel");
+        } else if (!std::strcmp(argv[i], "--mode")) {
+            mode = next("--mode");
+        } else if (!std::strcmp(argv[i], "--clusters")) {
+            clusters = std::atoi(next("--clusters"));
+        } else if (!std::strcmp(argv[i], "--paper")) {
+            paper = true;
+        } else if (!std::strcmp(argv[i], "--scale")) {
+            params.scale = std::atoi(next("--scale"));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            params.seed = std::atoll(next("--seed"));
+        } else if (!std::strcmp(argv[i], "--dir-entries")) {
+            dir.entries = std::atoi(next("--dir-entries"));
+        } else if (!std::strcmp(argv[i], "--dir-assoc")) {
+            dir.assoc = std::atoi(next("--dir-assoc"));
+        } else if (!std::strcmp(argv[i], "--dir4b")) {
+            dir4b = true;
+        } else if (!std::strcmp(argv[i], "--table-cache")) {
+            table_cache = std::atoi(next("--table-cache"));
+        } else if (!std::strcmp(argv[i], "--occupancy")) {
+            opts.sampleOccupancy = true;
+        } else if (!std::strcmp(argv[i], "--no-verify")) {
+            opts.skipVerify = true;
+        } else if (!std::strcmp(argv[i], "--csv")) {
+            csv = true;
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            trace = next("--trace");
+        } else if (!std::strcmp(argv[i], "--list")) {
+            for (const auto &k : kernels::allKernelNames())
+                std::cout << k << '\n';
+            return 0;
+        } else if (!std::strcmp(argv[i], "--help")) {
+            usage(0);
+        } else {
+            std::cerr << "unknown option: " << argv[i] << '\n';
+            usage(1);
+        }
+    }
+
+    arch::MachineConfig cfg = paper ? arch::MachineConfig::paper1024()
+                                    : arch::MachineConfig::scaled(clusters);
+    if (mode == "swcc") {
+        cfg.mode = arch::CoherenceMode::SWccOnly;
+    } else if (mode == "hwcc") {
+        cfg.mode = arch::CoherenceMode::HWccOnly;
+    } else if (mode == "cohesion") {
+        cfg.mode = arch::CoherenceMode::Cohesion;
+    } else {
+        std::cerr << "unknown mode: " << mode << '\n';
+        usage(1);
+    }
+    if (dir4b)
+        dir.sharerKind = coherence::SharerKind::LimitedPtr;
+    cfg.directory = dir;
+    cfg.tableCacheEntries = table_cache;
+
+    try {
+        opts.traceMask = sim::parseCategories(trace);
+        harness::RunResult r = harness::runKernel(
+            cfg, kernels::kernelFactory(kernel), params, opts);
+        if (csv) {
+            harness::printCsv(std::cout, cfg, r);
+        } else {
+            std::cout << "kernel: " << kernel
+                      << (opts.skipVerify ? " (not verified)"
+                                          : " (verified)")
+                      << '\n';
+            harness::printReport(std::cout, cfg, r);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "simulation failed: " << e.what() << '\n';
+        return 1;
+    }
+    return 0;
+}
