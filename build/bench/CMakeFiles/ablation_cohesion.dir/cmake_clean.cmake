@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cohesion.dir/ablation_cohesion.cc.o"
+  "CMakeFiles/ablation_cohesion.dir/ablation_cohesion.cc.o.d"
+  "ablation_cohesion"
+  "ablation_cohesion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cohesion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

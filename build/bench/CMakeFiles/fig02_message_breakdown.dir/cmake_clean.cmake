@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_message_breakdown.dir/fig02_message_breakdown.cc.o"
+  "CMakeFiles/fig02_message_breakdown.dir/fig02_message_breakdown.cc.o.d"
+  "fig02_message_breakdown"
+  "fig02_message_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_message_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_useful_coherence_ops.dir/fig03_useful_coherence_ops.cc.o"
+  "CMakeFiles/fig03_useful_coherence_ops.dir/fig03_useful_coherence_ops.cc.o.d"
+  "fig03_useful_coherence_ops"
+  "fig03_useful_coherence_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_useful_coherence_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

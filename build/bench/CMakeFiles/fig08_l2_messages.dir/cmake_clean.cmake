@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_l2_messages.dir/fig08_l2_messages.cc.o"
+  "CMakeFiles/fig08_l2_messages.dir/fig08_l2_messages.cc.o.d"
+  "fig08_l2_messages"
+  "fig08_l2_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_l2_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

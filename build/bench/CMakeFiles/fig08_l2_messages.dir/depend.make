@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_l2_messages.
+# This may be replaced when dependencies are built.

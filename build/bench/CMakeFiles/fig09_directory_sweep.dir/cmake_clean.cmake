@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_directory_sweep.dir/fig09_directory_sweep.cc.o"
+  "CMakeFiles/fig09_directory_sweep.dir/fig09_directory_sweep.cc.o.d"
+  "fig09_directory_sweep"
+  "fig09_directory_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_directory_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

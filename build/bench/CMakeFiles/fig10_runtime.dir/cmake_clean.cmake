@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_runtime.dir/fig10_runtime.cc.o"
+  "CMakeFiles/fig10_runtime.dir/fig10_runtime.cc.o.d"
+  "fig10_runtime"
+  "fig10_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_directory_area.dir/sec44_directory_area.cc.o"
+  "CMakeFiles/sec44_directory_area.dir/sec44_directory_area.cc.o.d"
+  "sec44_directory_area"
+  "sec44_directory_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_directory_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/chip.cc" "src/arch/CMakeFiles/cohesion_arch.dir/chip.cc.o" "gcc" "src/arch/CMakeFiles/cohesion_arch.dir/chip.cc.o.d"
+  "/root/repo/src/arch/cluster.cc" "src/arch/CMakeFiles/cohesion_arch.dir/cluster.cc.o" "gcc" "src/arch/CMakeFiles/cohesion_arch.dir/cluster.cc.o.d"
+  "/root/repo/src/arch/core.cc" "src/arch/CMakeFiles/cohesion_arch.dir/core.cc.o" "gcc" "src/arch/CMakeFiles/cohesion_arch.dir/core.cc.o.d"
+  "/root/repo/src/arch/l3bank.cc" "src/arch/CMakeFiles/cohesion_arch.dir/l3bank.cc.o" "gcc" "src/arch/CMakeFiles/cohesion_arch.dir/l3bank.cc.o.d"
+  "/root/repo/src/arch/machine_config.cc" "src/arch/CMakeFiles/cohesion_arch.dir/machine_config.cc.o" "gcc" "src/arch/CMakeFiles/cohesion_arch.dir/machine_config.cc.o.d"
+  "/root/repo/src/arch/msg.cc" "src/arch/CMakeFiles/cohesion_arch.dir/msg.cc.o" "gcc" "src/arch/CMakeFiles/cohesion_arch.dir/msg.cc.o.d"
+  "/root/repo/src/arch/protocol.cc" "src/arch/CMakeFiles/cohesion_arch.dir/protocol.cc.o" "gcc" "src/arch/CMakeFiles/cohesion_arch.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cohesion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cohesion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cohesion/CMakeFiles/cohesion_cohesion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_arch.dir/chip.cc.o"
+  "CMakeFiles/cohesion_arch.dir/chip.cc.o.d"
+  "CMakeFiles/cohesion_arch.dir/cluster.cc.o"
+  "CMakeFiles/cohesion_arch.dir/cluster.cc.o.d"
+  "CMakeFiles/cohesion_arch.dir/core.cc.o"
+  "CMakeFiles/cohesion_arch.dir/core.cc.o.d"
+  "CMakeFiles/cohesion_arch.dir/l3bank.cc.o"
+  "CMakeFiles/cohesion_arch.dir/l3bank.cc.o.d"
+  "CMakeFiles/cohesion_arch.dir/machine_config.cc.o"
+  "CMakeFiles/cohesion_arch.dir/machine_config.cc.o.d"
+  "CMakeFiles/cohesion_arch.dir/msg.cc.o"
+  "CMakeFiles/cohesion_arch.dir/msg.cc.o.d"
+  "CMakeFiles/cohesion_arch.dir/protocol.cc.o"
+  "CMakeFiles/cohesion_arch.dir/protocol.cc.o.d"
+  "libcohesion_arch.a"
+  "libcohesion_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

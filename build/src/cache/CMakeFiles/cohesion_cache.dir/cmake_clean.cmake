@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_cache.dir/cache_array.cc.o"
+  "CMakeFiles/cohesion_cache.dir/cache_array.cc.o.d"
+  "libcohesion_cache.a"
+  "libcohesion_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

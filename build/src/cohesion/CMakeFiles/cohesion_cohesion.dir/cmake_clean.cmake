@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_cohesion.dir/region_table.cc.o"
+  "CMakeFiles/cohesion_cohesion.dir/region_table.cc.o.d"
+  "libcohesion_cohesion.a"
+  "libcohesion_cohesion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_cohesion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cohesion_cohesion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_harness.dir/report.cc.o"
+  "CMakeFiles/cohesion_harness.dir/report.cc.o.d"
+  "CMakeFiles/cohesion_harness.dir/runner.cc.o"
+  "CMakeFiles/cohesion_harness.dir/runner.cc.o.d"
+  "CMakeFiles/cohesion_harness.dir/table.cc.o"
+  "CMakeFiles/cohesion_harness.dir/table.cc.o.d"
+  "libcohesion_harness.a"
+  "libcohesion_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcohesion_harness.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cg.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/cg.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/cg.cc.o.d"
+  "/root/repo/src/kernels/dmm.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/dmm.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/dmm.cc.o.d"
+  "/root/repo/src/kernels/gjk.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/gjk.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/gjk.cc.o.d"
+  "/root/repo/src/kernels/heat.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/heat.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/heat.cc.o.d"
+  "/root/repo/src/kernels/kmeans.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/kmeans.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/kmeans.cc.o.d"
+  "/root/repo/src/kernels/mri.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/mri.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/mri.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/registry.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/registry.cc.o.d"
+  "/root/repo/src/kernels/sobel.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/sobel.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/sobel.cc.o.d"
+  "/root/repo/src/kernels/stencil.cc" "src/kernels/CMakeFiles/cohesion_kernels.dir/stencil.cc.o" "gcc" "src/kernels/CMakeFiles/cohesion_kernels.dir/stencil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/cohesion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cohesion_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cohesion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cohesion/CMakeFiles/cohesion_cohesion.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cohesion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_kernels.dir/cg.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/cg.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/dmm.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/dmm.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/gjk.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/gjk.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/heat.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/heat.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/kmeans.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/kmeans.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/mri.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/mri.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/registry.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/registry.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/sobel.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/sobel.cc.o.d"
+  "CMakeFiles/cohesion_kernels.dir/stencil.cc.o"
+  "CMakeFiles/cohesion_kernels.dir/stencil.cc.o.d"
+  "libcohesion_kernels.a"
+  "libcohesion_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

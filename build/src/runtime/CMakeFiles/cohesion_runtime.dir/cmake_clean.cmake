@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_runtime.dir/runtime.cc.o"
+  "CMakeFiles/cohesion_runtime.dir/runtime.cc.o.d"
+  "libcohesion_runtime.a"
+  "libcohesion_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

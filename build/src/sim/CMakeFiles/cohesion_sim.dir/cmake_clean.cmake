@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cohesion_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cohesion_sim.dir/logging.cc.o"
+  "CMakeFiles/cohesion_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cohesion_sim.dir/trace.cc.o"
+  "CMakeFiles/cohesion_sim.dir/trace.cc.o.d"
+  "libcohesion_sim.a"
+  "libcohesion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

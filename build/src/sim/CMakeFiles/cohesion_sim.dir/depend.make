@@ -1,0 +1,2 @@
+# Empty dependencies file for cohesion_sim.
+# This may be replaced when dependencies are built.

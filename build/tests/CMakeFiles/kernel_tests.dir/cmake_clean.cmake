@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_tests.dir/test_fault_injection.cc.o"
+  "CMakeFiles/kernel_tests.dir/test_fault_injection.cc.o.d"
+  "CMakeFiles/kernel_tests.dir/test_kernels.cc.o"
+  "CMakeFiles/kernel_tests.dir/test_kernels.cc.o.d"
+  "kernel_tests"
+  "kernel_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

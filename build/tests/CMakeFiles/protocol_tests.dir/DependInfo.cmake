@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mesi.cc" "tests/CMakeFiles/protocol_tests.dir/test_mesi.cc.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/test_mesi.cc.o.d"
+  "/root/repo/tests/test_protocols.cc" "tests/CMakeFiles/protocol_tests.dir/test_protocols.cc.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/test_protocols.cc.o.d"
+  "/root/repo/tests/test_runtime_integration.cc" "tests/CMakeFiles/protocol_tests.dir/test_runtime_integration.cc.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/test_runtime_integration.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/protocol_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_table_cache.cc" "tests/CMakeFiles/protocol_tests.dir/test_table_cache.cc.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/test_table_cache.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/protocol_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_transitions.cc" "tests/CMakeFiles/protocol_tests.dir/test_transitions.cc.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/test_transitions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/cohesion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cohesion_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cohesion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cohesion/CMakeFiles/cohesion_cohesion.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cohesion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

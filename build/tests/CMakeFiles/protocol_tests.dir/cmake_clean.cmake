@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_tests.dir/test_mesi.cc.o"
+  "CMakeFiles/protocol_tests.dir/test_mesi.cc.o.d"
+  "CMakeFiles/protocol_tests.dir/test_protocols.cc.o"
+  "CMakeFiles/protocol_tests.dir/test_protocols.cc.o.d"
+  "CMakeFiles/protocol_tests.dir/test_runtime_integration.cc.o"
+  "CMakeFiles/protocol_tests.dir/test_runtime_integration.cc.o.d"
+  "CMakeFiles/protocol_tests.dir/test_stress.cc.o"
+  "CMakeFiles/protocol_tests.dir/test_stress.cc.o.d"
+  "CMakeFiles/protocol_tests.dir/test_table_cache.cc.o"
+  "CMakeFiles/protocol_tests.dir/test_table_cache.cc.o.d"
+  "CMakeFiles/protocol_tests.dir/test_timing.cc.o"
+  "CMakeFiles/protocol_tests.dir/test_timing.cc.o.d"
+  "CMakeFiles/protocol_tests.dir/test_transitions.cc.o"
+  "CMakeFiles/protocol_tests.dir/test_transitions.cc.o.d"
+  "protocol_tests"
+  "protocol_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

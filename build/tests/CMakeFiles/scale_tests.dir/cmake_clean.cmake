@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_tests.dir/test_paper_scale.cc.o"
+  "CMakeFiles/scale_tests.dir/test_paper_scale.cc.o.d"
+  "scale_tests"
+  "scale_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cc" "tests/CMakeFiles/unit_tests.dir/test_address_map.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_address_map.cc.o.d"
+  "/root/repo/tests/test_cache_array.cc" "tests/CMakeFiles/unit_tests.dir/test_cache_array.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cache_array.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/unit_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_cotask.cc" "tests/CMakeFiles/unit_tests.dir/test_cotask.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cotask.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/unit_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/unit_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/unit_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_runtime_units.cc" "tests/CMakeFiles/unit_tests.dir/test_runtime_units.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_runtime_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cohesion_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cohesion_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cohesion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cohesion_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cohesion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cohesion/CMakeFiles/cohesion_cohesion.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cohesion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_tests.dir/test_address_map.cc.o"
+  "CMakeFiles/unit_tests.dir/test_address_map.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_cache_array.cc.o"
+  "CMakeFiles/unit_tests.dir/test_cache_array.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_coherence.cc.o"
+  "CMakeFiles/unit_tests.dir/test_coherence.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_cotask.cc.o"
+  "CMakeFiles/unit_tests.dir/test_cotask.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_event_queue.cc.o"
+  "CMakeFiles/unit_tests.dir/test_event_queue.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_harness.cc.o"
+  "CMakeFiles/unit_tests.dir/test_harness.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_mem.cc.o"
+  "CMakeFiles/unit_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/unit_tests.dir/test_runtime_units.cc.o"
+  "CMakeFiles/unit_tests.dir/test_runtime_units.cc.o.d"
+  "unit_tests"
+  "unit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

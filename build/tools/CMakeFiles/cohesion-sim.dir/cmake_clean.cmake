@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion-sim.dir/cohesion_sim.cc.o"
+  "CMakeFiles/cohesion-sim.dir/cohesion_sim.cc.o.d"
+  "cohesion-sim"
+  "cohesion-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
