@@ -15,6 +15,8 @@
  * fraction and absolute entry counts are printed.
  */
 
+#include <fstream>
+
 #include "bench/bench_common.hh"
 
 int
@@ -87,6 +89,20 @@ main(int argc, char **argv)
                                        : bench::DesignPoint::HWccIdeal;
             harness::RunResult r =
                 bench::run(args, k, p, {true, false});
+            if (!r.timeSeries.empty()) {
+                // Raw occupancy trace behind the table (one tidy CSV
+                // per kernel/mode; plottable as the Fig. 9c curves).
+                std::string csv = "fig09c_occupancy_" + k + "_" +
+                                  (cohesion ? "cohesion" : "hwcc") +
+                                  ".csv";
+                std::ofstream os(csv);
+                if (os) {
+                    r.timeSeries.dumpCsv(os);
+                    std::cout << "  wrote " << csv << " ("
+                              << r.timeSeries.rows.size()
+                              << " samples)\n";
+                }
+            }
             occ.addRow(
                 {k, cohesion ? "Cohesion" : "HWcc",
                  harness::Table::fmt(r.dirAvgBySegment[0], 1),

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace arch {
 
@@ -21,6 +22,7 @@ void
 Chip::sendResponse(unsigned bank, unsigned cluster_id, Response resp,
                    unsigned data_words)
 {
+    resp.sendTick = _eq.now();
     sim::Tick arrive = _fabric.bankToCluster(
         bank, cluster_id, msgBytes(data_words), _eq.now());
     _eq.schedule(arrive, [this, cluster_id, resp]() {
@@ -35,6 +37,7 @@ Chip::sendProbe(unsigned bank, unsigned cluster_id, ProbeType type,
 {
     sim::Tick arrive =
         _fabric.bankToCluster(bank, cluster_id, msgBytes(0), _eq.now());
+    _probeLatency.sample(arrive - _eq.now());
     _eq.schedule(arrive, [this, bank, cluster_id, type, addr,
                           done = std::move(done)]() {
         ProbeResult r = cluster(cluster_id).handleProbe(type, addr);
@@ -43,6 +46,7 @@ Chip::sendProbe(unsigned bank, unsigned cluster_id, ProbeType type,
             r.dirty ? std::popcount(static_cast<unsigned>(r.dirtyMask)) : 0;
         sim::Tick back = _fabric.clusterToBank(cluster_id, bank,
                                                msgBytes(words), _eq.now());
+        sampleReqLatency(MsgClass::ProbeResponse, back - _eq.now());
         _eq.schedule(back, [done, cluster_id, r]() {
             done(cluster_id, r);
         });
@@ -91,27 +95,87 @@ Chip::sampleOccupancy()
     for (unsigned s = 0; s < numSegments; ++s)
         _occupancy[s].sample(counts[s]);
     _occupancyTotal.sample(total);
+    _lastOccupancy = counts;
+    _lastOccupancyTotal = total;
+}
+
+void
+Chip::enableOccupancySampling(sim::Tick period)
+{
+    if (_timeSeries.enabled())
+        return;
+    _samplePeriod = period;
+
+    // One directory walk per sampling point feeds every dir.* probe.
+    _timeSeries.setPreSample([this]() { sampleOccupancy(); });
+    _timeSeries.add("dir.total", [this]() { return _lastOccupancyTotal; });
+    _timeSeries.add("dir.code", [this]() { return _lastOccupancy[0]; });
+    _timeSeries.add("dir.stack", [this]() { return _lastOccupancy[1]; });
+    _timeSeries.add("dir.heap_global",
+                    [this]() { return _lastOccupancy[2]; });
+    for (unsigned b = 0; b < _banks.size(); ++b) {
+        _timeSeries.add(sim::cat("bank", b, ".inflight"), [this, b]() {
+            return static_cast<double>(_banks[b]->inFlight());
+        });
+    }
+    // Message rate: delta of the aggregate L2-output count per period.
+    _timeSeries.add("net.msgs",
+                    [this, prev = std::uint64_t(0)]() mutable {
+                        std::uint64_t cur = aggregateMessages().total();
+                        double delta = static_cast<double>(cur - prev);
+                        prev = cur;
+                        return delta;
+                    });
+    _timeSeries.start(period);
+}
+
+void
+Chip::attachJson(sim::TraceJsonWriter *w)
+{
+    _tracer.setJson(w);
+    if (!w) {
+        _timeSeries.setSink({});
+        return;
+    }
+    w->threadName(sim::TraceJsonWriter::machineTid, "machine");
+    for (unsigned b = 0; b < _banks.size(); ++b)
+        w->threadName(sim::TraceJsonWriter::bankTid(b),
+                      sim::cat("l3bank", b));
+    for (unsigned c = 0; c < _clusters.size(); ++c)
+        w->threadName(sim::TraceJsonWriter::clusterTid(c),
+                      sim::cat("cluster", c));
+    _timeSeries.setSink(
+        [w](sim::Tick t, const std::string &name, double v) {
+            w->counter(t, name, v);
+        });
+}
+
+void
+Chip::registerStats(sim::StatRegistry &reg) const
+{
+    for (unsigned c = 0; c < numMsgClasses; ++c) {
+        reg.addHistogram(
+            sim::cat("chip.latency.req.",
+                     msgClassName(static_cast<MsgClass>(c))),
+            _reqLatency[c]);
+    }
+    reg.addHistogram("chip.latency.resp", _respLatency);
+    reg.addHistogram("chip.latency.probe", _probeLatency);
+    _fabric.registerStats(reg, "chip.fabric");
+    for (const auto &cl : _clusters)
+        cl->registerStats(reg, sim::cat("chip.cluster", cl->id()));
+    for (const auto &b : _banks)
+        b->registerStats(reg, sim::cat("chip.bank", b->id()));
 }
 
 sim::Tick
 Chip::runUntilQuiescent()
 {
     const sim::Tick limit = _config.maxCycles;
-    if (_samplePeriod == 0) {
-        bool drained = _eq.run(limit);
-        fatal_if(!drained, "watchdog: simulation exceeded ", limit,
-                 " cycles (deadlock or runaway workload)");
-        return _eq.now();
-    }
-    while (true) {
-        sim::Tick next = _eq.now() + _samplePeriod;
-        fatal_if(next > limit, "watchdog: simulation exceeded ", limit,
-                 " cycles (deadlock or runaway workload)");
-        bool drained = _eq.run(next);
-        sampleOccupancy();
-        if (drained)
-            return _eq.now();
-    }
+    bool drained = _eq.run(limit);
+    fatal_if(!drained, "watchdog: simulation exceeded ", limit,
+             " cycles (deadlock or runaway workload)");
+    return _eq.now();
 }
 
 MsgCounters

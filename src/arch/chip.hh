@@ -24,6 +24,8 @@
 #include "mem/backing_store.hh"
 #include "mem/dram.hh"
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
+#include "sim/timeseries.hh"
 #include "sim/trace.hh"
 
 namespace arch {
@@ -116,6 +118,43 @@ class Chip
      */
     std::uint32_t coherentRead32(mem::Addr a);
 
+    // --- Observability ---------------------------------------------------
+
+    /** Latency of a request/probe-response message of class @p cls,
+     *  measured depart-to-arrival through the fabric. */
+    void
+    sampleReqLatency(MsgClass cls, sim::Tick lat)
+    {
+        _reqLatency[static_cast<unsigned>(cls)].sample(lat);
+    }
+
+    void sampleRespLatency(sim::Tick lat) { _respLatency.sample(lat); }
+
+    const sim::Histogram &
+    reqLatency(MsgClass cls) const
+    {
+        return _reqLatency[static_cast<unsigned>(cls)];
+    }
+
+    const sim::Histogram &respLatency() const { return _respLatency; }
+    const sim::Histogram &probeLatency() const { return _probeLatency; }
+
+    sim::TimeSeries &timeSeries() { return _timeSeries; }
+    const sim::TimeSeries &timeSeries() const { return _timeSeries; }
+
+    /** Fresh id for an async trace span (chip-global sequence). */
+    std::uint64_t nextTraceId() { return ++_traceIdSeq; }
+
+    /**
+     * Attach (or detach, with nullptr) a structured trace sink: names
+     * the per-component tracks and mirrors time-series samples as
+     * counter events. The writer is not owned and must outlive the run.
+     */
+    void attachJson(sim::TraceJsonWriter *w);
+
+    /** Register every chip-level stat under "chip." in @p reg. */
+    void registerStats(sim::StatRegistry &reg) const;
+
     // --- Directory occupancy sampling (Fig. 9c) -------------------------
 
     using SegmentClassifier = std::function<Segment(mem::Addr)>;
@@ -125,12 +164,12 @@ class Chip
         _classifier = std::move(fn);
     }
 
-    /** Enable periodic sampling (default: paper's 1000 cycles). */
-    void
-    enableOccupancySampling(sim::Tick period = 1000)
-    {
-        _samplePeriod = period;
-    }
+    /**
+     * Enable periodic sampling (default: paper's 1000 cycles).
+     * Registers the occupancy / queue-depth / message-rate series with
+     * the time-series sampler and arms it on the event queue.
+     */
+    void enableOccupancySampling(sim::Tick period = 1000);
 
     /** Time-average directory entries in @p seg across banks. */
     double occupancyAverage(Segment seg) const
@@ -145,7 +184,8 @@ class Chip
 
     /**
      * Run until the event queue drains (all cores quiescent) or the
-     * watchdog limit is hit (fatal). Interleaves occupancy samples.
+     * watchdog limit is hit (fatal). Periodic sampling rides on the
+     * event queue itself (TimeSeries), so a single run suffices.
      * @return final tick.
      */
     sim::Tick runUntilQuiescent();
@@ -174,6 +214,17 @@ class Chip
     sim::Tick _samplePeriod = 0;
     std::array<sim::TimeSampler, numSegments> _occupancy;
     sim::TimeSampler _occupancyTotal;
+
+    // Cached by sampleOccupancy() so the time-series probes read the
+    // directory walk's result instead of repeating it per series.
+    std::array<double, numSegments> _lastOccupancy{};
+    double _lastOccupancyTotal = 0;
+
+    sim::TimeSeries _timeSeries{_eq};
+    std::array<sim::Histogram, numMsgClasses> _reqLatency;
+    sim::Histogram _respLatency;
+    sim::Histogram _probeLatency;
+    std::uint64_t _traceIdSeq = 0;
 };
 
 } // namespace arch

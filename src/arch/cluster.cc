@@ -141,6 +141,7 @@ Cluster::evictLine(cache::Line &line, sim::Tick when)
           ": evict 0x", std::hex, line.base, std::dec,
           line.incoherent ? " SWcc" : " HWcc",
           line.dirty() ? " dirty" : " clean");
+    (line.dirty() ? _evictDirty : _evictClean).inc();
     if (line.incoherent) {
         if (line.dirty()) {
             Request r;
@@ -184,9 +185,32 @@ Cluster::sendRequest(const Request &req, MsgClass cls, sim::Tick depart,
     unsigned bank = _chip.map().bankOf(req.addr);
     sim::Tick arrive = _chip.fabric().clusterToBank(
         _id, bank, msgBytes(data_words), depart);
-    _chip.eq().schedule(arrive, [this, bank, req]() {
-        _chip.bank(bank).receiveRequest(req);
+    Request stamped = req;
+    stamped.sendTick = depart;
+    _chip.eq().schedule(arrive, [this, bank, stamped]() {
+        _chip.bank(bank).receiveRequest(stamped);
     });
+}
+
+void
+Cluster::registerStats(sim::StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".l2.hits", _l2Hits);
+    reg.addCounter(prefix + ".l2.misses", _l2Misses);
+    reg.addCounter(prefix + ".l2.evict.clean", _evictClean);
+    reg.addCounter(prefix + ".l2.evict.dirty", _evictDirty);
+    reg.addCounter(prefix + ".flush.issued", _flushIssued);
+    reg.addCounter(prefix + ".flush.useful", _flushUseful);
+    reg.addCounter(prefix + ".inv.issued", _invIssued);
+    reg.addCounter(prefix + ".inv.useful", _invUseful);
+    for (unsigned c = 0; c < numMsgClasses; ++c) {
+        MsgClass cls = static_cast<MsgClass>(c);
+        reg.addScalar(prefix + ".out." + msgClassName(cls),
+                      [this, cls]() {
+                          return static_cast<double>(_msgs.get(cls));
+                      });
+    }
 }
 
 // --------------------------------------------------------------------
@@ -574,6 +598,7 @@ Cluster::writebackAcked()
 void
 Cluster::handleResponse(const Response &resp)
 {
+    _chip.sampleRespLatency(_chip.eq().now() - resp.sendTick);
     switch (resp.type) {
       case ReqType::Atomic: {
           Core &c = core(resp.core);

@@ -28,6 +28,7 @@
 #include "cache/cache_array.hh"
 #include "mem/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 
 namespace arch {
@@ -76,6 +77,12 @@ class Cluster
     std::uint64_t invsUseful() const { return _invUseful.value(); }
     std::uint64_t l2Hits() const { return _l2Hits.value(); }
     std::uint64_t l2Misses() const { return _l2Misses.value(); }
+    std::uint64_t evictsClean() const { return _evictClean.value(); }
+    std::uint64_t evictsDirty() const { return _evictDirty.value(); }
+
+    /** Register this cluster's stats under @p prefix in @p reg. */
+    void registerStats(sim::StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** SWcc writebacks (flushes + dirty evictions) awaiting L3 acks. */
     unsigned outstandingWrites() const { return _outstandingWrites; }
@@ -152,6 +159,7 @@ class Cluster
     sim::Counter _flushIssued, _flushUseful;
     sim::Counter _invIssued, _invUseful;
     sim::Counter _l2Hits, _l2Misses;
+    sim::Counter _evictClean, _evictDirty;
 };
 
 } // namespace arch

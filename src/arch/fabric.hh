@@ -13,10 +13,12 @@
 #define COHESION_ARCH_FABRIC_HH
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "arch/machine_config.hh"
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 
 namespace arch {
@@ -48,6 +50,7 @@ class Fabric
         sim::Tick accept = std::max(at_bank, _bankIn[bank]);
         _bankIn[bank] = accept + 1; // one message accepted per cycle
         _bytesUp.inc(bytes);
+        _delayUp.sample(accept - depart);
         return accept;
     }
 
@@ -66,11 +69,25 @@ class Fabric
         sim::Tick accept = std::max(at_cluster, _clusterDown[cluster]);
         _clusterDown[cluster] = accept + 1;
         _bytesDown.inc(bytes);
+        _delayDown.sample(accept - depart);
         return accept;
     }
 
     std::uint64_t bytesUp() const { return _bytesUp.value(); }
     std::uint64_t bytesDown() const { return _bytesDown.value(); }
+
+    /** Depart-to-accept delay (serialization + hops + contention). */
+    const sim::Histogram &delayUp() const { return _delayUp; }
+    const sim::Histogram &delayDown() const { return _delayDown; }
+
+    void
+    registerStats(sim::StatRegistry &reg, const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".bytes_up", _bytesUp);
+        reg.addCounter(prefix + ".bytes_down", _bytesDown);
+        reg.addHistogram(prefix + ".delay_up", _delayUp);
+        reg.addHistogram(prefix + ".delay_down", _delayDown);
+    }
 
   private:
     sim::Tick
@@ -86,6 +103,7 @@ class Fabric
     std::vector<sim::Tick> _bankIn;
     std::vector<sim::Tick> _bankOut;
     sim::Counter _bytesUp, _bytesDown;
+    sim::Histogram _delayUp, _delayDown;
 };
 
 } // namespace arch

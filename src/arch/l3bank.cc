@@ -7,6 +7,7 @@
 #include "cohesion/region_table.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "sim/trace_json.hh"
 
 namespace arch {
 
@@ -66,33 +67,49 @@ L3Bank::receiveRequest(const Request &req)
     TRACE(_chip.tracer(), sim::Category::Protocol, "bank", _id, ": ",
           reqTypeName(req.type), " 0x", std::hex, req.addr, std::dec,
           " from cluster ", req.cluster);
+    _chip.sampleReqLatency(msgClassFor(req.type),
+                           _chip.eq().now() - req.sendTick);
+    std::uint64_t trace_id = 0;
+    if (sim::TraceJsonWriter *w = _chip.tracer().json()) {
+        trace_id = _chip.nextTraceId();
+        w->asyncBegin(trace_id, _chip.eq().now(),
+                      sim::cat("bank", _id, ":", reqTypeName(req.type)),
+                      "txn");
+    }
     pruneTransactions();
-    _running.push_back(transaction(req));
+    _running.push_back(transaction(req, trace_id));
     _running.back().start();
 }
 
 sim::CoTask
-L3Bank::transaction(Request req)
+L3Bank::transaction(Request req, std::uint64_t trace_id)
 {
     if (req.type == ReqType::Atomic && _chip.cohesionEnabled() &&
         _chip.map().inTable(req.addr)) {
         co_await handleTableUpdate(req);
-        co_return;
+    } else {
+        switch (req.type) {
+          case ReqType::Read:
+          case ReqType::Instr:
+            co_await handleRead(req);
+            break;
+          case ReqType::Write:
+            co_await handleWrite(req);
+            break;
+          case ReqType::Atomic:
+            co_await handleAtomic(req);
+            break;
+          default:
+            co_await handleWriteback(req);
+            break;
+        }
     }
-    switch (req.type) {
-      case ReqType::Read:
-      case ReqType::Instr:
-        co_await handleRead(req);
-        break;
-      case ReqType::Write:
-        co_await handleWrite(req);
-        break;
-      case ReqType::Atomic:
-        co_await handleAtomic(req);
-        break;
-      default:
-        co_await handleWriteback(req);
-        break;
+    if (trace_id) {
+        if (sim::TraceJsonWriter *w = _chip.tracer().json())
+            w->asyncEnd(trace_id, _chip.eq().now(),
+                        sim::cat("bank", _id, ":",
+                                 reqTypeName(req.type)),
+                        "txn");
     }
 }
 
@@ -100,6 +117,28 @@ void
 L3Bank::respond(const Request &req, Response resp, unsigned data_words)
 {
     _chip.sendResponse(_id, req.cluster, resp, data_words);
+}
+
+void
+L3Bank::registerStats(sim::StatRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".l3.hits", _l3Hits);
+    reg.addCounter(prefix + ".l3.misses", _l3Misses);
+    reg.addCounter(prefix + ".transitions", _transitions);
+    reg.addCounter(prefix + ".table_lookups", _tableLookups);
+    reg.addCounter(prefix + ".dir.evictions", _dirEvictions);
+    reg.addCounter(prefix + ".atomics", _atomics);
+    reg.addCounter(prefix + ".merge_conflicts", _mergeConflicts);
+    reg.addScalar(prefix + ".dir.entries", [this]() {
+        return static_cast<double>(_dir.size());
+    });
+    reg.addScalar(prefix + ".dir.peak", [this]() {
+        return static_cast<double>(_dir.peakEntries());
+    });
+    reg.addScalar(prefix + ".dir.insertions", [this]() {
+        return static_cast<double>(_dir.insertions());
+    });
 }
 
 void
@@ -738,6 +777,12 @@ L3Bank::handleTableUpdate(Request req)
         TRACE(_chip.tracer(), sim::Category::Transition, "bank", _id,
               ": line 0x", std::hex, lb, std::dec, " -> ",
               to_swcc ? "SWcc" : "HWcc");
+        if (sim::TraceJsonWriter *w = _chip.tracer().json()) {
+            w->instant(eq.now(), sim::TraceJsonWriter::bankTid(_id),
+                       sim::cat("line 0x", std::hex, lb,
+                                to_swcc ? " ->SWcc" : " ->HWcc"),
+                       "transition");
+        }
         if (to_swcc) {
             // HWcc => SWcc (Fig. 7a): flush any directory state.
             if (_dir.find(lb)) {

@@ -35,6 +35,7 @@
 #include "cohesion/table_cache.hh"
 #include "mem/types.hh"
 #include "sim/cotask.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 
 namespace arch {
@@ -54,6 +55,17 @@ class L3Bank
     /** Accept a request (called at the fabric arrival event). */
     void receiveRequest(const Request &req);
 
+    /** In-flight protocol transactions (queue-depth proxy). */
+    unsigned
+    inFlight() const
+    {
+        return static_cast<unsigned>(_running.size());
+    }
+
+    /** Register this bank's stats under @p prefix in @p reg. */
+    void registerStats(sim::StatRegistry &reg,
+                       const std::string &prefix) const;
+
     // --- Statistics -----------------------------------------------------
     std::uint64_t transitions() const { return _transitions.value(); }
     std::uint64_t tableLookups() const { return _tableLookups.value(); }
@@ -66,8 +78,9 @@ class L3Bank
     const cohesion::TableCache &tableCache() const { return _tableCache; }
 
   private:
-    /** Top-level protocol transaction for one request. */
-    sim::CoTask transaction(Request req);
+    /** Top-level protocol transaction for one request. @p trace_id is
+     *  the nonzero async-span id when a JSON trace sink is attached. */
+    sim::CoTask transaction(Request req, std::uint64_t trace_id);
 
     /** Read/Instr request flow. */
     sim::CoTask handleRead(Request req);

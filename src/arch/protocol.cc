@@ -26,6 +26,30 @@ reqTypeName(ReqType t)
     return "?";
 }
 
+MsgClass
+msgClassFor(ReqType t)
+{
+    switch (t) {
+      case ReqType::Read:
+        return MsgClass::ReadRequest;
+      case ReqType::Write:
+        return MsgClass::WriteRequest;
+      case ReqType::Instr:
+        return MsgClass::InstructionRequest;
+      case ReqType::Atomic:
+        return MsgClass::UncachedAtomic;
+      case ReqType::WriteRelease:
+        return MsgClass::CacheEviction;
+      case ReqType::ReadRelease:
+        return MsgClass::ReadRelease;
+      case ReqType::Eviction:
+        return MsgClass::CacheEviction;
+      case ReqType::Flush:
+        return MsgClass::SoftwareFlush;
+    }
+    return MsgClass::ReadRequest;
+}
+
 const char *
 probeTypeName(ProbeType t)
 {

@@ -15,6 +15,7 @@
 #include "arch/msg.hh"
 #include "cache/cache_array.hh"
 #include "mem/types.hh"
+#include "sim/event_queue.hh"
 
 namespace arch {
 
@@ -32,6 +33,9 @@ enum class ReqType : std::uint8_t {
 
 const char *reqTypeName(ReqType t);
 
+/** The Fig. 2 message class a request of type @p t is accounted to. */
+MsgClass msgClassFor(ReqType t);
+
 /** A request message from a cluster to a line's home bank. */
 struct Request
 {
@@ -42,6 +46,7 @@ struct Request
     mem::WordMask mask = 0;          ///< Dirty words for writebacks.
     std::array<std::uint8_t, mem::lineBytes> data{}; ///< WB payload.
     bool upgrade = false;            ///< Write: already hold S copy.
+    sim::Tick sendTick = 0;          ///< Departure stamp (latency stats).
 
     // Atomic-only fields.
     AtomicOp op = AtomicOp::AddU32;
@@ -59,6 +64,7 @@ struct Response
     cache::CohState grant = cache::CohState::Invalid; ///< S or M.
     std::array<std::uint8_t, mem::lineBytes> data{};
     std::uint32_t atomicOld = 0;     ///< Prior value for atomics.
+    sim::Tick sendTick = 0;          ///< Departure stamp (latency stats).
 };
 
 /** Directory -> L2 probe types. */

@@ -7,69 +7,101 @@
 
 namespace harness {
 
+void
+buildStatRegistry(const arch::MachineConfig &cfg, const RunResult &r,
+                  sim::StatRegistry &reg)
+{
+    reg.addScalar("machine.cores", cfg.totalCores());
+    reg.addScalar("machine.clusters", cfg.numClusters);
+    reg.addScalar("machine.l3_banks", cfg.numL3Banks);
+    reg.addScalar("machine.channels", cfg.numChannels);
+    reg.addScalar("machine.mode", static_cast<double>(cfg.mode));
+
+    reg.addScalar("sim.cycles", static_cast<double>(r.cycles));
+    reg.addScalar("sim.instructions", static_cast<double>(r.instructions));
+    reg.addScalar("sim.ipc_per_core",
+                  r.cycles
+                      ? double(r.instructions) / r.cycles / cfg.totalCores()
+                      : 0.0);
+
+    for (unsigned c = 0; c < arch::numMsgClasses; ++c) {
+        arch::MsgClass cls = static_cast<arch::MsgClass>(c);
+        reg.addScalar(sim::cat("l2_out.", arch::msgClassName(cls)),
+                      static_cast<double>(r.msgs.get(cls)));
+        reg.addHistogram(sim::cat("latency.req.", arch::msgClassName(cls)),
+                         r.reqLatency[c]);
+    }
+    reg.addScalar("l2_out.total", static_cast<double>(r.msgs.total()));
+    reg.addHistogram("latency.resp", r.respLatency);
+    reg.addHistogram("latency.probe", r.probeLatency);
+
+    reg.addScalar("l2.hits", static_cast<double>(r.l2Hits));
+    reg.addScalar("l2.misses", static_cast<double>(r.l2Misses));
+    reg.addScalar("l2.hit_rate",
+                  (r.l2Hits + r.l2Misses)
+                      ? double(r.l2Hits) / (r.l2Hits + r.l2Misses)
+                      : 0.0);
+    reg.addScalar("l3.hits", static_cast<double>(r.l3Hits));
+    reg.addScalar("l3.misses", static_cast<double>(r.l3Misses));
+    reg.addScalar("l3.hit_rate",
+                  (r.l3Hits + r.l3Misses)
+                      ? double(r.l3Hits) / (r.l3Hits + r.l3Misses)
+                      : 0.0);
+
+    reg.addScalar("swcc.flush_issued", static_cast<double>(r.flushIssued));
+    reg.addScalar("swcc.flush_useful", static_cast<double>(r.flushUseful));
+    reg.addScalar("swcc.inv_issued", static_cast<double>(r.invIssued));
+    reg.addScalar("swcc.inv_useful", static_cast<double>(r.invUseful));
+    double coh_ops = double(r.flushIssued) + r.invIssued;
+    reg.addScalar("swcc.useful_fraction",
+                  coh_ops
+                      ? (double(r.flushUseful) + r.invUseful) / coh_ops
+                      : 0.0);
+
+    reg.addScalar("dir.insertions", static_cast<double>(r.dirInsertions));
+    reg.addScalar("dir.evictions", static_cast<double>(r.dirEvictions));
+    reg.addScalar("dir.peak_entries", static_cast<double>(r.dirPeak));
+    reg.addScalar("dir.avg_entries", r.dirAvgTotal);
+    reg.addScalar("dir.avg_code", r.dirAvgBySegment[0]);
+    reg.addScalar("dir.avg_stack", r.dirAvgBySegment[1]);
+    reg.addScalar("dir.avg_heap_global", r.dirAvgBySegment[2]);
+    reg.addScalar("dir.max_entries", r.dirMax);
+
+    reg.addScalar("cohesion.transitions",
+                  static_cast<double>(r.transitions));
+    reg.addScalar("cohesion.table_lookups",
+                  static_cast<double>(r.tableLookups));
+    reg.addScalar("cohesion.table_cache_hits",
+                  static_cast<double>(r.tableCacheHits));
+    reg.addScalar("cohesion.table_cache_misses",
+                  static_cast<double>(r.tableCacheMisses));
+    reg.addScalar("cohesion.merge_conflicts",
+                  static_cast<double>(r.mergeConflicts));
+    reg.addScalar("atomics.executed", static_cast<double>(r.atomics));
+
+    reg.addScalar("dram.accesses", static_cast<double>(r.dramAccesses));
+    reg.addScalar("net.bytes", static_cast<double>(r.fabricBytes));
+    reg.addScalar("net.bytes_per_cycle",
+                  r.cycles ? double(r.fabricBytes) / r.cycles : 0.0);
+    reg.addHistogram("net.delay_up", r.fabricDelayUp);
+    reg.addHistogram("net.delay_down", r.fabricDelayDown);
+}
+
 sim::StatSet
 collectStats(const arch::MachineConfig &cfg, const RunResult &r)
 {
-    sim::StatSet s;
-    s.set("machine.cores", cfg.totalCores());
-    s.set("machine.clusters", cfg.numClusters);
-    s.set("machine.l3_banks", cfg.numL3Banks);
-    s.set("machine.channels", cfg.numChannels);
-    s.set("machine.mode", static_cast<double>(cfg.mode));
+    sim::StatRegistry reg;
+    buildStatRegistry(cfg, r, reg);
+    return reg.flatten();
+}
 
-    s.set("sim.cycles", static_cast<double>(r.cycles));
-    s.set("sim.instructions", static_cast<double>(r.instructions));
-    s.set("sim.ipc_per_core",
-          r.cycles ? double(r.instructions) / r.cycles / cfg.totalCores()
-                   : 0.0);
-
-    r.msgs.exportTo(s, "l2_out.");
-    s.set("l2_out.total", static_cast<double>(r.msgs.total()));
-
-    s.set("l2.hits", static_cast<double>(r.l2Hits));
-    s.set("l2.misses", static_cast<double>(r.l2Misses));
-    s.set("l2.hit_rate", (r.l2Hits + r.l2Misses)
-                             ? double(r.l2Hits) / (r.l2Hits + r.l2Misses)
-                             : 0.0);
-    s.set("l3.hits", static_cast<double>(r.l3Hits));
-    s.set("l3.misses", static_cast<double>(r.l3Misses));
-    s.set("l3.hit_rate", (r.l3Hits + r.l3Misses)
-                             ? double(r.l3Hits) / (r.l3Hits + r.l3Misses)
-                             : 0.0);
-
-    s.set("swcc.flush_issued", static_cast<double>(r.flushIssued));
-    s.set("swcc.flush_useful", static_cast<double>(r.flushUseful));
-    s.set("swcc.inv_issued", static_cast<double>(r.invIssued));
-    s.set("swcc.inv_useful", static_cast<double>(r.invUseful));
-    double coh_ops = double(r.flushIssued) + r.invIssued;
-    s.set("swcc.useful_fraction",
-          coh_ops ? (double(r.flushUseful) + r.invUseful) / coh_ops : 0.0);
-
-    s.set("dir.insertions", static_cast<double>(r.dirInsertions));
-    s.set("dir.evictions", static_cast<double>(r.dirEvictions));
-    s.set("dir.peak_entries", static_cast<double>(r.dirPeak));
-    s.set("dir.avg_entries", r.dirAvgTotal);
-    s.set("dir.avg_code", r.dirAvgBySegment[0]);
-    s.set("dir.avg_stack", r.dirAvgBySegment[1]);
-    s.set("dir.avg_heap_global", r.dirAvgBySegment[2]);
-    s.set("dir.max_entries", r.dirMax);
-
-    s.set("cohesion.transitions", static_cast<double>(r.transitions));
-    s.set("cohesion.table_lookups",
-          static_cast<double>(r.tableLookups));
-    s.set("cohesion.table_cache_hits",
-          static_cast<double>(r.tableCacheHits));
-    s.set("cohesion.table_cache_misses",
-          static_cast<double>(r.tableCacheMisses));
-    s.set("cohesion.merge_conflicts",
-          static_cast<double>(r.mergeConflicts));
-    s.set("atomics.executed", static_cast<double>(r.atomics));
-
-    s.set("dram.accesses", static_cast<double>(r.dramAccesses));
-    s.set("net.bytes", static_cast<double>(r.fabricBytes));
-    s.set("net.bytes_per_cycle",
-          r.cycles ? double(r.fabricBytes) / r.cycles : 0.0);
-    return s;
+void
+printJson(std::ostream &os, const arch::MachineConfig &cfg,
+          const RunResult &r)
+{
+    sim::StatRegistry reg;
+    buildStatRegistry(cfg, r, reg);
+    reg.dumpJson(os);
 }
 
 void

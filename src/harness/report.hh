@@ -14,12 +14,26 @@
 #include <iosfwd>
 
 #include "harness/runner.hh"
+#include "sim/stat_registry.hh"
 
 namespace harness {
+
+/**
+ * Populate @p reg with every statistic derived from @p r: the legacy
+ * flat scalar names (sim.cycles, l2_out.*, dir.*, ...) plus the typed
+ * latency histograms. @p r must outlive any dump of @p reg (histogram
+ * entries are registered by reference).
+ */
+void buildStatRegistry(const arch::MachineConfig &cfg, const RunResult &r,
+                       sim::StatRegistry &reg);
 
 /** Flatten a RunResult into named scalar statistics. */
 sim::StatSet collectStats(const arch::MachineConfig &cfg,
                           const RunResult &r);
+
+/** Dump the hierarchical stat registry as a JSON tree. */
+void printJson(std::ostream &os, const arch::MachineConfig &cfg,
+               const RunResult &r);
 
 /** Print a human-readable report. */
 void printReport(std::ostream &os, const arch::MachineConfig &cfg,

@@ -1,10 +1,13 @@
 #include "harness/runner.hh"
 
+#include <optional>
 #include <vector>
 
+#include "harness/report.hh"
 #include "runtime/ctx.hh"
 #include "runtime/layout.hh"
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace harness {
 
@@ -16,10 +19,19 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
     chip.tracer().setMask(opts.traceMask);
     runtime::CohesionRuntime rt(chip);
 
+    std::optional<sim::TraceJsonWriter> trace_json;
+    if (opts.traceJson) {
+        trace_json.emplace(*opts.traceJson);
+        chip.attachJson(&*trace_json);
+    }
+
     kernel.setup(rt);
 
-    if (opts.sampleOccupancy)
-        chip.enableOccupancySampling(1000);
+    sim::Tick period = opts.samplePeriod;
+    if (period == 0 && opts.sampleOccupancy)
+        period = 1000;
+    if (period)
+        chip.enableOccupancySampling(period);
 
     std::vector<sim::CoTask> workers;
     workers.reserve(chip.totalCores());
@@ -69,17 +81,34 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
         r.l3Misses += bank.l3Misses();
     }
 
-    if (opts.sampleOccupancy) {
+    if (period) {
         r.dirAvgTotal = chip.occupancyAverageTotal();
         r.dirMax = chip.occupancyMax();
         for (unsigned s = 0; s < arch::numSegments; ++s) {
             r.dirAvgBySegment[s] =
                 chip.occupancyAverage(static_cast<arch::Segment>(s));
         }
+        r.timeSeries = chip.timeSeries().data();
     }
 
     r.dramAccesses = chip.dram().totalAccesses();
     r.fabricBytes = chip.fabric().bytesUp() + chip.fabric().bytesDown();
+
+    for (unsigned c = 0; c < arch::numMsgClasses; ++c)
+        r.reqLatency[c] = chip.reqLatency(static_cast<arch::MsgClass>(c));
+    r.respLatency = chip.respLatency();
+    r.probeLatency = chip.probeLatency();
+    r.fabricDelayUp = chip.fabric().delayUp();
+    r.fabricDelayDown = chip.fabric().delayDown();
+
+    if (opts.statsJson) {
+        sim::StatRegistry reg;
+        buildStatRegistry(cfg, r, reg);
+        chip.registerStats(reg);
+        reg.dumpJson(*opts.statsJson);
+    }
+    if (trace_json)
+        trace_json->finish();
     return r;
 }
 

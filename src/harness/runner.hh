@@ -11,10 +11,12 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 
 #include "arch/chip.hh"
 #include "arch/machine_config.hh"
 #include "kernels/kernel.hh"
+#include "sim/timeseries.hh"
 #include "sim/trace.hh"
 
 namespace harness {
@@ -55,9 +57,21 @@ struct RunResult
     std::uint64_t l3Misses = 0;
     std::uint64_t dramAccesses = 0;
     std::uint64_t fabricBytes = 0;
+
+    // Message-latency histograms (depart -> arrival through the fabric),
+    // per Fig. 2 class plus responses and directory probes.
+    std::array<sim::Histogram, arch::numMsgClasses> reqLatency{};
+    sim::Histogram respLatency;
+    sim::Histogram probeLatency;
+    sim::Histogram fabricDelayUp;
+    sim::Histogram fabricDelayDown;
+
+    /** Sampled series (empty unless sampling was enabled). */
+    sim::TimeSeriesData timeSeries;
 };
 
-/** Options controlling a run. */
+/** Options controlling a run. New members go at the END: call sites
+ *  aggregate-initialize the leading fields positionally. */
 struct RunOptions
 {
     /** Sample the directory every 1000 cycles (Fig. 9c). */
@@ -66,6 +80,12 @@ struct RunOptions
     bool skipVerify = false;
     /** Debug-trace categories to enable (sim/trace.hh). */
     sim::Category traceMask = sim::Category::None;
+    /** Time-series sampling period (0: 1000 iff sampleOccupancy). */
+    sim::Tick samplePeriod = 0;
+    /** Stream a Chrome trace-event JSON document here (not owned). */
+    std::ostream *traceJson = nullptr;
+    /** Dump the hierarchical stat registry as JSON here (not owned). */
+    std::ostream *statsJson = nullptr;
 };
 
 /**

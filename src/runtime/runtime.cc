@@ -1,6 +1,7 @@
 #include "runtime/runtime.hh"
 
 #include "cohesion/region_table.hh"
+#include "sim/trace_json.hh"
 
 namespace runtime {
 
@@ -38,6 +39,10 @@ Barrier::releaseAll()
 {
     TRACE(_chip.tracer(), sim::Category::Runtime, "barrier: episode ",
           _episode, " released (", _waiting.size(), " parked)");
+    if (sim::TraceJsonWriter *w = _chip.tracer().json()) {
+        w->instant(_chip.eq().now(), sim::TraceJsonWriter::machineTid,
+                   sim::cat("barrier.release ep", _episode), "runtime");
+    }
     sim::EventQueue &eq = _chip.eq();
     sim::Tick when = eq.now() + _chip.config().netLatency;
     std::vector<arch::Core *> waiters;

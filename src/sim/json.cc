@@ -1,0 +1,381 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace sim {
+
+void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\b':
+            os << "\\b";
+            break;
+          case '\f':
+            os << "\\f";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    // Integral values in the exactly-representable range print as
+    // integers so counters stay exact and machine-friendly.
+    constexpr double exact = 9007199254740992.0; // 2^53
+    if (v == std::floor(v) && std::fabs(v) < exact) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : _text(text), _err(err)
+    {}
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (_pos != _text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (_err)
+            *_err = why + " (at offset " + std::to_string(_pos) + ")";
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (_text.substr(_pos, word.size()) != word)
+            return false;
+        _pos += word.size();
+        return true;
+    }
+
+    bool
+    value(JsonValue *out)
+    {
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        char c = _text[_pos];
+        switch (c) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out->kind = JsonValue::Kind::String;
+            return string(&out->str);
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out->kind = JsonValue::Kind::Null;
+            return true;
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    object(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Object;
+        ++_pos; // '{'
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!string(&key))
+                return false;
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return fail("expected ':'");
+            ++_pos;
+            skipWs();
+            JsonValue v;
+            if (!value(&v))
+                return false;
+            out->obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Array;
+        ++_pos; // '['
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!value(&v))
+                return false;
+            out->arr.push_back(std::move(v));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        ++_pos; // opening quote
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (_pos + 1 >= _text.size())
+                    return fail("dangling escape");
+                char e = _text[++_pos];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    out->push_back(e);
+                    break;
+                  case 'b':
+                    out->push_back('\b');
+                    break;
+                  case 'f':
+                    out->push_back('\f');
+                    break;
+                  case 'n':
+                    out->push_back('\n');
+                    break;
+                  case 'r':
+                    out->push_back('\r');
+                    break;
+                  case 't':
+                    out->push_back('\t');
+                    break;
+                  case 'u': {
+                      if (_pos + 4 >= _text.size())
+                          return fail("truncated \\u escape");
+                      unsigned cp = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          char h = _text[++_pos];
+                          cp <<= 4;
+                          if (h >= '0' && h <= '9') {
+                              cp |= h - '0';
+                          } else if (h >= 'a' && h <= 'f') {
+                              cp |= h - 'a' + 10;
+                          } else if (h >= 'A' && h <= 'F') {
+                              cp |= h - 'A' + 10;
+                          } else {
+                              return fail("bad \\u escape");
+                          }
+                      }
+                      // Encode as UTF-8 (surrogates land as-is; the
+                      // exporters never emit them).
+                      if (cp < 0x80) {
+                          out->push_back(static_cast<char>(cp));
+                      } else if (cp < 0x800) {
+                          out->push_back(
+                              static_cast<char>(0xc0 | (cp >> 6)));
+                          out->push_back(
+                              static_cast<char>(0x80 | (cp & 0x3f)));
+                      } else {
+                          out->push_back(
+                              static_cast<char>(0xe0 | (cp >> 12)));
+                          out->push_back(static_cast<char>(
+                              0x80 | ((cp >> 6) & 0x3f)));
+                          out->push_back(
+                              static_cast<char>(0x80 | (cp & 0x3f)));
+                      }
+                      break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                ++_pos;
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("control character in string");
+            out->push_back(c);
+            ++_pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue *out)
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        bool digits = false;
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+            digits = true;
+        }
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            ++_pos;
+            while (_pos < _text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+                digits = true;
+            }
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-')) {
+                ++_pos;
+            }
+            while (_pos < _text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+            }
+        }
+        if (!digits)
+            return fail("expected a value");
+        std::string tok(_text.substr(start, _pos - start));
+        out->kind = JsonValue::Kind::Number;
+        out->number = std::strtod(tok.c_str(), nullptr);
+        return true;
+    }
+
+    std::string_view _text;
+    std::string *_err;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue *out, std::string *err)
+{
+    Parser p(text, err);
+    return p.parse(out);
+}
+
+} // namespace sim

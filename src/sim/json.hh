@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal dependency-free JSON support: string escaping and number
+ * formatting for the stat-registry / trace exporters, and a small
+ * recursive-descent parser used by the tests to validate that exported
+ * documents are well-formed (and by any embedder that wants to consume
+ * them without an external library).
+ */
+
+#ifndef COHESION_SIM_JSON_HH
+#define COHESION_SIM_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sim {
+
+/** Write @p s as a JSON string literal (quotes included, escaped). */
+void writeJsonString(std::ostream &os, std::string_view s);
+
+/**
+ * Write @p v as a JSON number: integral values print without a
+ * fractional part; non-finite values (not representable in JSON)
+ * print as 0.
+ */
+void writeJsonNumber(std::ostream &os, double v);
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;                          ///< Kind::Array
+    std::vector<std::pair<std::string, JsonValue>> obj;  ///< Kind::Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr if absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/**
+ * Parse a complete JSON document. Returns false (and sets @p err, if
+ * given) on malformed input or trailing garbage.
+ */
+bool parseJson(std::string_view text, JsonValue *out,
+               std::string *err = nullptr);
+
+} // namespace sim
+
+#endif // COHESION_SIM_JSON_HH

@@ -1,0 +1,238 @@
+#include "sim/stat_registry.hh"
+
+#include <ostream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace sim {
+
+void
+StatRegistry::insert(const std::string &path, Entry e)
+{
+    panic_if(path.empty(), "registering a stat with an empty path");
+    auto [it, ok] = _entries.emplace(path, std::move(e));
+    panic_if(!ok, "duplicate stat registration: ", path);
+}
+
+void
+StatRegistry::addScalar(const std::string &path, double value)
+{
+    insert(path, value);
+}
+
+void
+StatRegistry::addScalar(const std::string &path, ScalarFn fn)
+{
+    insert(path, std::move(fn));
+}
+
+void
+StatRegistry::addCounter(const std::string &path, const Counter &c)
+{
+    insert(path, &c);
+}
+
+void
+StatRegistry::addDistribution(const std::string &path,
+                              const Distribution &d)
+{
+    insert(path, &d);
+}
+
+void
+StatRegistry::addHistogram(const std::string &path, const Histogram &h)
+{
+    insert(path, &h);
+}
+
+double
+StatRegistry::scalarValue(const std::string &path) const
+{
+    auto it = _entries.find(path);
+    if (it == _entries.end())
+        return 0.0;
+    const Entry &e = it->second;
+    if (const double *v = std::get_if<double>(&e))
+        return *v;
+    if (const ScalarFn *fn = std::get_if<ScalarFn>(&e))
+        return (*fn)();
+    if (const Counter *const *c = std::get_if<const Counter *>(&e))
+        return static_cast<double>((*c)->value());
+    if (const Distribution *const *d =
+            std::get_if<const Distribution *>(&e))
+        return static_cast<double>((*d)->count());
+    if (const Histogram *const *h = std::get_if<const Histogram *>(&e))
+        return static_cast<double>((*h)->count());
+    return 0.0;
+}
+
+StatSet
+StatRegistry::flatten() const
+{
+    StatSet out;
+    for (const auto &[path, e] : _entries) {
+        if (const double *v = std::get_if<double>(&e)) {
+            out.set(path, *v);
+        } else if (const ScalarFn *fn = std::get_if<ScalarFn>(&e)) {
+            out.set(path, (*fn)());
+        } else if (const Counter *const *c =
+                       std::get_if<const Counter *>(&e)) {
+            out.set(path, static_cast<double>((*c)->value()));
+        } else if (const Distribution *const *dp =
+                       std::get_if<const Distribution *>(&e)) {
+            const Distribution &d = **dp;
+            out.set(path + ".count", static_cast<double>(d.count()));
+            out.set(path + ".mean", d.mean());
+            out.set(path + ".min", d.min());
+            out.set(path + ".max", d.max());
+            out.set(path + ".stddev", d.stddev());
+        } else if (const Histogram *const *hp =
+                       std::get_if<const Histogram *>(&e)) {
+            const Histogram &h = **hp;
+            out.set(path + ".count", static_cast<double>(h.count()));
+            out.set(path + ".mean", h.mean());
+            out.set(path + ".min", static_cast<double>(h.min()));
+            out.set(path + ".max", static_cast<double>(h.max()));
+        }
+    }
+    return out;
+}
+
+void
+StatRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    StatSet flat = flatten();
+    for (const auto &[name, value] : flat.values()) {
+        os << name << ',';
+        writeJsonNumber(os, value);
+        os << '\n';
+    }
+}
+
+namespace {
+
+void
+emitLeaf(std::ostream &os,
+         const std::variant<double, StatRegistry::ScalarFn,
+                            const Counter *, const Distribution *,
+                            const Histogram *> &e)
+{
+    if (const double *v = std::get_if<double>(&e)) {
+        writeJsonNumber(os, *v);
+    } else if (const StatRegistry::ScalarFn *fn =
+                   std::get_if<StatRegistry::ScalarFn>(&e)) {
+        writeJsonNumber(os, (*fn)());
+    } else if (const Counter *const *c = std::get_if<const Counter *>(&e)) {
+        writeJsonNumber(os, static_cast<double>((*c)->value()));
+    } else if (const Distribution *const *dp =
+                   std::get_if<const Distribution *>(&e)) {
+        const Distribution &d = **dp;
+        os << "{\"type\":\"distribution\",\"count\":";
+        writeJsonNumber(os, static_cast<double>(d.count()));
+        os << ",\"sum\":";
+        writeJsonNumber(os, d.sum());
+        os << ",\"mean\":";
+        writeJsonNumber(os, d.mean());
+        os << ",\"min\":";
+        writeJsonNumber(os, d.min());
+        os << ",\"max\":";
+        writeJsonNumber(os, d.max());
+        os << ",\"stddev\":";
+        writeJsonNumber(os, d.stddev());
+        os << '}';
+    } else if (const Histogram *const *hp =
+                   std::get_if<const Histogram *>(&e)) {
+        const Histogram &h = **hp;
+        os << "{\"type\":\"histogram\",\"count\":";
+        writeJsonNumber(os, static_cast<double>(h.count()));
+        os << ",\"sum\":";
+        writeJsonNumber(os, static_cast<double>(h.sum()));
+        os << ",\"mean\":";
+        writeJsonNumber(os, h.mean());
+        os << ",\"min\":";
+        writeJsonNumber(os, static_cast<double>(h.min()));
+        os << ",\"max\":";
+        writeJsonNumber(os, static_cast<double>(h.max()));
+        os << ",\"buckets\":[";
+        bool first = true;
+        for (unsigned b = 0; b < Histogram::numBuckets; ++b) {
+            if (!h.bucket(b))
+                continue;
+            if (!first)
+                os << ',';
+            first = false;
+            os << "{\"lo\":";
+            writeJsonNumber(os, static_cast<double>(Histogram::bucketLow(b)));
+            os << ",\"hi\":";
+            writeJsonNumber(os,
+                            static_cast<double>(Histogram::bucketHigh(b)));
+            os << ",\"count\":";
+            writeJsonNumber(os, static_cast<double>(h.bucket(b)));
+            os << '}';
+        }
+        os << "]}";
+    }
+}
+
+struct TreeNode
+{
+    std::map<std::string, TreeNode> kids;
+    std::function<void(std::ostream &)> leaf; // null if interior only
+};
+
+void
+emitNode(std::ostream &os, const TreeNode &n)
+{
+    if (n.leaf && n.kids.empty()) {
+        n.leaf(os);
+        return;
+    }
+    os << '{';
+    bool first = true;
+    if (n.leaf) {
+        // A path that is both a leaf and an interior node keeps its
+        // value under a reserved key so neither is lost.
+        writeJsonString(os, "_value");
+        os << ':';
+        n.leaf(os);
+        first = false;
+    }
+    for (const auto &[key, kid] : n.kids) {
+        if (!first)
+            os << ',';
+        first = false;
+        writeJsonString(os, key);
+        os << ':';
+        emitNode(os, kid);
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    TreeNode root;
+    for (const auto &[path, e] : _entries) {
+        TreeNode *n = &root;
+        std::size_t start = 0;
+        while (true) {
+            std::size_t dot = path.find('.', start);
+            std::string seg = path.substr(
+                start, dot == std::string::npos ? dot : dot - start);
+            n = &n->kids[seg];
+            if (dot == std::string::npos)
+                break;
+            start = dot + 1;
+        }
+        const Entry *ep = &e;
+        n->leaf = [ep](std::ostream &o) { emitLeaf(o, *ep); };
+    }
+    emitNode(os, root);
+    os << '\n';
+}
+
+} // namespace sim

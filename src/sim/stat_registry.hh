@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hierarchical statistics registry. Components register named typed
+ * stats (Counter, Distribution, Histogram, plain or lazily-computed
+ * scalars) under dotted paths such as "chip.cluster3.l2.evict.clean".
+ * One registry walk then produces every export format uniformly:
+ *
+ *  - dumpJson(): a nested JSON object tree (the dot hierarchy becomes
+ *    object nesting; histograms carry their non-empty buckets);
+ *  - dumpCsv(): flat `stat,value` rows;
+ *  - flatten(): the legacy StatSet for existing report consumers.
+ *
+ * The registry stores pointers to registered stats; it does not own
+ * them. Registrants must outlive every dump call (the harness builds a
+ * registry per report, so this is naturally satisfied).
+ */
+
+#ifndef COHESION_SIM_STAT_REGISTRY_HH
+#define COHESION_SIM_STAT_REGISTRY_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "sim/stats.hh"
+
+namespace sim {
+
+class StatRegistry
+{
+  public:
+    using ScalarFn = std::function<double()>;
+
+    void addScalar(const std::string &path, double value);
+    void addScalar(const std::string &path, ScalarFn fn);
+    void addCounter(const std::string &path, const Counter &c);
+    void addDistribution(const std::string &path, const Distribution &d);
+    void addHistogram(const std::string &path, const Histogram &h);
+
+    bool has(const std::string &path) const { return _entries.count(path); }
+    std::size_t size() const { return _entries.size(); }
+
+    /** Scalar view of one entry (count for histograms/distributions). */
+    double scalarValue(const std::string &path) const;
+
+    /** Flatten into the legacy StatSet (see header comment). */
+    StatSet flatten() const;
+
+    /** Nested JSON object tree, one object level per path segment. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Flat `stat,value` CSV with a header row. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    using Entry = std::variant<double, ScalarFn, const Counter *,
+                               const Distribution *, const Histogram *>;
+
+    void insert(const std::string &path, Entry e);
+
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_STAT_REGISTRY_HH

@@ -10,6 +10,9 @@
 #define COHESION_SIM_STATS_HH
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -29,7 +32,13 @@ class Counter
     std::uint64_t _value = 0;
 };
 
-/** Running min/mean/max over observed samples. */
+/**
+ * Running min/mean/max/variance over observed samples. The mean and
+ * variance use Welford's online recurrence, so one pass is numerically
+ * stable and reset() leaves no residue. An empty (or freshly reset)
+ * distribution reports zero for every moment; a single sample has zero
+ * variance. variance() is the population variance (divide by N).
+ */
 class Distribution
 {
   public:
@@ -44,26 +53,115 @@ class Distribution
         }
         _sum += v;
         ++_count;
+        double delta = v - _mean;
+        _mean += delta / _count;
+        _m2 += delta * (v - _mean);
     }
 
-    void
-    reset()
-    {
-        _count = 0;
-        _sum = _min = _max = 0.0;
-    }
+    void reset() { *this = Distribution(); }
 
     std::uint64_t count() const { return _count; }
     double sum() const { return _sum; }
     double min() const { return _min; }
     double max() const { return _max; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
+    double mean() const { return _count ? _mean : 0.0; }
+    double variance() const { return _count ? _m2 / _count : 0.0; }
+    double stddev() const { return std::sqrt(variance()); }
 
   private:
     std::uint64_t _count = 0;
     double _sum = 0.0;
     double _min = 0.0;
     double _max = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer samples (message
+ * latencies, queue depths). Bucket 0 holds the value 0; bucket i
+ * holds [2^(i-1), 2^i - 1]; the last bucket absorbs everything above.
+ * Constant memory, O(1) sampling — safe on hot paths.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned numBuckets = 33;
+
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        unsigned w = static_cast<unsigned>(std::bit_width(v));
+        return w < numBuckets ? w : numBuckets - 1;
+    }
+
+    /** Lowest value accounted to bucket @p b. */
+    static std::uint64_t
+    bucketLow(unsigned b)
+    {
+        return b == 0 ? 0 : std::uint64_t(1) << (b - 1);
+    }
+
+    /** Highest value accounted to bucket @p b (inclusive). */
+    static std::uint64_t
+    bucketHigh(unsigned b)
+    {
+        if (b == 0)
+            return 0;
+        if (b >= numBuckets - 1)
+            return ~std::uint64_t(0);
+        return (std::uint64_t(1) << b) - 1;
+    }
+
+    void
+    sample(std::uint64_t v, std::uint64_t weight = 1)
+    {
+        if (weight == 0)
+            return;
+        if (_count == 0) {
+            _min = _max = v;
+        } else {
+            _min = std::min(_min, v);
+            _max = std::max(_max, v);
+        }
+        _buckets[bucketOf(v)] += weight;
+        _count += weight;
+        _sum += v * weight;
+    }
+
+    void reset() { *this = Histogram(); }
+
+    void
+    merge(const Histogram &other)
+    {
+        if (other._count == 0)
+            return;
+        if (_count == 0) {
+            _min = other._min;
+            _max = other._max;
+        } else {
+            _min = std::min(_min, other._min);
+            _max = std::max(_max, other._max);
+        }
+        for (unsigned i = 0; i < numBuckets; ++i)
+            _buckets[i] += other._buckets[i];
+        _count += other._count;
+        _sum += other._sum;
+    }
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t min() const { return _min; }
+    std::uint64_t max() const { return _max; }
+    double mean() const { return _count ? double(_sum) / _count : 0.0; }
+    std::uint64_t bucket(unsigned b) const { return _buckets.at(b); }
+
+  private:
+    std::array<std::uint64_t, numBuckets> _buckets{};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = 0;
+    std::uint64_t _max = 0;
 };
 
 /**

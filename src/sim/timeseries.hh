@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Event-queue-driven time-series sampler. Components register named
+ * probe functions; once started with a period, the sampler schedules
+ * itself on the simulation event queue, records one row of
+ * (tick, probe values) per period, and re-arms only while other events
+ * remain pending — so a quiescing simulation still drains (the paper's
+ * "sampled every 1000 cycles" methodology, Fig. 9c, generalized to any
+ * scalar the machine can observe).
+ *
+ * The recorded data is a plain copyable struct so a run's trace can
+ * outlive the machine that produced it; export is tidy CSV
+ * (tick,series,value — one observation per row).
+ */
+
+#ifndef COHESION_SIM_TIMESERIES_HH
+#define COHESION_SIM_TIMESERIES_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace sim {
+
+/** The recorded samples of one run (copyable, machine-independent). */
+struct TimeSeriesData
+{
+    struct Row
+    {
+        Tick tick = 0;
+        std::vector<double> values; ///< Aligned with `names`.
+    };
+
+    std::vector<std::string> names;
+    std::vector<Row> rows;
+    Tick period = 0;
+
+    bool empty() const { return rows.empty(); }
+
+    /** Tidy CSV: header `tick,series,value`, one observation per row. */
+    void
+    dumpCsv(std::ostream &os) const
+    {
+        os << "tick,series,value\n";
+        for (const Row &r : rows) {
+            for (std::size_t i = 0;
+                 i < names.size() && i < r.values.size(); ++i) {
+                os << r.tick << ',' << names[i] << ',' << r.values[i]
+                   << '\n';
+            }
+        }
+    }
+};
+
+class TimeSeries
+{
+  public:
+    using Probe = std::function<double()>;
+    using Sink = std::function<void(Tick, const std::string &, double)>;
+
+    explicit TimeSeries(EventQueue &eq) : _eq(eq) {}
+
+    /** Register a named probe; call before start(). */
+    void
+    add(std::string name, Probe probe)
+    {
+        panic_if(enabled(), "TimeSeries probes must be added before start");
+        _data.names.push_back(std::move(name));
+        _probes.push_back(std::move(probe));
+    }
+
+    /** Run @p fn once per sampling point, before the probes (lets one
+     *  expensive walk feed several probes through cached values). */
+    void setPreSample(std::function<void()> fn) { _preSample = std::move(fn); }
+
+    /** Mirror every observation to @p sink (e.g. Perfetto counters). */
+    void setSink(Sink sink) { _sink = std::move(sink); }
+
+    /** Begin periodic sampling; idempotent re-arm is not supported. */
+    void
+    start(Tick period)
+    {
+        panic_if(period == 0, "TimeSeries period must be nonzero");
+        panic_if(enabled(), "TimeSeries already started");
+        _data.period = period;
+        _eq.scheduleIn(period, [this]() { onTick(); });
+    }
+
+    bool enabled() const { return _data.period != 0; }
+    std::uint64_t samples() const { return _data.rows.size(); }
+    const TimeSeriesData &data() const { return _data; }
+
+    /** Record one row at the current tick (also used by the driver). */
+    void
+    sampleNow()
+    {
+        if (_preSample)
+            _preSample();
+        TimeSeriesData::Row row;
+        row.tick = _eq.now();
+        row.values.reserve(_probes.size());
+        for (std::size_t i = 0; i < _probes.size(); ++i) {
+            double v = _probes[i]();
+            row.values.push_back(v);
+            if (_sink)
+                _sink(row.tick, _data.names[i], v);
+        }
+        _data.rows.push_back(std::move(row));
+    }
+
+  private:
+    void
+    onTick()
+    {
+        sampleNow();
+        // Re-arm only while the machine still has work: when this was
+        // the last pending event the simulation is quiescent and the
+        // queue must be allowed to drain.
+        if (!_eq.empty())
+            _eq.scheduleIn(_data.period, [this]() { onTick(); });
+    }
+
+    EventQueue &_eq;
+    std::vector<Probe> _probes;
+    std::function<void()> _preSample;
+    Sink _sink;
+    TimeSeriesData _data;
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_TIMESERIES_HH

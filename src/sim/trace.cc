@@ -3,6 +3,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "sim/trace_json.hh"
+
 namespace sim {
 
 const char *
@@ -63,6 +65,9 @@ Tracer::emit(Category c, const std::string &msg)
     ++_records;
     std::ostream &os = _os ? *_os : std::cerr;
     os << _eq.now() << " [" << categoryName(c) << "] " << msg << '\n';
+    if (_json)
+        _json->instant(_eq.now(), TraceJsonWriter::machineTid, msg,
+                       categoryName(c));
 }
 
 } // namespace sim

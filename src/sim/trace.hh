@@ -55,10 +55,19 @@ Category parseCategories(const std::string &spec);
 /** Printable name of a single category bit. */
 const char *categoryName(Category c);
 
+class TraceJsonWriter;
+
 /**
  * Per-machine trace sink. Disabled (mask None) by default; writes to
  * stderr or a caller-provided stream. Kept deliberately simple: the
  * simulator is single-threaded.
+ *
+ * An optional TraceJsonWriter can be attached; structured
+ * instrumentation (transaction spans, transition instants, counters)
+ * is emitted through it by the components whenever it is present,
+ * independent of the text mask, and every text record additionally
+ * mirrors as an instant event so the Perfetto timeline carries the
+ * full transcript.
  */
 class Tracer
 {
@@ -71,6 +80,10 @@ class Tracer
 
     /** Redirect output (default stderr); not owned. */
     void setStream(std::ostream *os) { _os = os; }
+
+    /** Attach/detach a structured JSON trace sink; not owned. */
+    void setJson(TraceJsonWriter *w) { _json = w; }
+    TraceJsonWriter *json() const { return _json; }
 
     /** Number of records emitted (tests assert on this). */
     std::uint64_t records() const { return _records; }
@@ -90,6 +103,7 @@ class Tracer
     const EventQueue &_eq;
     Category _mask = Category::None;
     std::ostream *_os = nullptr;
+    TraceJsonWriter *_json = nullptr;
     std::uint64_t _records = 0;
 };
 

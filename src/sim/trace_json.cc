@@ -1,0 +1,119 @@
+#include "sim/trace_json.hh"
+
+#include "sim/json.hh"
+
+namespace sim {
+
+TraceJsonWriter::TraceJsonWriter(std::ostream &os) : _os(os)
+{
+    _os << "{\"traceEvents\":[";
+}
+
+TraceJsonWriter::~TraceJsonWriter()
+{
+    finish();
+}
+
+void
+TraceJsonWriter::begin(const char *ph, Tick ts, int tid,
+                       std::string_view name, std::string_view cat)
+{
+    if (!_first)
+        _os << ',';
+    _first = false;
+    ++_events;
+    _os << "\n{\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":" << tid
+        << ",\"ts\":" << ts << ",\"name\":";
+    writeJsonString(_os, name);
+    if (!cat.empty()) {
+        _os << ",\"cat\":";
+        writeJsonString(_os, cat);
+    }
+}
+
+void
+TraceJsonWriter::end()
+{
+    _os << '}';
+}
+
+void
+TraceJsonWriter::threadName(int tid, std::string_view name)
+{
+    if (_finished)
+        return;
+    begin("M", 0, tid, "thread_name", {});
+    _os << ",\"args\":{\"name\":";
+    writeJsonString(_os, name);
+    _os << '}';
+    end();
+}
+
+void
+TraceJsonWriter::instant(Tick ts, int tid, std::string_view name,
+                         std::string_view cat)
+{
+    if (_finished)
+        return;
+    begin("i", ts, tid, name, cat);
+    _os << ",\"s\":\"t\"";
+    end();
+}
+
+void
+TraceJsonWriter::complete(Tick ts, Tick dur, int tid,
+                          std::string_view name, std::string_view cat)
+{
+    if (_finished)
+        return;
+    begin("X", ts, tid, name, cat);
+    _os << ",\"dur\":" << dur;
+    end();
+}
+
+void
+TraceJsonWriter::asyncBegin(std::uint64_t id, Tick ts,
+                            std::string_view name, std::string_view cat)
+{
+    if (_finished)
+        return;
+    begin("b", ts, machineTid, name, cat);
+    _os << ",\"id\":\"" << id << '"';
+    end();
+}
+
+void
+TraceJsonWriter::asyncEnd(std::uint64_t id, Tick ts,
+                          std::string_view name, std::string_view cat)
+{
+    if (_finished)
+        return;
+    begin("e", ts, machineTid, name, cat);
+    _os << ",\"id\":\"" << id << '"';
+    end();
+}
+
+void
+TraceJsonWriter::counter(Tick ts, std::string_view name, double value)
+{
+    if (_finished)
+        return;
+    begin("C", ts, machineTid, name, "sample");
+    _os << ",\"args\":{\"value\":";
+    writeJsonNumber(_os, value);
+    _os << '}';
+    end();
+}
+
+void
+TraceJsonWriter::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    _os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+           "{\"tool\":\"cohesion-sim\"}}\n";
+    _os.flush();
+}
+
+} // namespace sim

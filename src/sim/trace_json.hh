@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto JSON exporter. Writes the JSON Object
+ * Format ({"traceEvents":[...]}) understood by ui.perfetto.dev and
+ * chrome://tracing, streaming events as they happen so arbitrarily
+ * long protocol transcripts never live in memory.
+ *
+ * Mapping from simulation to trace concepts:
+ *  - ts        = simulated tick (displayed as microseconds);
+ *  - pid 1     = the simulated machine;
+ *  - tid       = one track per component (banks, clusters, machine);
+ *  - "b"/"e"   = async spans for protocol transactions (they interleave
+ *                on a bank, so synchronous B/E nesting would not hold);
+ *  - "i"       = instants for transitions, barriers, trace records;
+ *  - "C"       = counters for sampled series (directory occupancy...).
+ *
+ * finish() (or destruction) closes the document; the output is strict
+ * JSON and machine-parsable (the tests parse it back).
+ */
+
+#ifndef COHESION_SIM_TRACE_JSON_HH
+#define COHESION_SIM_TRACE_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "sim/event_queue.hh"
+
+namespace sim {
+
+class TraceJsonWriter
+{
+  public:
+    /** Conventional track ids (tid) for machine components. */
+    static constexpr int machineTid = 0;
+    static int bankTid(unsigned bank) { return 100 + int(bank); }
+    static int clusterTid(unsigned cluster) { return 200 + int(cluster); }
+
+    explicit TraceJsonWriter(std::ostream &os);
+    ~TraceJsonWriter();
+
+    TraceJsonWriter(const TraceJsonWriter &) = delete;
+    TraceJsonWriter &operator=(const TraceJsonWriter &) = delete;
+
+    /** Name a track (metadata event; call once per tid). */
+    void threadName(int tid, std::string_view name);
+
+    /** Instant event at @p ts on @p tid. */
+    void instant(Tick ts, int tid, std::string_view name,
+                 std::string_view cat);
+
+    /** Complete event (known duration up front). */
+    void complete(Tick ts, Tick dur, int tid, std::string_view name,
+                  std::string_view cat);
+
+    /** Async span: begin/end matched by (cat, id). */
+    void asyncBegin(std::uint64_t id, Tick ts, std::string_view name,
+                    std::string_view cat);
+    void asyncEnd(std::uint64_t id, Tick ts, std::string_view name,
+                  std::string_view cat);
+
+    /** Counter sample (one counter track per name). */
+    void counter(Tick ts, std::string_view name, double value);
+
+    /** Close the JSON document; further events are ignored. */
+    void finish();
+
+    bool finished() const { return _finished; }
+
+    /** Events emitted so far (tests assert on this). */
+    std::uint64_t events() const { return _events; }
+
+  private:
+    /** Open one event object and write the common fields. */
+    void begin(const char *ph, Tick ts, int tid, std::string_view name,
+               std::string_view cat);
+    void end();
+
+    std::ostream &_os;
+    bool _first = true;
+    bool _finished = false;
+    std::uint64_t _events = 0;
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_TRACE_JSON_HH

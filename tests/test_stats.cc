@@ -1,0 +1,156 @@
+/** @file
+ * Statistics containers: Distribution moments (Welford mean/variance,
+ * reset, first-sample edge cases) and the log2-bucketed Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+
+namespace {
+
+TEST(Distribution, EmptyReportsZeroEverywhere)
+{
+    sim::Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, FirstSampleSetsMinAndMax)
+{
+    // A negative first sample must become both min and max; with the
+    // old zero-initialized extremes, max would wrongly stay 0.
+    sim::Distribution d;
+    d.sample(-5.0);
+    EXPECT_DOUBLE_EQ(d.min(), -5.0);
+    EXPECT_DOUBLE_EQ(d.max(), -5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), -5.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, MomentsMatchClosedForm)
+{
+    sim::Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    // Textbook example: population variance 4, stddev 2.
+    EXPECT_NEAR(d.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Distribution, WelfordIsStableAroundLargeOffsets)
+{
+    // Naive sum-of-squares catastrophically cancels here.
+    sim::Distribution d;
+    const double base = 1e9;
+    for (double v : {base + 4.0, base + 7.0, base + 13.0, base + 16.0})
+        d.sample(v);
+    EXPECT_NEAR(d.mean(), base + 10.0, 1e-3);
+    EXPECT_NEAR(d.variance(), 22.5, 1e-6);
+}
+
+TEST(Distribution, ResetLeavesNoResidue)
+{
+    sim::Distribution d;
+    d.sample(100.0);
+    d.sample(200.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    d.sample(3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.min(), 3.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    using H = sim::Histogram;
+    EXPECT_EQ(H::bucketOf(0), 0u);
+    EXPECT_EQ(H::bucketOf(1), 1u);
+    EXPECT_EQ(H::bucketOf(2), 2u);
+    EXPECT_EQ(H::bucketOf(3), 2u);
+    EXPECT_EQ(H::bucketOf(4), 3u);
+    EXPECT_EQ(H::bucketOf(1023), 10u);
+    EXPECT_EQ(H::bucketOf(1024), 11u);
+    EXPECT_EQ(H::bucketOf(~std::uint64_t(0)), H::numBuckets - 1);
+
+    for (unsigned b = 0; b + 1 < H::numBuckets; ++b) {
+        EXPECT_EQ(H::bucketOf(H::bucketLow(b)), b) << "bucket " << b;
+        EXPECT_EQ(H::bucketOf(H::bucketHigh(b)), b) << "bucket " << b;
+    }
+    EXPECT_EQ(H::bucketLow(0), 0u);
+    EXPECT_EQ(H::bucketHigh(0), 0u);
+    EXPECT_EQ(H::bucketLow(1), 1u);
+    EXPECT_EQ(H::bucketHigh(1), 1u);
+    EXPECT_EQ(H::bucketLow(4), 8u);
+    EXPECT_EQ(H::bucketHigh(4), 15u);
+}
+
+TEST(Histogram, SampleAndAggregates)
+{
+    sim::Histogram h;
+    h.sample(0);
+    h.sample(1);
+    h.sample(5);
+    h.sample(5);
+    h.sample(1000, 2); // weighted
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 0u + 1 + 5 + 5 + 2000);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2011.0 / 6.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);  // [4,7]
+    EXPECT_EQ(h.bucket(10), 2u); // [512,1023]
+}
+
+TEST(Histogram, ZeroWeightIsIgnored)
+{
+    sim::Histogram h;
+    h.sample(42, 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, MergeAndReset)
+{
+    sim::Histogram a, b;
+    a.sample(3);
+    b.sample(100);
+    b.sample(7);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 3u);
+    EXPECT_EQ(a.max(), 100u);
+    EXPECT_EQ(a.sum(), 110u);
+
+    // Merging an empty histogram changes nothing...
+    sim::Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    // ...and merging into an empty one copies the extremes.
+    sim::Histogram c;
+    c.merge(a);
+    EXPECT_EQ(c.min(), 3u);
+    EXPECT_EQ(c.max(), 100u);
+
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.bucket(2), 0u);
+}
+
+} // namespace

@@ -21,11 +21,18 @@
  *   --occupancy       sample directory occupancy every 1000 cycles
  *   --no-verify       skip numerical verification
  *   --csv             emit CSV instead of the report
+ *   --stats-json F    hierarchical statistics as JSON ("-" = stdout)
+ *   --trace-json F    Chrome trace-event / Perfetto JSON trace
+ *   --sample-period N sample the time series every N cycles
+ *   --timeseries-csv F  sampled series as tidy CSV ("-" = stdout)
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "harness/report.hh"
 #include "sim/trace.hh"
@@ -44,9 +51,27 @@ usage(int code)
         "                    [--dir4b] [--occupancy] [--no-verify]\n"
         "                    [--table-cache N] [--trace CATEGORIES]\n"
         "                    [--csv] [--list]\n"
+        "                    [--stats-json FILE] [--trace-json FILE]\n"
+        "                    [--sample-period N] [--timeseries-csv FILE]\n"
         "  trace categories: protocol,cache,transition,net,dram,\n"
-        "                    runtime,all\n";
+        "                    runtime,all\n"
+        "  FILE may be \"-\" for stdout (except --trace-json)\n";
     std::exit(code);
+}
+
+/** Open @p path for writing; "-" means stdout. Exits on failure. */
+std::ostream *
+openSink(const std::string &path,
+         std::vector<std::unique_ptr<std::ofstream>> &owned)
+{
+    if (path == "-")
+        return &std::cout;
+    owned.push_back(std::make_unique<std::ofstream>(path));
+    if (!*owned.back()) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        std::exit(1);
+    }
+    return owned.back().get();
 }
 
 } // namespace
@@ -66,6 +91,8 @@ main(int argc, char **argv)
     harness::RunOptions opts;
     bool csv = false;
     std::string trace;
+    std::string stats_json, trace_json, timeseries_csv;
+    std::vector<std::unique_ptr<std::ofstream>> sinks;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) -> const char * {
@@ -103,6 +130,14 @@ main(int argc, char **argv)
             csv = true;
         } else if (!std::strcmp(argv[i], "--trace")) {
             trace = next("--trace");
+        } else if (!std::strcmp(argv[i], "--stats-json")) {
+            stats_json = next("--stats-json");
+        } else if (!std::strcmp(argv[i], "--trace-json")) {
+            trace_json = next("--trace-json");
+        } else if (!std::strcmp(argv[i], "--sample-period")) {
+            opts.samplePeriod = std::atoll(next("--sample-period"));
+        } else if (!std::strcmp(argv[i], "--timeseries-csv")) {
+            timeseries_csv = next("--timeseries-csv");
         } else if (!std::strcmp(argv[i], "--list")) {
             for (const auto &k : kernels::allKernelNames())
                 std::cout << k << '\n';
@@ -132,11 +167,32 @@ main(int argc, char **argv)
     cfg.directory = dir;
     cfg.tableCacheEntries = table_cache;
 
+    if (!stats_json.empty())
+        opts.statsJson = openSink(stats_json, sinks);
+    if (!trace_json.empty()) {
+        if (trace_json == "-") {
+            std::cerr << "--trace-json needs a file path (not \"-\")\n";
+            usage(1);
+        }
+        opts.traceJson = openSink(trace_json, sinks);
+    }
+    if (!timeseries_csv.empty() && opts.samplePeriod == 0 &&
+        !opts.sampleOccupancy) {
+        // A CSV sink without an explicit period implies sampling at
+        // the paper's default cadence.
+        opts.sampleOccupancy = true;
+    }
+
     try {
         opts.traceMask = sim::parseCategories(trace);
         harness::RunResult r = harness::runKernel(
             cfg, kernels::kernelFactory(kernel), params, opts);
-        if (csv) {
+        if (!timeseries_csv.empty())
+            r.timeSeries.dumpCsv(*openSink(timeseries_csv, sinks));
+        // A "-" sink claims stdout for machine-readable output; the
+        // human report would corrupt it.
+        if (stats_json == "-" || timeseries_csv == "-") {
+        } else if (csv) {
             harness::printCsv(std::cout, cfg, r);
         } else {
             std::cout << "kernel: " << kernel
