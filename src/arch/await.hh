@@ -9,6 +9,7 @@
 #ifndef COHESION_ARCH_AWAIT_HH
 #define COHESION_ARCH_AWAIT_HH
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -34,6 +35,35 @@ struct Delay
     }
 
     void await_resume() const {}
+};
+
+/**
+ * Bounded exponential backoff for retry loops (transition-protocol
+ * nacks, owner-evicted races, injected message drops). Each next()
+ * returns the delay for the upcoming attempt and doubles the stride up
+ * to the cap, so colliding retries spread out instead of livelocking
+ * in lockstep.
+ */
+struct Backoff
+{
+    sim::Tick stride;
+    sim::Tick cap;
+    unsigned tries = 0;
+
+    explicit Backoff(sim::Tick base = 8, sim::Tick limit = 1024)
+        : stride(base), cap(limit)
+    {}
+
+    sim::Tick
+    next()
+    {
+        ++tries;
+        sim::Tick d = stride;
+        stride = std::min(stride * 2, cap);
+        return d;
+    }
+
+    unsigned attempts() const { return tries; }
 };
 
 /**

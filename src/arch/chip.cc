@@ -1,51 +1,157 @@
 #include "arch/chip.hh"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
+#include <sstream>
 
+#include "coherence/auditor.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
 namespace arch {
+
+namespace {
+
+// Drop-retransmit model: the drop decision is made synchronously at
+// send time, each consecutive drop adds a doubling backoff to the
+// delivery tick, and after maxDropRetransmits the message goes through
+// unconditionally — injected losses are never permanent.
+constexpr unsigned maxDropRetransmits = 8;
+constexpr sim::Tick dropBackoffBase = 16;
+constexpr sim::Tick dropBackoffCap = 2048;
+
+} // namespace
 
 Chip::Chip(const MachineConfig &config, mem::Addr table_base)
     : _config(config),
       _map(config.numL3Banks, config.numChannels, table_base),
       _dram(_map, config.dram), _fabric(config)
 {
+    _faults.configure(config.faults);
     for (unsigned c = 0; c < config.numClusters; ++c)
         _clusters.push_back(std::make_unique<Cluster>(*this, c));
     for (unsigned b = 0; b < config.numL3Banks; ++b)
         _banks.push_back(std::make_unique<L3Bank>(*this, b));
 }
 
+Chip::~Chip() = default;
+
 void
-Chip::sendResponse(unsigned bank, unsigned cluster_id, Response resp,
+Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
+                     sim::Tick depart)
+{
+    req.sendTick = depart;
+    unsigned bank_id = _map.bankOf(req.addr);
+    sim::Tick arrive = _fabric.clusterToBank(cluster_id, bank_id,
+                                             msgBytes(data_words), depart);
+    unsigned drops = 0;
+    bool dup = false;
+    if (_faults.enabled()) {
+        using sim::FaultSite;
+        if (_faults.fire(FaultSite::FabricC2BDelay))
+            arrive += _faults.delayTicks(FaultSite::FabricC2BDelay);
+        sim::Tick backoff = dropBackoffBase;
+        while (drops < maxDropRetransmits &&
+               _faults.fire(FaultSite::FabricC2BDrop)) {
+            ++drops;
+            arrive += backoff;
+            backoff = std::min(backoff * 2, dropBackoffCap);
+        }
+        // Atomics are excluded: a duplicated RMW executes twice.
+        dup = req.type != ReqType::Atomic &&
+              _faults.fire(FaultSite::FabricC2BDup);
+        if (drops || dup) {
+            TRACE(_tracer, sim::Category::Fault, "c2b ",
+                  reqTypeName(req.type), " 0x", std::hex, req.addr,
+                  std::dec, drops ? " dropped" : " duplicated");
+        }
+    }
+    arrive = _fabric.orderC2B(cluster_id, bank_id, arrive);
+    _eq.schedule(arrive, [this, bank_id, req, drops]() {
+        for (unsigned i = 0; i < drops; ++i)
+            _faults.countRecovered(sim::FaultSite::FabricC2BDrop);
+        bank(bank_id).receiveRequest(req);
+    });
+    if (dup) {
+        sim::Tick at = _fabric.orderC2B(cluster_id, bank_id, arrive + 1);
+        _eq.schedule(at, [this, bank_id, req]() {
+            bank(bank_id).receiveRequest(req);
+        });
+    }
+}
+
+void
+Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
                    unsigned data_words)
 {
     resp.sendTick = _eq.now();
     sim::Tick arrive = _fabric.bankToCluster(
-        bank, cluster_id, msgBytes(data_words), _eq.now());
-    _eq.schedule(arrive, [this, cluster_id, resp]() {
+        bank_id, cluster_id, msgBytes(data_words), _eq.now());
+    unsigned drops = 0;
+    bool dup = false;
+    if (_faults.enabled()) {
+        using sim::FaultSite;
+        if (_faults.fire(FaultSite::FabricB2CDelay))
+            arrive += _faults.delayTicks(FaultSite::FabricB2CDelay);
+        sim::Tick backoff = dropBackoffBase;
+        while (drops < maxDropRetransmits &&
+               _faults.fire(FaultSite::FabricB2CDrop)) {
+            ++drops;
+            arrive += backoff;
+            backoff = std::min(backoff * 2, dropBackoffCap);
+        }
+        // A duplicated Atomic ack would complete the core's op twice;
+        // all other responses are deduplicated by msgId at the cluster.
+        dup = resp.type != ReqType::Atomic &&
+              _faults.fire(FaultSite::FabricB2CDup);
+        if (drops || dup) {
+            TRACE(_tracer, sim::Category::Fault, "b2c ",
+                  reqTypeName(resp.type), " 0x", std::hex, resp.addr,
+                  std::dec, drops ? " dropped" : " duplicated");
+        }
+    }
+    arrive = _fabric.orderB2C(bank_id, cluster_id, arrive);
+    _eq.schedule(arrive, [this, cluster_id, resp, drops]() {
+        for (unsigned i = 0; i < drops; ++i)
+            _faults.countRecovered(sim::FaultSite::FabricB2CDrop);
+        ++_respDelivered;
         cluster(cluster_id).handleResponse(resp);
     });
+    if (dup) {
+        sim::Tick at = _fabric.orderB2C(bank_id, cluster_id, arrive + 1);
+        _eq.schedule(at, [this, cluster_id, resp]() {
+            cluster(cluster_id).handleResponse(resp);
+        });
+    }
 }
 
 void
-Chip::sendProbe(unsigned bank, unsigned cluster_id, ProbeType type,
+Chip::sendProbe(unsigned bank_id, unsigned cluster_id, ProbeType type,
                 mem::Addr addr,
                 std::function<void(unsigned, const ProbeResult &)> done)
 {
     sim::Tick arrive =
-        _fabric.bankToCluster(bank, cluster_id, msgBytes(0), _eq.now());
+        _fabric.bankToCluster(bank_id, cluster_id, msgBytes(0), _eq.now());
+    // Probes participate in AckGate fan-ins: a dropped or duplicated
+    // probe would underflow/overflow the gate, so probes only suffer
+    // delay faults (on either leg).
+    if (_faults.enabled() && _faults.fire(sim::FaultSite::FabricB2CDelay))
+        arrive += _faults.delayTicks(sim::FaultSite::FabricB2CDelay);
+    arrive = _fabric.orderB2C(bank_id, cluster_id, arrive);
     _probeLatency.sample(arrive - _eq.now());
-    _eq.schedule(arrive, [this, bank, cluster_id, type, addr,
+    _eq.schedule(arrive, [this, bank_id, cluster_id, type, addr,
                           done = std::move(done)]() {
         ProbeResult r = cluster(cluster_id).handleProbe(type, addr);
         cluster(cluster_id).msgCounters().count(MsgClass::ProbeResponse);
         unsigned words =
             r.dirty ? std::popcount(static_cast<unsigned>(r.dirtyMask)) : 0;
-        sim::Tick back = _fabric.clusterToBank(cluster_id, bank,
+        sim::Tick back = _fabric.clusterToBank(cluster_id, bank_id,
                                                msgBytes(words), _eq.now());
+        if (_faults.enabled() &&
+            _faults.fire(sim::FaultSite::FabricC2BDelay))
+            back += _faults.delayTicks(sim::FaultSite::FabricC2BDelay);
+        back = _fabric.orderC2B(cluster_id, bank_id, back);
         sampleReqLatency(MsgClass::ProbeResponse, back - _eq.now());
         _eq.schedule(back, [done, cluster_id, r]() {
             done(cluster_id, r);
@@ -77,6 +183,176 @@ Chip::coherentRead32(mem::Addr a)
         return v;
     }
     return _store.readT<std::uint32_t>(a);
+}
+
+void
+Chip::injectFault(sim::FaultSite site, mem::Addr a, std::uint32_t xor_mask)
+{
+    using sim::FaultSite;
+    mem::Addr base = mem::lineBase(a);
+    mem::WordMask bit = mem::wordBit(a);
+
+    // Pure bit flip: perturb the stored bytes without touching the
+    // dirty/valid bookkeeping (that is what the meta sites are for).
+    auto xor_data = [&](cache::Line &l) {
+        unsigned off = a & (mem::lineBytes - 1);
+        std::uint32_t v = 0;
+        std::memcpy(&v, l.data.data() + off, 4);
+        v ^= xor_mask;
+        std::memcpy(l.data.data() + off, &v, 4);
+    };
+    auto xor_meta = [&](cache::Line &l) {
+        l.dirtyMask ^= static_cast<mem::WordMask>(xor_mask & 0xFF);
+        l.validMask ^= static_cast<mem::WordMask>((xor_mask >> 8) & 0xFF);
+    };
+
+    switch (site) {
+      case FaultSite::MemDataFlip:
+        // Corrupt the newest visible copy, mirroring coherentRead32's
+        // search order, so a verifier must observe the flip.
+        for (auto &cl : _clusters) {
+            if (cache::Line *l = cl->l2().probe(base)) {
+                if ((l->dirtyMask & bit) && (l->validMask & bit)) {
+                    xor_data(*l);
+                    _faults.countInjected(site);
+                    return;
+                }
+            }
+        }
+        if (cache::Line *l3 = bank(_map.bankOf(base)).l3().probe(base)) {
+            if (l3->validMask & bit) {
+                xor_data(*l3);
+                _faults.countInjected(site);
+                return;
+            }
+        }
+        _store.writeT(a, _store.readT<std::uint32_t>(a) ^ xor_mask);
+        _faults.countInjected(site);
+        return;
+
+      case FaultSite::L2DataFlip:
+      case FaultSite::L2MetaFlip:
+        for (auto &cl : _clusters) {
+            if (cache::Line *l = cl->l2().probe(base)) {
+                site == FaultSite::L2DataFlip ? xor_data(*l) : xor_meta(*l);
+                _faults.countInjected(site);
+                return;
+            }
+        }
+        return; // no resident copy: nothing to corrupt
+
+      case FaultSite::L3DataFlip:
+      case FaultSite::L3MetaFlip:
+        if (cache::Line *l = bank(_map.bankOf(base)).l3().probe(base)) {
+            site == FaultSite::L3DataFlip ? xor_data(*l) : xor_meta(*l);
+            _faults.countInjected(site);
+        }
+        return;
+
+      default:
+        panic("injectFault: site ", sim::faultSiteName(site),
+              " has no targeted form");
+    }
+}
+
+bool
+Chip::pumpEligible() const
+{
+    using sim::FaultSite;
+    return _faults.armed(FaultSite::L2DataFlip) ||
+           _faults.armed(FaultSite::L2MetaFlip) ||
+           _faults.armed(FaultSite::L3DataFlip) ||
+           _faults.armed(FaultSite::L3MetaFlip);
+}
+
+void
+Chip::faultPump()
+{
+    using sim::FaultSite;
+    sim::Rng &rng = _faults.rng();
+
+    auto flip_in = [&](cache::CacheArray &arr, FaultSite site, bool meta) {
+        // Hand-rolled fire(): the injection only counts if the chosen
+        // array has a valid line to corrupt.
+        if (!_faults.armed(site) ||
+            rng.uniform() >= _faults.plan().site(site).rate)
+            return;
+        cache::Line *l = arr.nthValidLine(rng.next());
+        if (!l)
+            return;
+        if (meta)
+            l->flipMetaBit(
+                static_cast<unsigned>(rng.below(2 * mem::wordsPerLine)));
+        else
+            l->flipDataBit(
+                static_cast<unsigned>(rng.below(mem::lineBytes * 8)));
+        _faults.countInjected(site);
+        TRACE(_tracer, sim::Category::Fault, sim::faultSiteName(site),
+              ": line 0x", std::hex, l->base);
+    };
+
+    flip_in(cluster(rng.below(numClusters())).l2(), FaultSite::L2DataFlip,
+            false);
+    flip_in(cluster(rng.below(numClusters())).l2(), FaultSite::L2MetaFlip,
+            true);
+    flip_in(bank(rng.below(numBanks())).l3(), FaultSite::L3DataFlip, false);
+    flip_in(bank(rng.below(numBanks())).l3(), FaultSite::L3MetaFlip, true);
+}
+
+void
+Chip::enableAudit(sim::Tick period)
+{
+    if (_auditor)
+        return;
+    if (period == 0) {
+        // Cost-scaled default: a full pass walks every L2 and
+        // directory, so big machines audit less often.
+        period = std::max<sim::Tick>(4096, totalCores() * 256);
+    }
+    _auditor = std::make_unique<coherence::Auditor>(*this);
+    _auditPeriod = period;
+}
+
+void
+Chip::auditNow()
+{
+    if (!_auditor)
+        _auditor = std::make_unique<coherence::Auditor>(*this);
+    _auditor->auditNow();
+}
+
+std::string
+Chip::inFlightDump() const
+{
+    std::ostringstream os;
+    std::vector<L3Bank::TxnRecord> txns;
+    for (const auto &b : _banks) {
+        b->forEachTxn(
+            [&](const L3Bank::TxnRecord &t) { txns.push_back(t); });
+    }
+    std::sort(txns.begin(), txns.end(),
+              [](const L3Bank::TxnRecord &a, const L3Bank::TxnRecord &b) {
+                  return a.start != b.start ? a.start < b.start
+                                            : a.id < b.id;
+              });
+    for (const L3Bank::TxnRecord &t : txns) {
+        os << "  bank" << _map.bankOf(t.addr) << " txn#" << t.id << ' '
+           << reqTypeName(t.type) << " 0x" << std::hex << t.addr
+           << std::dec << " cluster" << t.cluster << " since t=" << t.start
+           << '\n';
+    }
+    for (const auto &cl : _clusters) {
+        cl->forEachMshr([&](mem::Addr base, ReqType t, unsigned waiters) {
+            os << "  cluster" << cl->id() << " mshr 0x" << std::hex << base
+               << std::dec << ' ' << reqTypeName(t) << " waiters="
+               << waiters << '\n';
+        });
+        if (cl->outstandingWrites()) {
+            os << "  cluster" << cl->id() << " outstanding writebacks: "
+               << cl->outstandingWrites() << '\n';
+        }
+    }
+    return os.str();
 }
 
 void
@@ -162,20 +438,84 @@ Chip::registerStats(sim::StatRegistry &reg) const
     reg.addHistogram("chip.latency.resp", _respLatency);
     reg.addHistogram("chip.latency.probe", _probeLatency);
     _fabric.registerStats(reg, "chip.fabric");
+    _faults.registerStats(reg, "chip.faults");
+    if (_auditor)
+        _auditor->registerStats(reg, "chip.audit");
     for (const auto &cl : _clusters)
         cl->registerStats(reg, sim::cat("chip.cluster", cl->id()));
     for (const auto &b : _banks)
         b->registerStats(reg, sim::cat("chip.bank", b->id()));
 }
 
+Chip::Progress
+Chip::progress() const
+{
+    Progress p;
+    p.instructions = totalInstructions();
+    for (const auto &b : _banks)
+        p.txnsCompleted += b->txnsCompleted();
+    p.respDelivered = _respDelivered;
+    return p;
+}
+
 sim::Tick
 Chip::runUntilQuiescent()
 {
     const sim::Tick limit = _config.maxCycles;
-    bool drained = _eq.run(limit);
-    fatal_if(!drained, "watchdog: simulation exceeded ", limit,
-             " cycles (deadlock or runaway workload)");
-    return _eq.now();
+    const sim::Tick window =
+        _config.watchdogWindow ? std::min(_config.watchdogWindow, limit)
+                               : limit;
+    // Audit passes and the fault pump are driven from this loop rather
+    // than from self-re-arming queue events: a pair of such events
+    // would keep each other (and the time-series sampler) pending
+    // forever and hold a quiesced machine alive.
+    const sim::Tick audit_period = _auditor ? _auditPeriod : 0;
+    const sim::Tick pump_period =
+        pumpEligible() ? _faults.plan().pumpPeriod : 0;
+    sim::Tick next_audit =
+        audit_period ? _eq.now() + audit_period : sim::maxTick;
+    sim::Tick next_pump =
+        pump_period ? _eq.now() + pump_period : sim::maxTick;
+    sim::Tick window_end = _eq.now() + window;
+    Progress last = progress();
+    while (true) {
+        sim::Tick stop = std::min(
+            std::min(limit, window_end), std::min(next_audit, next_pump));
+        if (_eq.run(stop))
+            return _eq.now();
+        if (_eq.now() >= next_audit) {
+            _auditor->auditNow();
+            next_audit += audit_period;
+        }
+        if (_eq.now() >= next_pump) {
+            faultPump();
+            next_pump += pump_period;
+        }
+        if (_eq.now() < window_end && _eq.now() < limit)
+            continue;
+        Progress cur = progress();
+        if (_eq.now() >= limit) {
+            std::string dump = inFlightDump();
+            TRACE(_tracer, sim::Category::Watchdog,
+                  "watchdog: cycle limit hit; in-flight:\n", dump);
+            throw DeadlockError(
+                sim::cat("watchdog: simulation exceeded ", limit,
+                         " cycles (deadlock or runaway workload)"),
+                std::move(dump));
+        }
+        if (_config.watchdogWindow && cur == last) {
+            std::string dump = inFlightDump();
+            TRACE(_tracer, sim::Category::Watchdog,
+                  "watchdog: no forward progress; in-flight:\n", dump);
+            throw DeadlockError(
+                sim::cat("watchdog: no forward progress in ", window,
+                         " ticks at t=", _eq.now(),
+                         " (deadlock or livelock)"),
+                std::move(dump));
+        }
+        last = cur;
+        window_end = _eq.now() + window;
+    }
 }
 
 MsgCounters

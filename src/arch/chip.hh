@@ -13,6 +13,8 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "arch/cluster.hh"
@@ -24,11 +26,38 @@
 #include "mem/backing_store.hh"
 #include "mem/dram.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/stat_registry.hh"
 #include "sim/timeseries.hh"
 #include "sim/trace.hh"
 
+namespace coherence {
+class Auditor;
+}
+
 namespace arch {
+
+/**
+ * Thrown by the deadlock/livelock watchdog in runUntilQuiescent when
+ * the machine makes no forward progress for a full watchdog window (or
+ * exceeds the absolute cycle limit). Carries the in-flight transaction
+ * dump so the failure is diagnosable without rerunning under a tracer.
+ */
+class DeadlockError : public std::runtime_error
+{
+  public:
+    DeadlockError(const std::string &reason, std::string in_flight)
+        : std::runtime_error(in_flight.empty() ? reason
+                                               : reason + "\n" + in_flight),
+          _dump(std::move(in_flight))
+    {}
+
+    /** The in-flight transaction table at detection time. */
+    const std::string &dump() const { return _dump; }
+
+  private:
+    std::string _dump;
+};
 
 /** Segment classes for directory-occupancy accounting (Fig. 9c). */
 enum class Segment : std::uint8_t { Code, Stack, HeapGlobal };
@@ -38,6 +67,7 @@ class Chip
 {
   public:
     explicit Chip(const MachineConfig &config, mem::Addr table_base);
+    ~Chip();
 
     const MachineConfig &config() const { return _config; }
     sim::EventQueue &eq() { return _eq; }
@@ -69,6 +99,15 @@ class Chip
     }
 
     // --- Messaging helpers (used by clusters and banks) -----------------
+
+    /**
+     * Deliver a cluster request to its home bank through the fabric.
+     * All L2->L3 fault sites (drop/duplicate/delay) live here; dropped
+     * messages are retransmitted with bounded exponential backoff and
+     * per-channel FIFO is preserved via the fabric's delivery floors.
+     */
+    void deliverRequest(unsigned cluster, Request req, unsigned data_words,
+                        sim::Tick depart);
 
     /** Deliver a bank response to a cluster through the fabric. */
     void sendResponse(unsigned bank, unsigned cluster, Response resp,
@@ -117,6 +156,44 @@ class Chip
      * by kernel verification so results need not be flushed first.
      */
     std::uint32_t coherentRead32(mem::Addr a);
+
+    // --- Fault injection -------------------------------------------------
+
+    sim::FaultInjector &faults() { return _faults; }
+    const sim::FaultInjector &faults() const { return _faults; }
+
+    /**
+     * Directed (test-driven) injection at @p site, xoring @p xor_mask
+     * into the word at @p addr. MemDataFlip corrupts the newest
+     * visible copy (the one coherentRead32 would return) so a verifier
+     * must observe it; L2/L3 variants corrupt a resident copy if one
+     * exists (meta sites xor the low byte into dirtyMask and the next
+     * byte into validMask). Counts as injected on the site.
+     */
+    void injectFault(sim::FaultSite site, mem::Addr addr,
+                     std::uint32_t xor_mask);
+
+    // --- Runtime auditing ------------------------------------------------
+
+    /**
+     * Enable the coherence auditor: full invariant passes every
+     * @p period ticks while the run is live plus a final pass after
+     * quiescence. @p period 0 picks a cost-scaled default. Violations
+     * surface as coherence::AuditError out of runUntilQuiescent.
+     */
+    void enableAudit(sim::Tick period = 0);
+
+    /** One full audit pass right now (throws coherence::AuditError). */
+    void auditNow();
+
+    coherence::Auditor *auditor() { return _auditor.get(); }
+
+    /** Human-readable table of in-flight bank transactions, cluster
+     *  MSHRs, and outstanding writebacks (watchdog diagnostics). */
+    std::string inFlightDump() const;
+
+    /** Responses delivered to clusters (watchdog progress signal). */
+    std::uint64_t responsesDelivered() const { return _respDelivered; }
 
     // --- Observability ---------------------------------------------------
 
@@ -183,9 +260,13 @@ class Chip
     // --- Execution -------------------------------------------------------
 
     /**
-     * Run until the event queue drains (all cores quiescent) or the
-     * watchdog limit is hit (fatal). Periodic sampling rides on the
-     * event queue itself (TimeSeries), so a single run suffices.
+     * Run until the event queue drains (all cores quiescent). The run
+     * is chopped into watchdog windows: if a window passes with zero
+     * forward progress (instructions retired, bank transactions
+     * completed, responses delivered all stagnant) or the absolute
+     * maxCycles limit is exceeded, DeadlockError is thrown carrying
+     * the in-flight transaction dump. Periodic sampling and auditing
+     * ride on the event queue itself, so a single run suffices.
      * @return final tick.
      */
     sim::Tick runUntilQuiescent();
@@ -199,6 +280,23 @@ class Chip
   private:
     void sampleOccupancy();
 
+    /** True when any cache-flip fault site is armed; the run loop then
+     *  invokes faultPump() at the plan's pump cadence. */
+    bool pumpEligible() const;
+    void faultPump();
+
+    /** Watchdog progress signature: stagnation across a full window
+     *  means deadlock or livelock (retry storms keep event counts and
+     *  message counters moving, so those are deliberately excluded). */
+    struct Progress
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t txnsCompleted = 0;
+        std::uint64_t respDelivered = 0;
+        bool operator==(const Progress &) const = default;
+    };
+    Progress progress() const;
+
     MachineConfig _config;
     sim::EventQueue _eq;
     sim::Tracer _tracer{_eq};
@@ -206,9 +304,13 @@ class Chip
     mem::BackingStore _store;
     mem::DramModel _dram;
     Fabric _fabric;
+    sim::FaultInjector _faults;
     cohesion::CoarseRegionTable _coarseTable;
     std::vector<std::unique_ptr<Cluster>> _clusters;
     std::vector<std::unique_ptr<L3Bank>> _banks;
+    std::unique_ptr<coherence::Auditor> _auditor;
+    sim::Tick _auditPeriod = 0;
+    std::uint64_t _respDelivered = 0;
 
     SegmentClassifier _classifier;
     sim::Tick _samplePeriod = 0;

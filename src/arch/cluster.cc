@@ -150,9 +150,8 @@ Cluster::evictLine(cache::Line &line, sim::Tick when)
             r.addr = line.base;
             r.mask = line.dirtyMask;
             r.data = line.data;
-            ++_outstandingWrites;
-            sendRequest(r, MsgClass::CacheEviction, when,
-                        maskWords(r.mask));
+            _pendingWb.insert(sendRequest(r, MsgClass::CacheEviction, when,
+                                          maskWords(r.mask)));
         }
         // Clean SWcc evictions are silent: no message at all.
     } else if (line.hwState == cache::CohState::Modified) {
@@ -177,19 +176,17 @@ Cluster::evictLine(cache::Line &line, sim::Tick when)
     line.reset();
 }
 
-void
+std::uint32_t
 Cluster::sendRequest(const Request &req, MsgClass cls, sim::Tick depart,
                      unsigned data_words)
 {
     _msgs.count(cls);
-    unsigned bank = _chip.map().bankOf(req.addr);
-    sim::Tick arrive = _chip.fabric().clusterToBank(
-        _id, bank, msgBytes(data_words), depart);
     Request stamped = req;
-    stamped.sendTick = depart;
-    _chip.eq().schedule(arrive, [this, bank, stamped]() {
-        _chip.bank(bank).receiveRequest(stamped);
-    });
+    stamped.msgId = ++_msgSeq;
+    // Fabric scheduling (and the fault sites riding on it) lives in
+    // the chip so requests, responses, and probes share one model.
+    _chip.deliverRequest(_id, stamped, data_words, depart);
+    return stamped.msgId;
 }
 
 void
@@ -242,13 +239,14 @@ Cluster::fetchLine(Core &core, mem::Addr addr)
         // Fire-and-forget instruction request; nothing consumes the
         // bytes, so the core only pays the latency.
         if (!_mshrs.count(base)) {
-            _mshrs.emplace(base, MshrEntry{ReqType::Instr, false, {}});
+            MshrEntry &m = _mshrs[base];
+            m.sentType = ReqType::Instr;
             Request r;
             r.type = ReqType::Instr;
             r.cluster = _id;
             r.core = core.localId();
             r.addr = base;
-            sendRequest(r, MsgClass::InstructionRequest, t, 0);
+            m.expectId = sendRequest(r, MsgClass::InstructionRequest, t, 0);
         }
         const MachineConfig &cfg = _chip.config();
         core.setLocalTime(t + 2 * cfg.netLatency + cfg.l3Latency);
@@ -322,17 +320,16 @@ Cluster::coreLoad(Core &core, mem::Addr addr, unsigned bytes)
         it->second.waiters.push_back(Waiter{&core, false, addr, bytes, 0});
         return MemOp::pending(core);
     }
-    MshrEntry m;
+    MshrEntry &m = _mshrs[base];
     m.sentType = ReqType::Read;
     m.waiters.push_back(Waiter{&core, false, addr, bytes, 0});
-    _mshrs.emplace(base, std::move(m));
 
     Request r;
     r.type = ReqType::Read;
     r.cluster = _id;
     r.core = core.localId();
     r.addr = base;
-    sendRequest(r, MsgClass::ReadRequest, t, 0);
+    m.expectId = sendRequest(r, MsgClass::ReadRequest, t, 0);
     return MemOp::pending(core);
 }
 
@@ -388,18 +385,17 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
                     Waiter{&core, true, addr, bytes, value});
                 return MemOp::pending(core);
             }
-            MshrEntry m;
+            MshrEntry &m = _mshrs[base];
             m.sentType = ReqType::Write;
             m.upgradeSent = true;
             m.waiters.push_back(Waiter{&core, true, addr, bytes, value});
-            _mshrs.emplace(base, std::move(m));
             Request r;
             r.type = ReqType::Write;
             r.cluster = _id;
             r.core = core.localId();
             r.addr = base;
             r.upgrade = true;
-            sendRequest(r, MsgClass::WriteRequest, t, 0);
+            m.expectId = sendRequest(r, MsgClass::WriteRequest, t, 0);
             return MemOp::pending(core);
         }
     }
@@ -423,13 +419,14 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
         _l2.claim(v, base);
         v.incoherent = true;
         applyStore(v, addr, value, bytes);
-        _mshrs.emplace(base, MshrEntry{ReqType::Write, false, {}});
+        MshrEntry &m = _mshrs[base];
+        m.sentType = ReqType::Write;
         Request r;
         r.type = ReqType::Write;
         r.cluster = _id;
         r.core = core.localId();
         r.addr = base;
-        sendRequest(r, MsgClass::WriteRequest, t, 0);
+        m.expectId = sendRequest(r, MsgClass::WriteRequest, t, 0);
         return finish(_chip, core, 0);
     }
 
@@ -441,16 +438,15 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
                                             value});
         return MemOp::pending(core);
     }
-    MshrEntry m;
+    MshrEntry &m = _mshrs[base];
     m.sentType = ReqType::Write;
     m.waiters.push_back(Waiter{&core, true, addr, bytes, value});
-    _mshrs.emplace(base, std::move(m));
     Request r;
     r.type = ReqType::Write;
     r.cluster = _id;
     r.core = core.localId();
     r.addr = base;
-    sendRequest(r, MsgClass::WriteRequest, t, 0);
+    m.expectId = sendRequest(r, MsgClass::WriteRequest, t, 0);
     return MemOp::pending(core);
 }
 
@@ -524,8 +520,8 @@ Cluster::coreFlush(Core &core, mem::Addr addr)
         r.addr = base;
         r.mask = l2line->dirtyMask;
         r.data = l2line->data;
-        ++_outstandingWrites;
-        sendRequest(r, MsgClass::SoftwareFlush, t, maskWords(r.mask));
+        _pendingWb.insert(
+            sendRequest(r, MsgClass::SoftwareFlush, t, maskWords(r.mask)));
         l2line->dirtyMask = 0; // line transitions to the Clean state
     }
     return finish(_chip, core, 0);
@@ -559,7 +555,7 @@ Cluster::coreInv(Core &core, mem::Addr addr)
 MemOp
 Cluster::coreDrain(Core &core)
 {
-    if (_outstandingWrites == 0)
+    if (_pendingWb.empty())
         return finish(_chip, core, 0);
     _drainWaiters.push_back(&core);
     return MemOp::pending(core);
@@ -581,11 +577,11 @@ Cluster::coreCompute(Core &core, std::uint64_t instrs)
 // --------------------------------------------------------------------
 
 void
-Cluster::writebackAcked()
+Cluster::writebackAcked(std::uint32_t msg_id)
 {
-    panic_if(_outstandingWrites == 0, "writeback ack underflow");
-    --_outstandingWrites;
-    if (_outstandingWrites == 0 && !_drainWaiters.empty()) {
+    if (_pendingWb.erase(msg_id) == 0)
+        return; // duplicated ack (fault injection): already counted
+    if (_pendingWb.empty() && !_drainWaiters.empty()) {
         std::vector<Core *> waiters;
         waiters.swap(_drainWaiters);
         for (Core *c : waiters) {
@@ -608,7 +604,7 @@ Cluster::handleResponse(const Response &resp)
       }
       case ReqType::Flush:
       case ReqType::Eviction:
-        writebackAcked();
+        writebackAcked(resp.msgId);
         return;
       default:
         installFill(resp);
@@ -622,7 +618,10 @@ Cluster::installFill(const Response &resp)
           ": fill 0x", std::hex, resp.addr, std::dec,
           resp.incoherent ? " incoherent" : " coherent");
     mem::Addr base = mem::lineBase(resp.addr);
-    auto node = _mshrs.extract(base);
+    auto it = _mshrs.find(base);
+    if (it == _mshrs.end() || it->second.expectId != resp.msgId)
+        return; // duplicated or stale fill (fault injection): drop it
+    auto node = _mshrs.extract(it);
 
     cache::Line *line = _l2.probe(base);
     if (!line) {
@@ -643,9 +642,6 @@ Cluster::installFill(const Response &resp)
         line->hwState = resp.grant;
     }
     line->fill(resp.data.data(), mem::fullMask);
-
-    if (node.empty())
-        return; // instruction fill / background SWcc store fill
 
     MshrEntry m = std::move(node.mapped());
 
@@ -687,14 +683,15 @@ Cluster::installFill(const Response &resp)
         up.upgradeSent = true;
         unsigned core_id = upgrade_waiters.front().core->localId();
         up.waiters = std::move(upgrade_waiters);
-        _mshrs.emplace(base, std::move(up));
+        MshrEntry &slot = _mshrs.emplace(base, std::move(up)).first->second;
         Request r;
         r.type = ReqType::Write;
         r.cluster = _id;
         r.core = core_id;
         r.addr = base;
         r.upgrade = true;
-        sendRequest(r, MsgClass::WriteRequest, _chip.eq().now(), 0);
+        slot.expectId =
+            sendRequest(r, MsgClass::WriteRequest, _chip.eq().now(), 0);
     }
 
     for (auto &[c, value] : completions) {

@@ -18,8 +18,10 @@
 #define COHESION_ARCH_CLUSTER_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "arch/core.hh"
@@ -85,7 +87,28 @@ class Cluster
                        const std::string &prefix) const;
 
     /** SWcc writebacks (flushes + dirty evictions) awaiting L3 acks. */
-    unsigned outstandingWrites() const { return _outstandingWrites; }
+    unsigned
+    outstandingWrites() const
+    {
+        return static_cast<unsigned>(_pendingWb.size());
+    }
+
+    /** True if a fill/upgrade for @p base's line is in flight (used by
+     *  the coherence auditor's in-flux filter). */
+    bool
+    hasMshr(mem::Addr base) const
+    {
+        return _mshrs.count(mem::lineBase(base)) != 0;
+    }
+
+    /** Visit every MSHR (watchdog in-flight dump). */
+    void
+    forEachMshr(const std::function<void(mem::Addr, ReqType,
+                                         unsigned)> &fn) const
+    {
+        for (const auto &[base, m] : _mshrs)
+            fn(base, m.sentType, static_cast<unsigned>(m.waiters.size()));
+    }
 
   private:
     friend class Chip;
@@ -103,6 +126,7 @@ class Cluster
     {
         ReqType sentType = ReqType::Read;
         bool upgradeSent = false;
+        std::uint32_t expectId = 0; ///< msgId of the awaited response.
         std::vector<Waiter> waiters;
     };
 
@@ -116,9 +140,10 @@ class Cluster
     /** Fetch one code line through L1I/L2 (may send InstrReq). */
     void fetchLine(Core &core, mem::Addr line_base);
 
-    /** Send a request toward @p addr's home bank. */
-    void sendRequest(const Request &req, MsgClass cls, sim::Tick depart,
-                     unsigned data_words);
+    /** Send a request toward @p addr's home bank; assigns and returns
+     *  the fresh msgId stamped on the wire message. */
+    std::uint32_t sendRequest(const Request &req, MsgClass cls,
+                              sim::Tick depart, unsigned data_words);
 
     /** Install a fill response into the L2 and service MSHR waiters. */
     void installFill(const Response &resp);
@@ -142,8 +167,9 @@ class Cluster
     void applyStore(cache::Line &line, mem::Addr addr, std::uint32_t value,
                     unsigned bytes);
 
-    /** One SWcc writeback ack arrived; wake drain waiters at zero. */
-    void writebackAcked();
+    /** One SWcc writeback ack arrived (duplicates are ignored via the
+     *  pending-id set); wake drain waiters at zero. */
+    void writebackAcked(std::uint32_t msg_id);
 
     Chip &_chip;
     unsigned _id;
@@ -152,7 +178,8 @@ class Cluster
     std::vector<sim::Tick> _l2PortFree;
     std::unordered_map<mem::Addr, MshrEntry> _mshrs;
 
-    unsigned _outstandingWrites = 0;
+    std::uint32_t _msgSeq = 0;
+    std::unordered_set<std::uint32_t> _pendingWb;
     std::vector<Core *> _drainWaiters;
 
     MsgCounters _msgs;

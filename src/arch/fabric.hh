@@ -29,10 +29,13 @@ class Fabric
     explicit Fabric(const MachineConfig &config)
         : _latency(config.netLatency),
           _bytesPerCycle(config.linkBytesPerCycle),
+          _numBanks(config.numL3Banks),
           _clusterUp(config.numClusters, 0),
           _clusterDown(config.numClusters, 0),
           _bankIn(config.numL3Banks, 0),
-          _bankOut(config.numL3Banks, 0)
+          _bankOut(config.numL3Banks, 0),
+          _c2bFloor(config.numClusters * config.numL3Banks, 0),
+          _b2cFloor(config.numClusters * config.numL3Banks, 0)
     {}
 
     /**
@@ -73,6 +76,37 @@ class Fabric
         return accept;
     }
 
+    /**
+     * Per-(cluster,bank) delivery floors. Baseline timing already
+     * delivers each channel's messages in send order (the next-free
+     * counters are monotone), but fault injection perturbs arrival
+     * ticks — a delayed or retransmitted message must not overtake a
+     * later send on the same channel, or the home-bank serialization
+     * argument breaks (e.g. an SWcc Eviction writeback reordered after
+     * a subsequent Read of the same line silently yields stale data).
+     * These clamps raise each delivery to at least the previous one on
+     * the same ordered channel; with faults disabled they are no-ops.
+     */
+    sim::Tick
+    orderC2B(unsigned cluster, unsigned bank, sim::Tick arrive)
+    {
+        sim::Tick &floor = _c2bFloor[cluster * _numBanks + bank];
+        if (arrive < floor)
+            arrive = floor;
+        floor = arrive + 1;
+        return arrive;
+    }
+
+    sim::Tick
+    orderB2C(unsigned bank, unsigned cluster, sim::Tick arrive)
+    {
+        sim::Tick &floor = _b2cFloor[cluster * _numBanks + bank];
+        if (arrive < floor)
+            arrive = floor;
+        floor = arrive + 1;
+        return arrive;
+    }
+
     std::uint64_t bytesUp() const { return _bytesUp.value(); }
     std::uint64_t bytesDown() const { return _bytesDown.value(); }
 
@@ -98,10 +132,13 @@ class Fabric
 
     sim::Tick _latency;
     unsigned _bytesPerCycle;
+    unsigned _numBanks;
     std::vector<sim::Tick> _clusterUp;
     std::vector<sim::Tick> _clusterDown;
     std::vector<sim::Tick> _bankIn;
     std::vector<sim::Tick> _bankOut;
+    std::vector<sim::Tick> _c2bFloor;
+    std::vector<sim::Tick> _b2cFloor;
     sim::Counter _bytesUp, _bytesDown;
     sim::Histogram _delayUp, _delayDown;
 };

@@ -46,7 +46,9 @@ L3Bank::L3Bank(Chip &chip, unsigned id)
           chip.config().l3Assoc),
       _dir(chip.config().directory, chip.config().numClusters),
       _tableCache(chip.config().tableCacheEntries), _locks(chip.eq())
-{}
+{
+    _tableCache.setFaultInjector(&chip.faults());
+}
 
 void
 L3Bank::pruneTransactions()
@@ -84,6 +86,9 @@ L3Bank::receiveRequest(const Request &req)
 sim::CoTask
 L3Bank::transaction(Request req, std::uint64_t trace_id)
 {
+    const std::uint64_t txn = ++_txnSeq;
+    _txns.emplace(txn, TxnRecord{txn, req.type, mem::lineBase(req.addr),
+                                 req.cluster, _chip.eq().now()});
     if (req.type == ReqType::Atomic && _chip.cohesionEnabled() &&
         _chip.map().inTable(req.addr)) {
         co_await handleTableUpdate(req);
@@ -104,6 +109,8 @@ L3Bank::transaction(Request req, std::uint64_t trace_id)
             break;
         }
     }
+    _txns.erase(txn);
+    _txnsCompleted.inc();
     if (trace_id) {
         if (sim::TraceJsonWriter *w = _chip.tracer().json())
             w->asyncEnd(trace_id, _chip.eq().now(),
@@ -116,6 +123,7 @@ L3Bank::transaction(Request req, std::uint64_t trace_id)
 void
 L3Bank::respond(const Request &req, Response resp, unsigned data_words)
 {
+    resp.msgId = req.msgId; // echo for cluster-side dedup
     _chip.sendResponse(_id, req.cluster, resp, data_words);
 }
 
@@ -130,6 +138,7 @@ L3Bank::registerStats(sim::StatRegistry &reg,
     reg.addCounter(prefix + ".dir.evictions", _dirEvictions);
     reg.addCounter(prefix + ".atomics", _atomics);
     reg.addCounter(prefix + ".merge_conflicts", _mergeConflicts);
+    reg.addCounter(prefix + ".txns_completed", _txnsCompleted);
     reg.addScalar(prefix + ".dir.entries", [this]() {
         return static_cast<double>(_dir.size());
     });
@@ -279,13 +288,14 @@ L3Bank::recallEntry(mem::Addr base, bool *incomplete)
 sim::CoTask
 L3Bank::recallEntryRetry(mem::Addr base, std::uint32_t lock_key)
 {
+    Backoff bo;
     while (true) {
         bool incomplete = false;
         co_await recallEntry(base, &incomplete);
         if (!incomplete)
             co_return;
         _locks.release(lock_key);
-        co_await Delay{_chip.eq(), _chip.eq().now() + 8};
+        co_await Delay{_chip.eq(), _chip.eq().now() + bo.next()};
         co_await _locks.acquire(lock_key);
     }
 }
@@ -294,14 +304,15 @@ sim::CoTask
 L3Bank::makeRoom(mem::Addr base)
 {
     base = mem::lineBase(base);
+    Backoff bo;
     while (_dir.needsVictim(base)) {
         coherence::DirEntry *v = _dir.victimExcluding(
             base, [this](mem::Addr a) {
                 return _locks.busy(mem::lineNumber(a));
             });
         if (!v) {
-            // Every candidate is mid-transaction; retry shortly.
-            co_await Delay{_chip.eq(), _chip.eq().now() + 8};
+            // Every candidate is mid-transaction; retry with backoff.
+            co_await Delay{_chip.eq(), _chip.eq().now() + bo.next()};
             continue;
         }
         mem::Addr vbase = v->base;
@@ -376,6 +387,7 @@ L3Bank::handleRead(Request req)
     resp.core = req.core;
     resp.addr = base;
 
+    Backoff bo;
     while (e && (e->state == cache::CohState::Modified ||
                  e->state == cache::CohState::Exclusive)) {
         if (e->sharers.contains(req.cluster) &&
@@ -407,7 +419,7 @@ L3Bank::handleRead(Request req)
             // The owner evicted concurrently; wait for its in-flight
             // WrRel to land (it needs the line lock) and re-evaluate.
             _locks.release(key);
-            co_await Delay{eq, eq.now() + 8};
+            co_await Delay{eq, eq.now() + bo.next()};
             co_await _locks.acquire(key);
             e = _dir.find(base);
             continue;
@@ -510,6 +522,7 @@ L3Bank::handleWrite(Request req)
     }
 
     // Invalidate every other holder; collect a dirty owner's data.
+    Backoff bo;
     while (e) {
         std::vector<unsigned> targets;
         for (unsigned cl : e->sharers.probeTargets()) {
@@ -536,7 +549,7 @@ L3Bank::handleWrite(Request req)
         if (expect_dirty && !any_found) {
             // Owner evicted concurrently: wait for its WrRel.
             _locks.release(key);
-            co_await Delay{eq, eq.now() + 8};
+            co_await Delay{eq, eq.now() + bo.next()};
             co_await _locks.acquire(key);
             e = _dir.find(base);
             continue;
@@ -821,6 +834,28 @@ L3Bank::handleTableUpdate(Request req)
     resp.addr = req.addr;
     resp.atomicOld = old;
     respond(req, resp, 1);
+}
+
+void
+L3Bank::debugWedgeLine(mem::Addr base)
+{
+    pruneTransactions();
+    _running.push_back(wedge(mem::lineBase(base)));
+    _running.back().start();
+}
+
+sim::CoTask
+L3Bank::wedge(mem::Addr base)
+{
+    const std::uint32_t key = mem::lineNumber(base);
+    const std::uint64_t txn = ++_txnSeq;
+    _txns.emplace(txn, TxnRecord{txn, ReqType::Read, base, 0,
+                                 _chip.eq().now()});
+    co_await _locks.acquire(key);
+    Held held(_locks, key);
+    // Park far beyond any cycle limit while holding the line lock:
+    // every later request for this line queues behind it forever.
+    co_await Delay{_chip.eq(), _chip.eq().now() + (sim::Tick{1} << 62)};
 }
 
 } // namespace arch

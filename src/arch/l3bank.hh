@@ -24,7 +24,9 @@
 #ifndef COHESION_ARCH_L3BANK_HH
 #define COHESION_ARCH_L3BANK_HH
 
+#include <functional>
 #include <list>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -61,6 +63,43 @@ class L3Bank
     {
         return static_cast<unsigned>(_running.size());
     }
+
+    /** One live protocol transaction (watchdog in-flight dump). */
+    struct TxnRecord
+    {
+        std::uint64_t id = 0;
+        ReqType type = ReqType::Read;
+        mem::Addr addr = 0;
+        unsigned cluster = 0;
+        sim::Tick start = 0;
+    };
+
+    /** Visit every live transaction record. */
+    void
+    forEachTxn(const std::function<void(const TxnRecord &)> &fn) const
+    {
+        for (const auto &[id, t] : _txns)
+            fn(t);
+    }
+
+    /** True if @p base's line lock is held by a transaction (used by
+     *  the coherence auditor's in-flux filter). */
+    bool
+    lineBusy(mem::Addr base) const
+    {
+        return _locks.busy(mem::lineNumber(mem::lineBase(base)));
+    }
+
+    /** Protocol transactions completed (watchdog progress signal —
+     *  unlike event or message counts, this stagnates in a livelock). */
+    std::uint64_t txnsCompleted() const { return _txnsCompleted.value(); }
+
+    /**
+     * Test hook: start a transaction that takes @p base's line lock
+     * and never releases it, wedging every later request for the line
+     * (exercises the deadlock watchdog).
+     */
+    void debugWedgeLine(mem::Addr base);
 
     /** Register this bank's stats under @p prefix in @p reg. */
     void registerStats(sim::StatRegistry &reg,
@@ -153,6 +192,9 @@ class L3Bank
     /** Drop finished transaction frames. */
     void pruneTransactions();
 
+    /** The coroutine behind debugWedgeLine. */
+    sim::CoTask wedge(mem::Addr base);
+
     Chip &_chip;
     unsigned _id;
     cache::CacheArray _l3;
@@ -162,9 +204,12 @@ class L3Bank
     sim::Tick _l3PortFree = 0;
     sim::Tick _dirPortFree = 0;
     std::list<sim::CoTask> _running;
+    std::unordered_map<std::uint64_t, TxnRecord> _txns;
+    std::uint64_t _txnSeq = 0;
 
     sim::Counter _transitions, _tableLookups, _dirEvictions, _atomics;
     sim::Counter _mergeConflicts, _l3Hits, _l3Misses;
+    sim::Counter _txnsCompleted;
 };
 
 } // namespace arch

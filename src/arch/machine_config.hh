@@ -16,6 +16,7 @@
 #include "coherence/directory.hh"
 #include "mem/dram.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 
 namespace arch {
 
@@ -84,6 +85,18 @@ struct MachineConfig
     sim::Tick slackWindow = 400;
     /** Watchdog: abort if simulated time exceeds this (deadlock guard). */
     sim::Tick maxCycles = 500'000'000;
+    /**
+     * Livelock watchdog: if no forward progress (instructions retired,
+     * bank transactions completed, responses delivered) happens within
+     * this many ticks, runUntilQuiescent throws DeadlockError with an
+     * in-flight transaction dump. 0 disables the windowed check (the
+     * maxCycles bound still applies).
+     */
+    sim::Tick watchdogWindow = 2'000'000;
+
+    // --- Fault injection ---------------------------------------------------
+    /** Fault campaign; all-zero rates (the default) disable injection. */
+    sim::FaultPlan faults;
 
     unsigned totalCores() const { return numClusters * coresPerCluster; }
     std::uint32_t l3TotalBytes() const { return numL3Banks * l3BankBytes; }

@@ -47,6 +47,14 @@ struct Request
     std::array<std::uint8_t, mem::lineBytes> data{}; ///< WB payload.
     bool upgrade = false;            ///< Write: already hold S copy.
     sim::Tick sendTick = 0;          ///< Departure stamp (latency stats).
+    /**
+     * Per-cluster message id, echoed back in the Response. Lets the
+     * cluster discard duplicated or stale responses under fault
+     * injection: a writeback ack must not double-decrement the
+     * outstanding-write count, and a duplicated fill must not clobber
+     * a line a newer transaction owns.
+     */
+    std::uint32_t msgId = 0;
 
     // Atomic-only fields.
     AtomicOp op = AtomicOp::AddU32;
@@ -65,6 +73,7 @@ struct Response
     std::array<std::uint8_t, mem::lineBytes> data{};
     std::uint32_t atomicOld = 0;     ///< Prior value for atomics.
     sim::Tick sendTick = 0;          ///< Departure stamp (latency stats).
+    std::uint32_t msgId = 0;         ///< Echo of Request::msgId.
 };
 
 /** Directory -> L2 probe types. */

@@ -98,6 +98,27 @@ struct Line
         }
     }
 
+    /** Fault injection: xor one bit of the line's data image. Does
+     *  not touch the masks — a silent single-event upset. */
+    void
+    flipDataBit(unsigned bit)
+    {
+        bit %= mem::lineBytes * 8;
+        data[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    }
+
+    /** Fault injection: xor one metadata bit — the first wordsPerLine
+     *  indices address the dirty mask, the rest the valid mask. */
+    void
+    flipMetaBit(unsigned bit)
+    {
+        bit %= 2 * mem::wordsPerLine;
+        if (bit < mem::wordsPerLine)
+            dirtyMask ^= mem::WordMask(1u << bit);
+        else
+            validMask ^= mem::WordMask(1u << (bit - mem::wordsPerLine));
+    }
+
     /**
      * Merge the words selected by @p mask from @p src into this line,
      * marking them valid and dirty. Used by the L3 to merge disjoint
@@ -238,6 +259,22 @@ class CacheArray
         for (const auto &line : _lines)
             n += line.valid ? 1 : 0;
         return n;
+    }
+
+    /** The (n mod validLines())-th valid line in array order, or
+     *  nullptr when the array is empty (fault-pump victim pick). */
+    Line *
+    nthValidLine(std::uint64_t n)
+    {
+        std::uint32_t count = validLines();
+        if (count == 0)
+            return nullptr;
+        std::uint64_t want = n % count;
+        for (auto &line : _lines) {
+            if (line.valid && want-- == 0)
+                return &line;
+        }
+        return nullptr; // unreachable
     }
 
     /** Invalidate everything (test support). */

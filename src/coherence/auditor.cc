@@ -1,0 +1,204 @@
+#include "coherence/auditor.hh"
+
+#include <vector>
+
+#include "arch/chip.hh"
+#include "cohesion/region_table.hh"
+#include "sim/logging.hh"
+
+namespace coherence {
+
+bool
+Auditor::inFlux(mem::Addr base) const
+{
+    base = mem::lineBase(base);
+    arch::Chip &c = _chip;
+    if (c.bank(c.map().bankOf(base)).lineBusy(base))
+        return true;
+    for (unsigned i = 0; i < c.numClusters(); ++i) {
+        if (c.cluster(i).hasMshr(base))
+            return true;
+    }
+    if (c.cohesionEnabled()) {
+        // A transition atomic holds the covering table line's lock
+        // while it rewrites this line's domain.
+        mem::Addr wa = c.map().tableWordAddr(base);
+        if (c.bank(c.map().bankOf(wa)).lineBusy(wa))
+            return true;
+    }
+    return false;
+}
+
+bool
+Auditor::lineIsSwcc(mem::Addr base)
+{
+    arch::Chip &c = _chip;
+    base = mem::lineBase(base);
+    if (c.coarseTable().contains(base))
+        return true;
+    const mem::AddressMap &map = c.map();
+    const mem::Addr wa = map.tableWordAddr(base);
+    std::uint32_t word = 0;
+    auto it = _tableWords.find(wa);
+    if (it != _tableWords.end()) {
+        word = it->second;
+    } else {
+        // The L3 copy of the table line is the newest committed value;
+        // the backing store serves lines the L3 evicted. The per-bank
+        // table cache is deliberately not consulted — it is a fault
+        // site (table.stale) and must not launder its own staleness.
+        arch::L3Bank &home = c.bank(map.bankOf(wa));
+        if (const cache::Line *l = home.l3().probe(wa))
+            l->read(wa, &word, 4);
+        else
+            word = c.store().readT<std::uint32_t>(wa);
+        _tableWords.emplace(wa, word);
+    }
+    return cohesion::fine_table::bitFromWord(word, map, base);
+}
+
+void
+Auditor::auditNow()
+{
+    arch::Chip &c = _chip;
+    const arch::CoherenceMode mode = c.config().mode;
+    _passes.inc();
+    _tableWords.clear();
+
+    struct Copy
+    {
+        unsigned cluster;
+        cache::CohState state;
+    };
+    std::unordered_map<mem::Addr, std::vector<Copy>> hwccCopies;
+
+    // Per-bank snapshot of the directory index. Directory::find()
+    // updates LRU state, so lookups during the audit must go through
+    // this side table to keep the pass free of side effects.
+    std::unordered_map<mem::Addr, const DirEntry *> dirIndex;
+    for (unsigned bi = 0; bi < c.numBanks(); ++bi) {
+        c.bank(bi).directory().forEach(
+            [&](const DirEntry &e) { dirIndex.emplace(e.base, &e); });
+    }
+
+    for (unsigned ci = 0; ci < c.numClusters(); ++ci) {
+        c.cluster(ci).l2().forEachValid([&](cache::Line &l) {
+            if (inFlux(l.base)) {
+                _linesSkipped.inc();
+                return;
+            }
+            _linesChecked.inc();
+            const std::string where = sim::cat(
+                "cluster ", ci, " line 0x", std::hex, l.base, std::dec,
+                " state ", cache::cohStateName(l.hwState),
+                l.incoherent ? " incoherent" : "", " valid=0x", std::hex,
+                unsigned(l.validMask), " dirty=0x", unsigned(l.dirtyMask),
+                std::dec);
+
+            if ((l.dirtyMask & ~l.validMask) != 0)
+                throw AuditError("dirty-subset-valid", where);
+            if (l.incoherent && l.hwState != cache::CohState::Invalid)
+                throw AuditError("incoherent-xor-hwstate", where);
+            if (!l.incoherent && l.hwState == cache::CohState::Invalid)
+                throw AuditError("valid-line-stateless", where);
+            if (l.dirty() && !l.incoherent &&
+                l.hwState != cache::CohState::Modified)
+                throw AuditError("dirty-needs-owner", where);
+            if (mode == arch::CoherenceMode::HWccOnly && l.incoherent)
+                throw AuditError("mode-domain", where + " (HWccOnly)");
+            if (mode == arch::CoherenceMode::SWccOnly && !l.incoherent)
+                throw AuditError("mode-domain", where + " (SWccOnly)");
+
+            if (!l.incoherent) {
+                // HWcc copy: the home directory must know about it.
+                hwccCopies[l.base].push_back(Copy{ci, l.hwState});
+                auto di = dirIndex.find(l.base);
+                if (di == dirIndex.end())
+                    throw AuditError("l2-without-directory", where);
+                const DirEntry &e = *di->second;
+                if (!e.sharers.contains(ci))
+                    throw AuditError(
+                        "sharer-missing",
+                        where + sim::cat(" (dir state ",
+                                         cache::cohStateName(e.state),
+                                         ", ", e.sharers.count(),
+                                         " sharer(s))"));
+                bool l2_owner =
+                    l.hwState == cache::CohState::Modified ||
+                    l.hwState == cache::CohState::Exclusive;
+                bool dir_owner =
+                    e.state == cache::CohState::Modified ||
+                    e.state == cache::CohState::Exclusive;
+                if (l2_owner && !dir_owner)
+                    throw AuditError(
+                        "state-mismatch",
+                        where + sim::cat(" (dir state ",
+                                         cache::cohStateName(e.state),
+                                         ")"));
+                if (mode == arch::CoherenceMode::Cohesion &&
+                    lineIsSwcc(l.base)) {
+                    throw AuditError("domain-mismatch",
+                                     where + " (table says SWcc)");
+                }
+            } else if (mode == arch::CoherenceMode::Cohesion) {
+                if (!lineIsSwcc(l.base))
+                    throw AuditError("domain-mismatch",
+                                     where + " (table says HWcc)");
+            }
+        });
+    }
+
+    for (const auto &[base, copies] : hwccCopies) {
+        bool owned = false;
+        for (const Copy &cp : copies) {
+            owned |= cp.state == cache::CohState::Modified ||
+                     cp.state == cache::CohState::Exclusive;
+        }
+        if (owned && copies.size() > 1) {
+            std::string detail =
+                sim::cat("line 0x", std::hex, base, std::dec, ":");
+            for (const Copy &cp : copies) {
+                detail += sim::cat(" cluster", cp.cluster, "=",
+                                   cache::cohStateName(cp.state));
+            }
+            throw AuditError("owner-exclusive", detail);
+        }
+    }
+
+    for (unsigned bi = 0; bi < c.numBanks(); ++bi) {
+        c.bank(bi).directory().forEach([&](const DirEntry &e) {
+            const std::string where = sim::cat(
+                "bank ", bi, " entry 0x", std::hex, e.base, std::dec,
+                " state ", cache::cohStateName(e.state), " ",
+                e.sharers.count(), " sharer(s)");
+            if (mode == arch::CoherenceMode::SWccOnly)
+                throw AuditError("dir-in-swcc-mode", where);
+            if (inFlux(e.base)) {
+                _linesSkipped.inc();
+                return;
+            }
+            _linesChecked.inc();
+            if (e.state == cache::CohState::Invalid)
+                throw AuditError("dir-invalid-state", where);
+            if (e.sharers.empty())
+                throw AuditError("dir-empty-sharers", where);
+            bool owner = e.state == cache::CohState::Modified ||
+                         e.state == cache::CohState::Exclusive;
+            if (owner && !e.sharers.broadcast() && e.sharers.count() != 1)
+                throw AuditError("dir-multi-owner", where);
+            if (mode == arch::CoherenceMode::Cohesion && lineIsSwcc(e.base))
+                throw AuditError("dir-covers-swcc", where);
+        });
+    }
+}
+
+void
+Auditor::registerStats(sim::StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".passes", _passes);
+    reg.addCounter(prefix + ".lines_checked", _linesChecked);
+    reg.addCounter(prefix + ".lines_skipped", _linesSkipped);
+}
+
+} // namespace coherence

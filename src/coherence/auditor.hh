@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Runtime coherence auditor. Walks every L2, every directory slice,
+ * and the Cohesion region tables (the Chip's run loop invokes a pass
+ * at a configurable cadence) and enforces the protocol's global
+ * invariants:
+ *
+ *  1. per-line structural sanity (dirty words are valid words; the
+ *     incoherent bit and the MSI state are mutually exclusive);
+ *  2. per-word dirty masks only accumulate on SWcc (incoherent) or
+ *     Modified lines — an HWcc Shared copy is clean;
+ *  3. mode domain discipline (HWccOnly has no incoherent lines,
+ *     SWccOnly has no hardware states and no directory entries);
+ *  4. every HWcc L2 copy is backed by a home-directory entry that
+ *     lists the cluster with a compatible state;
+ *  5. owner exclusivity: a Modified/Exclusive copy is the only HWcc
+ *     copy of its line anywhere in the system;
+ *  6. directory structure (live entries have sharers; M/E entries
+ *     have one owner; entries never cover SWcc lines in Cohesion).
+ *
+ * Lines with a transaction in flight (home-bank line lock held, an
+ * MSHR allocated anywhere, or the covering fine-table line locked) are
+ * skipped: the protocol is allowed to be mid-transition there. A
+ * violation throws AuditError with a state dump, so silent corruption
+ * from fault injection becomes a loud, attributable failure.
+ */
+
+#ifndef COHESION_COHERENCE_AUDITOR_HH
+#define COHESION_COHERENCE_AUDITOR_HH
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
+#include "sim/stats.hh"
+
+namespace arch {
+class Chip;
+}
+
+namespace coherence {
+
+/** A coherence-invariant violation, with the offending state. */
+class AuditError : public std::runtime_error
+{
+  public:
+    AuditError(std::string invariant, const std::string &detail)
+        : std::runtime_error("coherence audit failed [" + invariant +
+                             "]: " + detail),
+          _invariant(std::move(invariant))
+    {}
+
+    /** Short name of the violated invariant (e.g. "owner-exclusive"). */
+    const std::string &invariant() const { return _invariant; }
+
+  private:
+    std::string _invariant;
+};
+
+class Auditor
+{
+  public:
+    explicit Auditor(arch::Chip &chip) : _chip(chip) {}
+
+    /** One full invariant pass right now (throws AuditError). */
+    void auditNow();
+
+    std::uint64_t passes() const { return _passes.value(); }
+    std::uint64_t linesChecked() const { return _linesChecked.value(); }
+    std::uint64_t linesSkipped() const { return _linesSkipped.value(); }
+
+    void registerStats(sim::StatRegistry &reg,
+                       const std::string &prefix) const;
+
+  private:
+    /** True if @p base may legitimately be mid-transition. */
+    bool inFlux(mem::Addr base) const;
+
+    /** Authoritative SWcc-domain decision for @p base (coarse table,
+     *  then the fine table read through the L3 copy or the backing
+     *  store — never the per-bank table cache, which may be stale). */
+    bool lineIsSwcc(mem::Addr base);
+
+    arch::Chip &_chip;
+
+    // Fine-table words resolved during the current pass.
+    std::unordered_map<mem::Addr, std::uint32_t> _tableWords;
+
+    sim::Counter _passes, _linesChecked, _linesSkipped;
+};
+
+} // namespace coherence
+
+#endif // COHESION_COHERENCE_AUDITOR_HH

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mem/types.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -42,7 +43,12 @@ class TableCache
     bool enabled() const { return !_entries.empty(); }
     std::uint32_t capacity() const { return _entries.size(); }
 
-    /** Look up the cached table word at @p word_addr. */
+    /** Attach the chip's fault injector (table.stale site). */
+    void setFaultInjector(sim::FaultInjector *f) { _faults = f; }
+
+    /** Look up the cached table word at @p word_addr. Under fault
+     *  injection a hit may return the *previous* committed value,
+     *  modelling a stale cached table entry. */
     std::optional<std::uint32_t>
     lookup(mem::Addr word_addr)
     {
@@ -51,6 +57,10 @@ class TableCache
         Entry &e = slot(word_addr);
         if (e.valid && e.addr == word_addr) {
             _hits.inc();
+            if (_faults && e.prev != e.word &&
+                _faults->fire(sim::FaultSite::TableStale)) {
+                return e.prev;
+            }
             return e.word;
         }
         _misses.inc();
@@ -67,6 +77,7 @@ class TableCache
         e.valid = true;
         e.addr = word_addr;
         e.word = word;
+        e.prev = word;
     }
 
     /**
@@ -79,8 +90,10 @@ class TableCache
         if (!enabled())
             return;
         Entry &e = slot(word_addr);
-        if (e.valid && e.addr == word_addr)
+        if (e.valid && e.addr == word_addr) {
+            e.prev = e.word;
             e.word = word;
+        }
     }
 
     std::uint64_t hits() const { return _hits.value(); }
@@ -92,6 +105,7 @@ class TableCache
         bool valid = false;
         mem::Addr addr = 0;
         std::uint32_t word = 0;
+        std::uint32_t prev = 0; ///< Last superseded value (stale reads).
     };
 
     Entry &
@@ -101,6 +115,7 @@ class TableCache
     }
 
     std::vector<Entry> _entries;
+    sim::FaultInjector *_faults = nullptr;
     sim::Counter _hits, _misses;
 };
 

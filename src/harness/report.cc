@@ -18,6 +18,12 @@ buildStatRegistry(const arch::MachineConfig &cfg, const RunResult &r,
     reg.addScalar("machine.mode", static_cast<double>(cfg.mode));
 
     reg.addScalar("sim.cycles", static_cast<double>(r.cycles));
+    reg.addScalar("sim.seed", static_cast<double>(r.seed));
+    reg.addScalar("sim.fault_seed", static_cast<double>(r.faultSeed));
+    reg.addScalar("faults.injected",
+                  static_cast<double>(r.faultsInjected));
+    reg.addScalar("faults.recovered",
+                  static_cast<double>(r.faultsRecovered));
     reg.addScalar("sim.instructions", static_cast<double>(r.instructions));
     reg.addScalar("sim.ipc_per_core",
                   r.cycles

@@ -15,8 +15,17 @@ RunResult
 runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
           const RunOptions &opts)
 {
-    arch::Chip chip(cfg, runtime::Layout::tableBase);
+    arch::MachineConfig cfg_eff = cfg;
+    if (cfg_eff.faults.anyEnabled() && cfg_eff.faults.seed == 0) {
+        // Chain the fault stream off the workload seed so one --seed
+        // reproduces the entire run, faults included.
+        cfg_eff.faults.seed =
+            sim::deriveSeed(kernel.params().seed, "fault");
+    }
+    arch::Chip chip(cfg_eff, runtime::Layout::tableBase);
     chip.tracer().setMask(opts.traceMask);
+    if (opts.audit)
+        chip.enableAudit(opts.auditPeriod);
     runtime::CohesionRuntime rt(chip);
 
     std::optional<sim::TraceJsonWriter> trace_json;
@@ -47,6 +56,9 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
         fatal_if(!workers[c].done(), kernel.name(), ": core ", c,
                  " did not finish (deadlock?) at cycle ", end);
     }
+
+    if (opts.audit)
+        chip.auditNow(); // final pass over the quiesced machine
 
     if (!opts.skipVerify)
         kernel.verify(rt);
@@ -90,6 +102,11 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
         }
         r.timeSeries = chip.timeSeries().data();
     }
+
+    r.seed = kernel.params().seed;
+    r.faultSeed = chip.faults().enabled() ? chip.faults().seed() : 0;
+    r.faultsInjected = chip.faults().totalInjected();
+    r.faultsRecovered = chip.faults().totalRecovered();
 
     r.dramAccesses = chip.dram().totalAccesses();
     r.fabricBytes = chip.fabric().bytesUp() + chip.fabric().bytesDown();

@@ -68,6 +68,13 @@ struct RunResult
 
     /** Sampled series (empty unless sampling was enabled). */
     sim::TimeSeriesData timeSeries;
+
+    /** Effective workload seed (kernels::Params::seed). */
+    std::uint64_t seed = 0;
+    /** Effective fault seed (0 when fault injection was off). */
+    std::uint64_t faultSeed = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsRecovered = 0;
 };
 
 /** Options controlling a run. New members go at the END: call sites
@@ -86,6 +93,10 @@ struct RunOptions
     std::ostream *traceJson = nullptr;
     /** Dump the hierarchical stat registry as JSON here (not owned). */
     std::ostream *statsJson = nullptr;
+    /** Run the coherence auditor (periodic passes + one final pass). */
+    bool audit = true;
+    /** Audit cadence in ticks (0: cost-scaled default). */
+    sim::Tick auditPeriod = 0;
 };
 
 /**

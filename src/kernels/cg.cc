@@ -298,7 +298,9 @@ CgKernel::verify(runtime::CohesionRuntime &rt)
         double res = double(_hB[row]) - ax;
         rr_sim += res * res;
     }
-    fatal_if(rr_sim > 4.0 * rr + 1e-6,
+    // !(x <= t) instead of (x > t): a NaN in the simulated solution
+    // (e.g. from an injected bit flip) must fail, not slip past.
+    fatal_if(!(rr_sim <= 4.0 * rr + 1e-6),
              "cg simulated residual too high: ", rr_sim,
              " vs reference ", rr);
 
@@ -307,7 +309,7 @@ CgKernel::verify(runtime::CohesionRuntime &rt)
         err += std::fabs(xs[i] - x[i]);
         norm += std::fabs(x[i]);
     }
-    fatal_if(err > 0.10 * norm + 1e-3,
+    fatal_if(!(err <= 0.10 * norm + 1e-3),
              "cg solution mismatch: |err|=", err, " |x|=", norm);
 }
 

@@ -82,8 +82,9 @@ DmmKernel::verify(runtime::CohesionRuntime &rt)
             for (std::uint32_t k = 0; k < n; ++k)
                 want += _ha[i * n + k] * _hb[k * n + j];
             float got = rt.verifyReadF32(_c + (i * n + j) * 4);
-            fatal_if(std::fabs(got - want) >
-                         1e-3f + 1e-3f * std::fabs(want),
+            // !(x <= t) so a NaN from an injected fault fails the check.
+            fatal_if(!(std::fabs(got - want) <=
+                       1e-3f + 1e-3f * std::fabs(want)),
                      "dmm mismatch at (", i, ",", j, "): got ", got,
                      " want ", want);
         }

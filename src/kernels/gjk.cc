@@ -253,7 +253,9 @@ GjkKernel::verify(runtime::CohesionRuntime &rt)
     for (std::uint32_t p = 0; p < _numPairs; ++p) {
         float want = hostPair(_hPairs[p].first, _hPairs[p].second);
         float got = rt.verifyReadF32(_results + p * 4);
-        fatal_if(std::fabs(got - want) > 1e-3f + 1e-4f * std::fabs(want),
+        // !(x <= t) so a NaN from an injected fault fails.
+        fatal_if(!(std::fabs(got - want) <=
+                   1e-3f + 1e-4f * std::fabs(want)),
                  "gjk mismatch at pair ", p, ": got ", got, " want ",
                  want);
     }

@@ -281,8 +281,9 @@ KmeansKernel::verify(runtime::CohesionRuntime &rt)
         for (unsigned d = 0; d < kDims; ++d) {
             float got = rt.verifyReadF32(centroidAddr(k, d));
             float want = cents[k * kDims + d];
-            fatal_if(std::fabs(got - want) >
-                         5e-2f + 1e-3f * std::fabs(want),
+            // !(x <= t) so a NaN from an injected fault fails.
+            fatal_if(!(std::fabs(got - want) <=
+                       5e-2f + 1e-3f * std::fabs(want)),
                      "kmeans centroid mismatch at (", k, ",", d,
                      "): got ", got, " want ", want);
         }

@@ -107,10 +107,11 @@ MriKernel::verify(runtime::CohesionRuntime &rt)
         }
         float got_r = rt.verifyReadF32(_qr + v * 4);
         float got_i = rt.verifyReadF32(_qi + v * 4);
-        fatal_if(std::fabs(got_r - qr) > 1e-3f + 1e-3f * std::fabs(qr),
+        // !(x <= t) so a NaN from an injected fault fails.
+        fatal_if(!(std::fabs(got_r - qr) <= 1e-3f + 1e-3f * std::fabs(qr)),
                  "mri Qr mismatch at voxel ", v, ": got ", got_r,
                  " want ", qr);
-        fatal_if(std::fabs(got_i - qi) > 1e-3f + 1e-3f * std::fabs(qi),
+        fatal_if(!(std::fabs(got_i - qi) <= 1e-3f + 1e-3f * std::fabs(qi)),
                  "mri Qi mismatch at voxel ", v, ": got ", got_i,
                  " want ", qi);
     }

@@ -134,7 +134,8 @@ SobelKernel::verify(runtime::CohesionRuntime &rt)
                         p(r - 1, c + 1));
             float want = std::fabs(gx) + std::fabs(gy);
             float got = rt.verifyReadF32(_edges + (r * w + c) * 4);
-            fatal_if(std::fabs(got - want) > 1e-2f,
+            // !(x <= t) so a NaN from an injected fault fails.
+            fatal_if(!(std::fabs(got - want) <= 1e-2f),
                      "sobel mismatch at (", r, ",", c, "): got ", got,
                      " want ", want);
             if (want > _threshold)

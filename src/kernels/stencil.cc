@@ -123,7 +123,9 @@ StencilKernel::verify(runtime::CohesionRuntime &rt)
     for (std::uint32_t i = 0; i < n * n * n; ++i) {
         float got = rt.verifyReadF32(result + i * 4);
         float want = cur[i];
-        fatal_if(std::fabs(got - want) > 1e-3f + 1e-4f * std::fabs(want),
+        // !(x <= t) so a NaN from an injected fault fails.
+        fatal_if(!(std::fabs(got - want) <=
+                   1e-3f + 1e-4f * std::fabs(want)),
                  "stencil mismatch at cell ", i, ": got ", got, " want ",
                  want);
     }

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection. A FaultInjector owns one
+ * dedicated Rng stream and a set of named injection *sites* — points
+ * in the fabric and memory hierarchy where the wiring asks "does a
+ * fault fire here?" once per opportunity. Because every draw happens
+ * at a deterministic point in the event schedule, a (seed, plan) pair
+ * reproduces the exact same fault sequence bit-for-bit.
+ *
+ * Sites are configured from a FaultPlan, built either from quick CLI
+ * knobs (--fault-seed / --fault-drop-rate) or a JSON plan document:
+ *
+ *     {
+ *       "seed": 7,
+ *       "pump_period": 1024,
+ *       "sites": {
+ *         "fabric.c2b.drop":  { "rate": 0.01 },
+ *         "fabric.b2c.delay": { "rate": 0.05, "delay": 128 },
+ *         "l2.meta.flip":     { "rate": 0.2,  "max": 3 }
+ *       }
+ *     }
+ *
+ * Counter semantics: injected() counts fired faults per site;
+ * recovered() counts faults the machinery demonstrably absorbed
+ * (today: dropped messages that were retransmitted and delivered).
+ * Flip/stale faults have no automatic recovery signal — the Auditor
+ * or the kernel verifier is their detector.
+ */
+
+#ifndef COHESION_SIM_FAULT_HH
+#define COHESION_SIM_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stat_registry.hh"
+
+namespace sim {
+
+/** Named injection sites (see faultSiteName for the wire names). */
+enum class FaultSite : std::uint8_t {
+    FabricC2BDrop,  ///< Drop an L2->L3 message (retransmitted).
+    FabricC2BDup,   ///< Duplicate an L2->L3 message.
+    FabricC2BDelay, ///< Delay an L2->L3 message.
+    FabricB2CDrop,  ///< Drop an L3->L2 response (retransmitted).
+    FabricB2CDup,   ///< Duplicate an L3->L2 response.
+    FabricB2CDelay, ///< Delay an L3->L2 response.
+    L2DataFlip,     ///< Flip one data bit of a valid L2 line.
+    L2MetaFlip,     ///< Flip one valid/dirty mask bit of an L2 line.
+    L3DataFlip,     ///< Flip one data bit of a valid L3 line.
+    L3MetaFlip,     ///< Flip one valid/dirty mask bit of an L3 line.
+    TableStale,     ///< Fine-table cache hit returns a stale word.
+    MemDataFlip,    ///< Targeted: corrupt the newest visible copy of
+                    ///< a word (verifier-guard tests; never random).
+};
+
+constexpr unsigned numFaultSites = 12;
+
+/** Wire name of a site (e.g. "fabric.c2b.drop"). */
+const char *faultSiteName(FaultSite s);
+
+/** Parse a wire name; returns false if unknown. */
+bool faultSiteFromName(std::string_view name, FaultSite *out);
+
+/** Per-site knobs. */
+struct FaultSiteConfig
+{
+    double rate = 0.0;      ///< Fault probability per opportunity.
+    std::uint64_t max = 0;  ///< Injection cap (0 = unlimited).
+    Tick delay = 64;        ///< Extra ticks for delay sites.
+};
+
+/** A complete fault campaign configuration. */
+struct FaultPlan
+{
+    /** Rng seed for the fault stream; 0 derives one from the default
+     *  workload seed via deriveSeed(12345, "fault") (see random.hh). */
+    std::uint64_t seed = 0;
+    /** Cadence of the state-flip pump (cache/table sites). */
+    Tick pumpPeriod = 1024;
+    std::array<FaultSiteConfig, numFaultSites> sites{};
+
+    FaultSiteConfig &
+    site(FaultSite s)
+    {
+        return sites[static_cast<unsigned>(s)];
+    }
+
+    const FaultSiteConfig &
+    site(FaultSite s) const
+    {
+        return sites[static_cast<unsigned>(s)];
+    }
+
+    /** True if any site has a nonzero rate. */
+    bool anyEnabled() const;
+
+    /**
+     * Parse a JSON plan document (schema in the file header). Calls
+     * fatal() on malformed input or unknown site names.
+     */
+    static FaultPlan parse(std::string_view json_text);
+};
+
+class FaultInjector
+{
+  public:
+    /** Install @p plan and reset all counters and the Rng stream. */
+    void configure(const FaultPlan &plan);
+
+    bool enabled() const { return _enabled; }
+    const FaultPlan &plan() const { return _plan; }
+    /** The effective (post-derivation) fault seed. */
+    std::uint64_t seed() const { return _seed; }
+
+    /** True if @p s can still fire (nonzero rate, under its cap). */
+    bool
+    armed(FaultSite s) const
+    {
+        const FaultSiteConfig &c = _plan.site(s);
+        return _enabled && c.rate > 0.0 &&
+               (c.max == 0 || injected(s) < c.max);
+    }
+
+    /**
+     * One injection opportunity at @p s: draws the Rng and returns
+     * true (counting the injection) if a fault fires. Every call
+     * consumes at most one Rng draw, at a deterministic point in the
+     * event schedule, so campaigns replay exactly.
+     */
+    bool
+    fire(FaultSite s)
+    {
+        if (!armed(s))
+            return false;
+        if (_rng.uniform() >= _plan.site(s).rate)
+            return false;
+        countInjected(s);
+        return true;
+    }
+
+    Tick delayTicks(FaultSite s) const { return _plan.site(s).delay; }
+
+    /** Count a directed (test-driven) injection at @p s. */
+    void
+    countInjected(FaultSite s)
+    {
+        ++_injected[static_cast<unsigned>(s)];
+    }
+
+    /** The machinery absorbed one fault injected at @p s. */
+    void
+    countRecovered(FaultSite s)
+    {
+        ++_recovered[static_cast<unsigned>(s)];
+    }
+
+    std::uint64_t
+    injected(FaultSite s) const
+    {
+        return _injected[static_cast<unsigned>(s)];
+    }
+
+    std::uint64_t
+    recovered(FaultSite s) const
+    {
+        return _recovered[static_cast<unsigned>(s)];
+    }
+
+    std::uint64_t totalInjected() const;
+    std::uint64_t totalRecovered() const;
+
+    /** The fault stream's Rng (victim selection for flip sites). */
+    Rng &rng() { return _rng; }
+
+    /** Register per-site injected/recovered counters under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
+  private:
+    bool _enabled = false;
+    std::uint64_t _seed = 0;
+    FaultPlan _plan;
+    Rng _rng;
+    std::array<std::uint64_t, numFaultSites> _injected{};
+    std::array<std::uint64_t, numFaultSites> _recovered{};
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_FAULT_HH

@@ -23,6 +23,10 @@ categoryName(Category c)
         return "dram";
       case Category::Runtime:
         return "runtime";
+      case Category::Watchdog:
+        return "watchdog";
+      case Category::Fault:
+        return "fault";
       case Category::None:
         return "none";
       case Category::All:
@@ -47,7 +51,8 @@ parseCategories(const std::string &spec)
         bool known = false;
         for (Category c : {Category::Protocol, Category::Cache,
                            Category::Transition, Category::Net,
-                           Category::Dram, Category::Runtime}) {
+                           Category::Dram, Category::Runtime,
+                           Category::Watchdog, Category::Fault}) {
             if (tok == categoryName(c)) {
                 mask = mask | c;
                 known = true;

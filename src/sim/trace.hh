@@ -32,6 +32,8 @@ enum class Category : std::uint32_t {
     Net = 1u << 3,        ///< Message sends/arrivals.
     Dram = 1u << 4,       ///< Memory accesses.
     Runtime = 1u << 5,    ///< Barriers, task queue, heaps.
+    Watchdog = 1u << 6,   ///< Deadlock watchdog windows / dumps.
+    Fault = 1u << 7,      ///< Fault injections and recoveries.
     All = ~0u
 };
 

@@ -1,0 +1,176 @@
+/** @file
+ * Randomized fault campaign. Sweeps seeds x fault sites x kernels and
+ * enforces the robustness trichotomy: every run must either
+ *
+ *   (a) complete and verify green (the machinery absorbed the fault),
+ *   (b) die loudly with an AuditError (coherence invariant violated),
+ *   (c) die loudly with a DeadlockError (watchdog caught a hang), or
+ *   (d) fail numerical verification (corruption reached the output).
+ *
+ * Silent corruption (verify green with wrong state would surface as a
+ * later invariant break), an unclassified exception, or a logic_error
+ * (an injected fault reaching a panic path) is a test failure.
+ *
+ * The recovery set (drops, duplicates, delays) is stricter: those
+ * faults are absorbed by retransmission and msgId dedup, so every run
+ * must land in (a) with at least one fault actually injected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coherence/auditor.hh"
+#include "harness/runner.hh"
+#include "kernels/registry.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+enum class Outcome { Green, Audit, Deadlock, Verify };
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Green: return "green";
+      case Outcome::Audit: return "audit-error";
+      case Outcome::Deadlock: return "deadlock-error";
+      case Outcome::Verify: return "verify-mismatch";
+    }
+    return "?";
+}
+
+struct ComboResult
+{
+    Outcome outcome = Outcome::Green;
+    std::uint64_t injected = 0;
+    std::uint64_t recovered = 0;
+    std::string what;
+};
+
+/** One campaign cell. Anything outside the trichotomy is reported via
+ *  ADD_FAILURE and classified as Green so the sweep continues. */
+ComboResult
+runCombo(const std::string &kernel, std::uint64_t seed,
+         sim::FaultSite site, double rate, std::uint64_t max)
+{
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
+    cfg.mode = arch::CoherenceMode::Cohesion;
+    if (site == sim::FaultSite::TableStale)
+        cfg.tableCacheEntries = 16; // the stale site lives in the cache
+    cfg.faults.seed = seed;
+    cfg.faults.site(site).rate = rate;
+    cfg.faults.site(site).max = max;
+    kernels::Params params;
+    params.seed = seed;
+
+    ComboResult r;
+    std::string label = sim::cat(kernel, " seed=", seed, " site=",
+                                 sim::faultSiteName(site), " rate=", rate);
+    try {
+        harness::RunResult run = harness::runKernel(
+            cfg, kernels::kernelFactory(kernel), params, {});
+        r.outcome = Outcome::Green;
+        r.injected = run.faultsInjected;
+        r.recovered = run.faultsRecovered;
+    } catch (const coherence::AuditError &e) {
+        r.outcome = Outcome::Audit;
+        r.what = e.what();
+    } catch (const arch::DeadlockError &e) {
+        r.outcome = Outcome::Deadlock;
+        r.what = e.what();
+    } catch (const std::logic_error &e) {
+        ADD_FAILURE() << label
+                      << ": injected fault reached a panic path: "
+                      << e.what();
+    } catch (const std::runtime_error &e) {
+        r.outcome = Outcome::Verify;
+        r.what = e.what();
+    } catch (...) {
+        ADD_FAILURE() << label << ": unclassified exception";
+    }
+    return r;
+}
+
+/** Recoverable transport faults: retransmission plus msgId dedup must
+ *  absorb every one of them, and the run must still verify green. */
+TEST(FaultCampaign, TransportFaultsAreAbsorbed)
+{
+    using sim::FaultSite;
+    struct SiteSpec
+    {
+        FaultSite site;
+        double rate;
+    };
+    const SiteSpec sites[] = {
+        {FaultSite::FabricC2BDrop, 0.02},
+        {FaultSite::FabricB2CDrop, 0.02},
+        {FaultSite::FabricC2BDup, 0.05},
+        {FaultSite::FabricB2CDup, 0.05},
+        {FaultSite::FabricC2BDelay, 0.05},
+        {FaultSite::FabricB2CDelay, 0.05},
+    };
+    unsigned combos = 0;
+    for (const std::string kernel : {"heat", "dmm"}) {
+        for (std::uint64_t seed : {11u, 12u}) {
+            for (const SiteSpec &s : sites) {
+                SCOPED_TRACE(sim::cat(kernel, " seed=", seed, " site=",
+                                      sim::faultSiteName(s.site)));
+                ComboResult r =
+                    runCombo(kernel, seed, s.site, s.rate, 0);
+                EXPECT_EQ(r.outcome, Outcome::Green)
+                    << outcomeName(r.outcome) << ": " << r.what;
+                EXPECT_GE(r.injected, 1u)
+                    << "campaign cell never injected a fault";
+                ++combos;
+            }
+        }
+    }
+    EXPECT_GE(combos, 24u);
+}
+
+/** State-corruption faults: flips and stale table reads may be benign,
+ *  but when they bite, the auditor, the watchdog, or the verifier must
+ *  catch them -- never a panic, never an unclassified failure. */
+TEST(FaultCampaign, CorruptionFaultsAreDetectedOrBenign)
+{
+    using sim::FaultSite;
+    struct SiteSpec
+    {
+        FaultSite site;
+        double rate;
+        std::uint64_t max;
+    };
+    const SiteSpec sites[] = {
+        {FaultSite::L2DataFlip, 1.0, 8},
+        {FaultSite::L2MetaFlip, 1.0, 8},
+        {FaultSite::L3DataFlip, 1.0, 8},
+        {FaultSite::L3MetaFlip, 1.0, 8},
+        {FaultSite::TableStale, 0.2, 8},
+    };
+    unsigned combos = 0, detected = 0, benign = 0;
+    for (std::uint64_t seed : {21u, 22u}) {
+        for (const SiteSpec &s : sites) {
+            SCOPED_TRACE(sim::cat("heat seed=", seed, " site=",
+                                  sim::faultSiteName(s.site)));
+            ComboResult r = runCombo("heat", seed, s.site, s.rate, s.max);
+            // Every outcome in the trichotomy is acceptable here;
+            // runCombo already failed the test on anything else.
+            if (r.outcome == Outcome::Green)
+                ++benign;
+            else
+                ++detected;
+            ++combos;
+        }
+    }
+    EXPECT_GE(combos, 10u);
+    // The sweep must actually exercise the detectors: with 8 forced
+    // flips per cell, at least one cell must bite.
+    EXPECT_GE(detected, 1u) << "no corruption was ever detected "
+                            << "(benign=" << benign << ")";
+}
+
+} // namespace

@@ -1,11 +1,11 @@
 /** @file
  * Fault-injection tests: the benchmark verifiers must actually detect
  * corruption. Each test runs a kernel to a verified-green state, then
- * injects a single-word fault into the result (directly into the
- * memory hierarchy, as a protocol bug would) and asserts that
- * verify() reports a mismatch. Guards against vacuous verification —
- * a verifier that cannot fail would make every green kernel test
- * meaningless.
+ * injects a single-word fault through the FaultInjector's targeted
+ * MemDataFlip site (which corrupts the newest visible copy, exactly as
+ * coherentRead32 would find it) and asserts that verify() reports a
+ * mismatch. Guards against vacuous verification — a verifier that
+ * cannot fail would make every green kernel test meaningless.
  */
 
 #include <gtest/gtest.h>
@@ -45,35 +45,35 @@ expectVerifierCatches(const std::string &name,
 
     kernel->verify(rt); // must pass clean
 
+    std::uint64_t before =
+        chip.faults().injected(sim::FaultSite::MemDataFlip);
     corrupt(chip, rt);
+    EXPECT_GE(chip.faults().injected(sim::FaultSite::MemDataFlip), before)
+        << name << ": injector did not account for the fault";
     EXPECT_THROW(kernel->verify(rt), std::runtime_error)
         << name << ": verifier did not detect the injected fault";
 }
 
-/** Flip one word of the first incoherent-heap line everywhere it may
- *  be cached (L2s, L3, memory) so coherentRead32 sees the fault. */
-void
-smashWord(arch::Chip &chip, mem::Addr a, std::uint32_t v)
-{
-    chip.debugWriteT<std::uint32_t>(a, v);
-    mem::Addr base = mem::lineBase(a);
-    for (unsigned c = 0; c < chip.numClusters(); ++c) {
-        if (cache::Line *l = chip.cluster(c).l2().probe(base))
-            l->write(a, &v, 4);
-    }
-    if (cache::Line *l =
-            chip.bank(chip.map().bankOf(base)).l3().probe(base)) {
-        l->write(a, &v, 4);
-    }
-}
-
 TEST(FaultInjection, HeatVerifierCatchesCorruptCell)
 {
+    // Deliberately bypasses the FaultInjector: smash every cached copy
+    // by hand so this guard stays meaningful even if injectFault()
+    // itself regresses. Keep exactly one such direct-smash test.
     expectVerifierCatches("heat", [](arch::Chip &chip,
                                      runtime::CohesionRuntime &) {
         // Both heat buffers are the first two incoherent allocations.
-        smashWord(chip, runtime::Layout::incHeapBase + 5 * 4,
-                  0x7F000000);
+        mem::Addr a = runtime::Layout::incHeapBase + 5 * 4;
+        std::uint32_t v = 0x7F000000;
+        chip.debugWriteT<std::uint32_t>(a, v);
+        mem::Addr base = mem::lineBase(a);
+        for (unsigned c = 0; c < chip.numClusters(); ++c) {
+            if (cache::Line *l = chip.cluster(c).l2().probe(base))
+                l->write(a, &v, 4);
+        }
+        if (cache::Line *l =
+                chip.bank(chip.map().bankOf(base)).l3().probe(base)) {
+            l->write(a, &v, 4);
+        }
     });
 }
 
@@ -85,7 +85,8 @@ TEST(FaultInjection, DmmVerifierCatchesCorruptProduct)
         std::uint32_t n = 32;
         mem::Addr c_base =
             runtime::Layout::incHeapBase + 2 * n * n * 4;
-        smashWord(chip, c_base + 17 * 4, 0x7F000000);
+        chip.injectFault(sim::FaultSite::MemDataFlip, c_base + 17 * 4,
+                         0x7F000000);
     });
 }
 
@@ -94,7 +95,8 @@ TEST(FaultInjection, SobelVerifierCatchesCorruptEdgeCount)
     expectVerifierCatches("sobel", [](arch::Chip &chip,
                                       runtime::CohesionRuntime &) {
         // The edge counter lives on the coherent heap (first alloc).
-        smashWord(chip, runtime::Layout::cohHeapBase, 12345678);
+        chip.injectFault(sim::FaultSite::MemDataFlip,
+                         runtime::Layout::cohHeapBase, 0x00BC614E);
     });
 }
 
@@ -102,10 +104,14 @@ TEST(FaultInjection, CgVerifierCatchesCorruptSolution)
 {
     expectVerifierCatches("cg", [](arch::Chip &chip,
                                    runtime::CohesionRuntime &) {
-        // x is the first coherent-heap allocation in cg's setup.
+        // x is the first coherent-heap allocation in cg's setup. This
+        // xor mask turns typical x values into NaNs, which NaN-blind
+        // comparisons (x > tol is false for NaN) would wave through --
+        // regression guard for the !(x <= tol) form in the verifiers.
         for (unsigned i = 0; i < 64; ++i) {
-            smashWord(chip, runtime::Layout::cohHeapBase + i * 4,
-                      0x41200000); // 10.0f over a whole stretch
+            chip.injectFault(sim::FaultSite::MemDataFlip,
+                             runtime::Layout::cohHeapBase + i * 4,
+                             0x41200000);
         }
     });
 }

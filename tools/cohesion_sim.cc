@@ -25,16 +25,22 @@
  *   --trace-json F    Chrome trace-event / Perfetto JSON trace
  *   --sample-period N sample the time series every N cycles
  *   --timeseries-csv F  sampled series as tidy CSV ("-" = stdout)
+ *   --fault-plan F    JSON fault campaign (sim/fault.hh schema)
+ *   --fault-seed N    fault-stream seed (default derives from --seed)
+ *   --fault-drop-rate R  drop rate on both fabric directions
+ *   --no-audit        disable the runtime coherence auditor
  */
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/report.hh"
+#include "sim/fault.hh"
 #include "sim/trace.hh"
 #include "harness/runner.hh"
 #include "kernels/registry.hh"
@@ -53,8 +59,10 @@ usage(int code)
         "                    [--csv] [--list]\n"
         "                    [--stats-json FILE] [--trace-json FILE]\n"
         "                    [--sample-period N] [--timeseries-csv FILE]\n"
+        "                    [--fault-plan FILE] [--fault-seed N]\n"
+        "                    [--fault-drop-rate R] [--no-audit]\n"
         "  trace categories: protocol,cache,transition,net,dram,\n"
-        "                    runtime,all\n"
+        "                    runtime,watchdog,fault,all\n"
         "  FILE may be \"-\" for stdout (except --trace-json)\n";
     std::exit(code);
 }
@@ -92,6 +100,9 @@ main(int argc, char **argv)
     bool csv = false;
     std::string trace;
     std::string stats_json, trace_json, timeseries_csv;
+    std::string fault_plan_path;
+    std::uint64_t fault_seed = 0;
+    double fault_drop_rate = 0.0;
     std::vector<std::unique_ptr<std::ofstream>> sinks;
 
     for (int i = 1; i < argc; ++i) {
@@ -138,6 +149,14 @@ main(int argc, char **argv)
             opts.samplePeriod = std::atoll(next("--sample-period"));
         } else if (!std::strcmp(argv[i], "--timeseries-csv")) {
             timeseries_csv = next("--timeseries-csv");
+        } else if (!std::strcmp(argv[i], "--fault-plan")) {
+            fault_plan_path = next("--fault-plan");
+        } else if (!std::strcmp(argv[i], "--fault-seed")) {
+            fault_seed = std::strtoull(next("--fault-seed"), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--fault-drop-rate")) {
+            fault_drop_rate = std::atof(next("--fault-drop-rate"));
+        } else if (!std::strcmp(argv[i], "--no-audit")) {
+            opts.audit = false;
         } else if (!std::strcmp(argv[i], "--list")) {
             for (const auto &k : kernels::allKernelNames())
                 std::cout << k << '\n';
@@ -166,6 +185,26 @@ main(int argc, char **argv)
         dir.sharerKind = coherence::SharerKind::LimitedPtr;
     cfg.directory = dir;
     cfg.tableCacheEntries = table_cache;
+
+    if (!fault_plan_path.empty()) {
+        std::ifstream in(fault_plan_path);
+        if (!in) {
+            std::cerr << "cannot open fault plan " << fault_plan_path
+                      << '\n';
+            return 1;
+        }
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        cfg.faults = sim::FaultPlan::parse(text);
+    }
+    if (fault_drop_rate > 0.0) {
+        cfg.faults.site(sim::FaultSite::FabricC2BDrop).rate =
+            fault_drop_rate;
+        cfg.faults.site(sim::FaultSite::FabricB2CDrop).rate =
+            fault_drop_rate;
+    }
+    if (fault_seed)
+        cfg.faults.seed = fault_seed;
 
     if (!stats_json.empty())
         opts.statsJson = openSink(stats_json, sinks);
@@ -198,7 +237,14 @@ main(int argc, char **argv)
             std::cout << "kernel: " << kernel
                       << (opts.skipVerify ? " (not verified)"
                                           : " (verified)")
-                      << '\n';
+                      << '\n'
+                      << "seed: " << r.seed;
+            if (r.faultSeed) {
+                std::cout << "  fault-seed: " << r.faultSeed
+                          << "  faults-injected: " << r.faultsInjected
+                          << "  faults-recovered: " << r.faultsRecovered;
+            }
+            std::cout << '\n';
             harness::printReport(std::cout, cfg, r);
         }
     } catch (const std::exception &e) {
