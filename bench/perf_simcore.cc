@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Simulation-core throughput bench. Two parts:
+ *
+ *  1. Microbenchmarks of the event queue itself, comparing the
+ *     calendar-wheel core (sim::EventQueue) against the seed's
+ *     binary-heap-of-std::function core (embedded below as
+ *     LegacyEventQueue) under a classic hold model at several steady
+ *     queue depths, under same-tick fan-out bursts, and with
+ *     request-sized (pool-path) captures.
+ *
+ *  2. End-to-end events/sec and wall time over the eight paper kernels
+ *     at the Table 3 machine scale (--paper by default; --clusters N
+ *     for a scaled machine).
+ *
+ * Results print as a table and are written as BENCH_simcore.json with
+ * --json FILE. --quick runs a reduced matrix suitable for CI (wired as
+ * the `perf`-labeled ctest).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace {
+
+/**
+ * The seed's event core, embedded verbatim as the baseline: a binary
+ * heap of entries each owning a std::function (one heap allocation per
+ * scheduled event beyond the small-buffer limit, O(log n) push/pop).
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    sim::Tick now() const { return _now; }
+    std::uint64_t eventsRun() const { return _eventsRun; }
+    bool empty() const { return _queue.empty(); }
+
+    void
+    schedule(sim::Tick when, Callback cb)
+    {
+        panic_if(when < _now, "scheduling event in the past");
+        _queue.push(Entry{when, _nextSeq++, std::move(cb)});
+    }
+
+    void
+    runOne()
+    {
+        auto &top = const_cast<Entry &>(_queue.top());
+        sim::Tick when = top.when;
+        Callback cb = std::move(top.cb);
+        _queue.pop();
+        _now = when;
+        ++_eventsRun;
+        cb();
+    }
+
+    bool
+    run(sim::Tick limit = sim::maxTick)
+    {
+        while (!_queue.empty()) {
+            if (_queue.top().when > limit) {
+                _now = limit;
+                return false;
+            }
+            runOne();
+        }
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        sim::Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _queue;
+    sim::Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _eventsRun = 0;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Request-sized capture: forces the pooled (or heap) callback path. */
+struct FatPayload
+{
+    unsigned char bytes[96] = {};
+    std::uint64_t *sink = nullptr;
+    void operator()() { *sink += bytes[0]; }
+};
+
+/**
+ * Hold model: prefill @p depth events at random offsets, then run the
+ * steady-state cycle fire-one/schedule-one @p total times, so the
+ * queue stays at the given depth throughout. Returns events/sec.
+ */
+template <typename Queue>
+double
+holdModel(std::size_t depth, std::uint64_t total, bool fat)
+{
+    Queue q;
+    sim::Rng rng(0xBE7C0DE);
+    std::uint64_t sink = 0;
+    auto push = [&]() {
+        sim::Tick when = q.now() + 1 + rng.below(64);
+        if (fat) {
+            FatPayload p;
+            p.sink = &sink;
+            q.schedule(when, p);
+        } else {
+            q.schedule(when, [&sink]() { ++sink; });
+        }
+    };
+    for (std::size_t i = 0; i < depth; ++i)
+        push();
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < total; ++i) {
+        q.runOne();
+        push();
+    }
+    double dt = seconds(t0);
+    return static_cast<double>(total) / dt;
+}
+
+/**
+ * Same-tick fan-out: each round schedules @p fanout events on one
+ * future tick and drains them (the pattern barrier releases and probe
+ * fan-ins produce). Returns events/sec.
+ */
+template <typename Queue>
+double
+fanoutModel(unsigned fanout, std::uint64_t rounds)
+{
+    Queue q;
+    std::uint64_t sink = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        sim::Tick when = q.now() + 5;
+        for (unsigned i = 0; i < fanout; ++i)
+            q.schedule(when, [&sink]() { ++sink; });
+        q.run(when);
+    }
+    double dt = seconds(t0);
+    return static_cast<double>(rounds * fanout) / dt;
+}
+
+struct MicroRow
+{
+    std::string name;
+    double legacy = 0; ///< events/sec, seed core
+    double wheel = 0;  ///< events/sec, calendar core
+    double speedup() const { return wheel / legacy; }
+};
+
+struct KernelRow
+{
+    std::string kernel;
+    double wallSec = 0;
+    std::uint64_t events = 0;
+    sim::Tick cycles = 0;
+    double eventsPerSec() const { return events / wallSec; }
+};
+
+void
+jsonEscapeless(std::ostream &os, const std::string &s)
+{
+    os << '"' << s << '"'; // bench names contain no escapes
+}
+
+void
+writeJson(const std::string &path, const std::string &machine,
+          unsigned scale, const std::vector<MicroRow> &micro,
+          const std::vector<KernelRow> &kernels)
+{
+    std::ofstream os(path);
+    os << "{\n  \"bench\": \"perf_simcore\",\n";
+    os << "  \"machine\": \"" << machine << "\",\n";
+    os << "  \"workload_scale\": " << scale << ",\n";
+    os << "  \"micro\": [\n";
+    for (std::size_t i = 0; i < micro.size(); ++i) {
+        const MicroRow &r = micro[i];
+        os << "    {\"case\": ";
+        jsonEscapeless(os, r.name);
+        os << ", \"legacy_events_per_sec\": " << std::uint64_t(r.legacy)
+           << ", \"wheel_events_per_sec\": " << std::uint64_t(r.wheel)
+           << ", \"speedup\": " << r.speedup() << "}"
+           << (i + 1 < micro.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const KernelRow &r = kernels[i];
+        os << "    {\"kernel\": ";
+        jsonEscapeless(os, r.kernel);
+        os << ", \"wall_sec\": " << r.wallSec << ", \"events\": "
+           << r.events << ", \"cycles\": " << r.cycles
+           << ", \"events_per_sec\": " << std::uint64_t(r.eventsPerSec())
+           << "}" << (i + 1 < kernels.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool paper = true;
+    unsigned clusters = 0;
+    unsigned scale = 4;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(argv[i], "--clusters") && i + 1 < argc) {
+            clusters = std::atoi(argv[++i]);
+            paper = false;
+        } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+            scale = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cout << "usage: " << argv[0]
+                      << " [--quick] [--clusters N] [--scale N]"
+                         " [--json FILE]\n";
+            return !std::strcmp(argv[i], "--help") ? 0 : 1;
+        }
+    }
+
+    // --- Part 1: event-core microbenchmarks ----------------------------
+    const std::uint64_t total = quick ? 200'000 : 2'000'000;
+    std::vector<std::size_t> depths =
+        quick ? std::vector<std::size_t>{1024, 16384}
+              : std::vector<std::size_t>{16, 256, 1024, 10000, 65536};
+    std::vector<unsigned> fanouts =
+        quick ? std::vector<unsigned>{64} : std::vector<unsigned>{8, 64, 512};
+
+    std::vector<MicroRow> micro;
+    for (std::size_t d : depths) {
+        MicroRow r;
+        r.name = sim::cat("hold_depth_", d);
+        r.legacy = holdModel<LegacyEventQueue>(d, total, false);
+        r.wheel = holdModel<sim::EventQueue>(d, total, false);
+        micro.push_back(r);
+    }
+    {
+        MicroRow r;
+        r.name = "hold_depth_10000_fat96B";
+        std::size_t d = quick ? 16384 : 10000;
+        if (quick)
+            r.name = "hold_depth_16384_fat96B";
+        r.legacy = holdModel<LegacyEventQueue>(d, total, true);
+        r.wheel = holdModel<sim::EventQueue>(d, total, true);
+        micro.push_back(r);
+    }
+    for (unsigned f : fanouts) {
+        MicroRow r;
+        r.name = sim::cat("fanout_", f);
+        r.legacy = fanoutModel<LegacyEventQueue>(f, total / f);
+        r.wheel = fanoutModel<sim::EventQueue>(f, total / f);
+        micro.push_back(r);
+    }
+
+    std::cout << "event-core microbenchmarks (" << total
+              << " events per case)\n";
+    std::cout << "  case                        legacy ev/s    wheel ev/s"
+                 "   speedup\n";
+    bool deep_ok = false;
+    for (const MicroRow &r : micro) {
+        std::printf("  %-26s %12.0f  %12.0f    %5.2fx\n", r.name.c_str(),
+                    r.legacy, r.wheel, r.speedup());
+        if (r.name.find("hold_depth_1") == 0 && r.speedup() >= 2.0)
+            deep_ok = true; // depths 10000/16384: the acceptance gate
+    }
+
+    // --- Part 2: end-to-end kernel runs --------------------------------
+    arch::MachineConfig cfg = paper
+                                  ? arch::MachineConfig::paper1024()
+                                  : arch::MachineConfig::scaled(clusters);
+    kernels::Params params;
+    params.scale = scale;
+    harness::RunOptions opts;
+    opts.audit = false; // measure the protocol, not the checker
+
+    std::vector<KernelRow> rows;
+    if (!quick) {
+        std::cout << "\nend-to-end kernels on " << cfg.summary()
+                  << ", workload scale " << scale << "\n";
+        std::cout << "  kernel      wall(s)        events      cycles"
+                     "        ev/s\n";
+        for (const std::string &k : kernels::allKernelNames()) {
+            auto t0 = std::chrono::steady_clock::now();
+            harness::RunResult r = harness::runKernel(
+                cfg, kernels::kernelFactory(k), params, opts);
+            KernelRow row;
+            row.kernel = k;
+            row.wallSec = seconds(t0);
+            row.events = r.eventsRun;
+            row.cycles = r.cycles;
+            rows.push_back(row);
+            std::printf("  %-10s %8.3f  %12llu  %10llu  %10.0f\n",
+                        k.c_str(), row.wallSec,
+                        static_cast<unsigned long long>(row.events),
+                        static_cast<unsigned long long>(row.cycles),
+                        row.eventsPerSec());
+        }
+    }
+
+    if (!json_path.empty())
+        writeJson(json_path, cfg.summary(), scale, micro, rows);
+
+    if (!deep_ok) {
+        std::cerr << "FAIL: <2x speedup at depth >= 10k\n";
+        return 1;
+    }
+    std::cout << "\nPASS: >=2x events/sec over the seed core at depth"
+                 " >= 10k\n";
+    return 0;
+}

@@ -465,10 +465,13 @@ Chip::runUntilQuiescent()
     const sim::Tick window =
         _config.watchdogWindow ? std::min(_config.watchdogWindow, limit)
                                : limit;
-    // Audit passes and the fault pump are driven from this loop rather
-    // than from self-re-arming queue events: a pair of such events
-    // would keep each other (and the time-series sampler) pending
-    // forever and hold a quiesced machine alive.
+    // Audit passes, the fault pump and the time-series sampler are all
+    // driven from this loop rather than from self-re-arming queue
+    // events: a pair of such events would keep each other pending
+    // forever and hold a quiesced machine alive, and a lone one stops
+    // for good the first time the queue drains. Loop-driven cadences
+    // instead survive quiescent gaps — sampling resumes when new work
+    // arrives in a later runUntilQuiescent call.
     const sim::Tick audit_period = _auditor ? _auditPeriod : 0;
     const sim::Tick pump_period =
         pumpEligible() ? _faults.plan().pumpPeriod : 0;
@@ -479,10 +482,16 @@ Chip::runUntilQuiescent()
     sim::Tick window_end = _eq.now() + window;
     Progress last = progress();
     while (true) {
-        sim::Tick stop = std::min(
-            std::min(limit, window_end), std::min(next_audit, next_pump));
-        if (_eq.run(stop))
+        sim::Tick next_sample = _timeSeries.nextSampleAt();
+        sim::Tick stop =
+            std::min(std::min(limit, window_end),
+                     std::min(std::min(next_audit, next_pump), next_sample));
+        if (_eq.run(stop)) {
+            // The final event may land exactly on the sampling cadence.
+            if (_eq.now() >= next_sample)
+                _timeSeries.tick();
             return _eq.now();
+        }
         if (_eq.now() >= next_audit) {
             _auditor->auditNow();
             next_audit += audit_period;
@@ -491,6 +500,8 @@ Chip::runUntilQuiescent()
             faultPump();
             next_pump += pump_period;
         }
+        if (_eq.now() >= next_sample)
+            _timeSeries.tick();
         if (_eq.now() < window_end && _eq.now() < limit)
             continue;
         Progress cur = progress();

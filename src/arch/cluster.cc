@@ -25,6 +25,12 @@ Cluster::Cluster(Chip &chip, unsigned id)
       _l2PortFree(chip.config().l2Ports, 0)
 {
     const MachineConfig &cfg = chip.config();
+    // Pre-size the transaction-tracking tables: MSHRs and outstanding
+    // writebacks are bounded by a few entries per core in practice, so
+    // one up-front reservation ends the rehash/alloc churn the miss
+    // path would otherwise pay mid-run.
+    _mshrs.reserve(4 * cfg.coresPerCluster);
+    _pendingWb.reserve(4 * cfg.coresPerCluster);
     for (unsigned c = 0; c < cfg.coresPerCluster; ++c) {
         _cores.push_back(std::make_unique<Core>(
             *this, id * cfg.coresPerCluster + c, c, cfg.l1iBytes,

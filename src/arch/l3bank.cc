@@ -48,6 +48,7 @@ L3Bank::L3Bank(Chip &chip, unsigned id)
       _tableCache(chip.config().tableCacheEntries), _locks(chip.eq())
 {
     _tableCache.setFaultInjector(&chip.faults());
+    _txns.reserve(64);
 }
 
 void
@@ -56,11 +57,33 @@ L3Bank::pruneTransactions()
     for (auto it = _running.begin(); it != _running.end();) {
         if (it->done()) {
             it->rethrow();
-            it = _running.erase(it);
+            auto done_it = it++;
+            // Recycle the list node instead of freeing it: the frame
+            // slot moves to the spare list and the next transaction
+            // reuses it, so steady-state request arrival allocates no
+            // list nodes (the coroutine frame itself is unavoidable).
+            *done_it = sim::CoTask();
+            _spare.splice(_spare.begin(), _running, done_it);
         } else {
             ++it;
         }
     }
+    // Bound the spare pool: a fan-in burst can briefly strand many
+    // frames; keep a generous working set and return the rest.
+    while (_spare.size() > 256)
+        _spare.pop_back();
+}
+
+sim::CoTask &
+L3Bank::adoptTransaction(sim::CoTask &&task)
+{
+    if (_spare.empty()) {
+        _running.push_back(std::move(task));
+    } else {
+        _running.splice(_running.end(), _spare, _spare.begin());
+        _running.back() = std::move(task);
+    }
+    return _running.back();
 }
 
 void
@@ -79,8 +102,7 @@ L3Bank::receiveRequest(const Request &req)
                       "txn");
     }
     pruneTransactions();
-    _running.push_back(transaction(req, trace_id));
-    _running.back().start();
+    adoptTransaction(transaction(req, trace_id)).start();
 }
 
 sim::CoTask
@@ -840,8 +862,7 @@ void
 L3Bank::debugWedgeLine(mem::Addr base)
 {
     pruneTransactions();
-    _running.push_back(wedge(mem::lineBase(base)));
-    _running.back().start();
+    adoptTransaction(wedge(mem::lineBase(base))).start();
 }
 
 sim::CoTask

@@ -189,8 +189,11 @@ class L3Bank
                               AtomicOp op, std::uint32_t operand,
                               std::uint32_t operand2);
 
-    /** Drop finished transaction frames. */
+    /** Drop finished transaction frames (nodes recycle via _spare). */
     void pruneTransactions();
+
+    /** Move @p task into _running, reusing a spare list node. */
+    sim::CoTask &adoptTransaction(sim::CoTask &&task);
 
     /** The coroutine behind debugWedgeLine. */
     sim::CoTask wedge(mem::Addr base);
@@ -204,6 +207,7 @@ class L3Bank
     sim::Tick _l3PortFree = 0;
     sim::Tick _dirPortFree = 0;
     std::list<sim::CoTask> _running;
+    std::list<sim::CoTask> _spare; ///< Recycled _running nodes.
     std::unordered_map<std::uint64_t, TxnRecord> _txns;
     std::uint64_t _txnSeq = 0;
 

@@ -45,15 +45,30 @@ class SharerSet
     unsigned count() const { return _count; }
     bool empty() const { return _count == 0; }
 
-    /** Add cache @p id as a sharer. Idempotent. */
+    /**
+     * Add cache @p id as a sharer. Idempotent while the identity of
+     * sharers is known (full map / in-pointer). Under broadcast the
+     * identity is lost, so the approximate count increments on every
+     * add: contains() is conservatively true for everyone there, and
+     * gating the increment on it would leave genuinely new sharers
+     * uncounted — paired removes would then drop the count to zero and
+     * clear broadcast while live sharers remain, excluding them from
+     * probeTargets() (a missed invalidation). Re-adding an existing
+     * sharer under broadcast therefore overcounts, which errs safe:
+     * broadcast just clears later than strictly necessary.
+     */
     void
     add(unsigned id)
     {
+        if (_kind == SharerKind::LimitedPtr && _broadcast) {
+            ++_count;
+            return;
+        }
         if (contains(id))
             return;
         if (_kind == SharerKind::FullMap) {
             _bitmap[id / 64] |= std::uint64_t(1) << (id % 64);
-        } else if (!_broadcast) {
+        } else {
             if (_pointers.size() < _maxPointers) {
                 _pointers.push_back(static_cast<std::uint16_t>(id));
             } else {

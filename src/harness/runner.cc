@@ -66,6 +66,7 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
     RunResult r;
     r.cycles = end;
     r.instructions = chip.totalInstructions();
+    r.eventsRun = chip.eq().eventsRun();
     r.msgs = chip.aggregateMessages();
 
     for (unsigned c = 0; c < chip.numClusters(); ++c) {

@@ -26,6 +26,8 @@ struct RunResult
 {
     sim::Tick cycles = 0;
     std::uint64_t instructions = 0;
+    /** Discrete events fired by the run (simulator throughput metric). */
+    std::uint64_t eventsRun = 0;
 
     arch::MsgCounters msgs; ///< L2 output messages by Fig. 2 class.
 

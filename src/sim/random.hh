@@ -45,11 +45,34 @@ class Rng
         return result;
     }
 
-    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    /**
+     * Uniform integer in [0, bound). @p bound must be nonzero.
+     *
+     * Lemire's multiply-shift with rejection: `next() % bound` maps
+     * the 2^64 raw values onto the bound unevenly (the low
+     * 2^64 mod bound residues appear once more often than the rest),
+     * so e.g. address-stream generators favored low line numbers.
+     * Here the draw selects a 2^64-wide slice [i*bound, (i+1)*bound)
+     * via the high word of a 128-bit product and rejects the draws
+     * that fall in the truncated final slice, giving every residue
+     * identical probability while consuming one draw in the common
+     * case.
+     */
     std::uint64_t
     below(std::uint64_t bound)
     {
-        return next() % bound;
+        std::uint64_t x = next();
+        unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<unsigned __int128>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
     }
 
     /** Uniform double in [0, 1). */

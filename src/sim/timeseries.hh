@@ -1,12 +1,17 @@
 /**
  * @file
- * Event-queue-driven time-series sampler. Components register named
- * probe functions; once started with a period, the sampler schedules
- * itself on the simulation event queue, records one row of
- * (tick, probe values) per period, and re-arms only while other events
- * remain pending — so a quiescing simulation still drains (the paper's
- * "sampled every 1000 cycles" methodology, Fig. 9c, generalized to any
- * scalar the machine can observe).
+ * Run-loop-driven time-series sampler. Components register named probe
+ * functions; once started with a period, the sampler exposes the next
+ * due tick via nextSampleAt() and the run loop (Chip::runUntilQuiescent)
+ * bounds each event-queue burst by it and calls tick() when the cadence
+ * comes due — the same pattern the coherence auditor and fault pump use.
+ * Driving sampling from the run loop instead of a self-re-arming queue
+ * event means the sampler never holds a quiescing machine alive, and —
+ * unlike the old event-driven design, which stopped for good the first
+ * time it found the queue empty — sampling resumes automatically when
+ * new work arrives after a quiescent gap (the paper's "sampled every
+ * 1000 cycles" methodology, Fig. 9c, generalized to any scalar the
+ * machine can observe).
  *
  * The recorded data is a plain copyable struct so a run's trace can
  * outlive the machine that produced it; export is tidy CSV
@@ -88,7 +93,26 @@ class TimeSeries
         panic_if(period == 0, "TimeSeries period must be nonzero");
         panic_if(enabled(), "TimeSeries already started");
         _data.period = period;
-        _eq.scheduleIn(period, [this]() { onTick(); });
+        _next = _eq.now() + period;
+    }
+
+    /** Next tick a sample is due at (maxTick while not started). The
+     *  run loop bounds its event bursts by this. */
+    Tick nextSampleAt() const { return enabled() ? _next : maxTick; }
+
+    /**
+     * Record the due sample and re-arm. Called by the run loop once
+     * now() reaches nextSampleAt(); if the loop overshot the cadence
+     * (e.g. sampling enabled mid-run after a long stall) the next due
+     * tick is realigned forward so at most one catch-up row is taken.
+     */
+    void
+    tick()
+    {
+        sampleNow();
+        _next += _data.period;
+        if (_next <= _eq.now())
+            _next = _eq.now() + _data.period;
     }
 
     bool enabled() const { return _data.period != 0; }
@@ -114,18 +138,8 @@ class TimeSeries
     }
 
   private:
-    void
-    onTick()
-    {
-        sampleNow();
-        // Re-arm only while the machine still has work: when this was
-        // the last pending event the simulation is quiescent and the
-        // queue must be allowed to drain.
-        if (!_eq.empty())
-            _eq.scheduleIn(_data.period, [this]() { onTick(); });
-    }
-
     EventQueue &_eq;
+    Tick _next = maxTick;
     std::vector<Probe> _probes;
     std::function<void()> _preSample;
     Sink _sink;

@@ -61,6 +61,36 @@ TEST(SharerSet, Dir4BOverflowDegradesToBroadcast)
     EXPECT_FALSE(s.broadcast());
 }
 
+TEST(SharerSet, BroadcastCountsSharersAddedAfterOverflow)
+{
+    // Regression: add() used to early-return through the conservative
+    // contains() in broadcast mode, so sharers that joined after the
+    // overflow were never counted. Removing the original sharers then
+    // drained the approximate count to zero and cleared the broadcast
+    // bit while the late joiner still held the line — dropping it from
+    // probeTargets() and skipping its invalidation.
+    SharerSet s(SharerKind::LimitedPtr, 16, 4);
+    for (unsigned id = 0; id < 5; ++id)
+        s.add(id);
+    ASSERT_TRUE(s.broadcast());
+    ASSERT_EQ(s.count(), 5u);
+
+    s.add(9); // new sharer joining under broadcast must be counted
+    EXPECT_EQ(s.count(), 6u);
+
+    for (unsigned id = 0; id < 5; ++id)
+        s.remove(id);
+    // The late joiner keeps the entry alive and broadcast-probed.
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(s.broadcast());
+    EXPECT_TRUE(s.contains(9));
+    EXPECT_EQ(s.probeTargets().size(), 16u);
+
+    s.remove(9);
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.broadcast());
+}
+
 TEST(SharerSet, ClearResets)
 {
     SharerSet s(SharerKind::FullMap, 8);

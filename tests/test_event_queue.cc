@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 #include "sim/event_queue.hh"
 
 namespace {
@@ -100,6 +103,71 @@ TEST(EventQueue, CountsEventsRun)
         eq.schedule(i, [] {});
     eq.run();
     EXPECT_EQ(eq.eventsRun(), 5u);
+}
+
+// The queue is a calendar wheel covering a bounded window of upcoming
+// ticks; events beyond it sit in a sorted overflow heap and migrate
+// into the wheel as time advances. These tests pin the boundary
+// behavior the fast path depends on. The window is 4096 ticks wide;
+// the tests only rely on "well beyond the window" staying beyond it.
+
+TEST(EventQueue, FarFutureEventsRunInTimeOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100000, [&] { order.push_back(3); }); // overflow
+    eq.schedule(50000, [&] { order.push_back(1); });  // overflow
+    eq.schedule(3, [&] { order.push_back(0); });      // in-window
+    eq.schedule(50001, [&] { order.push_back(2); });  // overflow
+    EXPECT_EQ(eq.nextEventTick(), 3u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), 100000u);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesOverflowMigration)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    const sim::Tick when = 9000; // beyond the window at schedule time
+    for (int i = 0; i < 6; ++i)
+        eq.schedule(when, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, FifoAcrossFarNearBoundary)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    const sim::Tick when = 6000;
+    eq.schedule(when, [&] { order.push_back(0); }); // overflow now
+    eq.schedule(when - 1, [&] {
+        // By this tick `when` is inside the window, so this lands
+        // directly in the wheel — after the migrated overflow event.
+        eq.schedule(when, [&] { order.push_back(1); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, WheelWrapsAcrossManyWindows)
+{
+    sim::EventQueue eq;
+    // A chain of hops ~1.5 windows apart: every hop forces a rebase
+    // and wraps the wheel's circular index.
+    const sim::Tick step = 6000;
+    int fired = 0;
+    std::function<void()> hop = [&] {
+        if (++fired < 20)
+            eq.scheduleIn(step, hop);
+    };
+    eq.schedule(1, hop);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 20);
+    EXPECT_EQ(eq.now(), 1u + 19u * step);
+    EXPECT_EQ(eq.eventsRun(), 20u);
 }
 
 TEST(EventQueue, RunOneExecutesExactlyOne)

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -200,6 +201,27 @@ TEST(StatRegistry, JsonTreeNestsDottedPathsAndParsesBack)
 
 // ---------------------------------------------------------- TimeSeries
 
+// The sampler is loop-driven: the owning run loop bounds event bursts
+// by nextSampleAt() and calls tick() when the cadence comes due. This
+// mirrors Chip::runUntilQuiescent's cadence handling.
+void
+runSampled(sim::EventQueue &eq, sim::TimeSeries &ts, sim::Tick limit)
+{
+    while (true) {
+        sim::Tick next = ts.nextSampleAt();
+        sim::Tick stop = std::min(limit, next);
+        if (eq.run(stop)) {
+            if (eq.now() >= next)
+                ts.tick();
+            return;
+        }
+        if (eq.now() >= next)
+            ts.tick();
+        if (eq.now() >= limit)
+            return;
+    }
+}
+
 TEST(TimeSeries, SamplesPeriodicallyAndLetsTheQueueDrain)
 {
     sim::EventQueue eq;
@@ -219,25 +241,58 @@ TEST(TimeSeries, SamplesPeriodicallyAndLetsTheQueueDrain)
     for (int t = 1; t <= 35; ++t)
         eq.schedule(t, [&]() { ++x; });
     EXPECT_FALSE(ts.enabled());
+    EXPECT_EQ(ts.nextSampleAt(), sim::maxTick);
     ts.start(10);
     EXPECT_TRUE(ts.enabled());
+    EXPECT_EQ(ts.nextSampleAt(), 10u);
 
-    // The sampler must not keep the queue alive: run() drains.
-    EXPECT_TRUE(eq.run(1000));
+    // The sampler must not keep the queue alive: the loop drains it
+    // and returns at the last event, not at a sampling point.
+    runSampled(eq, ts, 1000);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 35u);
 
-    // Samples at 10/20/30 while work remained, one final at 40 after
-    // which the idle queue is released.
+    // Samples at 10/20/30 while work remained; no trailing row is
+    // taken past quiescence.
     const sim::TimeSeriesData &d = ts.data();
-    ASSERT_EQ(d.rows.size(), 4u);
+    ASSERT_EQ(d.rows.size(), 3u);
     EXPECT_EQ(d.period, 10u);
     EXPECT_EQ(d.rows[0].tick, 10u);
     EXPECT_DOUBLE_EQ(d.rows[0].values.at(0), 10.0);
-    EXPECT_EQ(d.rows[3].tick, 40u);
-    EXPECT_DOUBLE_EQ(d.rows[3].values.at(0), 35.0);
-    EXPECT_EQ(pre, 4);
-    ASSERT_EQ(sunk.size(), 4u);
+    EXPECT_EQ(d.rows[2].tick, 30u);
+    EXPECT_DOUBLE_EQ(d.rows[2].values.at(0), 30.0);
+    EXPECT_EQ(pre, 3);
+    ASSERT_EQ(sunk.size(), 3u);
     EXPECT_EQ(sunk[2].first, 30u);
     EXPECT_DOUBLE_EQ(sunk[2].second, 30.0);
+}
+
+TEST(TimeSeries, ResumesSamplingAfterQuiescentGap)
+{
+    sim::EventQueue eq;
+    sim::TimeSeries ts(eq);
+    int x = 0;
+    ts.add("x", [&]() { return double(x); });
+    ts.start(10);
+
+    // Phase 1: work through tick 25, then the machine quiesces. The
+    // old event-driven sampler de-armed itself for good here.
+    for (int t = 5; t <= 25; t += 5)
+        eq.schedule(t, [&]() { ++x; });
+    runSampled(eq, ts, 1000);
+    ASSERT_EQ(ts.data().rows.size(), 2u); // ticks 10, 20
+    EXPECT_EQ(ts.data().rows[1].tick, 20u);
+
+    // Phase 2: new work arrives after a long quiescent gap; sampling
+    // must resume on the same cadence.
+    for (int t = 100; t <= 130; t += 5)
+        eq.schedule(t, [&]() { ++x; });
+    runSampled(eq, ts, 1000);
+    const sim::TimeSeriesData &d = ts.data();
+    ASSERT_GT(d.rows.size(), 2u);
+    EXPECT_EQ(d.rows[2].tick, 30u); // cadence kept across the gap
+    EXPECT_EQ(d.rows.back().tick, 130u);
+    EXPECT_DOUBLE_EQ(d.rows.back().values.at(0), 12.0);
 }
 
 TEST(TimeSeries, TidyCsvOneObservationPerRow)
