@@ -11,6 +11,10 @@
  *     SWcc (transition traffic vs steady-state savings);
  *  3. directory sharer representation under Cohesion: full map vs
  *     Dir4B at equal entry counts.
+ *
+ * Every section runs its configurations as a family on the sweep
+ * engine (--jobs N); results are consumed in submission order so the
+ * tables are identical for any job count.
  */
 
 #include "bench/bench_common.hh"
@@ -128,47 +132,68 @@ main(int argc, char **argv)
                     "Ablation 1: coarse+fine region tables vs "
                     "fine-table-only\n" + args.describe());
     {
-        harness::Table t({"bench", "tables", "cycles", "msgs",
-                          "table lookups", "dir avg"});
+        // Chip surgery (dropping the coarse table after setup) has no
+        // declarative spelling, so these are custom sweep-job bodies:
+        // each still builds, runs and tears down a private machine.
+        std::vector<sim::SweepJob> jobs;
         for (const auto &k : {std::string("heat"), std::string("gjk"),
                               std::string("dmm")}) {
             for (bool coarse : {true, false}) {
-                arch::MachineConfig cfg =
-                    bench::configure(args, bench::DesignPoint::Cohesion);
-                auto kernel = kernels::kernelFactory(k)(args.params());
+                sim::SweepJob job;
+                job.label = k + (coarse ? ".coarse+fine" : ".fine-only");
+                job.body = [args, k, coarse]() {
+                    arch::MachineConfig cfg = bench::configure(
+                        args, bench::DesignPoint::Cohesion);
+                    auto kernel = kernels::kernelFactory(k)(args.params());
 
-                arch::Chip chip(cfg, runtime::Layout::tableBase);
-                runtime::CohesionRuntime rt(chip);
-                kernel->setup(rt);
-                if (!coarse) {
-                    // Fine-table-only: mark the coarse regions in the
-                    // fine table instead, then drop the coarse table.
-                    for (const auto &r : chip.coarseTable().regions()) {
-                        cohesion::fine_table::pokeRegion(
-                            chip.store(), chip.map(), r.start, r.size,
-                            true);
+                    arch::Chip chip(cfg, runtime::Layout::tableBase);
+                    runtime::CohesionRuntime rt(chip);
+                    kernel->setup(rt);
+                    if (!coarse) {
+                        // Fine-table-only: mark the coarse regions in
+                        // the fine table instead, then drop the coarse
+                        // table.
+                        for (const auto &r : chip.coarseTable().regions()) {
+                            cohesion::fine_table::pokeRegion(
+                                chip.store(), chip.map(), r.start, r.size,
+                                true);
+                        }
+                        chip.coarseTable().clear();
                     }
-                    chip.coarseTable().clear();
-                }
-                chip.enableOccupancySampling(1000);
-                std::vector<sim::CoTask> workers;
-                for (unsigned c = 0; c < chip.totalCores(); ++c) {
-                    workers.push_back(
-                        kernel->worker(runtime::Ctx(rt, chip.core(c))));
-                }
-                for (auto &w : workers)
-                    w.start();
-                sim::Tick end = chip.runUntilQuiescent();
-                std::uint64_t lookups = 0;
-                for (unsigned b = 0; b < chip.numBanks(); ++b)
-                    lookups += chip.bank(b).tableLookups();
+                    chip.enableOccupancySampling(1000);
+                    std::vector<sim::CoTask> workers;
+                    for (unsigned c = 0; c < chip.totalCores(); ++c) {
+                        workers.push_back(kernel->worker(
+                            runtime::Ctx(rt, chip.core(c))));
+                    }
+                    for (auto &w : workers)
+                        w.start();
+                    harness::RunResult r;
+                    r.cycles = chip.runUntilQuiescent();
+                    r.msgs = chip.aggregateMessages();
+                    for (unsigned b = 0; b < chip.numBanks(); ++b)
+                        r.tableLookups += chip.bank(b).tableLookups();
+                    r.dirAvgTotal = chip.occupancyAverageTotal();
+                    return r;
+                };
+                jobs.push_back(std::move(job));
+            }
+        }
+        std::vector<harness::RunResult> runs =
+            bench::runAll(args, std::move(jobs));
+
+        harness::Table t({"bench", "tables", "cycles", "msgs",
+                          "table lookups", "dir avg"});
+        std::size_t idx = 0;
+        for (const auto &k : {std::string("heat"), std::string("gjk"),
+                              std::string("dmm")}) {
+            for (bool coarse : {true, false}) {
+                const harness::RunResult &r = runs[idx++];
                 t.addRow({k, coarse ? "coarse+fine" : "fine-only",
-                          std::to_string(end),
-                          harness::Table::fmtCount(
-                              chip.aggregateMessages().total()),
-                          harness::Table::fmtCount(lookups),
-                          harness::Table::fmt(
-                              chip.occupancyAverageTotal(), 1)});
+                          std::to_string(r.cycles),
+                          harness::Table::fmtCount(r.msgs.total()),
+                          harness::Table::fmtCount(r.tableLookups),
+                          harness::Table::fmt(r.dirAvgTotal, 1)});
             }
         }
         t.print(std::cout);
@@ -180,14 +205,31 @@ main(int argc, char **argv)
                     "Ablation 2: static SWcc vs per-iteration dynamic "
                     "HWcc<->SWcc transitions (transition-stress heat)");
     {
+        // The transition-stress kernel is bench-local, so these two
+        // runs are custom job bodies too (the kernel is constructed
+        // inside the body: one private machine and kernel per job).
+        std::vector<sim::SweepJob> jobs;
+        for (bool dynamic : {false, true}) {
+            sim::SweepJob job;
+            job.label = dynamic ? "transition-heat.dynamic"
+                                : "transition-heat.static";
+            job.body = [args, dynamic]() {
+                arch::MachineConfig cfg =
+                    bench::configure(args, bench::DesignPoint::Cohesion);
+                TransitionHeat kernel(args.params());
+                kernel.setDynamic(dynamic);
+                return harness::runKernel(cfg, kernel);
+            };
+            jobs.push_back(std::move(job));
+        }
+        std::vector<harness::RunResult> runs =
+            bench::runAll(args, std::move(jobs));
+
         harness::Table t({"variant", "cycles", "msgs", "transitions",
                           "unc/atomic msgs"});
+        std::size_t idx = 0;
         for (bool dynamic : {false, true}) {
-            arch::MachineConfig cfg =
-                bench::configure(args, bench::DesignPoint::Cohesion);
-            TransitionHeat kernel(args.params());
-            kernel.setDynamic(dynamic);
-            harness::RunResult r = harness::runKernel(cfg, kernel);
+            const harness::RunResult &r = runs[idx++];
             t.addRow({dynamic ? "dynamic transitions" : "static SWcc",
                       std::to_string(r.cycles),
                       harness::Table::fmtCount(r.msgs.total()),
@@ -206,16 +248,25 @@ main(int argc, char **argv)
                     "Ablation 3: Cohesion directory sharer encoding at "
                     "equal capacity (full map vs Dir4B)");
     {
-        harness::Table t({"bench", "sharers", "cycles", "msgs",
-                          "probe responses"});
+        std::vector<sim::SweepPoint> family;
         for (const auto &k : {std::string("heat"), std::string("cg")}) {
             for (auto kind : {coherence::SharerKind::FullMap,
                               coherence::SharerKind::LimitedPtr}) {
                 arch::MachineConfig cfg =
                     bench::configure(args, bench::DesignPoint::Cohesion);
                 cfg.directory = bench::realisticDirectory(cfg, kind);
-                harness::RunResult r = harness::runKernel(
-                    cfg, kernels::kernelFactory(k), args.params());
+                family.push_back(bench::point(args, k, cfg));
+            }
+        }
+        std::vector<harness::RunResult> runs = bench::runAll(args, family);
+
+        harness::Table t({"bench", "sharers", "cycles", "msgs",
+                          "probe responses"});
+        std::size_t idx = 0;
+        for (const auto &k : {std::string("heat"), std::string("cg")}) {
+            for (auto kind : {coherence::SharerKind::FullMap,
+                              coherence::SharerKind::LimitedPtr}) {
+                const harness::RunResult &r = runs[idx++];
                 t.addRow({k,
                           kind == coherence::SharerKind::FullMap
                               ? "full-map"
@@ -233,8 +284,7 @@ main(int argc, char **argv)
                     "Ablation 4: on-die fine-grain table cache "
                     "(Section 3.4's optional optimization)");
     {
-        harness::Table t({"bench", "table cache", "cycles",
-                          "table lookups", "cache hit rate"});
+        std::vector<sim::SweepPoint> family;
         for (const auto &k :
              {std::string("gjk"), std::string("heat"),
               std::string("kmeans")}) {
@@ -242,8 +292,19 @@ main(int argc, char **argv)
                 arch::MachineConfig cfg =
                     bench::configure(args, bench::DesignPoint::Cohesion);
                 cfg.tableCacheEntries = entries;
-                harness::RunResult r = harness::runKernel(
-                    cfg, kernels::kernelFactory(k), args.params());
+                family.push_back(bench::point(args, k, cfg));
+            }
+        }
+        std::vector<harness::RunResult> runs = bench::runAll(args, family);
+
+        harness::Table t({"bench", "table cache", "cycles",
+                          "table lookups", "cache hit rate"});
+        std::size_t idx = 0;
+        for (const auto &k :
+             {std::string("gjk"), std::string("heat"),
+              std::string("kmeans")}) {
+            for (std::uint32_t entries : {0u, 256u}) {
+                const harness::RunResult &r = runs[idx++];
                 double rate =
                     (r.tableCacheHits + r.tableCacheMisses)
                         ? double(r.tableCacheHits) /
@@ -268,8 +329,7 @@ main(int argc, char **argv)
                     "hardware coherence — quantifying Section 3.2's "
                     "decision to omit the E state");
     {
-        harness::Table t({"bench", "protocol", "cycles", "WrReq",
-                          "probe responses", "msgs"});
+        std::vector<sim::SweepPoint> family;
         for (const auto &k :
              {std::string("cg"), std::string("dmm"),
               std::string("heat"), std::string("sobel")}) {
@@ -277,8 +337,19 @@ main(int argc, char **argv)
                 arch::MachineConfig cfg =
                     bench::configure(args, bench::DesignPoint::HWccIdeal);
                 cfg.useMesi = mesi;
-                harness::RunResult r = harness::runKernel(
-                    cfg, kernels::kernelFactory(k), args.params());
+                family.push_back(bench::point(args, k, cfg));
+            }
+        }
+        std::vector<harness::RunResult> runs = bench::runAll(args, family);
+
+        harness::Table t({"bench", "protocol", "cycles", "WrReq",
+                          "probe responses", "msgs"});
+        std::size_t idx = 0;
+        for (const auto &k :
+             {std::string("cg"), std::string("dmm"),
+              std::string("heat"), std::string("sobel")}) {
+            for (bool mesi : {false, true}) {
+                const harness::RunResult &r = runs[idx++];
                 t.addRow({k, mesi ? "MESI" : "MSI",
                           std::to_string(r.cycles),
                           harness::Table::fmtCount(r.msgs.get(

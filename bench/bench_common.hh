@@ -17,6 +17,7 @@
 #include <string>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "kernels/registry.hh"
 
@@ -29,6 +30,7 @@ struct Args
                            ///< sets exceed the scaled L2s, as the
                            ///< paper datasets exceed its 8 MB of L2).
     bool paper = false;    ///< Full 1024-core Table 3 machine.
+    unsigned jobs = 0;     ///< Sweep worker threads (0 = all cores).
 
     static Args
     parse(int argc, char **argv)
@@ -41,9 +43,12 @@ struct Args
                 a.scale = std::atoi(argv[++i]);
             } else if (!std::strcmp(argv[i], "--paper")) {
                 a.paper = true;
+            } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+                a.jobs = std::atoi(argv[++i]);
             } else if (!std::strcmp(argv[i], "--help")) {
                 std::cout << "usage: " << argv[0]
-                          << " [--clusters N] [--scale N] [--paper]\n";
+                          << " [--clusters N] [--scale N] [--paper]"
+                             " [--jobs N]\n";
                 std::exit(0);
             }
         }
@@ -158,6 +163,57 @@ run(const Args &args, const std::string &kernel, DesignPoint p,
     arch::MachineConfig cfg = configure(args, p);
     return harness::runKernel(cfg, kernels::kernelFactory(kernel),
                               args.params(), opts);
+}
+
+/** A declarative sweep point for one bench run. */
+inline sim::SweepPoint
+point(const Args &args, const std::string &kernel,
+      const arch::MachineConfig &cfg, bool sample_occupancy = false)
+{
+    sim::SweepPoint p;
+    p.label = kernel + "." + cfg.summary();
+    p.kernel = kernel;
+    p.cfg = cfg;
+    p.params = args.params();
+    p.sampleOccupancy = sample_occupancy;
+    return p;
+}
+
+/**
+ * Run a family of jobs on the sweep engine (--jobs N workers) and
+ * return the RunResults in submission order. Benches expect every run
+ * to succeed; on any failure the per-job captured log is printed and
+ * the bench exits nonzero.
+ */
+inline std::vector<harness::RunResult>
+runAll(const Args &args, std::vector<sim::SweepJob> jobs)
+{
+    sim::SweepEngine engine(args.jobs);
+    std::vector<sim::JobResult> results = engine.run(jobs);
+    std::vector<harness::RunResult> out;
+    out.reserve(results.size());
+    for (sim::JobResult &r : results) {
+        if (!r.ok()) {
+            std::cerr << "bench job failed: " << r.label << " ["
+                      << sim::jobOutcomeName(r.outcome) << "] " << r.what
+                      << '\n'
+                      << r.log;
+            std::exit(1);
+        }
+        out.push_back(std::move(r.run));
+    }
+    return out;
+}
+
+/** Convenience overload: lower declarative points and run them. */
+inline std::vector<harness::RunResult>
+runAll(const Args &args, const std::vector<sim::SweepPoint> &points)
+{
+    std::vector<sim::SweepJob> jobs;
+    jobs.reserve(points.size());
+    for (const sim::SweepPoint &p : points)
+        jobs.push_back(sim::makeJob(p));
+    return runAll(args, std::move(jobs));
 }
 
 /** Geometric mean helper for cross-benchmark aggregates. */

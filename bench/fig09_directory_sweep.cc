@@ -13,6 +13,11 @@
  * entries/bank correspond to 1/32 .. 2x of the per-bank share of
  * resident L2 lines; the same fractions are swept here and both the
  * fraction and absolute entry counts are printed.
+ *
+ * All runs — 8 kernels x 2 modes x (1 + 7 directory points) for parts
+ * A/B plus 16 occupancy runs for part C — execute as one family on the
+ * sweep engine (--jobs N); results are consumed in submission order,
+ * so the tables are identical for any job count.
  */
 
 #include <fstream>
@@ -39,34 +44,48 @@ main(int argc, char **argv)
     const double fractions[] = {1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4,
                                 1.0 / 2,  1.0,      2.0};
 
-    harness::Table table({"bench", "mode", "entries/bank", "coverage",
-                          "cycles", "slowdown", "dir evictions"});
+    auto entriesFor = [&](double f) {
+        std::uint32_t entries =
+            static_cast<std::uint32_t>(f * l2_lines_per_bank);
+        return entries < 16 ? 16u : entries;
+    };
 
+    // One family: per kernel x mode, the infinite reference followed
+    // by the seven finite points.
+    std::vector<sim::SweepPoint> points;
     for (const auto &k : kernels::allKernelNames()) {
         for (bool cohesion : {false, true}) {
-            bench::DesignPoint inf_point =
-                cohesion ? bench::DesignPoint::CohesionOpt
-                         : bench::DesignPoint::HWccIdeal;
-            harness::RunResult inf = bench::run(args, k, inf_point);
+            points.push_back(bench::point(
+                args, k,
+                bench::configure(args, cohesion
+                                           ? bench::DesignPoint::CohesionOpt
+                                           : bench::DesignPoint::HWccIdeal)));
+            for (double f : fractions) {
+                arch::MachineConfig cfg = args.base();
+                cfg.mode = cohesion ? arch::CoherenceMode::Cohesion
+                                    : arch::CoherenceMode::HWccOnly;
+                cfg.directory = coherence::DirectoryConfig::fullyAssociative(
+                    entriesFor(f));
+                points.push_back(bench::point(args, k, cfg));
+            }
+        }
+    }
+    std::vector<harness::RunResult> runs = bench::runAll(args, points);
+
+    harness::Table table({"bench", "mode", "entries/bank", "coverage",
+                          "cycles", "slowdown", "dir evictions"});
+    std::size_t idx = 0;
+    for (const auto &k : kernels::allKernelNames()) {
+        for (bool cohesion : {false, true}) {
+            const harness::RunResult &inf = runs[idx++];
             const char *mode = cohesion ? "Cohesion" : "HWcc";
             table.addRow({k, mode, "inf", "-",
                           std::to_string(inf.cycles),
                           harness::Table::fmtX(1.0), "0"});
-
             for (double f : fractions) {
-                std::uint32_t entries = static_cast<std::uint32_t>(
-                    f * l2_lines_per_bank);
-                if (entries < 16)
-                    entries = 16;
-                arch::MachineConfig cfg = args.base();
-                cfg.mode = cohesion ? arch::CoherenceMode::Cohesion
-                                    : arch::CoherenceMode::HWccOnly;
-                cfg.directory =
-                    coherence::DirectoryConfig::fullyAssociative(entries);
-                harness::RunResult r = harness::runKernel(
-                    cfg, kernels::kernelFactory(k), args.params());
+                const harness::RunResult &r = runs[idx++];
                 table.addRow(
-                    {k, mode, std::to_string(entries),
+                    {k, mode, std::to_string(entriesFor(f)),
                      harness::Table::fmt(f, 3), std::to_string(r.cycles),
                      harness::Table::fmtX(double(r.cycles) / inf.cycles),
                      harness::Table::fmtCount(r.dirEvictions)});
@@ -79,16 +98,27 @@ main(int argc, char **argv)
                     "Figure 9C: directory occupancy (time-averaged over "
                     "1000-cycle samples; unbounded directory)");
 
+    std::vector<sim::SweepPoint> occ_points;
+    for (const auto &k : kernels::allKernelNames()) {
+        for (bool cohesion : {true, false}) {
+            occ_points.push_back(bench::point(
+                args, k,
+                bench::configure(args, cohesion
+                                           ? bench::DesignPoint::CohesionOpt
+                                           : bench::DesignPoint::HWccIdeal),
+                true));
+        }
+    }
+    std::vector<harness::RunResult> occ_runs =
+        bench::runAll(args, occ_points);
+
     harness::Table occ({"bench", "mode", "avg code", "avg stack",
                         "avg heap/global", "avg total", "max"});
     double sum_hw = 0, sum_coh = 0, sum_stack = 0, sum_total_hw = 0;
+    idx = 0;
     for (const auto &k : kernels::allKernelNames()) {
         for (bool cohesion : {true, false}) {
-            bench::DesignPoint p = cohesion
-                                       ? bench::DesignPoint::CohesionOpt
-                                       : bench::DesignPoint::HWccIdeal;
-            harness::RunResult r =
-                bench::run(args, k, p, {true, false});
+            const harness::RunResult &r = occ_runs[idx++];
             if (!r.timeSeries.empty()) {
                 // Raw occupancy trace behind the table (one tidy CSV
                 // per kernel/mode; plottable as the Fig. 9c curves).

@@ -5,6 +5,10 @@
  * sparse directory, SWcc, optimistic HWcc, realistic HWcc (full-map
  * sparse), and HWcc with the Dir4B limited sparse directory — all
  * normalized to Cohesion (full-map).
+ *
+ * The 8 kernels x 6 configurations run as one family on the sweep
+ * engine (--jobs N); results come back in submission order, so the
+ * table and geomeans are identical for any job count.
  */
 
 #include "bench/bench_common.hh"
@@ -34,12 +38,8 @@ main(int argc, char **argv)
         {"HWcc(Dir4B)", arch::CoherenceMode::HWccOnly, true, false},
     };
 
-    harness::Table table({"bench", "config", "cycles", "norm",
-                          "msgs", "dir evictions"});
-
-    std::map<std::string, bench::GeoMean> geo;
+    std::vector<sim::SweepPoint> family;
     for (const auto &k : kernels::allKernelNames()) {
-        double cohesion_cycles = 0;
         for (const Point &p : points) {
             arch::MachineConfig cfg = args.base();
             cfg.mode = p.mode;
@@ -52,8 +52,20 @@ main(int argc, char **argv)
                     cfg, p.limited ? coherence::SharerKind::LimitedPtr
                                    : coherence::SharerKind::FullMap);
             }
-            harness::RunResult r = harness::runKernel(
-                cfg, kernels::kernelFactory(k), args.params());
+            family.push_back(bench::point(args, k, cfg));
+        }
+    }
+    std::vector<harness::RunResult> runs = bench::runAll(args, family);
+
+    harness::Table table({"bench", "config", "cycles", "norm",
+                          "msgs", "dir evictions"});
+
+    std::map<std::string, bench::GeoMean> geo;
+    std::size_t idx = 0;
+    for (const auto &k : kernels::allKernelNames()) {
+        double cohesion_cycles = 0;
+        for (const Point &p : points) {
+            const harness::RunResult &r = runs[idx++];
             if (p.label == std::string("Cohesion"))
                 cohesion_cycles = static_cast<double>(r.cycles);
             double norm = r.cycles / cohesion_cycles;

@@ -1,0 +1,477 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "coherence/auditor.hh"
+#include "kernels/registry.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace sim {
+
+const char *
+jobOutcomeName(JobOutcome o)
+{
+    switch (o) {
+      case JobOutcome::Ok:
+        return "ok";
+      case JobOutcome::Audit:
+        return "audit-error";
+      case JobOutcome::Deadlock:
+        return "deadlock-error";
+      case JobOutcome::Panic:
+        return "panic";
+      case JobOutcome::Verify:
+        return "verify-error";
+      case JobOutcome::Unknown:
+        return "unknown-error";
+    }
+    return "?";
+}
+
+SweepEngine::SweepEngine(unsigned threads) : _threads(threads)
+{
+    if (_threads == 0) {
+        _threads = std::thread::hardware_concurrency();
+        if (_threads == 0)
+            _threads = 1;
+    }
+}
+
+JobResult
+SweepEngine::runOne(const SweepJob &job)
+{
+    JobResult r;
+    r.label = job.label;
+
+    // Everything the machine prints — including the message of the
+    // panic/fatal that kills it — lands in this job's private buffer,
+    // so parallel failure dumps never interleave.
+    LogCapture capture;
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        r.run = job.body();
+        r.outcome = JobOutcome::Ok;
+    } catch (const coherence::AuditError &e) {
+        r.outcome = JobOutcome::Audit;
+        r.what = e.what();
+    } catch (const arch::DeadlockError &e) {
+        r.outcome = JobOutcome::Deadlock;
+        r.what = e.what();
+    } catch (const std::logic_error &e) {
+        r.outcome = JobOutcome::Panic;
+        r.what = e.what();
+    } catch (const std::runtime_error &e) {
+        r.outcome = JobOutcome::Verify;
+        r.what = e.what();
+    } catch (const std::exception &e) {
+        r.outcome = JobOutcome::Unknown;
+        r.what = e.what();
+    } catch (...) {
+        r.outcome = JobOutcome::Unknown;
+        r.what = "non-std::exception thrown";
+    }
+    r.wallSec = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    r.log = capture.text();
+    return r;
+}
+
+namespace {
+
+/** One worker's job queue. Owner pops the front; thieves take the
+ *  back, so a victim's locality (and the deal order) is preserved. */
+struct WorkDeque
+{
+    std::mutex m;
+    std::deque<std::size_t> q;
+
+    bool
+    popFront(std::size_t *idx)
+    {
+        std::lock_guard<std::mutex> g(m);
+        if (q.empty())
+            return false;
+        *idx = q.front();
+        q.pop_front();
+        return true;
+    }
+
+    bool
+    popBack(std::size_t *idx)
+    {
+        std::lock_guard<std::mutex> g(m);
+        if (q.empty())
+            return false;
+        *idx = q.back();
+        q.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+std::vector<JobResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<JobResult> results(jobs.size());
+    unsigned workers = _threads;
+    if (workers > jobs.size())
+        workers = static_cast<unsigned>(jobs.size());
+
+    if (workers <= 1) {
+        // The bit-exact serial reference (--jobs 1).
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runOne(jobs[i]);
+        return results;
+    }
+
+    // Deal jobs round-robin so every worker starts with a spread of
+    // the submission order (adjacent jobs are often similar cost).
+    std::vector<WorkDeque> deques(workers);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        deques[i % workers].q.push_back(i);
+
+    std::atomic<std::size_t> remaining{jobs.size()};
+
+    auto workerFn = [&](unsigned self) {
+        for (;;) {
+            std::size_t idx;
+            bool have = deques[self].popFront(&idx);
+            for (unsigned v = 1; !have && v < workers; ++v)
+                have = deques[(self + v) % workers].popBack(&idx);
+            if (!have) {
+                if (remaining.load(std::memory_order_acquire) == 0)
+                    return;
+                // Queues are dry but a sibling is still running its
+                // last job; it cannot spawn more, so just wait it out.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                continue;
+            }
+            results[idx] = runOne(jobs[idx]);
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(workerFn, w);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+SweepJob
+makeJob(const SweepPoint &p)
+{
+    SweepJob job;
+    job.label = p.label;
+    job.body = [p]() {
+        harness::RunOptions opts;
+        opts.sampleOccupancy = p.sampleOccupancy;
+        opts.skipVerify = p.skipVerify;
+        opts.audit = p.audit;
+        return harness::runKernel(p.cfg, kernels::kernelFactory(p.kernel),
+                                  p.params, opts);
+    };
+    return job;
+}
+
+// --------------------------------------------------------------------
+// Declarative spec
+// --------------------------------------------------------------------
+
+namespace {
+
+bool
+parseMode(std::string_view name, arch::CoherenceMode *out)
+{
+    if (name == "swcc") {
+        *out = arch::CoherenceMode::SWccOnly;
+    } else if (name == "hwcc") {
+        *out = arch::CoherenceMode::HWccOnly;
+    } else if (name == "cohesion") {
+        *out = arch::CoherenceMode::Cohesion;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+modeToken(arch::CoherenceMode m)
+{
+    switch (m) {
+      case arch::CoherenceMode::SWccOnly:
+        return "swcc";
+      case arch::CoherenceMode::HWccOnly:
+        return "hwcc";
+      case arch::CoherenceMode::Cohesion:
+        return "cohesion";
+    }
+    return "?";
+}
+
+bool
+specFail(std::string *err, const std::string &why)
+{
+    if (err)
+        *err = why;
+    return false;
+}
+
+} // namespace
+
+bool
+SweepSpec::parse(std::string_view json_text, SweepSpec *out,
+                 std::string *err)
+{
+    JsonValue doc;
+    std::string perr;
+    if (!parseJson(json_text, &doc, &perr))
+        return specFail(err, "sweep spec: " + perr);
+    if (!doc.isObject())
+        return specFail(err, "sweep spec: top level must be an object");
+
+    SweepSpec spec;
+
+    if (const JsonValue *m = doc.find("machine")) {
+        if (!m->isObject())
+            return specFail(err, "sweep spec: machine must be an object");
+        if (const JsonValue *v = m->find("clusters")) {
+            if (!v->isNumber() || v->number < 1)
+                return specFail(err, "sweep spec: machine.clusters must "
+                                     "be a positive number");
+            spec.clusters = static_cast<unsigned>(v->number);
+        }
+        if (const JsonValue *v = m->find("paper")) {
+            if (!v->isBool())
+                return specFail(err,
+                                "sweep spec: machine.paper must be bool");
+            spec.paper = v->boolean;
+        }
+        if (const JsonValue *v = m->find("scale")) {
+            if (!v->isNumber() || v->number < 1)
+                return specFail(err, "sweep spec: machine.scale must be "
+                                     "a positive number");
+            spec.scale = static_cast<unsigned>(v->number);
+        }
+    }
+
+    if (const JsonValue *k = doc.find("kernels")) {
+        if (!k->isArray())
+            return specFail(err, "sweep spec: kernels must be an array");
+        for (const JsonValue &v : k->arr) {
+            if (!v.isString())
+                return specFail(err,
+                                "sweep spec: kernels entries are strings");
+            if (v.str == "all") {
+                for (const std::string &name : kernels::allKernelNames())
+                    spec.kernels.push_back(name);
+            } else if (!kernels::isKernelName(v.str)) {
+                return specFail(err, "sweep spec: unknown kernel \"" +
+                                         v.str + "\"");
+            } else {
+                spec.kernels.push_back(v.str);
+            }
+        }
+    }
+
+    if (const JsonValue *m = doc.find("modes")) {
+        if (!m->isArray())
+            return specFail(err, "sweep spec: modes must be an array");
+        for (const JsonValue &v : m->arr) {
+            arch::CoherenceMode mode;
+            if (!v.isString() || !parseMode(v.str, &mode))
+                return specFail(err, "sweep spec: unknown mode \"" +
+                                         v.str + "\"");
+            spec.modes.push_back(mode);
+        }
+    }
+
+    if (const JsonValue *s = doc.find("seeds")) {
+        if (!s->isArray())
+            return specFail(err, "sweep spec: seeds must be an array");
+        for (const JsonValue &v : s->arr) {
+            if (!v.isNumber())
+                return specFail(err,
+                                "sweep spec: seeds entries are numbers");
+            spec.seeds.push_back(static_cast<std::uint64_t>(v.number));
+        }
+    }
+
+    if (const JsonValue *d = doc.find("directories")) {
+        if (!d->isArray())
+            return specFail(err,
+                            "sweep spec: directories must be an array");
+        for (const JsonValue &v : d->arr) {
+            if (!v.isObject())
+                return specFail(err,
+                                "sweep spec: directory entries are objects");
+            DirAxis axis;
+            if (const JsonValue *l = v.find("label")) {
+                if (!l->isString())
+                    return specFail(err, "sweep spec: directory label "
+                                         "must be a string");
+                axis.label = l->str;
+            }
+            if (const JsonValue *e = v.find("entries")) {
+                if (!e->isNumber() || e->number < 0)
+                    return specFail(err, "sweep spec: directory entries "
+                                         "must be a non-negative number");
+                axis.dir.entries = static_cast<std::uint32_t>(e->number);
+            }
+            if (const JsonValue *a = v.find("assoc")) {
+                if (!a->isNumber() || a->number < 0)
+                    return specFail(err, "sweep spec: directory assoc "
+                                         "must be a non-negative number");
+                axis.dir.assoc = static_cast<std::uint32_t>(a->number);
+            }
+            if (const JsonValue *s = v.find("sharers")) {
+                if (s->isString() && s->str == "dir4b") {
+                    axis.dir.sharerKind = coherence::SharerKind::LimitedPtr;
+                } else if (s->isString() && s->str == "fullmap") {
+                    axis.dir.sharerKind = coherence::SharerKind::FullMap;
+                } else {
+                    return specFail(err, "sweep spec: directory sharers "
+                                         "must be \"fullmap\" or "
+                                         "\"dir4b\"");
+                }
+            }
+            if (const JsonValue *p = v.find("pointers")) {
+                if (!p->isNumber() || p->number < 1)
+                    return specFail(err, "sweep spec: directory pointers "
+                                         "must be a positive number");
+                axis.dir.pointers = static_cast<unsigned>(p->number);
+            }
+            spec.dirs.push_back(std::move(axis));
+        }
+    }
+
+    if (const JsonValue *f = doc.find("faults")) {
+        if (!f->isArray())
+            return specFail(err, "sweep spec: faults must be an array");
+        for (const JsonValue &v : f->arr) {
+            if (!v.isObject())
+                return specFail(err,
+                                "sweep spec: fault entries are objects");
+            FaultAxis axis;
+            if (const JsonValue *l = v.find("label")) {
+                if (!l->isString())
+                    return specFail(err, "sweep spec: fault label must "
+                                         "be a string");
+                axis.label = l->str;
+            }
+            if (const JsonValue *p = v.find("plan")) {
+                if (!p->isObject())
+                    return specFail(err, "sweep spec: fault plan must be "
+                                         "an object (sim/fault.hh schema)");
+                try {
+                    axis.plan = FaultPlan::parse(p->dump());
+                } catch (const std::exception &e) {
+                    return specFail(err, e.what());
+                }
+            }
+            spec.faults.push_back(std::move(axis));
+        }
+    }
+
+    if (const JsonValue *o = doc.find("options")) {
+        if (!o->isObject())
+            return specFail(err, "sweep spec: options must be an object");
+        if (const JsonValue *v = o->find("skip_verify")) {
+            if (!v->isBool())
+                return specFail(err, "sweep spec: options.skip_verify "
+                                     "must be bool");
+            spec.skipVerify = v->boolean;
+        }
+        if (const JsonValue *v = o->find("audit")) {
+            if (!v->isBool())
+                return specFail(err,
+                                "sweep spec: options.audit must be bool");
+            spec.audit = v->boolean;
+        }
+        if (const JsonValue *v = o->find("occupancy")) {
+            if (!v->isBool())
+                return specFail(err, "sweep spec: options.occupancy "
+                                     "must be bool");
+            spec.sampleOccupancy = v->boolean;
+        }
+        if (const JsonValue *v = o->find("table_cache")) {
+            if (!v->isNumber() || v->number < 0)
+                return specFail(err, "sweep spec: options.table_cache "
+                                     "must be a non-negative number");
+            spec.tableCacheEntries =
+                static_cast<std::uint32_t>(v->number);
+        }
+    }
+
+    if (spec.kernels.empty())
+        return specFail(err,
+                        "sweep spec: at least one kernel is required");
+
+    *out = std::move(spec);
+    return true;
+}
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    // Singleton defaults for the axes the spec left empty.
+    std::vector<arch::CoherenceMode> modes_eff =
+        modes.empty()
+            ? std::vector<arch::CoherenceMode>{arch::CoherenceMode::
+                                                   Cohesion}
+            : modes;
+    std::vector<DirAxis> dirs_eff =
+        dirs.empty() ? std::vector<DirAxis>{DirAxis{}} : dirs;
+    std::vector<std::uint64_t> seeds_eff =
+        seeds.empty() ? std::vector<std::uint64_t>{kernels::Params{}.seed}
+                      : seeds;
+    std::vector<FaultAxis> faults_eff =
+        faults.empty() ? std::vector<FaultAxis>{FaultAxis{}} : faults;
+
+    arch::MachineConfig base = paper
+                                   ? arch::MachineConfig::paper1024()
+                                   : arch::MachineConfig::scaled(clusters);
+    base.tableCacheEntries = tableCacheEntries;
+
+    std::vector<SweepPoint> points;
+    points.reserve(kernels.size() * modes_eff.size() * dirs_eff.size() *
+                   seeds_eff.size() * faults_eff.size());
+    for (const std::string &kernel : kernels) {
+        for (arch::CoherenceMode mode : modes_eff) {
+            for (const DirAxis &dir : dirs_eff) {
+                for (std::uint64_t seed : seeds_eff) {
+                    for (const FaultAxis &fault : faults_eff) {
+                        SweepPoint p;
+                        p.kernel = kernel;
+                        p.cfg = base;
+                        p.cfg.mode = mode;
+                        p.cfg.directory = dir.dir;
+                        p.cfg.faults = fault.plan;
+                        p.params.scale = scale;
+                        p.params.seed = seed;
+                        p.sampleOccupancy = sampleOccupancy;
+                        p.skipVerify = skipVerify;
+                        p.audit = audit;
+                        p.label = cat(kernel, ".", modeToken(mode), ".",
+                                      dir.label, ".s", seed, ".",
+                                      fault.label);
+                        points.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace sim

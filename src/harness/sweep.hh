@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Parallel sweep engine for multi-configuration campaigns.
+ *
+ * Every headline result of the paper (Figs. 8-10, Table 3, the
+ * directory-size sweep, the SWcc/HWcc ablations, the fault campaign)
+ * is a *family* of independent simulations over kernels x machine
+ * configs x directory geometries x seeds x fault plans. SweepEngine
+ * runs such a family on a work-stealing std::thread pool, one fully
+ * isolated Machine per job:
+ *
+ *  - a job owns its Chip, runtime, kernel, StatRegistry and Tracer;
+ *    nothing mutable is shared between concurrent jobs (the event
+ *    capture pool is thread-local, log output is captured per job via
+ *    sim::LogCapture, and every Rng is seeded from the job's own
+ *    config), so results are byte-identical for any --jobs value;
+ *  - results come back in job-submission order regardless of which
+ *    worker ran what, so table-printing call sites stay simple;
+ *  - a job that throws is classified (audit / deadlock / panic /
+ *    verify) and reported in its JobResult together with its captured
+ *    log; sibling jobs are unaffected.
+ *
+ * The declarative layer (SweepSpec) describes a campaign as the
+ * cross-product of axes and expands it into jobs; call sites with
+ * bespoke per-run logic (the ablation bench's chip surgery, the
+ * transition-stress kernel) submit custom job bodies instead.
+ */
+
+#ifndef COHESION_HARNESS_SWEEP_HH
+#define COHESION_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/machine_config.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel.hh"
+
+namespace sim {
+
+/** How a sweep job ended. Everything but Ok carries `what`. */
+enum class JobOutcome : std::uint8_t
+{
+    Ok,       ///< Ran to completion (and verified, unless skipped).
+    Audit,    ///< coherence::AuditError — invariant violated.
+    Deadlock, ///< arch::DeadlockError — watchdog caught a hang.
+    Panic,    ///< std::logic_error — a panic() path was reached.
+    Verify,   ///< std::runtime_error — fatal(), typically a verify
+              ///< mismatch or a configuration error.
+    Unknown,  ///< Any other exception type.
+};
+
+const char *jobOutcomeName(JobOutcome o);
+
+/** One schedulable unit: a label and a body that builds, runs and
+ *  tears down a private Machine, returning its statistics. */
+struct SweepJob
+{
+    std::string label;
+    std::function<harness::RunResult()> body;
+};
+
+/** What came back from one job. */
+struct JobResult
+{
+    std::string label;
+    JobOutcome outcome = JobOutcome::Ok;
+    harness::RunResult run; ///< Valid iff outcome == Ok.
+    std::string what;       ///< Exception message otherwise.
+    std::string log;        ///< warn()/inform()/panic() output of this
+                            ///< job only (never interleaved).
+    double wallSec = 0;     ///< Host wall-clock spent in the body.
+
+    bool ok() const { return outcome == JobOutcome::Ok; }
+};
+
+/**
+ * Work-stealing thread pool over isolated simulation jobs.
+ *
+ * Jobs are dealt round-robin onto per-worker deques; a worker drains
+ * its own deque LIFO-from-front and steals from the back of a victim's
+ * when empty, which keeps long tails (one slow directory point) from
+ * idling the pool. The result vector is indexed by submission order,
+ * so scheduling never changes what the caller observes.
+ */
+class SweepEngine
+{
+  public:
+    /** @p threads 0 selects the host's hardware concurrency. */
+    explicit SweepEngine(unsigned threads = 0);
+
+    unsigned threads() const { return _threads; }
+
+    /**
+     * Run every job and return results in submission order. With one
+     * thread (or one job) everything runs inline on the caller's
+     * thread — `--jobs 1` is the bit-exact serial reference.
+     */
+    std::vector<JobResult> run(const std::vector<SweepJob> &jobs) const;
+
+    /** Convenience: run one body outside any pool with the same
+     *  classification and log capture. */
+    static JobResult runOne(const SweepJob &job);
+
+  private:
+    unsigned _threads;
+};
+
+/** One fully-specified simulation in a declarative sweep. */
+struct SweepPoint
+{
+    std::string label;
+    std::string kernel;
+    arch::MachineConfig cfg;
+    kernels::Params params;
+    bool sampleOccupancy = false;
+    bool skipVerify = false;
+    bool audit = true;
+};
+
+/** Lower a declarative point to a runnable job. */
+SweepJob makeJob(const SweepPoint &p);
+
+/**
+ * Declarative campaign: the cross-product of kernels x coherence modes
+ * x directory geometries x seeds x fault plans on one machine scale.
+ * Axes left empty get a single default entry, so the minimal spec
+ * {"kernels": ["heat"]} is one job.
+ *
+ * JSON schema (all fields optional unless noted):
+ *
+ *   {
+ *     "machine":     {"clusters": 4, "paper": false, "scale": 1},
+ *     "kernels":     ["heat", "dmm"],         // or ["all"]
+ *     "modes":       ["cohesion", "hwcc", "swcc"],
+ *     "seeds":       [12345, 99],
+ *     "directories": [
+ *        {"label": "opt"},                    // infinite full-map
+ *        {"label": "8k-fa", "entries": 8192},
+ *        {"label": "16k-128w-dir4b", "entries": 16384, "assoc": 128,
+ *         "sharers": "dir4b"}
+ *     ],
+ *     "faults":      [
+ *        {"label": "none"},
+ *        {"label": "drop2", "plan": { ...sim/fault.hh schema... }}
+ *     ],
+ *     "options":     {"skip_verify": false, "audit": true,
+ *                     "occupancy": false, "table_cache": 0}
+ *   }
+ */
+struct SweepSpec
+{
+    struct DirAxis
+    {
+        std::string label = "opt";
+        coherence::DirectoryConfig dir =
+            coherence::DirectoryConfig::optimistic();
+    };
+
+    struct FaultAxis
+    {
+        std::string label = "none";
+        FaultPlan plan;
+    };
+
+    unsigned clusters = 4;
+    bool paper = false;
+    unsigned scale = 1;
+    std::uint32_t tableCacheEntries = 0;
+
+    std::vector<std::string> kernels;
+    std::vector<arch::CoherenceMode> modes;
+    std::vector<DirAxis> dirs;
+    std::vector<std::uint64_t> seeds;
+    std::vector<FaultAxis> faults;
+
+    bool sampleOccupancy = false;
+    bool skipVerify = false;
+    bool audit = true;
+
+    /** Parse the JSON schema above. Returns false and sets @p err on
+     *  malformed input. */
+    static bool parse(std::string_view json_text, SweepSpec *out,
+                      std::string *err);
+
+    /** Expand the cross-product into fully-specified points, in the
+     *  deterministic order kernel > mode > directory > seed > fault. */
+    std::vector<SweepPoint> expand() const;
+};
+
+} // namespace sim
+
+#endif // COHESION_HARNESS_SWEEP_HH

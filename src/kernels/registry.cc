@@ -13,6 +13,16 @@ allKernelNames()
     return names;
 }
 
+bool
+isKernelName(const std::string &name)
+{
+    for (const std::string &k : allKernelNames()) {
+        if (k == name)
+            return true;
+    }
+    return false;
+}
+
 KernelFactory
 kernelFactory(const std::string &name)
 {

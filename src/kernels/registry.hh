@@ -26,6 +26,9 @@ std::unique_ptr<Kernel> makeStencil(const Params &params);
 /** Names in the paper's presentation order. */
 const std::vector<std::string> &allKernelNames();
 
+/** True if @p name is a registered kernel. */
+bool isKernelName(const std::string &name);
+
 /** Factory by name; fatal() on unknown names. */
 KernelFactory kernelFactory(const std::string &name);
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
+#include <sstream>
 
 namespace sim {
 
@@ -66,6 +67,53 @@ writeJsonNumber(std::ostream &os, double v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     os << buf;
+}
+
+void
+writeJson(std::ostream &os, const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        os << "null";
+        break;
+      case JsonValue::Kind::Bool:
+        os << (v.boolean ? "true" : "false");
+        break;
+      case JsonValue::Kind::Number:
+        writeJsonNumber(os, v.number);
+        break;
+      case JsonValue::Kind::String:
+        writeJsonString(os, v.str);
+        break;
+      case JsonValue::Kind::Array:
+        os << '[';
+        for (std::size_t i = 0; i < v.arr.size(); ++i) {
+            if (i)
+                os << ',';
+            writeJson(os, v.arr[i]);
+        }
+        os << ']';
+        break;
+      case JsonValue::Kind::Object:
+        os << '{';
+        for (std::size_t i = 0; i < v.obj.size(); ++i) {
+            if (i)
+                os << ',';
+            writeJsonString(os, v.obj[i].first);
+            os << ':';
+            writeJson(os, v.obj[i].second);
+        }
+        os << '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::ostringstream os;
+    writeJson(os, *this);
+    return os.str();
 }
 
 const JsonValue *

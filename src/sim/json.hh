@@ -50,7 +50,14 @@ struct JsonValue
 
     /** Object member lookup; nullptr if absent or not an object. */
     const JsonValue *find(std::string_view key) const;
+
+    /** Serialize this node back to compact JSON text (round-trips
+     *  through parseJson; used to hand subtrees to sub-parsers). */
+    std::string dump() const;
 };
+
+/** Write @p v as compact JSON. */
+void writeJson(std::ostream &os, const JsonValue &v);
 
 /**
  * Parse a complete JSON document. Returns false (and sets @p err, if

@@ -1,32 +1,58 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
-#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace sim {
 
 namespace {
-bool verboseFlag = false;
+
+std::atomic<bool> verboseFlag{false};
+
+/** Innermost capture installed on this thread; null => stderr. */
+thread_local LogCapture *tlsCapture = nullptr;
+
+/** Serializes uncaptured writes so concurrent jobs that run without a
+ *  capture still emit whole lines. */
+std::mutex &
+stderrMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+emitLine(const std::string &line)
+{
+    if (LogCapture *cap = tlsCapture) {
+        cap->append(line); // private per-thread buffer: no locking
+        return;
+    }
+    std::lock_guard<std::mutex> g(stderrMutex());
+    std::fputs(line.c_str(), stderr);
+    std::fflush(stderr);
+}
+
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    emitLine(cat("panic: ", msg, " (", file, ":", line, ")\n"));
     // Throw instead of abort() so that tests can assert on panics.
     throw std::logic_error("panic: " + msg);
 }
@@ -34,22 +60,31 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    emitLine(cat("fatal: ", msg, " (", file, ":", line, ")\n"));
     throw std::runtime_error("fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn: " + msg + "\n");
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (verbose())
+        emitLine("info: " + msg + "\n");
+}
+
+LogCapture::LogCapture() : _prev(tlsCapture)
+{
+    tlsCapture = this;
+}
+
+LogCapture::~LogCapture()
+{
+    tlsCapture = _prev;
 }
 
 } // namespace sim

@@ -3,6 +3,13 @@
  * Status and error reporting in the gem5 idiom: panic() for simulator
  * bugs, fatal() for user/configuration errors, warn()/inform() for
  * non-fatal status messages.
+ *
+ * Thread model: every message is routed through the calling thread's
+ * log sink. By default that sink is stderr (writes are serialized by a
+ * process-wide mutex so parallel sweep jobs cannot interleave partial
+ * lines); a sweep job installs a LogCapture so everything the machine
+ * prints — including the message of the panic/fatal that killed it —
+ * lands in a private per-job buffer instead of the shared console.
  */
 
 #ifndef COHESION_SIM_LOGGING_HH
@@ -31,15 +38,45 @@ cat(Args &&...args)
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 
-/** Print a warning to stderr; the simulation continues. */
+/** Print a warning to the thread's log sink; the simulation continues. */
 void warnImpl(const std::string &msg);
 
-/** Print an informational message to stderr. */
+/** Print an informational message to the thread's log sink. */
 void informImpl(const std::string &msg);
 
-/** Enable/disable inform() output (benches silence it). */
+/** Enable/disable inform() output (benches silence it). Process-wide. */
 void setVerbose(bool verbose);
 bool verbose();
+
+/**
+ * RAII redirection of this thread's warn()/inform()/panic()/fatal()
+ * output into a private buffer. Captures nest (the innermost wins and
+ * the previous sink is restored on destruction), and each simulator
+ * thread owns its capture independently — this is what keeps the
+ * failure dump of one parallel sweep job free of its siblings' chatter.
+ */
+class LogCapture
+{
+  public:
+    LogCapture();
+    ~LogCapture();
+
+    LogCapture(const LogCapture &) = delete;
+    LogCapture &operator=(const LogCapture &) = delete;
+
+    /** Everything captured so far (owned by the capture). */
+    std::string text() const { return _buf.str(); }
+
+    /** True if any output was captured. */
+    bool empty() const { return _buf.str().empty(); }
+
+    /** Internal: sink hook used by the logging implementation. */
+    void append(const std::string &line) { _buf << line; }
+
+  private:
+    std::ostringstream _buf;
+    LogCapture *_prev; ///< Enclosing capture on this thread, if any.
+};
 
 } // namespace sim
 

@@ -14,47 +14,38 @@
  * The recovery set (drops, duplicates, delays) is stricter: those
  * faults are absorbed by retransmission and msgId dedup, so every run
  * must land in (a) with at least one fault actually injected.
+ *
+ * The whole campaign runs as one family on the sweep engine; each
+ * cell's log is captured per-job, so failure dumps stay readable even
+ * when cells execute in parallel (COHESION_TEST_JOBS to override the
+ * worker count).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "coherence/auditor.hh"
-#include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "kernels/registry.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace {
 
-enum class Outcome { Green, Audit, Deadlock, Verify };
-
-const char *
-outcomeName(Outcome o)
+/** Worker-thread count for the campaign (env override for CI). */
+unsigned
+campaignJobs()
 {
-    switch (o) {
-      case Outcome::Green: return "green";
-      case Outcome::Audit: return "audit-error";
-      case Outcome::Deadlock: return "deadlock-error";
-      case Outcome::Verify: return "verify-mismatch";
-    }
-    return "?";
+    if (const char *env = std::getenv("COHESION_TEST_JOBS"))
+        return static_cast<unsigned>(std::atoi(env));
+    return 0; // all cores
 }
 
-struct ComboResult
-{
-    Outcome outcome = Outcome::Green;
-    std::uint64_t injected = 0;
-    std::uint64_t recovered = 0;
-    std::string what;
-};
-
-/** One campaign cell. Anything outside the trichotomy is reported via
- *  ADD_FAILURE and classified as Green so the sweep continues. */
-ComboResult
-runCombo(const std::string &kernel, std::uint64_t seed,
+/** One campaign cell as a sweep job. */
+sim::SweepJob
+comboJob(const std::string &kernel, std::uint64_t seed,
          sim::FaultSite site, double rate, std::uint64_t max)
 {
     arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
@@ -67,32 +58,28 @@ runCombo(const std::string &kernel, std::uint64_t seed,
     kernels::Params params;
     params.seed = seed;
 
-    ComboResult r;
-    std::string label = sim::cat(kernel, " seed=", seed, " site=",
-                                 sim::faultSiteName(site), " rate=", rate);
-    try {
-        harness::RunResult run = harness::runKernel(
-            cfg, kernels::kernelFactory(kernel), params, {});
-        r.outcome = Outcome::Green;
-        r.injected = run.faultsInjected;
-        r.recovered = run.faultsRecovered;
-    } catch (const coherence::AuditError &e) {
-        r.outcome = Outcome::Audit;
-        r.what = e.what();
-    } catch (const arch::DeadlockError &e) {
-        r.outcome = Outcome::Deadlock;
-        r.what = e.what();
-    } catch (const std::logic_error &e) {
-        ADD_FAILURE() << label
+    sim::SweepPoint p;
+    p.label = sim::cat(kernel, " seed=", seed, " site=",
+                       sim::faultSiteName(site), " rate=", rate);
+    p.kernel = kernel;
+    p.cfg = cfg;
+    p.params = params;
+    return sim::makeJob(p);
+}
+
+/** Anything outside the trichotomy is a test failure; the per-job
+ *  captured log goes into the failure message. */
+void
+checkClassified(const sim::JobResult &r)
+{
+    if (r.outcome == sim::JobOutcome::Panic) {
+        ADD_FAILURE() << r.label
                       << ": injected fault reached a panic path: "
-                      << e.what();
-    } catch (const std::runtime_error &e) {
-        r.outcome = Outcome::Verify;
-        r.what = e.what();
-    } catch (...) {
-        ADD_FAILURE() << label << ": unclassified exception";
+                      << r.what << '\n' << r.log;
+    } else if (r.outcome == sim::JobOutcome::Unknown) {
+        ADD_FAILURE() << r.label << ": unclassified exception: "
+                      << r.what << '\n' << r.log;
     }
-    return r;
 }
 
 /** Recoverable transport faults: retransmission plus msgId dedup must
@@ -113,23 +100,29 @@ TEST(FaultCampaign, TransportFaultsAreAbsorbed)
         {FaultSite::FabricC2BDelay, 0.05},
         {FaultSite::FabricB2CDelay, 0.05},
     };
-    unsigned combos = 0;
+    std::vector<sim::SweepJob> jobs;
     for (const std::string kernel : {"heat", "dmm"}) {
         for (std::uint64_t seed : {11u, 12u}) {
-            for (const SiteSpec &s : sites) {
-                SCOPED_TRACE(sim::cat(kernel, " seed=", seed, " site=",
-                                      sim::faultSiteName(s.site)));
-                ComboResult r =
-                    runCombo(kernel, seed, s.site, s.rate, 0);
-                EXPECT_EQ(r.outcome, Outcome::Green)
-                    << outcomeName(r.outcome) << ": " << r.what;
-                EXPECT_GE(r.injected, 1u)
-                    << "campaign cell never injected a fault";
-                ++combos;
-            }
+            for (const SiteSpec &s : sites)
+                jobs.push_back(comboJob(kernel, seed, s.site, s.rate, 0));
         }
     }
-    EXPECT_GE(combos, 24u);
+    sim::SweepEngine engine(campaignJobs());
+    std::vector<sim::JobResult> results = engine.run(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (const sim::JobResult &r : results) {
+        SCOPED_TRACE(r.label);
+        checkClassified(r);
+        EXPECT_EQ(r.outcome, sim::JobOutcome::Ok)
+            << sim::jobOutcomeName(r.outcome) << ": " << r.what << '\n'
+            << r.log;
+        if (r.ok()) {
+            EXPECT_GE(r.run.faultsInjected, 1u)
+                << "campaign cell never injected a fault";
+        }
+    }
+    EXPECT_GE(results.size(), 24u);
 }
 
 /** State-corruption faults: flips and stale table reads may be benign,
@@ -151,22 +144,28 @@ TEST(FaultCampaign, CorruptionFaultsAreDetectedOrBenign)
         {FaultSite::L3MetaFlip, 1.0, 8},
         {FaultSite::TableStale, 0.2, 8},
     };
-    unsigned combos = 0, detected = 0, benign = 0;
+    std::vector<sim::SweepJob> jobs;
     for (std::uint64_t seed : {21u, 22u}) {
-        for (const SiteSpec &s : sites) {
-            SCOPED_TRACE(sim::cat("heat seed=", seed, " site=",
-                                  sim::faultSiteName(s.site)));
-            ComboResult r = runCombo("heat", seed, s.site, s.rate, s.max);
-            // Every outcome in the trichotomy is acceptable here;
-            // runCombo already failed the test on anything else.
-            if (r.outcome == Outcome::Green)
-                ++benign;
-            else
-                ++detected;
-            ++combos;
-        }
+        for (const SiteSpec &s : sites)
+            jobs.push_back(comboJob("heat", seed, s.site, s.rate, s.max));
     }
-    EXPECT_GE(combos, 10u);
+    sim::SweepEngine engine(campaignJobs());
+    std::vector<sim::JobResult> results = engine.run(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    unsigned detected = 0, benign = 0;
+    for (const sim::JobResult &r : results) {
+        SCOPED_TRACE(r.label);
+        checkClassified(r);
+        // Every outcome in the trichotomy is acceptable here;
+        // checkClassified already failed the test on anything else.
+        if (r.outcome == sim::JobOutcome::Ok)
+            ++benign;
+        else if (r.outcome != sim::JobOutcome::Panic &&
+                 r.outcome != sim::JobOutcome::Unknown)
+            ++detected;
+    }
+    EXPECT_GE(results.size(), 10u);
     // The sweep must actually exercise the detectors: with 8 forced
     // flips per cell, at least one cell must bite.
     EXPECT_GE(detected, 1u) << "no corruption was ever detected "

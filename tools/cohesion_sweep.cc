@@ -1,0 +1,413 @@
+/**
+ * @file
+ * cohesion-sweep: the parallel campaign driver. Two modes:
+ *
+ * 1. Spec mode — run a declarative multi-configuration campaign:
+ *
+ *      cohesion-sweep --spec sweep.json --jobs 8 --out results.json
+ *
+ *    The spec is the cross-product schema of harness/sweep.hh; results
+ *    are written as a JSON array in job-submission order (identical
+ *    for any --jobs value). Exit 1 if any job failed.
+ *
+ * 2. Baseline mode — re-run the committed perf/paper-metric baseline
+ *    and gate on drift:
+ *
+ *      cohesion-sweep --baseline BENCH_simcore.json [--jobs N]
+ *                     [--tolerance-pct 0] [--perf-tolerance-pct 30]
+ *                     [--metrics-only | --perf-only] [--kernels a,b,c]
+ *
+ *    Re-runs the baseline's end-to-end kernels at the same machine
+ *    scale and compares (a) the paper metrics — final cycle count and
+ *    events fired, which are deterministic, so the default tolerance
+ *    is 0% — and (b) events/sec against the recorded throughput.
+ *    Exit codes: 0 ok, 1 usage/run error, 2 paper-metric drift,
+ *    3 perf regression. CI runs --metrics-only as a blocking gate and
+ *    the perf comparison as a separate advisory step.
+ *
+ *    Perf numbers are only meaningful when each job has a core of its
+ *    own; baseline mode therefore defaults to --jobs 1 unless
+ *    --metrics-only (wall time irrelevant) or an explicit --jobs is
+ *    given.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "kernels/registry.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: cohesion-sweep --spec FILE [--jobs N] [--out FILE]\n"
+        "       cohesion-sweep --baseline FILE [--jobs N]\n"
+        "                      [--tolerance-pct P] "
+        "[--perf-tolerance-pct P]\n"
+        "                      [--metrics-only | --perf-only]\n"
+        "                      [--kernels a,b,c] [--out FILE]\n"
+        "  --spec FILE            declarative sweep (harness/sweep.hh "
+        "schema)\n"
+        "  --baseline FILE        BENCH_simcore.json drift gate\n"
+        "  --jobs N               worker threads (default: all cores;\n"
+        "                         baseline perf runs default to 1)\n"
+        "  --out FILE             results JSON (\"-\" = stdout)\n"
+        "  --tolerance-pct P      allowed cycles/events drift "
+        "(default 0)\n"
+        "  --perf-tolerance-pct P allowed events/sec loss (default 30)\n"
+        "  --metrics-only         gate only the deterministic metrics\n"
+        "  --perf-only            gate only throughput\n"
+        "  --kernels a,b,c        restrict baseline kernels\n"
+        "  --quick                baseline: three fastest kernels only\n"
+        "exit: 0 ok, 1 error/failed job, 2 metric drift, 3 perf "
+        "regression\n";
+    std::exit(code);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cohesion-sweep: cannot open " << path << '\n';
+        std::exit(1);
+    }
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeResultsJson(std::ostream &os,
+                 const std::vector<sim::JobResult> &results)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const sim::JobResult &r = results[i];
+        // No wall_sec here: host timing is the one nondeterministic
+        // job datum, and the results file is specified to be
+        // byte-identical for any --jobs value.
+        os << "  {\"label\": ";
+        sim::writeJsonString(os, r.label);
+        os << ", \"outcome\": ";
+        sim::writeJsonString(os, sim::jobOutcomeName(r.outcome));
+        if (r.ok()) {
+            os << ", \"cycles\": " << r.run.cycles
+               << ", \"events\": " << r.run.eventsRun
+               << ", \"instructions\": " << r.run.instructions
+               << ", \"msgs\": " << r.run.msgs.total()
+               << ", \"dir_evictions\": " << r.run.dirEvictions
+               << ", \"l2_misses\": " << r.run.l2Misses
+               << ", \"seed\": " << r.run.seed;
+            if (r.run.faultSeed) {
+                os << ", \"faults_injected\": " << r.run.faultsInjected
+                   << ", \"faults_recovered\": " << r.run.faultsRecovered;
+            }
+        } else {
+            os << ", \"what\": ";
+            sim::writeJsonString(os, r.what);
+            os << ", \"log\": ";
+            sim::writeJsonString(os, r.log);
+        }
+        os << '}' << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+}
+
+int
+runSpec(const std::string &spec_path, unsigned jobs,
+        const std::string &out_path)
+{
+    sim::SweepSpec spec;
+    std::string err;
+    if (!sim::SweepSpec::parse(readFile(spec_path), &spec, &err)) {
+        std::cerr << "cohesion-sweep: " << err << '\n';
+        return 1;
+    }
+
+    std::vector<sim::SweepPoint> points = spec.expand();
+    std::vector<sim::SweepJob> sweep_jobs;
+    sweep_jobs.reserve(points.size());
+    for (const sim::SweepPoint &p : points)
+        sweep_jobs.push_back(sim::makeJob(p));
+
+    sim::SweepEngine engine(jobs);
+    std::cerr << "cohesion-sweep: " << sweep_jobs.size() << " jobs on "
+              << engine.threads() << " threads\n";
+    std::vector<sim::JobResult> results = engine.run(sweep_jobs);
+
+    unsigned failed = 0;
+    for (const sim::JobResult &r : results) {
+        if (!r.ok()) {
+            ++failed;
+            std::cerr << "FAIL " << r.label << " ["
+                      << sim::jobOutcomeName(r.outcome) << "] "
+                      << r.what << '\n';
+            if (!r.log.empty())
+                std::cerr << r.log;
+        }
+    }
+
+    if (out_path == "-") {
+        writeResultsJson(std::cout, results);
+    } else if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os) {
+            std::cerr << "cohesion-sweep: cannot write " << out_path
+                      << '\n';
+            return 1;
+        }
+        writeResultsJson(os, results);
+    }
+
+    std::cerr << "cohesion-sweep: " << results.size() - failed << '/'
+              << results.size() << " jobs ok\n";
+    return failed ? 1 : 0;
+}
+
+struct BaselineKernel
+{
+    std::string kernel;
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    double eventsPerSec = 0;
+};
+
+int
+runBaseline(const std::string &baseline_path, unsigned jobs,
+            bool jobs_given, double tol_pct, double perf_tol_pct,
+            bool metrics_only, bool perf_only,
+            std::vector<std::string> kernel_filter,
+            const std::string &out_path)
+{
+    sim::JsonValue doc;
+    std::string err;
+    if (!sim::parseJson(readFile(baseline_path), &doc, &err)) {
+        std::cerr << "cohesion-sweep: " << baseline_path << ": " << err
+                  << '\n';
+        return 1;
+    }
+
+    const sim::JsonValue *kernels_v = doc.find("kernels");
+    if (!kernels_v || !kernels_v->isArray() || kernels_v->arr.empty()) {
+        std::cerr << "cohesion-sweep: baseline has no kernels array\n";
+        return 1;
+    }
+    unsigned scale = 4;
+    if (const sim::JsonValue *s = doc.find("workload_scale");
+        s && s->isNumber()) {
+        scale = static_cast<unsigned>(s->number);
+    }
+    bool paper = true;
+    if (const sim::JsonValue *m = doc.find("machine");
+        m && m->isString() && m->str.find("1024 cores") == std::string::npos) {
+        paper = false; // scaled baseline; keep the default 4-cluster box
+    }
+
+    std::vector<BaselineKernel> base;
+    for (const sim::JsonValue &k : kernels_v->arr) {
+        BaselineKernel b;
+        if (const sim::JsonValue *v = k.find("kernel"); v && v->isString())
+            b.kernel = v->str;
+        if (const sim::JsonValue *v = k.find("cycles"); v && v->isNumber())
+            b.cycles = static_cast<std::uint64_t>(v->number);
+        if (const sim::JsonValue *v = k.find("events"); v && v->isNumber())
+            b.events = static_cast<std::uint64_t>(v->number);
+        if (const sim::JsonValue *v = k.find("events_per_sec");
+            v && v->isNumber()) {
+            b.eventsPerSec = v->number;
+        }
+        if (b.kernel.empty() || !kernels::isKernelName(b.kernel)) {
+            std::cerr << "cohesion-sweep: baseline names unknown kernel\n";
+            return 1;
+        }
+        if (!kernel_filter.empty() &&
+            std::find(kernel_filter.begin(), kernel_filter.end(),
+                      b.kernel) == kernel_filter.end()) {
+            continue;
+        }
+        base.push_back(std::move(b));
+    }
+    if (base.empty()) {
+        std::cerr << "cohesion-sweep: kernel filter matched nothing\n";
+        return 1;
+    }
+
+    // The baseline was recorded one kernel at a time (perf_simcore):
+    // audit off, default seed, paper machine. Reproduce that exactly.
+    arch::MachineConfig cfg = paper ? arch::MachineConfig::paper1024()
+                                    : arch::MachineConfig::scaled(4);
+    std::vector<sim::SweepJob> sweep_jobs;
+    for (const BaselineKernel &b : base) {
+        sim::SweepPoint p;
+        p.label = b.kernel;
+        p.kernel = b.kernel;
+        p.cfg = cfg;
+        p.params.scale = scale;
+        p.audit = false;
+        sweep_jobs.push_back(sim::makeJob(p));
+    }
+
+    // Contended cores corrupt the throughput measurement; default to
+    // the serial reference unless wall time is irrelevant.
+    if (!jobs_given && !metrics_only)
+        jobs = 1;
+    sim::SweepEngine engine(jobs);
+    std::cerr << "cohesion-sweep: baseline gate, " << sweep_jobs.size()
+              << " kernels on " << engine.threads() << " threads\n";
+    std::vector<sim::JobResult> results = engine.run(sweep_jobs);
+
+    bool metric_drift = false, perf_drift = false, run_error = false;
+    std::printf("  %-10s %12s %12s %9s %9s  %s\n", "kernel", "cycles",
+                "events", "d-cyc%", "d-ev/s%", "verdict");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const sim::JobResult &r = results[i];
+        const BaselineKernel &b = base[i];
+        if (!r.ok()) {
+            run_error = true;
+            std::printf("  %-10s %38s  FAIL[%s] %s\n", b.kernel.c_str(),
+                        "", sim::jobOutcomeName(r.outcome),
+                        r.what.c_str());
+            continue;
+        }
+        double dcyc =
+            b.cycles ? 100.0 * (double(r.run.cycles) - double(b.cycles)) /
+                           double(b.cycles)
+                     : 0.0;
+        double dev =
+            b.events
+                ? 100.0 * (double(r.run.eventsRun) - double(b.events)) /
+                      double(b.events)
+                : 0.0;
+        double eps = r.wallSec > 0 ? double(r.run.eventsRun) / r.wallSec
+                                   : 0.0;
+        double deps = b.eventsPerSec
+                          ? 100.0 * (eps - b.eventsPerSec) /
+                                b.eventsPerSec
+                          : 0.0;
+        bool cell_metric = false, cell_perf = false;
+        if (!perf_only &&
+            (std::abs(dcyc) > tol_pct || std::abs(dev) > tol_pct)) {
+            cell_metric = true;
+        }
+        if (!metrics_only && deps < -perf_tol_pct)
+            cell_perf = true;
+        metric_drift |= cell_metric;
+        perf_drift |= cell_perf;
+        std::printf("  %-10s %12llu %12llu %8.2f%% %8.1f%%  %s\n",
+                    b.kernel.c_str(),
+                    static_cast<unsigned long long>(r.run.cycles),
+                    static_cast<unsigned long long>(r.run.eventsRun),
+                    dcyc, deps,
+                    cell_metric   ? "METRIC DRIFT"
+                    : cell_perf   ? "PERF REGRESSION"
+                                  : "ok");
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (os)
+            writeResultsJson(os, results);
+    }
+
+    if (run_error) {
+        std::cerr << "cohesion-sweep: baseline kernels failed to run\n";
+        return 1;
+    }
+    if (metric_drift) {
+        std::cerr << "cohesion-sweep: paper-metric drift beyond "
+                  << tol_pct << "% (cycles/events are deterministic; "
+                  << "an intended change needs a baseline refresh: "
+                  << "perf_simcore --json " << baseline_path << ")\n";
+        return 2;
+    }
+    if (perf_drift) {
+        std::cerr << "cohesion-sweep: events/sec regressed more than "
+                  << perf_tol_pct << "% vs baseline\n";
+        return 3;
+    }
+    std::cerr << "cohesion-sweep: baseline ok\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec_path, baseline_path, out_path;
+    unsigned jobs = 0;
+    bool jobs_given = false;
+    double tol_pct = 0.0;
+    double perf_tol_pct = 30.0;
+    bool metrics_only = false, perf_only = false, quick = false;
+    std::vector<std::string> kernel_filter;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires a value\n";
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--spec")) {
+            spec_path = next("--spec");
+        } else if (!std::strcmp(argv[i], "--baseline")) {
+            baseline_path = next("--baseline");
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            jobs = std::atoi(next("--jobs"));
+            jobs_given = true;
+        } else if (!std::strcmp(argv[i], "--out")) {
+            out_path = next("--out");
+        } else if (!std::strcmp(argv[i], "--tolerance-pct")) {
+            tol_pct = std::atof(next("--tolerance-pct"));
+        } else if (!std::strcmp(argv[i], "--perf-tolerance-pct")) {
+            perf_tol_pct = std::atof(next("--perf-tolerance-pct"));
+        } else if (!std::strcmp(argv[i], "--metrics-only")) {
+            metrics_only = true;
+        } else if (!std::strcmp(argv[i], "--perf-only")) {
+            perf_only = true;
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(argv[i], "--kernels")) {
+            std::stringstream ss(next("--kernels"));
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                if (!tok.empty())
+                    kernel_filter.push_back(tok);
+        } else if (!std::strcmp(argv[i], "--help")) {
+            usage(0);
+        } else {
+            std::cerr << "unknown option: " << argv[i] << '\n';
+            usage(1);
+        }
+    }
+
+    if (spec_path.empty() == baseline_path.empty()) {
+        std::cerr << "exactly one of --spec / --baseline is required\n";
+        usage(1);
+    }
+    if (metrics_only && perf_only) {
+        std::cerr << "--metrics-only and --perf-only conflict\n";
+        usage(1);
+    }
+    if (quick && kernel_filter.empty())
+        kernel_filter = {"gjk", "sobel", "kmeans"};
+
+    if (!spec_path.empty())
+        return runSpec(spec_path, jobs, out_path);
+    return runBaseline(baseline_path, jobs, jobs_given, tol_pct,
+                       perf_tol_pct, metrics_only, perf_only,
+                       std::move(kernel_filter), out_path);
+}
