@@ -5,7 +5,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "arch/flight_decode.hh"
 #include "coherence/auditor.hh"
+#include "coherence/line_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
@@ -41,7 +43,11 @@ void
 Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
                      sim::Tick depart)
 {
-    req.sendTick = depart;
+    // The sender stamps sendTick at issue; only fill it in here when
+    // it was left unset so retransmit backoff (folded into the arrival
+    // tick below) inflates the measured latency instead of hiding it.
+    if (req.sendTick == 0)
+        req.sendTick = depart;
     unsigned bank_id = _map.bankOf(req.addr);
     sim::Tick arrive = _fabric.clusterToBank(cluster_id, bank_id,
                                              msgBytes(data_words), depart);
@@ -55,6 +61,9 @@ Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
         while (drops < maxDropRetransmits &&
                _faults.fire(FaultSite::FabricC2BDrop)) {
             ++drops;
+            rec(sim::FlightRecorder::Ev::MsgDrop, sim::FlightRecorder::compChip,
+                mem::lineBase(req.addr), req.msgId,
+                static_cast<std::uint8_t>(req.type), drops);
             arrive += backoff;
             backoff = std::min(backoff * 2, dropBackoffCap);
         }
@@ -67,10 +76,18 @@ Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
                   std::dec, drops ? " dropped" : " duplicated");
         }
     }
+    req.retries = static_cast<std::uint8_t>(drops);
+    if (drops)
+        _reqRetries[static_cast<unsigned>(msgClassFor(req.type))].inc(drops);
     arrive = _fabric.orderC2B(cluster_id, bank_id, arrive);
     _eq.schedule(arrive, [this, bank_id, req, drops]() {
         for (unsigned i = 0; i < drops; ++i)
             _faults.countRecovered(sim::FaultSite::FabricC2BDrop);
+        if (drops) {
+            rec(sim::FlightRecorder::Ev::MsgRetransmit,
+                sim::FlightRecorder::compChip, mem::lineBase(req.addr),
+                req.msgId, static_cast<std::uint8_t>(req.type), drops);
+        }
         bank(bank_id).receiveRequest(req);
     });
     if (dup) {
@@ -98,6 +115,9 @@ Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
         while (drops < maxDropRetransmits &&
                _faults.fire(FaultSite::FabricB2CDrop)) {
             ++drops;
+            rec(sim::FlightRecorder::Ev::MsgDrop, sim::FlightRecorder::compChip,
+                mem::lineBase(resp.addr), resp.msgId,
+                static_cast<std::uint8_t>(resp.type), 0x80000000u | drops);
             arrive += backoff;
             backoff = std::min(backoff * 2, dropBackoffCap);
         }
@@ -111,10 +131,18 @@ Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
                   std::dec, drops ? " dropped" : " duplicated");
         }
     }
+    resp.retries = static_cast<std::uint8_t>(drops);
+    if (drops)
+        _respRetries.inc(drops);
     arrive = _fabric.orderB2C(bank_id, cluster_id, arrive);
     _eq.schedule(arrive, [this, cluster_id, resp, drops]() {
         for (unsigned i = 0; i < drops; ++i)
             _faults.countRecovered(sim::FaultSite::FabricB2CDrop);
+        if (drops) {
+            rec(sim::FlightRecorder::Ev::MsgRetransmit,
+                sim::FlightRecorder::compChip, mem::lineBase(resp.addr),
+                resp.msgId, static_cast<std::uint8_t>(resp.type), drops);
+        }
         ++_respDelivered;
         cluster(cluster_id).handleResponse(resp);
     });
@@ -128,9 +156,12 @@ Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
 
 void
 Chip::sendProbe(unsigned bank_id, unsigned cluster_id, ProbeType type,
-                mem::Addr addr,
+                mem::Addr addr, std::uint32_t txn,
                 std::function<void(unsigned, const ProbeResult &)> done)
 {
+    using FR = sim::FlightRecorder;
+    rec(FR::Ev::ProbeSend, FR::compBank(bank_id), mem::lineBase(addr), txn,
+        static_cast<std::uint8_t>(type), cluster_id);
     sim::Tick arrive =
         _fabric.bankToCluster(bank_id, cluster_id, msgBytes(0), _eq.now());
     // Probes participate in AckGate fan-ins: a dropped or duplicated
@@ -140,9 +171,12 @@ Chip::sendProbe(unsigned bank_id, unsigned cluster_id, ProbeType type,
         arrive += _faults.delayTicks(sim::FaultSite::FabricB2CDelay);
     arrive = _fabric.orderB2C(bank_id, cluster_id, arrive);
     _probeLatency.sample(arrive - _eq.now());
-    _eq.schedule(arrive, [this, bank_id, cluster_id, type, addr,
+    _eq.schedule(arrive, [this, bank_id, cluster_id, type, addr, txn,
                           done = std::move(done)]() {
         ProbeResult r = cluster(cluster_id).handleProbe(type, addr);
+        rec(FR::Ev::ProbeRecv, FR::compCluster(cluster_id),
+            mem::lineBase(addr), txn, static_cast<std::uint8_t>(type),
+            (r.found ? FR::probeFound : 0) | (r.dirty ? FR::probeDirty : 0));
         cluster(cluster_id).msgCounters().count(MsgClass::ProbeResponse);
         unsigned words =
             r.dirty ? std::popcount(static_cast<unsigned>(r.dirtyMask)) : 0;
@@ -153,7 +187,10 @@ Chip::sendProbe(unsigned bank_id, unsigned cluster_id, ProbeType type,
             back += _faults.delayTicks(sim::FaultSite::FabricC2BDelay);
         back = _fabric.orderC2B(cluster_id, bank_id, back);
         sampleReqLatency(MsgClass::ProbeResponse, back - _eq.now());
-        _eq.schedule(back, [done, cluster_id, r]() {
+        _eq.schedule(back, [this, done, bank_id, cluster_id, type, addr,
+                            txn, r]() {
+            rec(FR::Ev::ProbeAck, FR::compBank(bank_id), mem::lineBase(addr),
+                txn, static_cast<std::uint8_t>(type), cluster_id);
             done(cluster_id, r);
         });
     });
@@ -406,6 +443,110 @@ Chip::enableOccupancySampling(sim::Tick period)
 }
 
 void
+Chip::enableRecorder(std::uint32_t capacity)
+{
+    _recorder.enable(capacity);
+    updateRecAny();
+}
+
+void
+Chip::enableLineProfiler(unsigned top_n)
+{
+    if (!_profiler)
+        _profiler =
+            std::make_unique<coherence::LineProfiler>(_coarseTable, top_n);
+    updateRecAny();
+}
+
+void
+Chip::setWatchLine(mem::Addr addr)
+{
+    _watchLine = mem::lineBase(addr);
+    updateRecAny();
+}
+
+void
+Chip::updateRecAny()
+{
+    _recSlow = _profiler != nullptr || _watchLine != ~mem::Addr(0);
+    _recAny = _recorder.enabled() || _recSlow;
+}
+
+void
+Chip::recImpl(sim::FlightRecorder::Ev kind, std::uint16_t comp,
+              mem::Addr line, std::uint32_t txn, std::uint8_t a,
+              std::uint32_t b)
+{
+    if (_profiler)
+        _profiler->observe(kind, line, a, b);
+    if (line == _watchLine) {
+        sim::FlightRecorder::Record r;
+        r.tick = _eq.now();
+        r.line = line;
+        r.txn = txn;
+        r.comp = comp;
+        r.kind = static_cast<std::uint8_t>(kind);
+        r.a = a;
+        r.b = b;
+        inform("watch: ", describeRecord(r));
+    }
+}
+
+std::string
+Chip::lineHistory(mem::Addr line_base, std::size_t max_records) const
+{
+    if (!_recorder.enabled())
+        return "";
+    std::vector<sim::FlightRecorder::Record> hits;
+    _recorder.forEach([&](const sim::FlightRecorder::Record &r) {
+        if (r.line == line_base)
+            hits.push_back(r);
+    });
+    std::size_t first = hits.size() > max_records
+                            ? hits.size() - max_records
+                            : 0;
+    std::string out;
+    for (std::size_t i = first; i < hits.size(); ++i)
+        out += "    " + describeRecord(hits[i]) + "\n";
+    return out;
+}
+
+std::string
+Chip::postMortemHistory() const
+{
+    if (!_recorder.enabled())
+        return "";
+    // The implicated lines: everything named by an in-flight bank
+    // transaction or a cluster MSHR, capped so a wedged broadcast
+    // can't turn the dump into a novel.
+    std::vector<mem::Addr> lines;
+    auto note = [&](mem::Addr base) {
+        if (std::find(lines.begin(), lines.end(), base) == lines.end())
+            lines.push_back(base);
+    };
+    for (const auto &b : _banks)
+        b->forEachTxn([&](const L3Bank::TxnRecord &t) {
+            note(mem::lineBase(t.addr));
+        });
+    for (const auto &cl : _clusters)
+        cl->forEachMshr([&](mem::Addr base, ReqType, unsigned) {
+            note(base);
+        });
+    constexpr std::size_t maxLines = 8;
+    std::ostringstream os;
+    for (std::size_t i = 0; i < lines.size() && i < maxLines; ++i) {
+        std::string h = lineHistory(lines[i]);
+        os << "  recorder history line 0x" << std::hex << lines[i]
+           << std::dec << ":\n"
+           << (h.empty() ? "    (no recorded events)\n" : h);
+    }
+    if (lines.size() > maxLines)
+        os << "  (" << lines.size() - maxLines
+           << " more implicated lines omitted)\n";
+    return os.str();
+}
+
+void
 Chip::attachJson(sim::TraceJsonWriter *w)
 {
     _tracer.setJson(w);
@@ -437,6 +578,20 @@ Chip::registerStats(sim::StatRegistry &reg) const
     }
     reg.addHistogram("chip.latency.resp", _respLatency);
     reg.addHistogram("chip.latency.probe", _probeLatency);
+    for (unsigned c = 0; c < numMsgClasses; ++c) {
+        reg.addCounter(sim::cat("chip.retries.req.",
+                                msgClassName(static_cast<MsgClass>(c))),
+                       _reqRetries[c]);
+    }
+    reg.addCounter("chip.retries.resp", _respRetries);
+    if (_recorder.enabled()) {
+        reg.addScalar("chip.recorder.recorded",
+                      static_cast<double>(_recorder.recorded()));
+        reg.addScalar("chip.recorder.capacity",
+                      static_cast<double>(_recorder.capacity()));
+    }
+    if (_profiler)
+        _profiler->registerStats(reg, "chip.lines");
     _fabric.registerStats(reg, "chip.fabric");
     _faults.registerStats(reg, "chip.faults");
     if (_auditor)
@@ -506,7 +661,7 @@ Chip::runUntilQuiescent()
             continue;
         Progress cur = progress();
         if (_eq.now() >= limit) {
-            std::string dump = inFlightDump();
+            std::string dump = inFlightDump() + postMortemHistory();
             TRACE(_tracer, sim::Category::Watchdog,
                   "watchdog: cycle limit hit; in-flight:\n", dump);
             throw DeadlockError(
@@ -515,7 +670,7 @@ Chip::runUntilQuiescent()
                 std::move(dump));
         }
         if (_config.watchdogWindow && cur == last) {
-            std::string dump = inFlightDump();
+            std::string dump = inFlightDump() + postMortemHistory();
             TRACE(_tracer, sim::Category::Watchdog,
                   "watchdog: no forward progress; in-flight:\n", dump);
             throw DeadlockError(

@@ -27,12 +27,14 @@
 #include "mem/dram.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/flight_recorder.hh"
 #include "sim/stat_registry.hh"
 #include "sim/timeseries.hh"
 #include "sim/trace.hh"
 
 namespace coherence {
 class Auditor;
+class LineProfiler;
 }
 
 namespace arch {
@@ -116,10 +118,12 @@ class Chip
     /**
      * Send a probe from @p bank to @p cluster; the probe is applied at
      * arrival, the cluster's ProbeResponse is counted and sent back,
-     * and @p done runs at the response's arrival at the bank.
+     * and @p done runs at the response's arrival at the bank. @p txn
+     * is the causal id (the triggering request's msgId) threaded
+     * through for the flight recorder.
      */
     void sendProbe(unsigned bank, unsigned cluster, ProbeType type,
-                   mem::Addr addr,
+                   mem::Addr addr, std::uint32_t txn,
                    std::function<void(unsigned, const ProbeResult &)> done);
 
     // --- Untimed debug access (setup / verification) --------------------
@@ -219,6 +223,63 @@ class Chip
     sim::TimeSeries &timeSeries() { return _timeSeries; }
     const sim::TimeSeries &timeSeries() const { return _timeSeries; }
 
+    // --- Flight recorder / line profiler ---------------------------------
+
+    /** Turn the flight recorder on with a ring of @p capacity records
+     *  (one allocation; see sim::FlightRecorder). */
+    void enableRecorder(std::uint32_t capacity = 1u << 14);
+
+    /** Aggregate per-line sharing-pattern telemetry (exported under
+     *  "chip.lines" by registerStats). @p top_n sizes the contended-
+     *  lines table. */
+    void enableLineProfiler(unsigned top_n = 8);
+
+    /** Verbose-decode every recorder event touching @p addr's line to
+     *  the log (works even with the ring disabled). */
+    void setWatchLine(mem::Addr addr);
+
+    sim::FlightRecorder &recorder() { return _recorder; }
+    const sim::FlightRecorder &recorder() const { return _recorder; }
+    coherence::LineProfiler *lineProfiler() { return _profiler.get(); }
+
+    /**
+     * Emit one protocol event. The disabled path is this single byte
+     * test, so instrumented hot paths stay effectively free when
+     * neither the recorder, the profiler nor a watched line is active.
+     * The recorder-only path (the always-on default) inlines the
+     * masked ring store here; the profiler and watch-line cases take
+     * the out-of-line recImpl().
+     */
+    void
+    rec(sim::FlightRecorder::Ev kind, std::uint16_t comp, mem::Addr line,
+        std::uint32_t txn, std::uint8_t a = 0, std::uint32_t b = 0)
+    {
+        if (!_recAny)
+            return;
+        if (_recorder.enabled())
+            _recorder.record(_eq.now(), kind, comp, line, txn, a, b);
+        if (_recSlow)
+            recImpl(kind, comp, line, txn, a, b);
+    }
+
+    /** Decoded recorder history for one line (newest @p max_records),
+     *  one indented record per row. Empty if the ring is off. */
+    std::string lineHistory(mem::Addr line_base,
+                            std::size_t max_records = 16) const;
+
+    /** Recorder histories for every line implicated in the in-flight
+     *  dump (watchdog/audit post-mortems). */
+    std::string postMortemHistory() const;
+
+    /** Fabric drops survived by delivered requests of class @p cls. */
+    std::uint64_t
+    reqRetries(MsgClass cls) const
+    {
+        return _reqRetries[static_cast<unsigned>(cls)].value();
+    }
+
+    std::uint64_t respRetries() const { return _respRetries.value(); }
+
     /** Fresh id for an async trace span (chip-global sequence). */
     std::uint64_t nextTraceId() { return ++_traceIdSeq; }
 
@@ -278,6 +339,11 @@ class Chip
     std::uint64_t totalInstructions() const;
 
   private:
+    void recImpl(sim::FlightRecorder::Ev kind, std::uint16_t comp,
+                 mem::Addr line, std::uint32_t txn, std::uint8_t a,
+                 std::uint32_t b);
+    void updateRecAny();
+
     void sampleOccupancy();
 
     /** True when any cache-flip fault site is armed; the run loop then
@@ -327,6 +393,14 @@ class Chip
     sim::Histogram _respLatency;
     sim::Histogram _probeLatency;
     std::uint64_t _traceIdSeq = 0;
+
+    sim::FlightRecorder _recorder;
+    std::unique_ptr<coherence::LineProfiler> _profiler;
+    mem::Addr _watchLine = ~mem::Addr(0);
+    bool _recAny = false;  ///< recorder, profiler or watch line active
+    bool _recSlow = false; ///< profiler or watch line active
+    std::array<sim::Counter, numMsgClasses> _reqRetries;
+    sim::Counter _respRetries;
 };
 
 } // namespace arch

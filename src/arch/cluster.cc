@@ -10,6 +10,8 @@ namespace arch {
 
 namespace {
 
+using FR = sim::FlightRecorder;
+
 unsigned
 maskWords(mem::WordMask m)
 {
@@ -148,6 +150,9 @@ Cluster::evictLine(cache::Line &line, sim::Tick when)
           line.incoherent ? " SWcc" : " HWcc",
           line.dirty() ? " dirty" : " clean");
     (line.dirty() ? _evictDirty : _evictClean).inc();
+    _chip.rec(FR::Ev::Evict, FR::compCluster(_id), line.base, 0,
+              line.dirty() ? FR::evictDirty : 0,
+              line.incoherent ? FR::respIncoherent : 0);
     if (line.incoherent) {
         if (line.dirty()) {
             Request r;
@@ -156,8 +161,11 @@ Cluster::evictLine(cache::Line &line, sim::Tick when)
             r.addr = line.base;
             r.mask = line.dirtyMask;
             r.data = line.data;
-            _pendingWb.insert(sendRequest(r, MsgClass::CacheEviction, when,
-                                          maskWords(r.mask)));
+            std::uint32_t id = sendRequest(r, MsgClass::CacheEviction, when,
+                                           maskWords(r.mask));
+            _pendingWb.insert(id);
+            _chip.rec(FR::Ev::Writeback, FR::compCluster(_id), line.base,
+                      id, r.mask);
         }
         // Clean SWcc evictions are silent: no message at all.
     } else if (line.hwState == cache::CohState::Modified) {
@@ -167,7 +175,10 @@ Cluster::evictLine(cache::Line &line, sim::Tick when)
         r.addr = line.base;
         r.mask = line.dirtyMask ? line.dirtyMask : mem::fullMask;
         r.data = line.data;
-        sendRequest(r, MsgClass::CacheEviction, when, maskWords(r.mask));
+        std::uint32_t id =
+            sendRequest(r, MsgClass::CacheEviction, when, maskWords(r.mask));
+        _chip.rec(FR::Ev::Writeback, FR::compCluster(_id), line.base, id,
+                  r.mask);
     } else if (line.hwState == cache::CohState::Shared ||
                line.hwState == cache::CohState::Exclusive) {
         // No silent evictions under HWcc: notify the directory (a
@@ -189,6 +200,13 @@ Cluster::sendRequest(const Request &req, MsgClass cls, sim::Tick depart,
     _msgs.count(cls);
     Request stamped = req;
     stamped.msgId = ++_msgSeq;
+    // Authoritative departure stamp: the fabric layer never re-stamps
+    // it, so retransmit backoff shows up in the latency histograms.
+    stamped.sendTick = depart;
+    _chip.rec(FR::Ev::MsgSend, FR::compCluster(_id),
+              mem::lineBase(stamped.addr), stamped.msgId,
+              static_cast<std::uint8_t>(stamped.type),
+              static_cast<std::uint32_t>(cls));
     // Fabric scheduling (and the fault sites riding on it) lives in
     // the chip so requests, responses, and probes share one model.
     _chip.deliverRequest(_id, stamped, data_words, depart);
@@ -526,8 +544,10 @@ Cluster::coreFlush(Core &core, mem::Addr addr)
         r.addr = base;
         r.mask = l2line->dirtyMask;
         r.data = l2line->data;
-        _pendingWb.insert(
-            sendRequest(r, MsgClass::SoftwareFlush, t, maskWords(r.mask)));
+        std::uint32_t id =
+            sendRequest(r, MsgClass::SoftwareFlush, t, maskWords(r.mask));
+        _pendingWb.insert(id);
+        _chip.rec(FR::Ev::SwccFlush, FR::compCluster(_id), base, id, r.mask);
         l2line->dirtyMask = 0; // line transitions to the Clean state
     }
     return finish(_chip, core, 0);
@@ -551,6 +571,7 @@ Cluster::coreInv(Core &core, mem::Addr addr)
         return finish(_chip, core, 0); // wasted instruction (Fig. 3)
     if (l2line->incoherent) {
         _invUseful.inc();
+        _chip.rec(FR::Ev::SwccInv, FR::compCluster(_id), base, 0);
         // TCMM invalidation discards the local copy without traffic.
         backInvalidateL1(base, false);
         l2line->reset();
@@ -601,6 +622,14 @@ void
 Cluster::handleResponse(const Response &resp)
 {
     _chip.sampleRespLatency(_chip.eq().now() - resp.sendTick);
+    _chip.rec(FR::Ev::RespRecv, FR::compCluster(_id),
+              mem::lineBase(resp.addr), resp.msgId,
+              static_cast<std::uint8_t>(resp.type),
+              (resp.incoherent ? FR::respIncoherent : 0) |
+                  (resp.grant == cache::CohState::Exclusive ||
+                           resp.grant == cache::CohState::Modified
+                       ? FR::respGrant
+                       : 0));
     switch (resp.type) {
       case ReqType::Atomic: {
           Core &c = core(resp.core);
@@ -610,6 +639,8 @@ Cluster::handleResponse(const Response &resp)
       }
       case ReqType::Flush:
       case ReqType::Eviction:
+        _chip.rec(FR::Ev::WbAck, FR::compCluster(_id),
+                  mem::lineBase(resp.addr), resp.msgId);
         writebackAcked(resp.msgId);
         return;
       default:
@@ -648,6 +679,9 @@ Cluster::installFill(const Response &resp)
         line->hwState = resp.grant;
     }
     line->fill(resp.data.data(), mem::fullMask);
+    _chip.rec(FR::Ev::Fill, FR::compCluster(_id), base, resp.msgId,
+              static_cast<std::uint8_t>(line->hwState),
+              resp.incoherent ? FR::respIncoherent : 0);
 
     MshrEntry m = std::move(node.mapped());
 

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable decoding of flight-recorder records. Lives in the
+ * arch layer so sim/flight_recorder stays free of protocol knowledge:
+ * the a/b payloads are interpreted here against ReqType, ProbeType,
+ * MsgClass and the Fig. 7 transition steps.
+ */
+
+#ifndef COHESION_ARCH_FLIGHT_DECODE_HH
+#define COHESION_ARCH_FLIGHT_DECODE_HH
+
+#include <string>
+
+#include "sim/flight_recorder.hh"
+
+namespace arch {
+
+/** One-line narrative for @p r, e.g.
+ *  "t=1204 bank3 msg.recv WrReq line 0x1a40 cluster2 msg#17". */
+std::string describeRecord(const sim::FlightRecorder::Record &r);
+
+/** The narrative without the leading "t=<tick> " stamp. */
+std::string describeRecordBody(const sim::FlightRecorder::Record &r);
+
+} // namespace arch
+
+#endif // COHESION_ARCH_FLIGHT_DECODE_HH

@@ -13,6 +13,8 @@ namespace arch {
 
 namespace {
 
+using FR = sim::FlightRecorder;
+
 /** RAII line-lock holder (release on scope exit, move-only). */
 class [[nodiscard]] Held
 {
@@ -94,6 +96,8 @@ L3Bank::receiveRequest(const Request &req)
           " from cluster ", req.cluster);
     _chip.sampleReqLatency(msgClassFor(req.type),
                            _chip.eq().now() - req.sendTick);
+    _chip.rec(FR::Ev::MsgRecv, FR::compBank(_id), mem::lineBase(req.addr),
+              req.msgId, static_cast<std::uint8_t>(req.type), req.cluster);
     std::uint64_t trace_id = 0;
     if (sim::TraceJsonWriter *w = _chip.tracer().json()) {
         trace_id = _chip.nextTraceId();
@@ -111,6 +115,10 @@ L3Bank::transaction(Request req, std::uint64_t trace_id)
     const std::uint64_t txn = ++_txnSeq;
     _txns.emplace(txn, TxnRecord{txn, req.type, mem::lineBase(req.addr),
                                  req.cluster, _chip.eq().now()});
+    // TxnBegin binds the bank-local txn sequence to the cluster's
+    // msgId so the decoder can stitch the two id spaces together.
+    _chip.rec(FR::Ev::TxnBegin, FR::compBank(_id), mem::lineBase(req.addr),
+              static_cast<std::uint32_t>(txn), 0, req.msgId);
     if (req.type == ReqType::Atomic && _chip.cohesionEnabled() &&
         _chip.map().inTable(req.addr)) {
         co_await handleTableUpdate(req);
@@ -133,6 +141,8 @@ L3Bank::transaction(Request req, std::uint64_t trace_id)
     }
     _txns.erase(txn);
     _txnsCompleted.inc();
+    _chip.rec(FR::Ev::TxnEnd, FR::compBank(_id), mem::lineBase(req.addr),
+              static_cast<std::uint32_t>(txn), 0, req.msgId);
     if (trace_id) {
         if (sim::TraceJsonWriter *w = _chip.tracer().json())
             w->asyncEnd(trace_id, _chip.eq().now(),
@@ -146,6 +156,13 @@ void
 L3Bank::respond(const Request &req, Response resp, unsigned data_words)
 {
     resp.msgId = req.msgId; // echo for cluster-side dedup
+    _chip.rec(FR::Ev::RespSend, FR::compBank(_id), mem::lineBase(resp.addr),
+              resp.msgId, static_cast<std::uint8_t>(resp.type),
+              (resp.incoherent ? FR::respIncoherent : 0u) |
+                  (resp.grant == cache::CohState::Exclusive ||
+                           resp.grant == cache::CohState::Modified
+                       ? FR::respGrant
+                       : 0u));
     _chip.sendResponse(_id, req.cluster, resp, data_words);
 }
 
@@ -174,7 +191,7 @@ L3Bank::registerStats(sim::StatRegistry &reg,
 
 void
 L3Bank::sendProbes(const std::vector<unsigned> &targets, ProbeType type,
-                   mem::Addr addr,
+                   mem::Addr addr, std::uint32_t txn,
                    std::vector<std::pair<unsigned, ProbeResult>> *results,
                    AckGate *gate)
 {
@@ -182,7 +199,7 @@ L3Bank::sendProbes(const std::vector<unsigned> &targets, ProbeType type,
           probeTypeName(type), " 0x", std::hex, addr, std::dec, " -> ",
           targets.size(), " cluster(s)");
     for (unsigned cl : targets) {
-        _chip.sendProbe(_id, cl, type, addr,
+        _chip.sendProbe(_id, cl, type, addr, txn,
                         [results, gate](unsigned c, const ProbeResult &r) {
                             results->emplace_back(c, r);
                             gate->signal();
@@ -275,7 +292,7 @@ L3Bank::applyAtomic(cache::Line &line, mem::Addr addr, AtomicOp op,
 }
 
 sim::CoTask
-L3Bank::recallEntry(mem::Addr base, bool *incomplete)
+L3Bank::recallEntry(mem::Addr base, std::uint32_t txn, bool *incomplete)
 {
     *incomplete = false;
     coherence::DirEntry *e = _dir.find(base);
@@ -290,7 +307,7 @@ L3Bank::recallEntry(mem::Addr base, bool *incomplete)
     std::vector<std::pair<unsigned, ProbeResult>> results;
     AckGate gate;
     gate.expect(targets.size());
-    sendProbes(targets, pt, base, &results, &gate);
+    sendProbes(targets, pt, base, txn, &results, &gate);
     co_await gate.wait();
 
     bool any_found = false;
@@ -308,12 +325,13 @@ L3Bank::recallEntry(mem::Addr base, bool *incomplete)
 }
 
 sim::CoTask
-L3Bank::recallEntryRetry(mem::Addr base, std::uint32_t lock_key)
+L3Bank::recallEntryRetry(mem::Addr base, std::uint32_t txn,
+                         std::uint32_t lock_key)
 {
     Backoff bo;
     while (true) {
         bool incomplete = false;
-        co_await recallEntry(base, &incomplete);
+        co_await recallEntry(base, txn, &incomplete);
         if (!incomplete)
             co_return;
         _locks.release(lock_key);
@@ -323,7 +341,7 @@ L3Bank::recallEntryRetry(mem::Addr base, std::uint32_t lock_key)
 }
 
 sim::CoTask
-L3Bank::makeRoom(mem::Addr base)
+L3Bank::makeRoom(mem::Addr base, std::uint32_t txn)
 {
     base = mem::lineBase(base);
     Backoff bo;
@@ -342,15 +360,17 @@ L3Bank::makeRoom(mem::Addr base)
         Held held(_locks, mem::lineNumber(vbase));
         // Entries evicted from the directory have all sharers
         // invalidated (Section 3.2).
-        co_await recallEntryRetry(vbase, mem::lineNumber(vbase));
-        if (_dir.find(vbase))
+        co_await recallEntryRetry(vbase, txn, mem::lineNumber(vbase));
+        if (_dir.find(vbase)) {
+            _chip.rec(FR::Ev::DirErase, FR::compBank(_id), vbase, txn);
             _dir.erase(vbase);
+        }
         _dirEvictions.inc();
     }
 }
 
 sim::CoTask
-L3Bank::lookupDomain(mem::Addr base, bool *out_swcc)
+L3Bank::lookupDomain(mem::Addr base, std::uint32_t txn, bool *out_swcc)
 {
     // The coarse-grain table is checked in parallel with the directory
     // and adds no latency.
@@ -371,6 +391,8 @@ L3Bank::lookupDomain(mem::Addr base, bool *out_swcc)
     if (auto cached = _tableCache.lookup(word_addr)) {
         co_await Delay{_chip.eq(), _chip.eq().now() + 1};
         *out_swcc = cohesion::fine_table::bitFromWord(*cached, map, base);
+        _chip.rec(FR::Ev::TableRead, FR::compBank(_id), base, txn,
+                  *out_swcc ? 1 : 0, FR::tableFromCache);
         co_return;
     }
 
@@ -380,6 +402,8 @@ L3Bank::lookupDomain(mem::Addr base, bool *out_swcc)
     _tableCache.fill(word_addr, word);
     co_await Delay{_chip.eq(), t};
     *out_swcc = cohesion::fine_table::bitFromWord(word, map, base);
+    _chip.rec(FR::Ev::TableRead, FR::compBank(_id), base, txn,
+              *out_swcc ? 1 : 0, FR::tableFromMem);
     TRACE(_chip.tracer(), sim::Category::Transition, "bank", _id,
           ": lookup 0x", std::hex, base, std::dec, " -> ",
           *out_swcc ? "SWcc" : "HWcc");
@@ -429,7 +453,8 @@ L3Bank::handleRead(Request req)
         std::vector<std::pair<unsigned, ProbeResult>> results;
         AckGate gate;
         gate.expect(targets.size());
-        sendProbes(targets, ProbeType::Downgrade, base, &results, &gate);
+        sendProbes(targets, ProbeType::Downgrade, base, req.msgId, &results,
+                   &gate);
         co_await gate.wait();
         bool any_found = false;
         for (const auto &[cl, r] : results) {
@@ -449,10 +474,14 @@ L3Bank::handleRead(Request req)
         e = _dir.find(base);
         panic_if(!e, "directory entry vanished during downgrade");
         e->state = cache::CohState::Shared;
+        _chip.rec(FR::Ev::DirState, FR::compBank(_id), base, req.msgId,
+                  static_cast<std::uint8_t>(e->state), e->sharers.count());
         break;
     }
     if (e) {
         e->sharers.add(req.cluster);
+        _chip.rec(FR::Ev::DirState, FR::compBank(_id), base, req.msgId,
+                  static_cast<std::uint8_t>(e->state), e->sharers.count());
         auto [line, t] = l3AccessPrep(base, false, eq.now());
         resp.grant = cache::CohState::Shared;
         resp.data = line->data;
@@ -466,7 +495,7 @@ L3Bank::handleRead(Request req)
     if (mode == CoherenceMode::SWccOnly) {
         swcc = true;
     } else if (mode == CoherenceMode::Cohesion) {
-        co_await lookupDomain(base, &swcc);
+        co_await lookupDomain(base, req.msgId, &swcc);
     }
 
     if (swcc) {
@@ -478,13 +507,15 @@ L3Bank::handleRead(Request req)
         co_return;
     }
 
-    co_await makeRoom(base);
+    co_await makeRoom(base, req.msgId);
     coherence::DirEntry &ne = _dir.insert(base);
     // MESI extension: a sole reader takes Exclusive and can later
     // upgrade to Modified silently; MSI (the paper) grants Shared.
     ne.state = _chip.config().useMesi ? cache::CohState::Exclusive
                                       : cache::CohState::Shared;
     ne.sharers.add(req.cluster);
+    _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, req.msgId,
+              static_cast<std::uint8_t>(ne.state), req.cluster);
     auto [line, t] = l3AccessPrep(base, false, eq.now());
     resp.grant = ne.state;
     resp.data = line->data;
@@ -520,7 +551,7 @@ L3Bank::handleWrite(Request req)
         if (mode == CoherenceMode::SWccOnly) {
             swcc = true;
         } else if (mode == CoherenceMode::Cohesion) {
-            co_await lookupDomain(base, &swcc);
+            co_await lookupDomain(base, req.msgId, &swcc);
         }
         if (swcc) {
             // SWcc fill: the cluster allocates with the incoherent bit.
@@ -531,10 +562,12 @@ L3Bank::handleWrite(Request req)
             respond(req, resp, mem::wordsPerLine);
             co_return;
         }
-        co_await makeRoom(base);
+        co_await makeRoom(base, req.msgId);
         coherence::DirEntry &ne = _dir.insert(base);
         ne.state = cache::CohState::Modified;
         ne.sharers.add(req.cluster);
+        _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, req.msgId,
+                  static_cast<std::uint8_t>(ne.state), req.cluster);
         auto [line, t] = l3AccessPrep(base, false, eq.now());
         resp.grant = cache::CohState::Modified;
         resp.data = line->data;
@@ -560,7 +593,7 @@ L3Bank::handleWrite(Request req)
         std::vector<std::pair<unsigned, ProbeResult>> results;
         AckGate gate;
         gate.expect(targets.size());
-        sendProbes(targets, pt, base, &results, &gate);
+        sendProbes(targets, pt, base, req.msgId, &results, &gate);
         co_await gate.wait();
         bool any_found = false;
         for (const auto &[cl, r] : results) {
@@ -588,7 +621,7 @@ L3Bank::handleWrite(Request req)
         // for a now-SWcc line.
         bool swcc = false;
         if (mode == CoherenceMode::Cohesion)
-            co_await lookupDomain(base, &swcc);
+            co_await lookupDomain(base, req.msgId, &swcc);
         if (swcc) {
             auto [line, t] = l3AccessPrep(base, false, eq.now());
             resp.incoherent = true;
@@ -597,12 +630,17 @@ L3Bank::handleWrite(Request req)
             respond(req, resp, mem::wordsPerLine);
             co_return;
         }
-        co_await makeRoom(base);
+        co_await makeRoom(base, req.msgId);
         e = &_dir.insert(base);
+        _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, req.msgId,
+                  static_cast<std::uint8_t>(cache::CohState::Modified),
+                  req.cluster);
     }
     e->sharers.clear();
     e->sharers.add(req.cluster);
     e->state = cache::CohState::Modified;
+    _chip.rec(FR::Ev::DirState, FR::compBank(_id), base, req.msgId,
+              static_cast<std::uint8_t>(e->state), e->sharers.count());
     auto [line, t] = l3AccessPrep(base, false, eq.now());
     resp.grant = cache::CohState::Modified;
     resp.data = line->data;
@@ -627,9 +665,12 @@ L3Bank::handleAtomic(Request req)
         if (_dir.find(base)) {
             // Cached HWcc copies must be recalled so the RMW is
             // globally ordered.
-            co_await recallEntryRetry(base, key);
-            if (_dir.find(base))
+            co_await recallEntryRetry(base, req.msgId, key);
+            if (_dir.find(base)) {
+                _chip.rec(FR::Ev::DirErase, FR::compBank(_id), base,
+                          req.msgId);
                 _dir.erase(base);
+            }
         }
     }
 
@@ -661,8 +702,11 @@ L3Bank::handleWriteback(Request req)
           if (_chip.config().mode != CoherenceMode::SWccOnly) {
               if (coherence::DirEntry *e = _dir.find(base)) {
                   e->sharers.remove(req.cluster);
-                  if (e->sharers.empty())
+                  if (e->sharers.empty()) {
+                      _chip.rec(FR::Ev::DirErase, FR::compBank(_id), base,
+                                req.msgId);
                       _dir.erase(base);
+                  }
               }
           }
           break;
@@ -670,8 +714,11 @@ L3Bank::handleWriteback(Request req)
       case ReqType::ReadRelease: {
           if (coherence::DirEntry *e = _dir.find(base)) {
               e->sharers.remove(req.cluster);
-              if (e->sharers.empty())
+              if (e->sharers.empty()) {
+                  _chip.rec(FR::Ev::DirErase, FR::compBank(_id), base,
+                            req.msgId);
                   _dir.erase(base);
+              }
           }
           break;
       }
@@ -691,18 +738,23 @@ L3Bank::handleWriteback(Request req)
 }
 
 sim::CoTask
-L3Bank::swccToHwcc(mem::Addr base)
+L3Bank::swccToHwcc(mem::Addr base, std::uint32_t txn)
 {
     sim::EventQueue &eq = _chip.eq();
+    const auto step = [&](FR::Step s, std::uint32_t b = 0) {
+        _chip.rec(FR::Ev::TransStep, FR::compBank(_id), base, txn,
+                  static_cast<std::uint8_t>(s), b);
+    };
 
     // Round 1: broadcast clean request to every cluster (Section 3.6).
     std::vector<unsigned> all;
     for (unsigned c = 0; c < _chip.numClusters(); ++c)
         all.push_back(c);
+    step(FR::Step::Broadcast, static_cast<std::uint32_t>(all.size()));
     std::vector<std::pair<unsigned, ProbeResult>> results;
     AckGate gate;
     gate.expect(all.size());
-    sendProbes(all, ProbeType::CleanQuery, base, &results, &gate);
+    sendProbes(all, ProbeType::CleanQuery, base, txn, &results, &gate);
     co_await gate.wait();
 
     std::vector<unsigned> clean_sharers;
@@ -726,11 +778,16 @@ L3Bank::swccToHwcc(mem::Addr base)
         // Cases 1b/2b: clean copies (if any) joined HWcc as sharers
         // during the query; allocate the matching entry.
         if (!clean_sharers.empty()) {
-            co_await makeRoom(base);
+            co_await makeRoom(base, txn);
             coherence::DirEntry &e = _dir.insert(base);
             e.state = cache::CohState::Shared;
-            for (unsigned cl : clean_sharers)
+            for (unsigned cl : clean_sharers) {
                 e.sharers.add(cl);
+                step(FR::Step::CleanSharer, cl);
+            }
+            _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, txn,
+                      static_cast<std::uint8_t>(e.state),
+                      static_cast<std::uint32_t>(clean_sharers.size()));
         }
         co_return;
     }
@@ -738,17 +795,21 @@ L3Bank::swccToHwcc(mem::Addr base)
     if (dirty_holders.size() == 1 && clean_sharers.empty()) {
         // Case 3b: single writer, no readers — upgrade in place, no
         // writeback ("saving bandwidth").
+        step(FR::Step::MakeOwner, dirty_holders.front());
         std::vector<std::pair<unsigned, ProbeResult>> r2;
         AckGate g2;
         g2.expect(1);
         sendProbes({dirty_holders.front()}, ProbeType::MakeOwner, base,
-                   &r2, &g2);
+                   txn, &r2, &g2);
         co_await g2.wait();
         if (r2.front().second.found && r2.front().second.dirty) {
-            co_await makeRoom(base);
+            co_await makeRoom(base, txn);
             coherence::DirEntry &e = _dir.insert(base);
             e.state = cache::CohState::Modified;
             e.sharers.add(dirty_holders.front());
+            _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, txn,
+                      static_cast<std::uint8_t>(e.state),
+                      dirty_holders.front());
         }
         co_return;
     }
@@ -756,18 +817,27 @@ L3Bank::swccToHwcc(mem::Addr base)
     // Cases 4b/5b: invalidate the readers, write back every writer,
     // merge disjoint write sets at the L3. Overlapping write sets are
     // the Fig. 7b case 5b hardware race (last merge wins).
-    if (overlap)
+    if (overlap) {
         _mergeConflicts.inc();
+        step(FR::Step::Conflict,
+             static_cast<std::uint32_t>(dirty_holders.size()));
+    }
+    for (unsigned cl : clean_sharers)
+        step(FR::Step::Invalidate, cl);
+    for (unsigned cl : dirty_holders)
+        step(FR::Step::WritebackInv, cl);
     std::vector<std::pair<unsigned, ProbeResult>> r2;
     AckGate g2;
     g2.expect(clean_sharers.size() + dirty_holders.size());
-    sendProbes(clean_sharers, ProbeType::Invalidate, base, &r2, &g2);
-    sendProbes(dirty_holders, ProbeType::WritebackInvalidate, base, &r2,
-               &g2);
+    sendProbes(clean_sharers, ProbeType::Invalidate, base, txn, &r2, &g2);
+    sendProbes(dirty_holders, ProbeType::WritebackInvalidate, base, txn,
+               &r2, &g2);
     co_await g2.wait();
     for (const auto &[cl, r] : r2) {
-        if (r.dirty)
+        if (r.dirty) {
+            step(FR::Step::Merge, cl);
             co_await mergeIntoL3(base, r.data, r.dirtyMask);
+        }
     }
     (void)eq;
 }
@@ -818,19 +888,26 @@ L3Bank::handleTableUpdate(Request req)
                                 to_swcc ? " ->SWcc" : " ->HWcc"),
                        "transition");
         }
+        _chip.rec(FR::Ev::TransBegin, FR::compBank(_id), lb, req.msgId,
+                  to_swcc ? 1 : 0, bit);
         if (to_swcc) {
             // HWcc => SWcc (Fig. 7a): flush any directory state.
             if (_dir.find(lb)) {
-                co_await recallEntryRetry(lb, lkey);
+                _chip.rec(FR::Ev::TransStep, FR::compBank(_id), lb,
+                          req.msgId,
+                          static_cast<std::uint8_t>(FR::Step::Recall));
+                co_await recallEntryRetry(lb, req.msgId, lkey);
                 if (_dir.find(lb)) {
                     TRACE(_chip.tracer(), sim::Category::Transition,
                           "bank", _id, ": erase 0x", std::hex, lb);
+                    _chip.rec(FR::Ev::DirErase, FR::compBank(_id), lb,
+                              req.msgId);
                     _dir.erase(lb);
                 }
             }
         } else {
             // SWcc => HWcc (Fig. 7b): broadcast clean request.
-            co_await swccToHwcc(lb);
+            co_await swccToHwcc(lb, req.msgId);
         }
 
         // Commit this line's bit under its lock. The table line may
@@ -842,6 +919,10 @@ L3Bank::handleTableUpdate(Request req)
         tl->write(word_addr, &cur, 4);
         _tableCache.update(word_addr, cur);
         _transitions.inc();
+        _chip.rec(FR::Ev::TableUpdate, FR::compBank(_id), lb, req.msgId,
+                  to_swcc ? 1 : 0, cur);
+        _chip.rec(FR::Ev::TransEnd, FR::compBank(_id), lb, req.msgId,
+                  to_swcc ? 1 : 0);
         co_await Delay{eq, tt};
 
         if (!self)

@@ -140,28 +140,34 @@ class L3Bank
      * If the modified owner NACKs the probe, its WrRel is already in
      * flight; *@p incomplete is set and the caller must release the
      * line lock, wait, and retry so the writeback can land first.
+     *
+     * @p txn is the causal id of the triggering request (its msgId),
+     * threaded into every probe's flight-recorder events.
      */
-    sim::CoTask recallEntry(mem::Addr base, bool *incomplete);
+    sim::CoTask recallEntry(mem::Addr base, std::uint32_t txn,
+                            bool *incomplete);
 
     /** Retry wrapper: recall under @p lock_key until complete. */
-    sim::CoTask recallEntryRetry(mem::Addr base, std::uint32_t lock_key);
+    sim::CoTask recallEntryRetry(mem::Addr base, std::uint32_t txn,
+                                 std::uint32_t lock_key);
 
     /**
      * Make room for a new directory entry covering @p base, evicting
      * (and recalling) a victim entry if required.
      */
-    sim::CoTask makeRoom(mem::Addr base);
+    sim::CoTask makeRoom(mem::Addr base, std::uint32_t txn);
 
     /** SWcc => HWcc transition for one line (Fig. 7b). */
-    sim::CoTask swccToHwcc(mem::Addr base);
+    sim::CoTask swccToHwcc(mem::Addr base, std::uint32_t txn);
 
     /** Decide SWcc/HWcc domain for a directory miss; may touch the
      *  fine table through the L3. Result via @p out_swcc. */
-    sim::CoTask lookupDomain(mem::Addr base, bool *out_swcc);
+    sim::CoTask lookupDomain(mem::Addr base, std::uint32_t txn,
+                             bool *out_swcc);
 
     /** Fan probes out to @p targets and collect results. */
     void sendProbes(const std::vector<unsigned> &targets, ProbeType type,
-                    mem::Addr addr,
+                    mem::Addr addr, std::uint32_t txn,
                     std::vector<std::pair<unsigned, ProbeResult>> *results,
                     AckGate *gate);
 

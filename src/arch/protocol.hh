@@ -46,7 +46,14 @@ struct Request
     mem::WordMask mask = 0;          ///< Dirty words for writebacks.
     std::array<std::uint8_t, mem::lineBytes> data{}; ///< WB payload.
     bool upgrade = false;            ///< Write: already hold S copy.
-    sim::Tick sendTick = 0;          ///< Departure stamp (latency stats).
+    /**
+     * Departure stamp for latency stats. Set once by the sending
+     * cluster; the fabric layer must never re-stamp it (retransmitted
+     * messages would otherwise under-report latency), so the delivery
+     * path only fills it in when the sender left it zero.
+     */
+    sim::Tick sendTick = 0;
+    std::uint8_t retries = 0;        ///< Fabric drops survived en route.
     /**
      * Per-cluster message id, echoed back in the Response. Lets the
      * cluster discard duplicated or stale responses under fault
@@ -74,6 +81,7 @@ struct Response
     std::uint32_t atomicOld = 0;     ///< Prior value for atomics.
     sim::Tick sendTick = 0;          ///< Departure stamp (latency stats).
     std::uint32_t msgId = 0;         ///< Echo of Request::msgId.
+    std::uint8_t retries = 0;        ///< Fabric drops survived en route.
 };
 
 /** Directory -> L2 probe types. */

@@ -1,5 +1,8 @@
 #include "coherence/auditor.hh"
 
+#include <algorithm>
+#include <charconv>
+#include <string_view>
 #include <vector>
 
 #include "arch/chip.hh"
@@ -7,6 +10,41 @@
 #include "sim/logging.hh"
 
 namespace coherence {
+
+void
+Auditor::auditNow()
+{
+    try {
+        auditPass();
+    } catch (const AuditError &e) {
+        // Attach the flight-recorder history of every line the
+        // violation names (the "0x<addr>" tokens in the detail), so a
+        // fault-campaign kill carries its own post-mortem.
+        std::string ctx;
+        std::vector<mem::Addr> seen;
+        std::string_view msg(e.what());
+        for (std::size_t i = 0; (i = msg.find("0x", i)) != msg.npos;) {
+            i += 2;
+            mem::Addr addr = 0;
+            auto [p, ec] = std::from_chars(msg.data() + i,
+                                           msg.data() + msg.size(), addr,
+                                           16);
+            if (ec != std::errc())
+                continue;
+            i = static_cast<std::size_t>(p - msg.data());
+            mem::Addr base = mem::lineBase(addr);
+            if (std::find(seen.begin(), seen.end(), base) != seen.end())
+                continue;
+            seen.push_back(base);
+            std::string hist = _chip.lineHistory(base);
+            if (!hist.empty()) {
+                ctx += sim::cat("\n  recorder history line 0x", std::hex,
+                                base, std::dec, ":\n", hist);
+            }
+        }
+        throw AuditError(e, ctx);
+    }
+}
 
 bool
 Auditor::inFlux(mem::Addr base) const
@@ -58,7 +96,7 @@ Auditor::lineIsSwcc(mem::Addr base)
 }
 
 void
-Auditor::auditNow()
+Auditor::auditPass()
 {
     arch::Chip &c = _chip;
     const arch::CoherenceMode mode = c.config().mode;

@@ -53,6 +53,12 @@ class AuditError : public std::runtime_error
           _invariant(std::move(invariant))
     {}
 
+    /** Copy of @p e with @p context appended to the message (the audit
+     *  driver attaches the implicated lines' recorder histories). */
+    AuditError(const AuditError &e, const std::string &context)
+        : std::runtime_error(e.what() + context), _invariant(e.invariant())
+    {}
+
     /** Short name of the violated invariant (e.g. "owner-exclusive"). */
     const std::string &invariant() const { return _invariant; }
 
@@ -76,6 +82,9 @@ class Auditor
                        const std::string &prefix) const;
 
   private:
+    /** The invariant walk behind auditNow() (throws AuditError). */
+    void auditPass();
+
     /** True if @p base may legitimately be mid-transition. */
     bool inFlux(mem::Addr base) const;
 

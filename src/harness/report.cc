@@ -36,10 +36,15 @@ buildStatRegistry(const arch::MachineConfig &cfg, const RunResult &r,
                       static_cast<double>(r.msgs.get(cls)));
         reg.addHistogram(sim::cat("latency.req.", arch::msgClassName(cls)),
                          r.reqLatency[c]);
+        reg.addScalar(sim::cat("retries.req.", arch::msgClassName(cls)),
+                      static_cast<double>(r.reqRetries[c]));
     }
     reg.addScalar("l2_out.total", static_cast<double>(r.msgs.total()));
     reg.addHistogram("latency.resp", r.respLatency);
     reg.addHistogram("latency.probe", r.probeLatency);
+    reg.addScalar("retries.resp", static_cast<double>(r.respRetries));
+    reg.addScalar("recorder.recorded",
+                  static_cast<double>(r.recorderRecorded));
 
     reg.addScalar("l2.hits", static_cast<double>(r.l2Hits));
     reg.addScalar("l2.misses", static_cast<double>(r.l2Misses));

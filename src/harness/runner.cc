@@ -1,5 +1,7 @@
 #include "harness/runner.hh"
 
+#include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <vector>
 
@@ -10,6 +12,36 @@
 #include "sim/trace_json.hh"
 
 namespace harness {
+
+namespace {
+
+/**
+ * CI post-mortem hook: when COHESION_RECORDER_DUMP_DIR is set, write
+ * the recorder ring and the failure text there so the workflow can
+ * upload them as artifacts. Best-effort — a failed write must not mask
+ * the original error.
+ */
+void
+dumpPostMortem(const arch::Chip &chip, const std::string &kernel_name,
+               std::uint64_t seed, const char *what)
+{
+    const char *dir = std::getenv("COHESION_RECORDER_DUMP_DIR");
+    if (!dir || !*dir || !chip.recorder().enabled())
+        return;
+    std::string stem = std::string(dir) + "/" + kernel_name + "-" +
+                       std::to_string(seed) + "-postmortem";
+    std::ofstream bin(stem + ".cfr", std::ios::binary);
+    if (bin) {
+        std::string blob = chip.recorder().serialize();
+        bin.write(blob.data(),
+                  static_cast<std::streamsize>(blob.size()));
+    }
+    std::ofstream txt(stem + ".txt");
+    if (txt)
+        txt << what << "\n" << chip.postMortemHistory();
+}
+
+} // namespace
 
 RunResult
 runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
@@ -26,6 +58,13 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
     chip.tracer().setMask(opts.traceMask);
     if (opts.audit)
         chip.enableAudit(opts.auditPeriod);
+    if (opts.recorderCapacity)
+        chip.enableRecorder(opts.recorderCapacity);
+    if (opts.watchLine != ~mem::Addr(0))
+        chip.setWatchLine(opts.watchLine);
+    if (unsigned top_n = opts.profileTopN ? opts.profileTopN
+                                          : (opts.statsJson ? 8u : 0u))
+        chip.enableLineProfiler(top_n);
     runtime::CohesionRuntime rt(chip);
 
     std::optional<sim::TraceJsonWriter> trace_json;
@@ -49,16 +88,23 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
     for (auto &w : workers)
         w.start();
 
-    sim::Tick end = chip.runUntilQuiescent();
+    sim::Tick end = 0;
+    try {
+        end = chip.runUntilQuiescent();
 
-    for (unsigned c = 0; c < workers.size(); ++c) {
-        workers[c].rethrow();
-        fatal_if(!workers[c].done(), kernel.name(), ": core ", c,
-                 " did not finish (deadlock?) at cycle ", end);
+        for (unsigned c = 0; c < workers.size(); ++c) {
+            workers[c].rethrow();
+            fatal_if(!workers[c].done(), kernel.name(), ": core ", c,
+                     " did not finish (deadlock?) at cycle ", end);
+        }
+
+        if (opts.audit)
+            chip.auditNow(); // final pass over the quiesced machine
+    } catch (const std::exception &e) {
+        dumpPostMortem(chip, kernel.name(), kernel.params().seed,
+                       e.what());
+        throw;
     }
-
-    if (opts.audit)
-        chip.auditNow(); // final pass over the quiesced machine
 
     if (!opts.skipVerify)
         kernel.verify(rt);
@@ -111,6 +157,22 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
 
     r.dramAccesses = chip.dram().totalAccesses();
     r.fabricBytes = chip.fabric().bytesUp() + chip.fabric().bytesDown();
+
+    for (unsigned c = 0; c < arch::numMsgClasses; ++c)
+        r.reqRetries[c] = chip.reqRetries(static_cast<arch::MsgClass>(c));
+    r.respRetries = chip.respRetries();
+
+    if (chip.recorder().enabled()) {
+        r.recorderDump = chip.recorder().serialize();
+        r.recorderRecorded = chip.recorder().recorded();
+        if (!opts.recorderDumpPath.empty()) {
+            std::ofstream out(opts.recorderDumpPath, std::ios::binary);
+            fatal_if(!out, "cannot write recorder dump ",
+                     opts.recorderDumpPath);
+            out.write(r.recorderDump.data(),
+                      static_cast<std::streamsize>(r.recorderDump.size()));
+        }
+    }
 
     for (unsigned c = 0; c < arch::numMsgClasses; ++c)
         r.reqLatency[c] = chip.reqLatency(static_cast<arch::MsgClass>(c));

@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "arch/chip.hh"
 #include "arch/machine_config.hh"
@@ -77,6 +78,18 @@ struct RunResult
     std::uint64_t faultSeed = 0;
     std::uint64_t faultsInjected = 0;
     std::uint64_t faultsRecovered = 0;
+
+    /** Fabric drops survived by delivered messages (fault injection),
+     *  split by request class plus responses. */
+    std::array<std::uint64_t, arch::numMsgClasses> reqRetries{};
+    std::uint64_t respRetries = 0;
+
+    /** Serialized flight-recorder ring (binary dump format; empty when
+     *  the recorder was disabled). Deterministic for a deterministic
+     *  run, so sweeps can compare dumps across --jobs values. */
+    std::string recorderDump;
+    /** Total events the recorder observed (wrapped ones included). */
+    std::uint64_t recorderRecorded = 0;
 };
 
 /** Options controlling a run. New members go at the END: call sites
@@ -99,6 +112,18 @@ struct RunOptions
     bool audit = true;
     /** Audit cadence in ticks (0: cost-scaled default). */
     sim::Tick auditPeriod = 0;
+    /** Flight-recorder ring capacity in records (0 disables). The
+     *  recorder is on by default so every failure has a post-mortem. */
+    std::uint32_t recorderCapacity = 1u << 14;
+    /** Write the binary recorder dump here after the run (empty: keep
+     *  it only in RunResult::recorderDump). */
+    std::string recorderDumpPath;
+    /** Narrate every recorded event touching this line as it happens
+     *  (~0: off). Matches the line containing the address. */
+    mem::Addr watchLine = ~mem::Addr(0);
+    /** Per-line sharing-pattern profiler top-N table size. 0 defers to
+     *  the default: enabled (top 8) whenever statsJson is requested. */
+    unsigned profileTopN = 0;
 };
 
 /**

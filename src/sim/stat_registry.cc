@@ -87,6 +87,9 @@ StatRegistry::flatten() const
             out.set(path + ".min", d.min());
             out.set(path + ".max", d.max());
             out.set(path + ".stddev", d.stddev());
+            out.set(path + ".p50", d.p50());
+            out.set(path + ".p95", d.p95());
+            out.set(path + ".p99", d.p99());
         } else if (const Histogram *const *hp =
                        std::get_if<const Histogram *>(&e)) {
             const Histogram &h = **hp;
@@ -94,6 +97,9 @@ StatRegistry::flatten() const
             out.set(path + ".mean", h.mean());
             out.set(path + ".min", static_cast<double>(h.min()));
             out.set(path + ".max", static_cast<double>(h.max()));
+            out.set(path + ".p50", h.p50());
+            out.set(path + ".p95", h.p95());
+            out.set(path + ".p99", h.p99());
         }
     }
     return out;
@@ -141,6 +147,12 @@ emitLeaf(std::ostream &os,
         writeJsonNumber(os, d.max());
         os << ",\"stddev\":";
         writeJsonNumber(os, d.stddev());
+        os << ",\"p50\":";
+        writeJsonNumber(os, d.p50());
+        os << ",\"p95\":";
+        writeJsonNumber(os, d.p95());
+        os << ",\"p99\":";
+        writeJsonNumber(os, d.p99());
         os << '}';
     } else if (const Histogram *const *hp =
                    std::get_if<const Histogram *>(&e)) {
@@ -155,6 +167,12 @@ emitLeaf(std::ostream &os,
         writeJsonNumber(os, static_cast<double>(h.min()));
         os << ",\"max\":";
         writeJsonNumber(os, static_cast<double>(h.max()));
+        os << ",\"p50\":";
+        writeJsonNumber(os, h.p50());
+        os << ",\"p95\":";
+        writeJsonNumber(os, h.p95());
+        os << ",\"p99\":";
+        writeJsonNumber(os, h.p99());
         os << ",\"buckets\":[";
         bool first = true;
         for (unsigned b = 0; b < Histogram::numBuckets; ++b) {

@@ -38,10 +38,18 @@ class Counter
  * stable and reset() leaves no residue. An empty (or freshly reset)
  * distribution reports zero for every moment; a single sample has zero
  * variance. variance() is the population variance (divide by N).
+ *
+ * percentile() is served from a bounded reservoir: exact while the
+ * sample count fits (reservoirSize), then Vitter's algorithm R driven
+ * by a fixed-seed LCG — deterministic for a given sample sequence, so
+ * percentile columns stay byte-identical across reruns and --jobs
+ * values. Storage is a fixed array: no allocation on the sample path.
  */
 class Distribution
 {
   public:
+    static constexpr std::uint32_t reservoirSize = 512;
+
     void
     sample(double v)
     {
@@ -56,6 +64,17 @@ class Distribution
         double delta = v - _mean;
         _mean += delta / _count;
         _m2 += delta * (v - _mean);
+
+        if (_count <= reservoirSize) {
+            _reservoir[_count - 1] = v;
+        } else {
+            _lcg = _lcg * 6364136223846793005ull + 1442695040888963407ull;
+            // Top bits of the LCG are the good ones; map onto [0,count).
+            std::uint64_t slot =
+                static_cast<std::uint64_t>((_lcg >> 11) % _count);
+            if (slot < reservoirSize)
+                _reservoir[static_cast<std::uint32_t>(slot)] = v;
+        }
     }
 
     void reset() { *this = Distribution(); }
@@ -68,6 +87,32 @@ class Distribution
     double variance() const { return _count ? _m2 / _count : 0.0; }
     double stddev() const { return std::sqrt(variance()); }
 
+    /**
+     * Nearest-rank percentile for @p p in [0,100], exact when at most
+     * reservoirSize samples were observed and a deterministic estimate
+     * beyond that. Empty distributions report 0.
+     */
+    double
+    percentile(double p) const
+    {
+        std::uint32_t n = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(_count, reservoirSize));
+        if (n == 0)
+            return 0.0;
+        std::array<double, reservoirSize> sorted;
+        std::copy(_reservoir.begin(), _reservoir.begin() + n,
+                  sorted.begin());
+        std::sort(sorted.begin(), sorted.begin() + n);
+        double clamped = std::clamp(p, 0.0, 100.0);
+        std::uint32_t rank = static_cast<std::uint32_t>(
+            std::ceil(clamped / 100.0 * n));
+        return sorted[rank == 0 ? 0 : rank - 1];
+    }
+
+    double p50() const { return percentile(50); }
+    double p95() const { return percentile(95); }
+    double p99() const { return percentile(99); }
+
   private:
     std::uint64_t _count = 0;
     double _sum = 0.0;
@@ -75,6 +120,8 @@ class Distribution
     double _max = 0.0;
     double _mean = 0.0;
     double _m2 = 0.0;
+    std::uint64_t _lcg = 0x9E3779B97F4A7C15ull;
+    std::array<double, reservoirSize> _reservoir{};
 };
 
 /**
@@ -155,6 +202,44 @@ class Histogram
     std::uint64_t max() const { return _max; }
     double mean() const { return _count ? double(_sum) / _count : 0.0; }
     std::uint64_t bucket(unsigned b) const { return _buckets.at(b); }
+
+    /**
+     * Percentile estimate for @p p in [0,100]: find the bucket holding
+     * the nearest-rank sample and interpolate linearly inside it,
+     * clamped to the observed min/max. Exact bucket membership makes
+     * this deterministic (no sampling), at log2-bucket resolution.
+     */
+    double
+    percentile(double p) const
+    {
+        if (_count == 0)
+            return 0.0;
+        double clamped = std::clamp(p, 0.0, 100.0);
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            std::ceil(clamped / 100.0 * _count));
+        if (rank == 0)
+            rank = 1;
+        std::uint64_t seen = 0;
+        for (unsigned b = 0; b < numBuckets; ++b) {
+            if (seen + _buckets[b] < rank) {
+                seen += _buckets[b];
+                continue;
+            }
+            double lo = static_cast<double>(
+                std::max(bucketLow(b), _min));
+            double hi = static_cast<double>(
+                std::min(bucketHigh(b), _max));
+            double frac = _buckets[b] <= 1
+                              ? 1.0
+                              : double(rank - seen) / double(_buckets[b]);
+            return lo + (hi - lo) * frac;
+        }
+        return static_cast<double>(_max);
+    }
+
+    double p50() const { return percentile(50); }
+    double p95() const { return percentile(95); }
+    double p99() const { return percentile(99); }
 
   private:
     std::array<std::uint64_t, numBuckets> _buckets{};

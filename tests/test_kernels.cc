@@ -116,12 +116,14 @@ TEST(KernelSignatures, CohesionAvoidsDirectoryEntriesForSWccData)
     arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
     kernels::Params params;
 
+    harness::RunOptions opts;
+    opts.sampleOccupancy = true;
     cfg.mode = CoherenceMode::HWccOnly;
     auto hw = harness::runKernel(cfg, kernels::kernelFactory("heat"),
-                                 params, {true, false});
+                                 params, opts);
     cfg.mode = CoherenceMode::Cohesion;
     auto coh = harness::runKernel(cfg, kernels::kernelFactory("heat"),
-                                  params, {true, false});
+                                  params, opts);
 
     // Fig. 9c: Cohesion needs far fewer directory entries.
     EXPECT_LT(coh.dirAvgTotal, hw.dirAvgTotal);

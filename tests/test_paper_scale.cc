@@ -24,8 +24,10 @@ runAtPaperScale(const std::string &kernel, CoherenceMode mode,
     cfg.directory = coherence::DirectoryConfig::optimistic();
     kernels::Params params;
     params.scale = 8;
+    harness::RunOptions opts;
+    opts.sampleOccupancy = occupancy;
     return harness::runKernel(cfg, kernels::kernelFactory(kernel),
-                              params, {occupancy, false});
+                              params, opts);
 }
 
 TEST(PaperScale, HeatVerifiesInAllModesAt1024Cores)

@@ -75,6 +75,64 @@ TEST(Distribution, ResetLeavesNoResidue)
     EXPECT_DOUBLE_EQ(d.max(), 3.0);
 }
 
+TEST(Distribution, PercentilesExactWithinReservoir)
+{
+    sim::Distribution d;
+    EXPECT_DOUBLE_EQ(d.p50(), 0.0); // empty
+    for (int i = 100; i >= 1; --i)  // order must not matter
+        d.sample(i);
+    // Nearest-rank is exact while the reservoir holds every sample.
+    EXPECT_DOUBLE_EQ(d.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(d.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(d.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(-5), 1.0);   // clamped
+    EXPECT_DOUBLE_EQ(d.percentile(200), 100.0); // clamped
+}
+
+TEST(Distribution, PercentilesDeterministicBeyondReservoir)
+{
+    // Past reservoirSize the estimate comes from a fixed-seed
+    // reservoir: the same sample sequence must yield bit-identical
+    // percentiles (sweep columns compare across --jobs values).
+    sim::Distribution d1, d2;
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+        double v = static_cast<double>((i * 2654435761u) % 1000);
+        d1.sample(v);
+        d2.sample(v);
+    }
+    EXPECT_EQ(d1.p50(), d2.p50());
+    EXPECT_EQ(d1.p95(), d2.p95());
+    EXPECT_EQ(d1.p99(), d2.p99());
+    EXPECT_LE(d1.p50(), d1.p95());
+    EXPECT_LE(d1.p95(), d1.p99());
+    EXPECT_GE(d1.p50(), d1.min());
+    EXPECT_LE(d1.p99(), d1.max());
+}
+
+TEST(Histogram, PercentilesInterpolateWithinBuckets)
+{
+    sim::Histogram h;
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0); // empty
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.sample(v);
+    // Log2-bucket resolution: the estimate lands in the right bucket
+    // and interpolation keeps it near the true rank.
+    EXPECT_NEAR(h.p50(), 500.0, 260.0);
+    EXPECT_NEAR(h.p99(), 990.0, 520.0);
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+    EXPECT_GE(h.p50(), static_cast<double>(h.min()));
+    EXPECT_LE(h.p99(), static_cast<double>(h.max()));
+
+    // A single-value histogram pins every percentile to that value.
+    sim::Histogram one;
+    one.sample(42, 5);
+    EXPECT_DOUBLE_EQ(one.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(one.p99(), 42.0);
+}
+
 TEST(Histogram, BucketBoundaries)
 {
     using H = sim::Histogram;

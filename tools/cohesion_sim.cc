@@ -29,6 +29,10 @@
  *   --fault-seed N    fault-stream seed (default derives from --seed)
  *   --fault-drop-rate R  drop rate on both fabric directions
  *   --no-audit        disable the runtime coherence auditor
+ *   --recorder N      flight-recorder ring capacity (0 disables)
+ *   --recorder-dump F write the binary recorder dump after the run
+ *                     (decode with cohesion-trace)
+ *   --watch-line A    narrate recorded events touching line A live
  */
 
 #include <cstring>
@@ -41,6 +45,7 @@
 
 #include "harness/report.hh"
 #include "sim/fault.hh"
+#include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "harness/runner.hh"
 #include "kernels/registry.hh"
@@ -61,6 +66,8 @@ usage(int code)
         "                    [--sample-period N] [--timeseries-csv FILE]\n"
         "                    [--fault-plan FILE] [--fault-seed N]\n"
         "                    [--fault-drop-rate R] [--no-audit]\n"
+        "                    [--recorder N] [--recorder-dump FILE]\n"
+        "                    [--watch-line 0xADDR]\n"
         "  trace categories: protocol,cache,transition,net,dram,\n"
         "                    runtime,watchdog,fault,all\n"
         "  FILE may be \"-\" for stdout (except --trace-json)\n";
@@ -157,6 +164,16 @@ main(int argc, char **argv)
             fault_drop_rate = std::atof(next("--fault-drop-rate"));
         } else if (!std::strcmp(argv[i], "--no-audit")) {
             opts.audit = false;
+        } else if (!std::strcmp(argv[i], "--recorder")) {
+            opts.recorderCapacity = static_cast<std::uint32_t>(
+                std::strtoul(next("--recorder"), nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--recorder-dump")) {
+            opts.recorderDumpPath = next("--recorder-dump");
+        } else if (!std::strcmp(argv[i], "--watch-line")) {
+            opts.watchLine =
+                std::strtoull(next("--watch-line"), nullptr, 0);
+            // Narration goes through inform(), which is off by default.
+            sim::setVerbose(true);
         } else if (!std::strcmp(argv[i], "--list")) {
             for (const auto &k : kernels::allKernelNames())
                 std::cout << k << '\n';

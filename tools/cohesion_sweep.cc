@@ -108,6 +108,9 @@ writeResultsJson(std::ostream &os,
                << ", \"msgs\": " << r.run.msgs.total()
                << ", \"dir_evictions\": " << r.run.dirEvictions
                << ", \"l2_misses\": " << r.run.l2Misses
+               << ", \"resp_p50\": " << r.run.respLatency.p50()
+               << ", \"resp_p95\": " << r.run.respLatency.p95()
+               << ", \"resp_p99\": " << r.run.respLatency.p99()
                << ", \"seed\": " << r.run.seed;
             if (r.run.faultSeed) {
                 os << ", \"faults_injected\": " << r.run.faultsInjected

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * cohesion-trace: decode a flight-recorder dump (written by
+ * cohesion-sim --recorder-dump, or a CI post-mortem artifact) into a
+ * human-readable narrative, optionally filtered to one line, one
+ * causal transaction, or a tick window, and optionally exported as a
+ * Chrome trace-event / Perfetto JSON view.
+ *
+ *   cohesion-trace run.cfr
+ *   cohesion-trace --line 0x84c0 run.cfr
+ *   cohesion-trace --txn 17 run.cfr
+ *   cohesion-trace --tick-range 1000:2000 --perfetto out.json run.cfr
+ *
+ * Options:
+ *   --line 0xADDR    only events touching ADDR's cache line
+ *   --txn N          only the causal chain of message id N (includes
+ *                    the bank transactions TxnBegin binds to it)
+ *   --tick-range A:B only events with A <= tick <= B
+ *   --perfetto FILE  write the filtered events as trace-event JSON
+ *   --limit N        print at most the last N matching events
+ *   --quiet          suppress the narrative (useful with --perfetto)
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/flight_decode.hh"
+#include "mem/types.hh"
+#include "sim/flight_recorder.hh"
+#include "sim/trace_json.hh"
+
+namespace {
+
+using sim::FlightRecorder;
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: cohesion-trace [--line 0xADDR] [--txn N]\n"
+        "                      [--tick-range A:B] [--perfetto FILE]\n"
+        "                      [--limit N] [--quiet] DUMP.cfr\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    mem::Addr line = ~mem::Addr(0);
+    std::uint64_t txn = ~std::uint64_t(0);
+    std::uint64_t tick_lo = 0, tick_hi = ~std::uint64_t(0);
+    std::string perfetto;
+    std::size_t limit = 0;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires a value\n";
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--line")) {
+            line = mem::lineBase(
+                std::strtoull(next("--line"), nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--txn")) {
+            txn = std::strtoull(next("--txn"), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--tick-range")) {
+            std::string v = next("--tick-range");
+            std::size_t colon = v.find(':');
+            if (colon == std::string::npos) {
+                std::cerr << "--tick-range wants A:B\n";
+                usage(1);
+            }
+            tick_lo = std::strtoull(v.c_str(), nullptr, 0);
+            tick_hi = std::strtoull(v.c_str() + colon + 1, nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--perfetto")) {
+            perfetto = next("--perfetto");
+        } else if (!std::strcmp(argv[i], "--limit")) {
+            limit = std::strtoull(next("--limit"), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else if (!std::strcmp(argv[i], "--help")) {
+            usage(0);
+        } else if (argv[i][0] == '-') {
+            std::cerr << "unknown option: " << argv[i] << '\n';
+            usage(1);
+        } else {
+            path = argv[i];
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "missing dump file\n";
+        usage(1);
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "cannot open " << path << '\n';
+        return 1;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::vector<FlightRecorder::Record> records;
+    std::string err;
+    std::uint64_t total = 0;
+    if (!FlightRecorder::deserialize(bytes, &records, &err, &total)) {
+        std::cerr << path << ": " << err << '\n';
+        return 1;
+    }
+
+    // --txn N follows the causal chain: every event stamped with the
+    // message id, plus the bank transactions TxnBegin bound to it
+    // (their TxnBegin/TxnEnd records carry the bank-local sequence in
+    // txn and the message id in b).
+    std::set<std::uint64_t> bank_txns;
+    if (txn != ~std::uint64_t(0)) {
+        for (const auto &r : records) {
+            auto kind = static_cast<FlightRecorder::Ev>(r.kind);
+            if ((kind == FlightRecorder::Ev::TxnBegin ||
+                 kind == FlightRecorder::Ev::TxnEnd) &&
+                r.b == txn) {
+                bank_txns.insert(r.txn);
+            }
+        }
+    }
+
+    std::vector<const FlightRecorder::Record *> matched;
+    for (const auto &r : records) {
+        if (r.tick < tick_lo || r.tick > tick_hi)
+            continue;
+        if (line != ~mem::Addr(0) && r.line != line)
+            continue;
+        if (txn != ~std::uint64_t(0)) {
+            auto kind = static_cast<FlightRecorder::Ev>(r.kind);
+            bool bound = (kind == FlightRecorder::Ev::TxnBegin ||
+                          kind == FlightRecorder::Ev::TxnEnd)
+                             ? r.b == txn || bank_txns.count(r.txn)
+                             : r.txn == txn;
+            if (!bound)
+                continue;
+        }
+        matched.push_back(&r);
+    }
+
+    if (!quiet) {
+        std::cout << path << ": " << records.size() << " records ("
+                  << total << " recorded";
+        if (total > records.size())
+            std::cout << ", " << (total - records.size())
+                      << " overwritten by ring wrap";
+        std::cout << "), " << matched.size() << " match\n";
+        std::size_t first =
+            limit && matched.size() > limit ? matched.size() - limit : 0;
+        if (first)
+            std::cout << "  ... " << first << " earlier omitted\n";
+        for (std::size_t i = first; i < matched.size(); ++i)
+            std::cout << "  " << arch::describeRecord(*matched[i]) << '\n';
+    }
+
+    if (!perfetto.empty()) {
+        std::ofstream out(perfetto);
+        if (!out) {
+            std::cerr << "cannot open " << perfetto << '\n';
+            return 1;
+        }
+        sim::TraceJsonWriter w(out);
+        std::set<std::uint16_t> named;
+        for (const FlightRecorder::Record *r : matched) {
+            int tid = sim::TraceJsonWriter::machineTid;
+            unsigned idx = FlightRecorder::compIndex(r->comp);
+            switch (FlightRecorder::compKind(r->comp)) {
+              case 1:
+                tid = sim::TraceJsonWriter::clusterTid(idx);
+                break;
+              case 2:
+                tid = sim::TraceJsonWriter::bankTid(idx);
+                break;
+              default:
+                break;
+            }
+            if (named.insert(r->comp).second)
+                w.threadName(tid, FlightRecorder::compName(r->comp));
+            w.instant(r->tick, tid, arch::describeRecordBody(*r),
+                      FlightRecorder::evName(
+                          static_cast<FlightRecorder::Ev>(r->kind)));
+        }
+        w.finish();
+        if (!quiet)
+            std::cout << "wrote " << w.events() << " trace events to "
+                      << perfetto << '\n';
+    }
+    return 0;
+}
