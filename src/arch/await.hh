@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "sim/event_queue.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 
 namespace arch {
@@ -31,7 +32,14 @@ struct Delay
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        eq.schedule(until, [h]() { h.resume(); });
+        // Capture the sampled host-profiler phase open at suspension
+        // and re-open it around the resume, so a transaction's later
+        // segments stay attributed to their component.
+        eq.schedule(until, [h, p = sim::HostProfiler::resumePhase()]() {
+            sim::HostProfiler::Scope hp(
+                p, sim::HostProfiler::Scope::Resume{});
+            h.resume();
+        });
     }
 
     void await_resume() const {}
@@ -177,7 +185,17 @@ class LineLockTable
         // a newcomer cannot sneak in before the waiter's resume event).
         auto h = it->second.waiters.front();
         it->second.waiters.pop_front();
-        _eq.scheduleIn(0, [h]() { h.resume(); });
+        // The waiter is another transaction of the same component:
+        // re-open the releasing phase around its resume, but as a
+        // fresh stride-sampled entry, not a Resume continuation — the
+        // hand-off crosses transactions, and an unconditional timer
+        // here would cascade through every dependent waiter chain.
+        // The profiler's sampling unit is thus a maximal Delay-chain
+        // starting at a request receipt or a lock grant.
+        _eq.scheduleIn(0, [h, p = sim::HostProfiler::resumePhase()]() {
+            sim::HostProfiler::Scope hp(p);
+            h.resume();
+        });
     }
 
     /** True if any transaction holds or waits on @p line. */

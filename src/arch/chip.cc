@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
 #include "arch/flight_decode.hh"
 #include "coherence/auditor.hh"
 #include "coherence/line_profiler.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
@@ -191,6 +193,8 @@ Chip::sendProbe(unsigned bank_id, unsigned cluster_id, ProbeType type,
                             txn, r]() {
             rec(FR::Ev::ProbeAck, FR::compBank(bank_id), mem::lineBase(addr),
                 txn, static_cast<std::uint8_t>(type), cluster_id);
+            // The ack continuation runs bank-side transaction logic.
+            sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::BankMsg);
             done(cluster_id, r);
         });
     });
@@ -439,6 +443,21 @@ Chip::enableOccupancySampling(sim::Tick period)
                         prev = cur;
                         return delta;
                     });
+    // Host-side occupancy gauges ride the same cadence, but only when
+    // the self-profiler is on: they describe the simulator (queue
+    // pressure, MSHR load), not the simulated machine, and existing
+    // time-series consumers should not see new columns by default.
+    if (sim::HostProfiler::enabled()) {
+        _timeSeries.add("host.eq.pending", [this]() {
+            return static_cast<double>(_eq.pending());
+        });
+        _timeSeries.add("host.mshr.occupancy", [this]() {
+            double n = 0;
+            for (const auto &cl : _clusters)
+                n += static_cast<double>(cl->mshrCount());
+            return n;
+        });
+    }
     _timeSeries.start(period);
 }
 
@@ -636,27 +655,80 @@ Chip::runUntilQuiescent()
         pump_period ? _eq.now() + pump_period : sim::maxTick;
     sim::Tick window_end = _eq.now() + window;
     Progress last = progress();
+
+    // Live-progress bookkeeping. The heartbeat only bounds how far a
+    // dispatch burst may run before the host clock is consulted; every
+    // cadence check below fires on >=, so the extra burst boundaries
+    // cannot reorder or drop events. The chunk adapts toward one host
+    // check per ~1/4 of the reporting interval.
+    using host_clock = std::chrono::steady_clock;
+    sim::Tick next_beat = _progressFn ? _eq.now() : sim::maxTick;
+    host_clock::time_point last_emit = host_clock::now();
+    sim::Tick last_emit_tick = _eq.now();
+
+    auto heartbeat = [&]() {
+        host_clock::time_point now_h = host_clock::now();
+        double el = std::chrono::duration<double>(now_h - last_emit).count();
+        if (el >= _progressIntervalSec) {
+            _progressFn(_eq.now(), _eq.eventsRun());
+            // Re-aim the chunk so ~4 host-clock checks span one
+            // reporting interval.
+            double tps =
+                static_cast<double>(_eq.now() - last_emit_tick) / el;
+            double want = tps * _progressIntervalSec / 4.0;
+            if (want >= 1.0) {
+                _progressChunk = static_cast<sim::Tick>(
+                    std::min(want, double(sim::Tick(1) << 26)));
+            }
+            last_emit = now_h;
+            last_emit_tick = _eq.now();
+        } else if (el < _progressIntervalSec / 8.0) {
+            // Checking far too often: grow geometrically.
+            _progressChunk = std::min(_progressChunk * 2,
+                                      sim::Tick(1) << 26);
+        }
+        next_beat = _eq.now() + _progressChunk;
+    };
+
     while (true) {
         sim::Tick next_sample = _timeSeries.nextSampleAt();
         sim::Tick stop =
-            std::min(std::min(limit, window_end),
+            std::min(std::min(std::min(limit, window_end), next_beat),
                      std::min(std::min(next_audit, next_pump), next_sample));
-        if (_eq.run(stop)) {
+        bool drained;
+        {
+            sim::HostProfiler::Scope hp(
+                sim::HostProfiler::Phase::EqDispatch);
+            drained = _eq.run(stop);
+        }
+        if (drained) {
             // The final event may land exactly on the sampling cadence.
-            if (_eq.now() >= next_sample)
+            if (_eq.now() >= next_sample) {
+                sim::HostProfiler::Scope hp(
+                    sim::HostProfiler::Phase::Sampler);
                 _timeSeries.tick();
+            }
+            if (_progressFn)
+                _progressFn(_eq.now(), _eq.eventsRun());
             return _eq.now();
         }
         if (_eq.now() >= next_audit) {
+            sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Audit);
             _auditor->auditNow();
             next_audit += audit_period;
         }
         if (_eq.now() >= next_pump) {
+            sim::HostProfiler::Scope hp(
+                sim::HostProfiler::Phase::FaultPump);
             faultPump();
             next_pump += pump_period;
         }
-        if (_eq.now() >= next_sample)
+        if (_eq.now() >= next_sample) {
+            sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Sampler);
             _timeSeries.tick();
+        }
+        if (_eq.now() >= next_beat)
+            heartbeat();
         if (_eq.now() < window_end && _eq.now() < limit)
             continue;
         Progress cur = progress();

@@ -321,6 +321,23 @@ class Chip
     // --- Execution -------------------------------------------------------
 
     /**
+     * Live-progress heartbeat: called from inside runUntilQuiescent
+     * roughly every @p interval_sec of host time with (current tick,
+     * events run so far). Implemented by bounding dispatch bursts with
+     * an adaptive tick chunk — the cadence checks below all use >=, so
+     * an extra burst boundary never reorders events and the simulated
+     * results stay byte-identical with the hook installed.
+     */
+    using ProgressFn = std::function<void(sim::Tick, std::uint64_t)>;
+
+    void
+    setProgressHook(ProgressFn fn, double interval_sec = 0.25)
+    {
+        _progressFn = std::move(fn);
+        _progressIntervalSec = interval_sec;
+    }
+
+    /**
      * Run until the event queue drains (all cores quiescent). The run
      * is chopped into watchdog windows: if a window passes with zero
      * forward progress (instructions retired, bank transactions
@@ -377,6 +394,10 @@ class Chip
     std::unique_ptr<coherence::Auditor> _auditor;
     sim::Tick _auditPeriod = 0;
     std::uint64_t _respDelivered = 0;
+
+    ProgressFn _progressFn;
+    double _progressIntervalSec = 0.25;
+    sim::Tick _progressChunk = 1 << 13;
 
     SegmentClassifier _classifier;
     sim::Tick _samplePeriod = 0;

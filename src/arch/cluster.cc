@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "arch/chip.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -62,8 +63,13 @@ finish(Chip &chip, Core &core, std::uint64_t value)
 {
     sim::EventQueue &eq = chip.eq();
     if (core.localTime() > eq.now() + chip.config().slackWindow) {
-        eq.schedule(core.localTime(),
-                    [&core, value]() { core.completeOp(value); });
+        eq.schedule(core.localTime(), [&core, value]() {
+            // Resuming the kernel coroutine runs core-side execution
+            // until its next memory op: the ClusterCore host phase.
+            sim::HostProfiler::Scope hp(
+                sim::HostProfiler::Phase::ClusterCore);
+            core.completeOp(value);
+        });
         return MemOp::pending(core);
     }
     return MemOp::ready(value);
@@ -522,6 +528,7 @@ Cluster::coreAtomic(Core &core, AtomicOp op, mem::Addr addr,
 MemOp
 Cluster::coreFlush(Core &core, mem::Addr addr)
 {
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::ClusterSwcc);
     // An idle core cannot issue in the past: sync to global time.
     core.advanceLocalTime(_chip.eq().now());
     core.countInstructions(1);
@@ -556,6 +563,7 @@ Cluster::coreFlush(Core &core, mem::Addr addr)
 MemOp
 Cluster::coreInv(Core &core, mem::Addr addr)
 {
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::ClusterSwcc);
     // An idle core cannot issue in the past: sync to global time.
     core.advanceLocalTime(_chip.eq().now());
     core.countInstructions(1);
@@ -621,6 +629,7 @@ Cluster::writebackAcked(std::uint32_t msg_id)
 void
 Cluster::handleResponse(const Response &resp)
 {
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::ClusterMsg);
     _chip.sampleRespLatency(_chip.eq().now() - resp.sendTick);
     _chip.rec(FR::Ev::RespRecv, FR::compCluster(_id),
               mem::lineBase(resp.addr), resp.msgId,
@@ -743,6 +752,7 @@ Cluster::installFill(const Response &resp)
 ProbeResult
 Cluster::handleProbe(ProbeType type, mem::Addr addr)
 {
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::ClusterMsg);
     mem::Addr base = mem::lineBase(addr);
     l2Access(_chip.eq().now()); // tag access occupies a port
 

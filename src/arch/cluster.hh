@@ -101,6 +101,9 @@ class Cluster
         return _mshrs.count(mem::lineBase(base)) != 0;
     }
 
+    /** Outstanding fill/upgrade MSHRs (host occupancy gauge). */
+    std::size_t mshrCount() const { return _mshrs.size(); }
+
     /** Visit every MSHR (watchdog in-flight dump). */
     void
     forEachMshr(const std::function<void(mem::Addr, ReqType,

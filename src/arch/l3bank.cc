@@ -5,6 +5,7 @@
 
 #include "arch/chip.hh"
 #include "cohesion/region_table.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "sim/trace_json.hh"
@@ -91,6 +92,10 @@ L3Bank::adoptTransaction(sim::CoTask &&task)
 void
 L3Bank::receiveRequest(const Request &req)
 {
+    // Covers the transaction coroutine's first segment (through
+    // .start() up to its first suspension); later segments re-open
+    // the phase from the awaitable resume hooks.
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::BankMsg);
     TRACE(_chip.tracer(), sim::Category::Protocol, "bank", _id, ": ",
           reqTypeName(req.type), " 0x", std::hex, req.addr, std::dec,
           " from cluster ", req.cluster);
@@ -372,6 +377,10 @@ L3Bank::makeRoom(mem::Addr base, std::uint32_t txn)
 sim::CoTask
 L3Bank::lookupDomain(mem::Addr base, std::uint32_t txn, bool *out_swcc)
 {
+    // Host-profiler scopes in this coroutine are closed explicitly
+    // before every co_await: a scope left open across a suspension
+    // would time simulated waiting, not host work.
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::RegionTable);
     // The coarse-grain table is checked in parallel with the directory
     // and adds no latency.
     if (_chip.coarseTable().contains(base)) {
@@ -389,7 +398,10 @@ L3Bank::lookupDomain(mem::Addr base, std::uint32_t txn, bool *out_swcc)
     // Optional on-die table cache: a hit avoids the L3 access
     // entirely (one cycle, like the coarse table).
     if (auto cached = _tableCache.lookup(word_addr)) {
+        hp.close();
         co_await Delay{_chip.eq(), _chip.eq().now() + 1};
+        sim::HostProfiler::Scope hp2(
+            sim::HostProfiler::Phase::RegionTable);
         *out_swcc = cohesion::fine_table::bitFromWord(*cached, map, base);
         _chip.rec(FR::Ev::TableRead, FR::compBank(_id), base, txn,
                   *out_swcc ? 1 : 0, FR::tableFromCache);
@@ -400,7 +412,9 @@ L3Bank::lookupDomain(mem::Addr base, std::uint32_t txn, bool *out_swcc)
     std::uint32_t word = 0;
     tline->read(word_addr, &word, 4);
     _tableCache.fill(word_addr, word);
+    hp.close();
     co_await Delay{_chip.eq(), t};
+    sim::HostProfiler::Scope hp3(sim::HostProfiler::Phase::RegionTable);
     *out_swcc = cohesion::fine_table::bitFromWord(word, map, base);
     _chip.rec(FR::Ev::TableRead, FR::compBank(_id), base, txn,
               *out_swcc ? 1 : 0, FR::tableFromMem);
@@ -857,9 +871,11 @@ L3Bank::handleTableUpdate(Request req)
     Held held(_locks, tbl_key);
 
     // Read the current word to find which bits change.
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::RegionTable);
     auto [tline, t0] = l3AccessPrep(tbl_base, true, eq.now());
     std::uint32_t old = 0;
     tline->read(word_addr, &old, 4);
+    hp.close();
     co_await Delay{eq, t0};
 
     std::uint32_t next =
@@ -912,6 +928,8 @@ L3Bank::handleTableUpdate(Request req)
 
         // Commit this line's bit under its lock. The table line may
         // have been evicted from the L3 during the probes; re-prep.
+        sim::HostProfiler::Scope hpc(
+            sim::HostProfiler::Phase::RegionTable);
         auto [tl, tt] = l3AccessPrep(tbl_base, true, eq.now());
         std::uint32_t cur = 0;
         tl->read(word_addr, &cur, 4);
@@ -923,6 +941,7 @@ L3Bank::handleTableUpdate(Request req)
                   to_swcc ? 1 : 0, cur);
         _chip.rec(FR::Ev::TransEnd, FR::compBank(_id), lb, req.msgId,
                   to_swcc ? 1 : 0);
+        hpc.close();
         co_await Delay{eq, tt};
 
         if (!self)

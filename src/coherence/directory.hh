@@ -25,6 +25,7 @@
 #include "cache/cache_array.hh"
 #include "coherence/sharer_set.hh"
 #include "mem/types.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -102,6 +103,7 @@ class Directory
     DirEntry *
     find(mem::Addr base)
     {
+        sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Directory);
         base = mem::lineBase(base);
         auto it = _index.find(base);
         if (it == _index.end())
@@ -143,6 +145,7 @@ class Directory
     DirEntry *
     victimExcluding(mem::Addr base, Pred &&excluded)
     {
+        sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Directory);
         Set &set = _sets[setOf(mem::lineBase(base))];
         for (mem::Addr cand : set.lru) {
             if (!excluded(cand))
@@ -155,6 +158,7 @@ class Directory
     DirEntry &
     insert(mem::Addr base)
     {
+        sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Directory);
         base = mem::lineBase(base);
         panic_if(_index.count(base), "inserting duplicate directory entry for 0x", std::hex, base, std::dec, " state ", static_cast<int>(_index.at(base).entry.state));
         panic_if(needsVictim(base), "inserting into a full set");
@@ -178,6 +182,7 @@ class Directory
     void
     erase(mem::Addr base)
     {
+        sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Directory);
         base = mem::lineBase(base);
         auto it = _index.find(base);
         panic_if(it == _index.end(), "erasing missing directory entry");

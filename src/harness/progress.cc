@@ -1,0 +1,92 @@
+#include "harness/progress.hh"
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+namespace harness {
+
+std::string
+formatRate(double per_sec)
+{
+    std::ostringstream os;
+    os.precision(3);
+    if (per_sec >= 1e9)
+        os << per_sec / 1e9 << "G";
+    else if (per_sec >= 1e6)
+        os << per_sec / 1e6 << "M";
+    else if (per_sec >= 1e3)
+        os << per_sec / 1e3 << "k";
+    else
+        os << per_sec;
+    return os.str();
+}
+
+RunProgress::RunProgress(std::string label, std::ostream *jsonl,
+                         bool human)
+    : _label(std::move(label)), _jsonl(jsonl), _human(human),
+      _start(clock::now()), _last(_start)
+{
+}
+
+void
+RunProgress::beat(std::uint64_t tick, std::uint64_t events)
+{
+    clock::time_point now = clock::now();
+    double since_last =
+        std::chrono::duration<double>(now - _last).count();
+    double elapsed =
+        std::chrono::duration<double>(now - _start).count();
+    double rate = since_last > 0
+                      ? static_cast<double>(events - _lastEvents) /
+                            since_last
+                      : 0;
+    _last = now;
+    _lastEvents = events;
+
+    if (_human) {
+        std::cerr << "progress: [" << _label << "] t=" << tick
+                  << " events=" << events << ' ' << formatRate(rate)
+                  << " ev/s\n";
+    }
+    if (_jsonl) {
+        *_jsonl << "{\"type\":\"run\",\"label\":\"" << _label
+                << "\",\"tick\":" << tick << ",\"events\":" << events
+                << ",\"events_per_sec\":" << rate
+                << ",\"elapsed_sec\":" << elapsed << "}\n";
+        _jsonl->flush();
+    }
+}
+
+void
+printSweepBeat(std::ostream &os, const SweepBeat &b)
+{
+    os << "sweep: " << b.done << "/" << b.total << " done";
+    if (b.failed)
+        os << " (" << b.failed << " failed)";
+    os << ", " << b.running << " running, " << formatRate(b.eventsPerSec)
+       << " ev/s";
+    if (b.final) {
+        os << ", finished in " << std::round(b.elapsedSec * 10) / 10
+           << "s";
+    } else if (b.etaSec >= 0) {
+        os << ", eta " << std::round(b.etaSec) << "s";
+    }
+    os << '\n';
+}
+
+void
+writeSweepBeatJsonl(std::ostream &os, const SweepBeat &b)
+{
+    os << "{\"type\":\"sweep\",\"done\":" << b.done
+       << ",\"failed\":" << b.failed << ",\"running\":" << b.running
+       << ",\"total\":" << b.total << ",\"events\":" << b.events
+       << ",\"events_per_sec\":" << b.eventsPerSec
+       << ",\"elapsed_sec\":" << b.elapsedSec;
+    if (b.etaSec >= 0)
+        os << ",\"eta_sec\":" << b.etaSec;
+    os << ",\"final\":" << (b.final ? "true" : "false") << "}\n";
+    os.flush();
+}
+
+} // namespace harness

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Live-telemetry formatting shared by cohesion-sim and cohesion_sweep:
+ * heartbeat lines describing a running simulation (tick, events,
+ * events/sec) or a running campaign (jobs done/running, aggregate
+ * event rate, ETA). Each beat is emitted in two forms — a human
+ * one-liner on stderr and an optional machine-readable JSON line — so
+ * a terminal user and a wrapping script read the same stream of
+ * truth. Strictly observer: nothing here feeds back into simulation
+ * state, so progress-enabled runs stay byte-identical.
+ */
+
+#ifndef COHESION_HARNESS_PROGRESS_HH
+#define COHESION_HARNESS_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace harness {
+
+/** Format an event rate compactly ("1.43M", "980k", "73"). */
+std::string formatRate(double per_sec);
+
+/**
+ * Heartbeat sink for one simulation run. Install beat() as the chip's
+ * progress hook; each call prints
+ *
+ *   progress: [heat] t=482000 events=1520000 1.43M ev/s
+ *
+ * to stderr (when @p human) and, when @p jsonl is non-null, appends
+ *
+ *   {"type":"run","label":"heat","tick":482000,"events":1520000,
+ *    "events_per_sec":...,"elapsed_sec":...}
+ *
+ * The rate is computed between consecutive beats.
+ */
+class RunProgress
+{
+  public:
+    RunProgress(std::string label, std::ostream *jsonl, bool human = true);
+
+    void beat(std::uint64_t tick, std::uint64_t events);
+
+  private:
+    using clock = std::chrono::steady_clock;
+
+    std::string _label;
+    std::ostream *_jsonl;
+    bool _human;
+    clock::time_point _start;
+    clock::time_point _last;
+    std::uint64_t _lastEvents = 0;
+};
+
+/** One observation of a whole campaign (built by the sweep monitor). */
+struct SweepBeat
+{
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t running = 0;
+    std::size_t total = 0;
+    std::uint64_t events = 0; ///< aggregate over all jobs so far
+    double elapsedSec = 0;
+    double eventsPerSec = 0; ///< since the previous beat
+    double etaSec = -1;      ///< negative: not yet estimable
+    bool final = false;
+};
+
+/** Human one-liner, e.g.
+ *  "sweep: 3/24 done (1 failed), 4 running, 5.2M ev/s, eta 42s". */
+void printSweepBeat(std::ostream &os, const SweepBeat &b);
+
+/** One JSON line ({"type":"sweep",...}), newline-terminated. */
+void writeSweepBeatJsonl(std::ostream &os, const SweepBeat &b);
+
+} // namespace harness
+
+#endif // COHESION_HARNESS_PROGRESS_HH

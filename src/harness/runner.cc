@@ -1,10 +1,12 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <vector>
 
+#include "harness/hostprof.hh"
 #include "harness/report.hh"
 #include "runtime/ctx.hh"
 #include "runtime/layout.hh"
@@ -47,6 +49,21 @@ RunResult
 runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
           const RunOptions &opts)
 {
+    const auto wall0 = std::chrono::steady_clock::now();
+    auto wallSec = [&wall0]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - wall0)
+            .count();
+    };
+    sim::HostProfiler::Profile prof0;
+    if (opts.hostProfile) {
+        sim::HostProfiler::enable(opts.hostSampleShift);
+        // The run's profile is this thread's accumulation delta, so
+        // concurrent sweep jobs on sibling workers don't bleed in.
+        prof0 = sim::HostProfiler::threadSnapshot();
+    }
+    sim::HostProfiler::Scope setup(sim::HostProfiler::Phase::Setup);
+
     arch::MachineConfig cfg_eff = cfg;
     if (cfg_eff.faults.anyEnabled() && cfg_eff.faults.seed == 0) {
         // Chain the fault stream off the workload seed so one --seed
@@ -81,12 +98,16 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
     if (period)
         chip.enableOccupancySampling(period);
 
+    if (opts.progress)
+        chip.setProgressHook(opts.progress);
+
     std::vector<sim::CoTask> workers;
     workers.reserve(chip.totalCores());
     for (unsigned c = 0; c < chip.totalCores(); ++c)
         workers.push_back(kernel.worker(runtime::Ctx(rt, chip.core(c))));
     for (auto &w : workers)
         w.start();
+    setup.close();
 
     sim::Tick end = 0;
     try {
@@ -98,16 +119,20 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
                      " did not finish (deadlock?) at cycle ", end);
         }
 
-        if (opts.audit)
+        if (opts.audit) {
+            sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Audit);
             chip.auditNow(); // final pass over the quiesced machine
+        }
     } catch (const std::exception &e) {
         dumpPostMortem(chip, kernel.name(), kernel.params().seed,
                        e.what());
         throw;
     }
 
-    if (!opts.skipVerify)
+    if (!opts.skipVerify) {
+        sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Verify);
         kernel.verify(rt);
+    }
 
     RunResult r;
     r.cycles = end;
@@ -163,6 +188,8 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
     r.respRetries = chip.respRetries();
 
     if (chip.recorder().enabled()) {
+        sim::HostProfiler::Scope hp(
+            sim::HostProfiler::Phase::TraceExport);
         r.recorderDump = chip.recorder().serialize();
         r.recorderRecorded = chip.recorder().recorded();
         if (!opts.recorderDumpPath.empty()) {
@@ -182,13 +209,29 @@ runKernel(const arch::MachineConfig &cfg, kernels::Kernel &kernel,
     r.fabricDelayDown = chip.fabric().delayDown();
 
     if (opts.statsJson) {
+        sim::HostProfiler::Scope hp(
+            sim::HostProfiler::Phase::StatsExport);
         sim::StatRegistry reg;
         buildStatRegistry(cfg, r, reg);
         chip.registerStats(reg);
+        // host.* rides along in statsJson but is registered only
+        // here, never by the chip: determinism goldens hash the chip
+        // registry and must not see nondeterministic host timings.
+        if (opts.hostProfile) {
+            addHostStats(
+                reg, sim::HostProfiler::threadSnapshot().since(prof0),
+                wallSec());
+        }
         reg.dumpJson(*opts.statsJson);
     }
-    if (trace_json)
+    if (trace_json) {
+        sim::HostProfiler::Scope hp(
+            sim::HostProfiler::Phase::TraceExport);
         trace_json->finish();
+    }
+    if (opts.hostProfile)
+        r.hostProfile = sim::HostProfiler::threadSnapshot().since(prof0);
+    r.hostWallSec = wallSec();
     return r;
 }
 

@@ -17,6 +17,7 @@
 #include "arch/chip.hh"
 #include "arch/machine_config.hh"
 #include "kernels/kernel.hh"
+#include "sim/host_profiler.hh"
 #include "sim/timeseries.hh"
 #include "sim/trace.hh"
 
@@ -90,6 +91,13 @@ struct RunResult
     std::string recorderDump;
     /** Total events the recorder observed (wrapped ones included). */
     std::uint64_t recorderRecorded = 0;
+
+    /** Host-side self-profile of this run (this thread's accumulation
+     *  delta across runKernel; empty when RunOptions::hostProfile is
+     *  off). Nondeterministic — never feed into golden hashes. */
+    sim::HostProfiler::Profile hostProfile;
+    /** Host wall-clock seconds spent inside runKernel (always set). */
+    double hostWallSec = 0;
 };
 
 /** Options controlling a run. New members go at the END: call sites
@@ -124,6 +132,17 @@ struct RunOptions
     /** Per-line sharing-pattern profiler top-N table size. 0 defers to
      *  the default: enabled (top 8) whenever statsJson is requested. */
     unsigned profileTopN = 0;
+    /** Enable the host-side self-profiler (sim/host_profiler.hh):
+     *  fills RunResult::hostProfile and adds the host.* subtree to
+     *  statsJson. Strictly observer — simulated results are identical
+     *  with it on or off. */
+    bool hostProfile = false;
+    /** Sampled-phase timing stride for the self-profiler: time one in
+     *  2^shift occurrences (0 = time every one; tests use that). */
+    unsigned hostSampleShift = sim::HostProfiler::defaultSampleShift;
+    /** Live-progress heartbeat, invoked with (tick, events run) every
+     *  ~0.25 s of host time while the machine runs (null: off). */
+    arch::Chip::ProgressFn progress;
 };
 
 /**

@@ -1,0 +1,205 @@
+#include "harness/statdiff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace harness {
+
+namespace {
+
+void
+flattenInto(const sim::JsonValue &v, const std::string &prefix,
+            std::vector<StatEntry> &out)
+{
+    using Kind = sim::JsonValue::Kind;
+    switch (v.kind) {
+      case Kind::Object:
+        for (const auto &[key, child] : v.obj) {
+            flattenInto(child,
+                        prefix.empty() ? key : prefix + "." + key, out);
+        }
+        return;
+      case Kind::Array:
+        for (std::size_t i = 0; i < v.arr.size(); ++i) {
+            flattenInto(v.arr[i], prefix + "." + std::to_string(i), out);
+        }
+        return;
+      case Kind::Number: {
+          StatEntry e;
+          e.path = prefix;
+          e.numeric = true;
+          e.value = v.number;
+          out.push_back(std::move(e));
+          return;
+      }
+      default: {
+          StatEntry e;
+          e.path = prefix;
+          e.numeric = false;
+          e.text = v.dump();
+          out.push_back(std::move(e));
+          return;
+      }
+    }
+}
+
+bool
+pathIgnored(const std::string &path,
+            const std::vector<std::string> &segments)
+{
+    std::size_t start = 0;
+    while (start <= path.size()) {
+        std::size_t dot = path.find('.', start);
+        std::size_t len =
+            (dot == std::string::npos ? path.size() : dot) - start;
+        for (const std::string &seg : segments) {
+            if (path.compare(start, len, seg) == 0)
+                return true;
+        }
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return false;
+}
+
+std::string
+numberText(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<StatEntry>
+flattenStats(const sim::JsonValue &doc)
+{
+    std::vector<StatEntry> out;
+    flattenInto(doc, "", out);
+    std::sort(out.begin(), out.end(),
+              [](const StatEntry &a, const StatEntry &b) {
+                  return a.path < b.path;
+              });
+    return out;
+}
+
+DiffResult
+diffStats(const sim::JsonValue &a, const sim::JsonValue &b,
+          const DiffOptions &opts)
+{
+    std::vector<StatEntry> fa = flattenStats(a);
+    std::vector<StatEntry> fb = flattenStats(b);
+
+    DiffResult d;
+    std::size_t ia = 0, ib = 0;
+    auto skip = [&](const StatEntry &e) {
+        return pathIgnored(e.path, opts.ignoreSegments);
+    };
+    while (ia < fa.size() || ib < fb.size()) {
+        if (ia < fa.size() && skip(fa[ia])) {
+            ++ia;
+            continue;
+        }
+        if (ib < fb.size() && skip(fb[ib])) {
+            ++ib;
+            continue;
+        }
+        if (ib == fb.size() ||
+            (ia < fa.size() && fa[ia].path < fb[ib].path)) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::Removed;
+            e.path = fa[ia].path;
+            e.before =
+                fa[ia].numeric ? numberText(fa[ia].value) : fa[ia].text;
+            d.entries.push_back(std::move(e));
+            ++ia;
+            continue;
+        }
+        if (ia == fa.size() || fb[ib].path < fa[ia].path) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::Added;
+            e.path = fb[ib].path;
+            e.after =
+                fb[ib].numeric ? numberText(fb[ib].value) : fb[ib].text;
+            d.entries.push_back(std::move(e));
+            ++ib;
+            continue;
+        }
+        // Same path in both.
+        const StatEntry &ea = fa[ia];
+        const StatEntry &eb = fb[ib];
+        ++ia;
+        ++ib;
+        ++d.compared;
+        if (ea.numeric && eb.numeric) {
+            double delta = std::abs(ea.value - eb.value);
+            double mag = std::max(std::abs(ea.value), std::abs(eb.value));
+            double rel = mag > 0 ? delta / mag : 0;
+            if (delta <= opts.absTol || rel <= opts.relTol ||
+                delta == 0) {
+                continue;
+            }
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::Changed;
+            e.path = ea.path;
+            e.before = numberText(ea.value);
+            e.after = numberText(eb.value);
+            e.absDelta = delta;
+            e.relDelta = rel;
+            d.entries.push_back(std::move(e));
+        } else if (ea.numeric != eb.numeric ||
+                   ea.text != eb.text) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::Changed;
+            e.path = ea.path;
+            e.before = ea.numeric ? numberText(ea.value) : ea.text;
+            e.after = eb.numeric ? numberText(eb.value) : eb.text;
+            d.entries.push_back(std::move(e));
+        }
+    }
+    return d;
+}
+
+void
+printDiff(std::ostream &os, const DiffResult &d,
+          const std::string &label_a, const std::string &label_b)
+{
+    std::size_t added = 0, removed = 0, changed = 0;
+    for (const DiffEntry &e : d.entries) {
+        switch (e.kind) {
+          case DiffEntry::Kind::Added:
+            ++added;
+            os << "+ " << e.path << " = " << e.after << '\n';
+            break;
+          case DiffEntry::Kind::Removed:
+            ++removed;
+            os << "- " << e.path << " = " << e.before << '\n';
+            break;
+          case DiffEntry::Kind::Changed:
+            ++changed;
+            os << "~ " << e.path << ": " << e.before << " -> "
+               << e.after;
+            if (e.relDelta > 0) {
+                os << " (" << e.absDelta << " abs, "
+                   << e.relDelta * 100 << "% rel)";
+            }
+            os << '\n';
+            break;
+        }
+    }
+    if (d.identical()) {
+        os << label_a << " and " << label_b << " match: " << d.compared
+           << " stats compared, no differences\n";
+    } else {
+        os << label_a << " vs " << label_b << ": " << d.compared
+           << " stats compared, " << changed << " changed, " << added
+           << " added, " << removed << " removed\n";
+    }
+}
+
+} // namespace harness

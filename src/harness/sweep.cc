@@ -3,10 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <iostream>
 #include <mutex>
 #include <thread>
 
 #include "coherence/auditor.hh"
+#include "harness/progress.hh"
 #include "kernels/registry.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -43,10 +45,13 @@ SweepEngine::SweepEngine(unsigned threads) : _threads(threads)
 }
 
 JobResult
-SweepEngine::runOne(const SweepJob &job)
+SweepEngine::runOne(const SweepJob &job, JobTelemetry *telemetry)
 {
     JobResult r;
     r.label = job.label;
+    if (telemetry)
+        telemetry->state.store(JobTelemetry::Running,
+                               std::memory_order_release);
 
     // Everything the machine prints — including the message of the
     // panic/fatal that kills it — lands in this job's private buffer,
@@ -54,7 +59,8 @@ SweepEngine::runOne(const SweepJob &job)
     LogCapture capture;
     auto t0 = std::chrono::steady_clock::now();
     try {
-        r.run = job.body();
+        r.run = telemetry && job.bodyT ? job.bodyT(telemetry)
+                                       : job.body();
         r.outcome = JobOutcome::Ok;
     } catch (const coherence::AuditError &e) {
         r.outcome = JobOutcome::Audit;
@@ -79,6 +85,14 @@ SweepEngine::runOne(const SweepJob &job)
                     std::chrono::steady_clock::now() - t0)
                     .count();
     r.log = capture.text();
+    if (telemetry) {
+        if (r.ok())
+            telemetry->events.store(r.run.eventsRun,
+                                    std::memory_order_relaxed);
+        telemetry->state.store(r.ok() ? JobTelemetry::Done
+                                      : JobTelemetry::Failed,
+                               std::memory_order_release);
+    }
     return r;
 }
 
@@ -119,54 +133,169 @@ struct WorkDeque
 std::vector<JobResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs) const
 {
+    return run(jobs, SweepProgress{});
+}
+
+std::vector<JobResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs,
+                 const SweepProgress &progress) const
+{
     std::vector<JobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
     unsigned workers = _threads;
     if (workers > jobs.size())
         workers = static_cast<unsigned>(jobs.size());
 
+    // Telemetry slots and the monitor that samples them. A deque so
+    // the non-movable atomic slots construct in place. The monitor
+    // strictly reads; the ETA feeds off completed-job wall times.
+    const bool live = progress.enabled;
+    std::deque<JobTelemetry> slots(live ? jobs.size() : 0);
+    std::atomic<std::uint64_t> doneWallUs{0};
+
+    auto execJob = [&](std::size_t idx) {
+        JobTelemetry *t = live ? &slots[idx] : nullptr;
+        results[idx] = runOne(jobs[idx], t);
+        doneWallUs.fetch_add(
+            static_cast<std::uint64_t>(results[idx].wallSec * 1e6),
+            std::memory_order_relaxed);
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto makeBeat = [&](std::uint64_t *last_events,
+                        std::chrono::steady_clock::time_point *last_t,
+                        bool final) {
+        harness::SweepBeat b;
+        b.total = jobs.size();
+        b.final = final;
+        std::uint64_t events = 0;
+        for (JobTelemetry &s : slots) {
+            std::uint8_t st = s.state.load(std::memory_order_acquire);
+            events += s.events.load(std::memory_order_relaxed);
+            if (st == JobTelemetry::Done) {
+                ++b.done;
+            } else if (st == JobTelemetry::Failed) {
+                ++b.done;
+                ++b.failed;
+            } else if (st == JobTelemetry::Running) {
+                ++b.running;
+            }
+        }
+        auto now = std::chrono::steady_clock::now();
+        b.events = events;
+        b.elapsedSec =
+            std::chrono::duration<double>(now - t0).count();
+        double dt =
+            std::chrono::duration<double>(now - *last_t).count();
+        b.eventsPerSec =
+            dt > 0 ? static_cast<double>(events - *last_events) / dt : 0;
+        *last_events = events;
+        *last_t = now;
+        if (b.done > 0 && !final) {
+            double avg_wall =
+                static_cast<double>(
+                    doneWallUs.load(std::memory_order_relaxed)) /
+                1e6 / static_cast<double>(b.done);
+            b.etaSec = avg_wall *
+                       static_cast<double>(b.total - b.done) /
+                       static_cast<double>(workers ? workers : 1);
+        }
+        return b;
+    };
+    auto emit = [&](const harness::SweepBeat &b) {
+        if (progress.human)
+            harness::printSweepBeat(std::cerr, b);
+        if (progress.jsonl)
+            harness::writeSweepBeatJsonl(*progress.jsonl, b);
+    };
+
+    std::atomic<bool> stop_monitor{false};
+    std::thread monitor;
+    if (live) {
+        monitor = std::thread([&]() {
+            std::uint64_t last_events = 0;
+            auto last_t = t0;
+            auto next = t0 + std::chrono::duration<double>(
+                                 progress.intervalSec);
+            while (!stop_monitor.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                if (std::chrono::steady_clock::now() < next)
+                    continue;
+                emit(makeBeat(&last_events, &last_t, false));
+                next += std::chrono::duration<double>(
+                    progress.intervalSec);
+            }
+            // Final summary beat with everything accounted for.
+            emit(makeBeat(&last_events, &last_t, true));
+        });
+    }
+
     if (workers <= 1) {
         // The bit-exact serial reference (--jobs 1).
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runOne(jobs[i]);
-        return results;
+            execJob(i);
+    } else {
+        // Deal jobs round-robin so every worker starts with a spread
+        // of the submission order (adjacent jobs are often similar
+        // cost).
+        std::vector<WorkDeque> deques(workers);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            deques[i % workers].q.push_back(i);
+
+        std::atomic<std::size_t> remaining{jobs.size()};
+
+        auto workerFn = [&](unsigned self) {
+            for (;;) {
+                std::size_t idx;
+                bool have = deques[self].popFront(&idx);
+                for (unsigned v = 1; !have && v < workers; ++v)
+                    have = deques[(self + v) % workers].popBack(&idx);
+                if (!have) {
+                    if (remaining.load(std::memory_order_acquire) == 0)
+                        return;
+                    // Queues are dry but a sibling is still running
+                    // its last job; it cannot spawn more, so just
+                    // wait it out.
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+                    continue;
+                }
+                execJob(idx);
+                remaining.fetch_sub(1, std::memory_order_acq_rel);
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(workerFn, w);
+        for (std::thread &t : pool)
+            t.join();
     }
 
-    // Deal jobs round-robin so every worker starts with a spread of
-    // the submission order (adjacent jobs are often similar cost).
-    std::vector<WorkDeque> deques(workers);
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        deques[i % workers].q.push_back(i);
-
-    std::atomic<std::size_t> remaining{jobs.size()};
-
-    auto workerFn = [&](unsigned self) {
-        for (;;) {
-            std::size_t idx;
-            bool have = deques[self].popFront(&idx);
-            for (unsigned v = 1; !have && v < workers; ++v)
-                have = deques[(self + v) % workers].popBack(&idx);
-            if (!have) {
-                if (remaining.load(std::memory_order_acquire) == 0)
-                    return;
-                // Queues are dry but a sibling is still running its
-                // last job; it cannot spawn more, so just wait it out.
-                std::this_thread::sleep_for(
-                    std::chrono::microseconds(200));
-                continue;
-            }
-            results[idx] = runOne(jobs[idx]);
-            remaining.fetch_sub(1, std::memory_order_acq_rel);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back(workerFn, w);
-    for (std::thread &t : pool)
-        t.join();
+    if (live) {
+        stop_monitor.store(true, std::memory_order_release);
+        monitor.join();
+    }
     return results;
 }
+
+namespace {
+
+harness::RunOptions
+optsFor(const SweepPoint &p)
+{
+    harness::RunOptions opts;
+    opts.sampleOccupancy = p.sampleOccupancy;
+    opts.skipVerify = p.skipVerify;
+    opts.audit = p.audit;
+    opts.hostProfile = p.hostProfile;
+    return opts;
+}
+
+} // namespace
 
 SweepJob
 makeJob(const SweepPoint &p)
@@ -174,10 +303,17 @@ makeJob(const SweepPoint &p)
     SweepJob job;
     job.label = p.label;
     job.body = [p]() {
-        harness::RunOptions opts;
-        opts.sampleOccupancy = p.sampleOccupancy;
-        opts.skipVerify = p.skipVerify;
-        opts.audit = p.audit;
+        return harness::runKernel(p.cfg, kernels::kernelFactory(p.kernel),
+                                  p.params, optsFor(p));
+    };
+    job.bodyT = [p](JobTelemetry *t) {
+        harness::RunOptions opts = optsFor(p);
+        // The hook only stores into the job's telemetry slot; the
+        // monitor reads it. Nothing flows back into the simulation.
+        opts.progress = [t](sim::Tick tick, std::uint64_t events) {
+            t->tick.store(tick, std::memory_order_relaxed);
+            t->events.store(events, std::memory_order_relaxed);
+        };
         return harness::runKernel(p.cfg, kernels::kernelFactory(p.kernel),
                                   p.params, opts);
     };

@@ -29,8 +29,10 @@
 #ifndef COHESION_HARNESS_SWEEP_HH
 #define COHESION_HARNESS_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -54,12 +56,31 @@ enum class JobOutcome : std::uint8_t
 
 const char *jobOutcomeName(JobOutcome o);
 
+/**
+ * Live-telemetry slot for one job: the job's progress hook stores,
+ * the sweep monitor thread loads. Lock-free and strictly one-way —
+ * nothing a reader does can perturb the job, so progress-enabled
+ * sweeps stay byte-identical.
+ */
+struct JobTelemetry
+{
+    enum State : std::uint8_t { Pending, Running, Done, Failed };
+
+    std::atomic<std::uint8_t> state{Pending};
+    std::atomic<std::uint64_t> tick{0};
+    std::atomic<std::uint64_t> events{0};
+};
+
 /** One schedulable unit: a label and a body that builds, runs and
  *  tears down a private Machine, returning its statistics. */
 struct SweepJob
 {
     std::string label;
     std::function<harness::RunResult()> body;
+    /** Optional telemetry-aware body, preferred when the engine runs
+     *  with progress enabled; receives the job's live slot (never
+     *  null). Falls back to body when unset. */
+    std::function<harness::RunResult(JobTelemetry *)> bodyT;
 };
 
 /** What came back from one job. */
@@ -85,6 +106,19 @@ struct JobResult
  * idling the pool. The result vector is indexed by submission order,
  * so scheduling never changes what the caller observes.
  */
+/** Campaign-level live telemetry controls (SweepEngine::run). */
+struct SweepProgress
+{
+    bool enabled = false;
+    /** Human one-liners on stderr (on unless a script only wants the
+     *  JSON-lines stream). */
+    bool human = true;
+    /** Optional JSON-lines sink (not owned; null: none). */
+    std::ostream *jsonl = nullptr;
+    /** Seconds between heartbeats. */
+    double intervalSec = 1.0;
+};
+
 class SweepEngine
 {
   public:
@@ -100,9 +134,18 @@ class SweepEngine
      */
     std::vector<JobResult> run(const std::vector<SweepJob> &jobs) const;
 
+    /** As above, with a live heartbeat: a monitor thread samples every
+     *  job's telemetry slot on @p progress.intervalSec and emits
+     *  campaign one-liners / JSON lines. The monitor only reads
+     *  atomics — results are identical to the plain overload. */
+    std::vector<JobResult> run(const std::vector<SweepJob> &jobs,
+                               const SweepProgress &progress) const;
+
     /** Convenience: run one body outside any pool with the same
-     *  classification and log capture. */
-    static JobResult runOne(const SweepJob &job);
+     *  classification and log capture. @p telemetry (optional) is
+     *  handed to the job's telemetry-aware body. */
+    static JobResult runOne(const SweepJob &job,
+                            JobTelemetry *telemetry = nullptr);
 
   private:
     unsigned _threads;
@@ -118,6 +161,8 @@ struct SweepPoint
     bool sampleOccupancy = false;
     bool skipVerify = false;
     bool audit = true;
+    /** Enable the host-side self-profiler in each job. */
+    bool hostProfile = false;
 };
 
 /** Lower a declarative point to a runnable job. */

@@ -19,6 +19,7 @@
 #include "kernels/registry.hh"
 #include "runtime/ctx.hh"
 #include "runtime/layout.hh"
+#include "sim/host_profiler.hh"
 #include "sim/stat_registry.hh"
 
 namespace {
@@ -48,13 +49,17 @@ struct Fingerprint
     }
 };
 
-/** One complete kernel run, reduced to its deterministic fingerprint. */
+/** One complete kernel run, reduced to its deterministic fingerprint.
+ *  @p progress installs a hook on the shortest interval, maximising
+ *  the number of extra event-queue burst boundaries. */
 Fingerprint
-runOnce(const std::string &kernel_name)
+runOnce(const std::string &kernel_name, bool progress = false)
 {
     arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
     arch::Chip chip(cfg, runtime::Layout::tableBase);
     runtime::CohesionRuntime rt(chip);
+    if (progress)
+        chip.setProgressHook([](sim::Tick, std::uint64_t) {}, 0.0);
 
     kernels::Params params;
     params.scale = 1;
@@ -94,6 +99,30 @@ TEST(Determinism, RepeatedRunIsBitIdentical)
     // A trivially-empty run would make the equality vacuous.
     EXPECT_GT(a.finalTick, 0u);
     EXPECT_GT(a.eventsRun, 0u);
+}
+
+/** The host profiler and the progress hook are strictly observers:
+ *  the golden fingerprint (which hashes the chip's stat registry —
+ *  host.* never registers there) must not move when either is on. */
+TEST(Determinism, ProfilerAndProgressDoNotPerturb)
+{
+    Fingerprint base = runOnce("heat");
+
+    sim::HostProfiler::enable();
+    Fingerprint profiled = runOnce("heat");
+    // Progress chunking bounds dispatch bursts; run it together with
+    // the profiler, the way --progress --host-profile runs do.
+    Fingerprint both = runOnce("heat", /*progress=*/true);
+    sim::HostProfiler::disable();
+    Fingerprint progressed = runOnce("heat", /*progress=*/true);
+
+    EXPECT_TRUE(base == profiled);
+    EXPECT_TRUE(base == progressed);
+    EXPECT_TRUE(base == both);
+
+    // And the profiler actually observed the profiled runs.
+    sim::HostProfiler::Profile p = sim::HostProfiler::threadSnapshot();
+    EXPECT_GT(p[sim::HostProfiler::Phase::EqDispatch].count, 0u);
 }
 
 } // namespace

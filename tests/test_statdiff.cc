@@ -1,0 +1,125 @@
+/** @file
+ * Stats-diff unit tests: flattening to dotted paths, the merge-walk
+ * diff (added/removed/changed), absolute and relative tolerances, and
+ * the default host.* / wall_sec ignore list that makes
+ * "byte-identical modulo host time" expressible as an empty diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/statdiff.hh"
+#include "sim/json.hh"
+
+namespace {
+
+sim::JsonValue
+parse(const std::string &text)
+{
+    sim::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(sim::parseJson(text, &v, &err)) << err;
+    return v;
+}
+
+TEST(StatDiff, FlattensNestedObjectsAndArrays)
+{
+    sim::JsonValue doc = parse(
+        R"({"chip": {"l3": {"hits": 10}}, "jobs": [{"cycles": 5}, {"cycles": 7}]})");
+    std::vector<harness::StatEntry> flat = harness::flattenStats(doc);
+    ASSERT_EQ(flat.size(), 3u);
+    // Sorted by path.
+    EXPECT_EQ(flat[0].path, "chip.l3.hits");
+    EXPECT_EQ(flat[0].value, 10);
+    EXPECT_EQ(flat[1].path, "jobs.0.cycles");
+    EXPECT_EQ(flat[2].path, "jobs.1.cycles");
+    EXPECT_EQ(flat[2].value, 7);
+}
+
+TEST(StatDiff, IdenticalDocumentsCompareEmpty)
+{
+    sim::JsonValue a = parse(R"({"x": 1, "y": {"z": 2}})");
+    harness::DiffResult d = harness::diffStats(a, a, {});
+    EXPECT_TRUE(d.identical());
+    EXPECT_EQ(d.compared, 2u);
+}
+
+TEST(StatDiff, ReportsAddedRemovedChanged)
+{
+    sim::JsonValue a = parse(R"({"gone": 1, "same": 2, "moved": 3})");
+    sim::JsonValue b = parse(R"({"new": 9, "same": 2, "moved": 4})");
+    harness::DiffResult d = harness::diffStats(a, b, {});
+    ASSERT_EQ(d.entries.size(), 3u);
+    // Entries come out in path order: gone, moved, new.
+    EXPECT_EQ(d.entries[0].kind, harness::DiffEntry::Kind::Removed);
+    EXPECT_EQ(d.entries[0].path, "gone");
+    EXPECT_EQ(d.entries[1].kind, harness::DiffEntry::Kind::Changed);
+    EXPECT_EQ(d.entries[1].path, "moved");
+    EXPECT_EQ(d.entries[1].absDelta, 1);
+    EXPECT_EQ(d.entries[2].kind, harness::DiffEntry::Kind::Added);
+    EXPECT_EQ(d.entries[2].path, "new");
+    EXPECT_EQ(d.compared, 2u); // same + moved
+}
+
+TEST(StatDiff, AbsoluteAndRelativeTolerances)
+{
+    sim::JsonValue a = parse(R"({"x": 100.0, "y": 1000.0})");
+    sim::JsonValue b = parse(R"({"x": 100.5, "y": 1019.0})");
+
+    harness::DiffOptions none;
+    none.ignoreSegments.clear();
+    EXPECT_EQ(harness::diffStats(a, b, none).entries.size(), 2u);
+
+    harness::DiffOptions abs = none;
+    abs.absTol = 0.5; // x passes (delta 0.5), y fails (delta 19)
+    EXPECT_EQ(harness::diffStats(a, b, abs).entries.size(), 1u);
+    EXPECT_EQ(harness::diffStats(a, b, abs).entries[0].path, "y");
+
+    harness::DiffOptions rel = none;
+    rel.relTol = 0.02; // both within 2%
+    EXPECT_TRUE(harness::diffStats(a, b, rel).identical());
+}
+
+TEST(StatDiff, DefaultIgnoreListSkipsHostSubtrees)
+{
+    // Same deterministic stats, different host timings — the default
+    // options call that a match (exit 0 for cohesion-diff).
+    sim::JsonValue a = parse(
+        R"({"cycles": 5, "host": {"wall_sec": 1.2},
+            "jobs": [{"ev": 1, "host": {"wall_sec": 0.3}}]})");
+    sim::JsonValue b = parse(
+        R"({"cycles": 5, "host": {"wall_sec": 9.9},
+            "jobs": [{"ev": 1, "host": {"wall_sec": 0.7}}]})");
+    harness::DiffResult d = harness::diffStats(a, b, {});
+    EXPECT_TRUE(d.identical());
+    EXPECT_EQ(d.compared, 2u); // cycles + jobs.0.ev
+
+    // But an explicit empty ignore list sees the host drift.
+    harness::DiffOptions strict;
+    strict.ignoreSegments.clear();
+    EXPECT_FALSE(harness::diffStats(a, b, strict).identical());
+}
+
+TEST(StatDiff, NonNumericLeavesCompareByText)
+{
+    sim::JsonValue a = parse(R"({"outcome": "ok", "flag": true})");
+    sim::JsonValue b = parse(R"({"outcome": "audit", "flag": true})");
+    harness::DiffResult d = harness::diffStats(a, b, {});
+    ASSERT_EQ(d.entries.size(), 1u);
+    EXPECT_EQ(d.entries[0].path, "outcome");
+}
+
+TEST(StatDiff, PrintDiffSummarises)
+{
+    sim::JsonValue a = parse(R"({"x": 1})");
+    sim::JsonValue b = parse(R"({"x": 2})");
+    harness::DiffResult d = harness::diffStats(a, b, {});
+    std::ostringstream os;
+    harness::printDiff(os, d, "a.json", "b.json");
+    EXPECT_NE(os.str().find("~ x: 1 -> 2"), std::string::npos);
+    EXPECT_NE(os.str().find("1 changed"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * cohesion-diff: structured comparison of two statistics documents —
+ * the JSON written by `cohesion-sim --stats-json`, a standalone
+ * `--host-profile` report, or a whole `cohesion_sweep --out` results
+ * file. Both documents are flattened to dotted scalar paths and
+ * merge-diffed under optional tolerances:
+ *
+ *   cohesion-diff a.stats.json b.stats.json
+ *   cohesion-diff --rel-tol 0.02 base.json candidate.json
+ *   cohesion-diff --no-ignore-host a.json b.json
+ *
+ * Host-side self-observation (`host.*` subtrees, per-job `wall_sec`)
+ * is wall-clock data and differs run to run by nature; those paths
+ * are ignored by default so "byte-identical modulo host time" is exit
+ * code 0 — the property CI gates `--jobs 1` vs `--jobs 8` sweeps on.
+ *
+ * Options:
+ *   --abs-tol X        numeric leaves pass when |a-b| <= X
+ *   --rel-tol X        ... or |a-b| <= X * max(|a|,|b|)
+ *   --ignore SEG       also ignore paths containing segment SEG
+ *                      (repeatable)
+ *   --no-ignore-host   compare host.* and wall_sec too
+ *   --quiet            summary line only, no per-stat lines
+ *
+ * Exit codes: 0 documents match, 1 differences found, 2 usage error,
+ * 3 a file is missing or unreadable, 4 a file is not valid JSON.
+ * The distinct codes let CI tell "regression" from "artifact never
+ * got produced" from "artifact corrupt".
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "harness/statdiff.hh"
+#include "sim/json.hh"
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: cohesion-diff [--abs-tol X] [--rel-tol X]\n"
+        "                     [--ignore SEG] [--no-ignore-host]\n"
+        "                     [--quiet] A.json B.json\n"
+        "exit: 0 match, 1 differ, 2 usage, 3 missing file, 4 bad "
+        "JSON\n";
+    std::exit(code);
+}
+
+/** Read and parse one document; exits 3 / 4 on failure. */
+sim::JsonValue
+loadDoc(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cohesion-diff: cannot open " << path << '\n';
+        std::exit(3);
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    sim::JsonValue doc;
+    std::string err;
+    if (!sim::parseJson(text, &doc, &err)) {
+        std::cerr << "cohesion-diff: " << path << ": " << err << '\n';
+        std::exit(4);
+    }
+    return doc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::DiffOptions opts;
+    std::vector<std::string> files;
+    bool quiet = false;
+    bool ignore_host = true;
+    std::vector<std::string> extra_ignores;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires a value\n";
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--abs-tol")) {
+            opts.absTol = std::atof(next("--abs-tol"));
+        } else if (!std::strcmp(argv[i], "--rel-tol")) {
+            opts.relTol = std::atof(next("--rel-tol"));
+        } else if (!std::strcmp(argv[i], "--ignore")) {
+            extra_ignores.push_back(next("--ignore"));
+        } else if (!std::strcmp(argv[i], "--no-ignore-host")) {
+            ignore_host = false;
+        } else if (!std::strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else if (!std::strcmp(argv[i], "--help")) {
+            usage(0);
+        } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-")) {
+            std::cerr << "unknown option: " << argv[i] << '\n';
+            usage(2);
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.size() != 2) {
+        std::cerr << "cohesion-diff: need exactly two files\n";
+        usage(2);
+    }
+    if (!ignore_host)
+        opts.ignoreSegments.clear();
+    opts.ignoreSegments.insert(opts.ignoreSegments.end(),
+                               extra_ignores.begin(),
+                               extra_ignores.end());
+
+    sim::JsonValue a = loadDoc(files[0]);
+    sim::JsonValue b = loadDoc(files[1]);
+
+    harness::DiffResult d = harness::diffStats(a, b, opts);
+    if (quiet) {
+        std::size_t added = 0, removed = 0, changed = 0;
+        for (const harness::DiffEntry &e : d.entries) {
+            switch (e.kind) {
+              case harness::DiffEntry::Kind::Added: ++added; break;
+              case harness::DiffEntry::Kind::Removed: ++removed; break;
+              case harness::DiffEntry::Kind::Changed: ++changed; break;
+            }
+        }
+        if (d.identical()) {
+            std::cout << files[0] << " and " << files[1] << " match: "
+                      << d.compared << " stats compared\n";
+        } else {
+            std::cout << files[0] << " vs " << files[1] << ": "
+                      << changed << " changed, " << added << " added, "
+                      << removed << " removed\n";
+        }
+    } else {
+        harness::printDiff(std::cout, d, files[0], files[1]);
+    }
+    return d.identical() ? 0 : 1;
+}

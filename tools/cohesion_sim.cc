@@ -33,6 +33,10 @@
  *   --recorder-dump F write the binary recorder dump after the run
  *                     (decode with cohesion-trace)
  *   --watch-line A    narrate recorded events touching line A live
+ *   --host-profile F  enable the host-side self-profiler and write its
+ *                     JSON report (per-phase host time) to F
+ *   --progress[=F]    live heartbeat on stderr while the run executes;
+ *                     =F also appends machine-readable JSON lines to F
  */
 
 #include <cstring>
@@ -43,6 +47,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/hostprof.hh"
+#include "harness/progress.hh"
 #include "harness/report.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
@@ -68,6 +74,7 @@ usage(int code)
         "                    [--fault-drop-rate R] [--no-audit]\n"
         "                    [--recorder N] [--recorder-dump FILE]\n"
         "                    [--watch-line 0xADDR]\n"
+        "                    [--host-profile FILE] [--progress[=FILE]]\n"
         "  trace categories: protocol,cache,transition,net,dram,\n"
         "                    runtime,watchdog,fault,all\n"
         "  FILE may be \"-\" for stdout (except --trace-json)\n";
@@ -107,6 +114,8 @@ main(int argc, char **argv)
     bool csv = false;
     std::string trace;
     std::string stats_json, trace_json, timeseries_csv;
+    std::string host_profile, progress_jsonl;
+    bool progress = false;
     std::string fault_plan_path;
     std::uint64_t fault_seed = 0;
     double fault_drop_rate = 0.0;
@@ -169,6 +178,13 @@ main(int argc, char **argv)
                 std::strtoul(next("--recorder"), nullptr, 0));
         } else if (!std::strcmp(argv[i], "--recorder-dump")) {
             opts.recorderDumpPath = next("--recorder-dump");
+        } else if (!std::strcmp(argv[i], "--host-profile")) {
+            host_profile = next("--host-profile");
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            progress = true;
+        } else if (!std::strncmp(argv[i], "--progress=", 11)) {
+            progress = true;
+            progress_jsonl = argv[i] + 11;
         } else if (!std::strcmp(argv[i], "--watch-line")) {
             opts.watchLine =
                 std::strtoull(next("--watch-line"), nullptr, 0);
@@ -239,15 +255,36 @@ main(int argc, char **argv)
         opts.sampleOccupancy = true;
     }
 
+    if (!host_profile.empty())
+        opts.hostProfile = true;
+    std::optional<harness::RunProgress> prog;
+    if (progress) {
+        std::ostream *jsonl = progress_jsonl.empty()
+                                  ? nullptr
+                                  : openSink(progress_jsonl, sinks);
+        prog.emplace(kernel, jsonl);
+        opts.progress = [&prog](sim::Tick t, std::uint64_t events) {
+            prog->beat(t, events);
+        };
+    }
+
     try {
         opts.traceMask = sim::parseCategories(trace);
         harness::RunResult r = harness::runKernel(
             cfg, kernels::kernelFactory(kernel), params, opts);
         if (!timeseries_csv.empty())
             r.timeSeries.dumpCsv(*openSink(timeseries_csv, sinks));
+        if (!host_profile.empty()) {
+            // The RunResult snapshot already includes the export
+            // phases: it is taken at the very end of runKernel.
+            harness::writeHostProfileJson(*openSink(host_profile, sinks),
+                                          r.hostProfile, r.hostWallSec,
+                                          r.eventsRun);
+        }
         // A "-" sink claims stdout for machine-readable output; the
         // human report would corrupt it.
-        if (stats_json == "-" || timeseries_csv == "-") {
+        if (stats_json == "-" || timeseries_csv == "-" ||
+            host_profile == "-") {
         } else if (csv) {
             harness::printCsv(std::cout, cfg, r);
         } else {

@@ -7,8 +7,18 @@
  *      cohesion-sweep --spec sweep.json --jobs 8 --out results.json
  *
  *    The spec is the cross-product schema of harness/sweep.hh; results
- *    are written as a JSON array in job-submission order (identical
- *    for any --jobs value). Exit 1 if any job failed.
+ *    are written as a JSON object whose "jobs" array is in
+ *    job-submission order and deterministic for any --jobs value;
+ *    host timing (per-job "host" subtrees, the top-level "host"
+ *    aggregate) is the one nondeterministic part and is ignored by
+ *    cohesion-diff by default. Exit 1 if any job failed.
+ *
+ *    --progress[=FILE] emits a campaign heartbeat every second —
+ *    done/failed/running counts, aggregate events/sec, an ETA — as a
+ *    human one-liner on stderr and, with =FILE, as JSON lines. The
+ *    monitor thread only reads per-job atomics, so results stay
+ *    identical. --host-profile enables the in-simulator host profiler
+ *    in every job and reports per-job attribution in the results.
  *
  * 2. Baseline mode — re-run the committed perf/paper-metric baseline
  *    and gate on drift:
@@ -52,6 +62,7 @@ usage(int code)
 {
     std::cout <<
         "usage: cohesion-sweep --spec FILE [--jobs N] [--out FILE]\n"
+        "                      [--progress[=FILE]] [--host-profile]\n"
         "       cohesion-sweep --baseline FILE [--jobs N]\n"
         "                      [--tolerance-pct P] "
         "[--perf-tolerance-pct P]\n"
@@ -70,6 +81,9 @@ usage(int code)
         "  --perf-only            gate only throughput\n"
         "  --kernels a,b,c        restrict baseline kernels\n"
         "  --quick                baseline: three fastest kernels only\n"
+        "  --progress[=FILE]      live heartbeat on stderr (and JSON\n"
+        "                         lines to FILE)\n"
+        "  --host-profile         profile host time inside each job\n"
         "exit: 0 ok, 1 error/failed job, 2 metric drift, 3 perf "
         "regression\n";
     std::exit(code);
@@ -91,13 +105,18 @@ void
 writeResultsJson(std::ostream &os,
                  const std::vector<sim::JobResult> &results)
 {
-    os << "[\n";
+    // Everything under the per-job "host" keys and the top-level
+    // "host" aggregate is nondeterministic wall-clock data;
+    // cohesion-diff skips those subtrees by default so results files
+    // still compare identical for any --jobs value.
+    os << "{\n  \"schema\": \"cohesion-sweep-results-v2\",\n"
+       << "  \"jobs\": [\n";
+    double wall_total = 0, wall_max = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const sim::JobResult &r = results[i];
-        // No wall_sec here: host timing is the one nondeterministic
-        // job datum, and the results file is specified to be
-        // byte-identical for any --jobs value.
-        os << "  {\"label\": ";
+        wall_total += r.wallSec;
+        wall_max = std::max(wall_max, r.wallSec);
+        os << "    {\"label\": ";
         sim::writeJsonString(os, r.label);
         os << ", \"outcome\": ";
         sim::writeJsonString(os, sim::jobOutcomeName(r.outcome));
@@ -122,14 +141,56 @@ writeResultsJson(std::ostream &os,
             os << ", \"log\": ";
             sim::writeJsonString(os, r.log);
         }
-        os << '}' << (i + 1 < results.size() ? ",\n" : "\n");
+        os << ", \"host\": {\"wall_sec\": " << r.wallSec;
+        if (r.ok() && !r.run.hostProfile.empty()) {
+            double attr = r.run.hostProfile.attributedNs() / 1e9;
+            os << ", \"attributed_sec\": " << attr;
+            if (r.run.hostWallSec > 0) {
+                os << ", \"attributed_pct\": "
+                   << 100.0 * attr / r.run.hostWallSec;
+            }
+        }
+        os << "}}" << (i + 1 < results.size() ? ",\n" : "\n");
     }
-    os << "]\n";
+    os << "  ],\n  \"host\": {\"jobs\": " << results.size()
+       << ", \"wall_sec_total\": " << wall_total
+       << ", \"wall_sec_max\": " << wall_max << "}\n}\n";
 }
+
+/** Campaign-table footer: where the host time went. */
+void
+printHostSummary(const std::vector<sim::JobResult> &results)
+{
+    if (results.empty())
+        return;
+    double total = 0, slowest = 0;
+    const sim::JobResult *slow = nullptr;
+    for (const sim::JobResult &r : results) {
+        total += r.wallSec;
+        if (r.wallSec > slowest) {
+            slowest = r.wallSec;
+            slow = &r;
+        }
+    }
+    std::cerr << "cohesion-sweep: host time " << total << "s across "
+              << results.size() << " jobs";
+    if (slow)
+        std::cerr << ", slowest " << slow->label << " (" << slowest
+                  << "s)";
+    std::cerr << '\n';
+}
+
+/** CLI-level telemetry options shared by both modes. */
+struct ProgressCli
+{
+    bool enabled = false;
+    std::string jsonlPath;
+    bool hostProfile = false;
+};
 
 int
 runSpec(const std::string &spec_path, unsigned jobs,
-        const std::string &out_path)
+        const std::string &out_path, const ProgressCli &pcli)
 {
     sim::SweepSpec spec;
     std::string err;
@@ -141,13 +202,27 @@ runSpec(const std::string &spec_path, unsigned jobs,
     std::vector<sim::SweepPoint> points = spec.expand();
     std::vector<sim::SweepJob> sweep_jobs;
     sweep_jobs.reserve(points.size());
-    for (const sim::SweepPoint &p : points)
+    for (sim::SweepPoint &p : points) {
+        p.hostProfile = pcli.hostProfile;
         sweep_jobs.push_back(sim::makeJob(p));
+    }
 
     sim::SweepEngine engine(jobs);
     std::cerr << "cohesion-sweep: " << sweep_jobs.size() << " jobs on "
               << engine.threads() << " threads\n";
-    std::vector<sim::JobResult> results = engine.run(sweep_jobs);
+    std::ofstream jsonl;
+    sim::SweepProgress sp;
+    sp.enabled = pcli.enabled;
+    if (!pcli.jsonlPath.empty()) {
+        jsonl.open(pcli.jsonlPath);
+        if (!jsonl) {
+            std::cerr << "cohesion-sweep: cannot write "
+                      << pcli.jsonlPath << '\n';
+            return 1;
+        }
+        sp.jsonl = &jsonl;
+    }
+    std::vector<sim::JobResult> results = engine.run(sweep_jobs, sp);
 
     unsigned failed = 0;
     for (const sim::JobResult &r : results) {
@@ -173,6 +248,7 @@ runSpec(const std::string &spec_path, unsigned jobs,
         writeResultsJson(os, results);
     }
 
+    printHostSummary(results);
     std::cerr << "cohesion-sweep: " << results.size() - failed << '/'
               << results.size() << " jobs ok\n";
     return failed ? 1 : 0;
@@ -191,7 +267,7 @@ runBaseline(const std::string &baseline_path, unsigned jobs,
             bool jobs_given, double tol_pct, double perf_tol_pct,
             bool metrics_only, bool perf_only,
             std::vector<std::string> kernel_filter,
-            const std::string &out_path)
+            const std::string &out_path, const ProgressCli &pcli)
 {
     sim::JsonValue doc;
     std::string err;
@@ -268,7 +344,15 @@ runBaseline(const std::string &baseline_path, unsigned jobs,
     sim::SweepEngine engine(jobs);
     std::cerr << "cohesion-sweep: baseline gate, " << sweep_jobs.size()
               << " kernels on " << engine.threads() << " threads\n";
-    std::vector<sim::JobResult> results = engine.run(sweep_jobs);
+    std::ofstream jsonl;
+    sim::SweepProgress sp;
+    sp.enabled = pcli.enabled;
+    if (!pcli.jsonlPath.empty()) {
+        jsonl.open(pcli.jsonlPath);
+        if (jsonl)
+            sp.jsonl = &jsonl;
+    }
+    std::vector<sim::JobResult> results = engine.run(sweep_jobs, sp);
 
     bool metric_drift = false, perf_drift = false, run_error = false;
     std::printf("  %-10s %12s %12s %9s %9s  %s\n", "kernel", "cycles",
@@ -355,6 +439,7 @@ main(int argc, char **argv)
     double perf_tol_pct = 30.0;
     bool metrics_only = false, perf_only = false, quick = false;
     std::vector<std::string> kernel_filter;
+    ProgressCli pcli;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) -> const char * {
@@ -383,6 +468,13 @@ main(int argc, char **argv)
             perf_only = true;
         } else if (!std::strcmp(argv[i], "--quick")) {
             quick = true;
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            pcli.enabled = true;
+        } else if (!std::strncmp(argv[i], "--progress=", 11)) {
+            pcli.enabled = true;
+            pcli.jsonlPath = argv[i] + 11;
+        } else if (!std::strcmp(argv[i], "--host-profile")) {
+            pcli.hostProfile = true;
         } else if (!std::strcmp(argv[i], "--kernels")) {
             std::stringstream ss(next("--kernels"));
             std::string tok;
@@ -409,8 +501,8 @@ main(int argc, char **argv)
         kernel_filter = {"gjk", "sobel", "kmeans"};
 
     if (!spec_path.empty())
-        return runSpec(spec_path, jobs, out_path);
+        return runSpec(spec_path, jobs, out_path, pcli);
     return runBaseline(baseline_path, jobs, jobs_given, tol_pct,
                        perf_tol_pct, metrics_only, perf_only,
-                       std::move(kernel_filter), out_path);
+                       std::move(kernel_filter), out_path, pcli);
 }

@@ -19,6 +19,10 @@
  *   --perfetto FILE  write the filtered events as trace-event JSON
  *   --limit N        print at most the last N matching events
  *   --quiet          suppress the narrative (useful with --perfetto)
+ *
+ * Exit codes: 0 ok, 1 usage / output error, 3 dump file missing or
+ * unreadable, 4 dump corrupt or truncated. Scripts can tell "the run
+ * never produced a dump" from "the dump is damaged".
  */
 
 #include <cstdint>
@@ -106,8 +110,8 @@ main(int argc, char **argv)
 
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        std::cerr << "cannot open " << path << '\n';
-        return 1;
+        std::cerr << "cohesion-trace: cannot open " << path << '\n';
+        return 3;
     }
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
@@ -115,8 +119,8 @@ main(int argc, char **argv)
     std::string err;
     std::uint64_t total = 0;
     if (!FlightRecorder::deserialize(bytes, &records, &err, &total)) {
-        std::cerr << path << ": " << err << '\n';
-        return 1;
+        std::cerr << "cohesion-trace: " << path << ": " << err << '\n';
+        return 4;
     }
 
     // --txn N follows the causal chain: every event stamped with the
