@@ -69,6 +69,16 @@ Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
             arrive += backoff;
             backoff = std::min(backoff * 2, dropBackoffCap);
         }
+        if (drops == maxDropRetransmits) {
+            // Retransmit budget spent: the message force-delivers at
+            // the last computed arrival tick. This used to happen
+            // silently; surface it so fault campaigns can see how
+            // often the bound actually engages.
+            _retryExhausted.inc();
+            rec(sim::FlightRecorder::Ev::RetransmitExhausted,
+                sim::FlightRecorder::compChip, mem::lineBase(req.addr),
+                req.msgId, static_cast<std::uint8_t>(req.type), drops);
+        }
         // Atomics are excluded: a duplicated RMW executes twice.
         dup = req.type != ReqType::Atomic &&
               _faults.fire(FaultSite::FabricC2BDup);
@@ -122,6 +132,12 @@ Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
                 static_cast<std::uint8_t>(resp.type), 0x80000000u | drops);
             arrive += backoff;
             backoff = std::min(backoff * 2, dropBackoffCap);
+        }
+        if (drops == maxDropRetransmits) {
+            _retryExhausted.inc();
+            rec(sim::FlightRecorder::Ev::RetransmitExhausted,
+                sim::FlightRecorder::compChip, mem::lineBase(resp.addr),
+                resp.msgId, static_cast<std::uint8_t>(resp.type), drops);
         }
         // A duplicated Atomic ack would complete the core's op twice;
         // all other responses are deduplicated by msgId at the cluster.
@@ -343,14 +359,18 @@ Chip::faultPump()
 void
 Chip::enableAudit(sim::Tick period)
 {
-    if (_auditor)
+    // An auditor may already exist without a cadence (auditNow(), or a
+    // snapshot restore carrying its counters); enabling then only sets
+    // the period.
+    if (_auditPeriod)
         return;
     if (period == 0) {
         // Cost-scaled default: a full pass walks every L2 and
         // directory, so big machines audit less often.
         period = std::max<sim::Tick>(4096, totalCores() * 256);
     }
-    _auditor = std::make_unique<coherence::Auditor>(*this);
+    if (!_auditor)
+        _auditor = std::make_unique<coherence::Auditor>(*this);
     _auditPeriod = period;
 }
 
@@ -360,6 +380,14 @@ Chip::auditNow()
     if (!_auditor)
         _auditor = std::make_unique<coherence::Auditor>(*this);
     _auditor->auditNow();
+}
+
+void
+Chip::verifyNow()
+{
+    if (!_auditor)
+        _auditor = std::make_unique<coherence::Auditor>(*this);
+    _auditor->verifyNow();
 }
 
 std::string
@@ -603,6 +631,13 @@ Chip::registerStats(sim::StatRegistry &reg) const
                        _reqRetries[c]);
     }
     reg.addCounter("chip.retries.resp", _respRetries);
+    reg.addCounter("chip.retries.exhausted", _retryExhausted);
+    reg.addScalar("chip.retries.wb_evicted", [this]() {
+        double total = 0;
+        for (const auto &cl : _clusters)
+            total += static_cast<double>(cl->pendingWbEvictions());
+        return total;
+    });
     if (_recorder.enabled()) {
         reg.addScalar("chip.recorder.recorded",
                       static_cast<double>(_recorder.recorded()));
@@ -619,6 +654,126 @@ Chip::registerStats(sim::StatRegistry &reg) const
         cl->registerStats(reg, sim::cat("chip.cluster", cl->id()));
     for (const auto &b : _banks)
         b->registerStats(reg, sim::cat("chip.bank", b->id()));
+}
+
+void
+Chip::checkpointState(sim::Serializer &ser) const
+{
+    ser.tag("chip");
+    // Structural quiescence: every component hook below also asserts
+    // its own slice, but check the machine-level conditions up front
+    // so the failure names the real problem instead of a section tag.
+    if (!_eq.empty())
+        throw sim::SnapshotError("checkpoint with events pending");
+    for (const auto &b : _banks) {
+        // Finished coroutine frames linger in the running list until
+        // the next request arrives; they are not in-flight work.
+        b->pruneTransactions();
+        if (b->inFlight() != 0) {
+            throw sim::SnapshotError(
+                "checkpoint with bank transactions in flight");
+        }
+    }
+    for (const auto &cl : _clusters) {
+        if (cl->mshrCount() != 0) {
+            throw sim::SnapshotError(
+                "checkpoint with cluster MSHRs in flight");
+        }
+    }
+
+    // Geometry fingerprint: a snapshot only restores into a machine
+    // built from the same topology (cache shapes are re-validated
+    // per-array by their own hooks).
+    ser.u32(_config.numClusters);
+    ser.u32(_config.coresPerCluster);
+    ser.u32(_config.numL3Banks);
+    ser.u32(_config.numChannels);
+    ser.u8(static_cast<std::uint8_t>(_config.mode));
+
+    _eq.checkpointState(ser);
+    _store.checkpointState(ser);
+    _dram.checkpointState(ser);
+    _fabric.checkpointState(ser);
+    _faults.checkpointState(ser);
+    _coarseTable.checkpointState(ser);
+    for (const auto &cl : _clusters)
+        cl->checkpointState(ser);
+    for (const auto &b : _banks)
+        b->checkpointState(ser);
+
+    ser.tag("chip-stats");
+    for (const auto &h : _reqLatency)
+        h.checkpointState(ser);
+    _respLatency.checkpointState(ser);
+    _probeLatency.checkpointState(ser);
+    for (const auto &c : _reqRetries)
+        c.checkpointState(ser);
+    _respRetries.checkpointState(ser);
+    _retryExhausted.checkpointState(ser);
+    ser.u64(_respDelivered);
+    ser.u64(_traceIdSeq);
+    for (const auto &s : _occupancy)
+        s.checkpointState(ser);
+    _occupancyTotal.checkpointState(ser);
+    _recorder.checkpointState(ser);
+    // The auditor's cumulative counters register as chip.audit.*, so
+    // they are part of the session's stat contract like any other.
+    ser.b(_auditor != nullptr);
+    if (_auditor)
+        _auditor->checkpointState(ser);
+}
+
+void
+Chip::restoreState(sim::Deserializer &des)
+{
+    des.tag("chip");
+    auto geom = [&](std::uint32_t expect, const char *what) {
+        if (des.u32() != expect) {
+            throw sim::SnapshotError(
+                std::string("snapshot machine geometry mismatch: ") + what);
+        }
+    };
+    geom(_config.numClusters, "cluster count");
+    geom(_config.coresPerCluster, "cores per cluster");
+    geom(_config.numL3Banks, "bank count");
+    geom(_config.numChannels, "channel count");
+    if (des.u8() != static_cast<std::uint8_t>(_config.mode)) {
+        throw sim::SnapshotError(
+            "snapshot coherence mode does not match this configuration");
+    }
+
+    _eq.restoreState(des);
+    _store.restoreState(des);
+    _dram.restoreState(des);
+    _fabric.restoreState(des);
+    _faults.restoreState(des);
+    _coarseTable.restoreState(des);
+    for (auto &cl : _clusters)
+        cl->restoreState(des);
+    for (auto &b : _banks)
+        b->restoreState(des);
+
+    des.tag("chip-stats");
+    for (auto &h : _reqLatency)
+        h.restoreState(des);
+    _respLatency.restoreState(des);
+    _probeLatency.restoreState(des);
+    for (auto &c : _reqRetries)
+        c.restoreState(des);
+    _respRetries.restoreState(des);
+    _retryExhausted.restoreState(des);
+    _respDelivered = des.u64();
+    _traceIdSeq = des.u64();
+    for (auto &s : _occupancy)
+        s.restoreState(des);
+    _occupancyTotal.restoreState(des);
+    _recorder.restoreState(des);
+    if (des.b()) {
+        if (!_auditor)
+            _auditor = std::make_unique<coherence::Auditor>(*this);
+        _auditor->restoreState(des);
+    }
+    updateRecAny();
 }
 
 Chip::Progress

@@ -190,6 +190,10 @@ class Chip
     /** One full audit pass right now (throws coherence::AuditError). */
     void auditNow();
 
+    /** auditNow() without moving the chip.audit.* counters (the
+     *  pre-checkpoint verification pass; see coherence::Auditor). */
+    void verifyNow();
+
     coherence::Auditor *auditor() { return _auditor.get(); }
 
     /** Human-readable table of in-flight bank transactions, cluster
@@ -422,6 +426,23 @@ class Chip
     bool _recSlow = false; ///< profiler or watch line active
     std::array<sim::Counter, numMsgClasses> _reqRetries;
     sim::Counter _respRetries;
+    sim::Counter _retryExhausted;
+
+  public:
+    /** Messages force-delivered after the drop-retransmit budget was
+     *  spent (previously silent; see deliverRequest/sendResponse). */
+    std::uint64_t retriesExhausted() const { return _retryExhausted.value(); }
+
+    /**
+     * Checkpoint hooks (tentpole of the crash-resilience work). Only
+     * legal at a quiescent point: the event queue must be drained and
+     * no bank transaction, cluster MSHR, or parked core may exist —
+     * coroutine frames cannot serialize. Callers should run a full
+     * audit pass first; checkpointState() enforces the structural
+     * conditions itself and throws sim::SnapshotError otherwise.
+     */
+    void checkpointState(sim::Serializer &ser) const;
+    void restoreState(sim::Deserializer &des);
 };
 
 } // namespace arch

@@ -28,12 +28,12 @@ Cluster::Cluster(Chip &chip, unsigned id)
       _l2PortFree(chip.config().l2Ports, 0)
 {
     const MachineConfig &cfg = chip.config();
-    // Pre-size the transaction-tracking tables: MSHRs and outstanding
-    // writebacks are bounded by a few entries per core in practice, so
-    // one up-front reservation ends the rehash/alloc churn the miss
-    // path would otherwise pay mid-run.
+    // Pre-size the MSHR table: outstanding misses are bounded by a few
+    // entries per core in practice, so one up-front reservation ends
+    // the rehash/alloc churn the miss path would otherwise pay mid-run.
+    // (Outstanding writebacks live in a BoundedIdSet with its own hard
+    // cap; it sizes itself.)
     _mshrs.reserve(4 * cfg.coresPerCluster);
-    _pendingWb.reserve(4 * cfg.coresPerCluster);
     for (unsigned c = 0; c < cfg.coresPerCluster; ++c) {
         _cores.push_back(std::make_unique<Core>(
             *this, id * cfg.coresPerCluster + c, c, cfg.l1iBytes,
@@ -614,8 +614,8 @@ Cluster::coreCompute(Core &core, std::uint64_t instrs)
 void
 Cluster::writebackAcked(std::uint32_t msg_id)
 {
-    if (_pendingWb.erase(msg_id) == 0)
-        return; // duplicated ack (fault injection): already counted
+    if (!_pendingWb.erase(msg_id))
+        return; // duplicated ack, or an id the bound evicted: ignore
     if (_pendingWb.empty() && !_drainWaiters.empty()) {
         std::vector<Core *> waiters;
         waiters.swap(_drainWaiters);

@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +37,89 @@
 namespace arch {
 
 class Chip;
+
+/**
+ * Insertion-ordered set of in-flight msgIds with a hard capacity.
+ * Used for the cluster's outstanding-writeback/dedup tracking: entries
+ * retire when the writeback ack arrives, but a fault campaign that
+ * loses acks forever (or duplicates wildly) must not grow the
+ * structure without bound. At capacity the oldest entry is evicted
+ * and counted; an evicted writeback's eventual ack is then treated as
+ * a duplicate (ignored), which errs safe — the drain condition only
+ * clears earlier than a lost ack would ever allow anyway.
+ */
+class BoundedIdSet
+{
+  public:
+    explicit BoundedIdSet(std::size_t cap) : _cap(cap ? cap : 1) {}
+
+    std::size_t capacity() const { return _cap; }
+    std::size_t size() const { return _ids.size(); }
+    bool empty() const { return _ids.empty(); }
+    bool contains(std::uint32_t id) const { return _ids.count(id) != 0; }
+
+    /** Total oldest-entry evictions forced by the capacity bound. */
+    const sim::Counter &evictions() const { return _evicted; }
+
+    /** Insert @p id; returns false if already present. Evicts the
+     *  oldest entry (counting it) when the bound would be exceeded. */
+    bool
+    insert(std::uint32_t id)
+    {
+        if (_ids.count(id))
+            return false;
+        _order.push_back(id);
+        _ids.emplace(id, std::prev(_order.end()));
+        while (_ids.size() > _cap) {
+            _ids.erase(_order.front());
+            _order.pop_front();
+            _evicted.inc();
+        }
+        return true;
+    }
+
+    /** Remove @p id; returns false when absent (duplicate ack). */
+    bool
+    erase(std::uint32_t id)
+    {
+        auto it = _ids.find(id);
+        if (it == _ids.end())
+            return false;
+        _order.erase(it->second);
+        _ids.erase(it);
+        return true;
+    }
+
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.u64(_order.size());
+        for (std::uint32_t id : _order)
+            ser.u32(id);
+        _evicted.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        _order.clear();
+        _ids.clear();
+        std::uint64_t n = des.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint32_t id = des.u32();
+            _order.push_back(id);
+            _ids.emplace(id, std::prev(_order.end()));
+        }
+        _evicted.restoreState(des);
+    }
+
+  private:
+    std::size_t _cap;
+    std::list<std::uint32_t> _order; ///< front = oldest insertion.
+    std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator>
+        _ids;
+    sim::Counter _evicted;
+};
 
 class Cluster
 {
@@ -91,6 +175,17 @@ class Cluster
     outstandingWrites() const
     {
         return static_cast<unsigned>(_pendingWb.size());
+    }
+
+    /** Hard bound on tracked in-flight writeback ids (satellite of the
+     *  fault-robustness work: lost acks must not grow state forever). */
+    static constexpr std::size_t pendingWbCapacity = 4096;
+
+    /** Oldest-id evictions forced by the pendingWb bound. */
+    std::uint64_t
+    pendingWbEvictions() const
+    {
+        return _pendingWb.evictions().value();
     }
 
     /** True if a fill/upgrade for @p base's line is in flight (used by
@@ -182,7 +277,7 @@ class Cluster
     std::unordered_map<mem::Addr, MshrEntry> _mshrs;
 
     std::uint32_t _msgSeq = 0;
-    std::unordered_set<std::uint32_t> _pendingWb;
+    BoundedIdSet _pendingWb{pendingWbCapacity};
     std::vector<Core *> _drainWaiters;
 
     MsgCounters _msgs;
@@ -190,6 +285,74 @@ class Cluster
     sim::Counter _invIssued, _invUseful;
     sim::Counter _l2Hits, _l2Misses;
     sim::Counter _evictClean, _evictDirty;
+
+  public:
+    /**
+     * Checkpoint hooks. Only legal at a quiescent point: no MSHR in
+     * flight and no core parked on a drain — those hold coroutine
+     * handles and cannot serialize. Pending writeback ids DO serialize
+     * (their acks are still in flight conceptually, but at quiescence
+     * the event queue is empty, so a non-empty set only occurs when an
+     * injected fault swallowed an ack — the ids must survive so drain
+     * accounting matches an uninterrupted run).
+     */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("cluster");
+        if (!_mshrs.empty()) {
+            throw sim::SnapshotError(
+                "checkpoint with cluster MSHRs in flight");
+        }
+        if (!_drainWaiters.empty()) {
+            throw sim::SnapshotError(
+                "checkpoint with cores parked on a drain");
+        }
+        ser.u64(_cores.size());
+        for (const auto &core : _cores)
+            core->checkpointState(ser);
+        _l2.checkpointState(ser);
+        ser.u64(_l2PortFree.size());
+        for (sim::Tick t : _l2PortFree)
+            ser.u64(t);
+        ser.u32(_msgSeq);
+        _pendingWb.checkpointState(ser);
+        _msgs.checkpointState(ser);
+        _flushIssued.checkpointState(ser);
+        _flushUseful.checkpointState(ser);
+        _invIssued.checkpointState(ser);
+        _invUseful.checkpointState(ser);
+        _l2Hits.checkpointState(ser);
+        _l2Misses.checkpointState(ser);
+        _evictClean.checkpointState(ser);
+        _evictDirty.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("cluster");
+        if (des.u64() != _cores.size())
+            throw sim::SnapshotError("snapshot core count mismatch");
+        for (auto &core : _cores)
+            core->restoreState(des);
+        _l2.restoreState(des);
+        if (des.u64() != _l2PortFree.size())
+            throw sim::SnapshotError("snapshot L2 port count mismatch");
+        for (sim::Tick &t : _l2PortFree)
+            t = des.u64();
+        _msgSeq = des.u32();
+        _pendingWb.restoreState(des);
+        _msgs.restoreState(des);
+        _flushIssued.restoreState(des);
+        _flushUseful.restoreState(des);
+        _invIssued.restoreState(des);
+        _invUseful.restoreState(des);
+        _l2Hits.restoreState(des);
+        _l2Misses.restoreState(des);
+        _evictClean.restoreState(des);
+        _evictDirty.restoreState(des);
+    }
 };
 
 } // namespace arch

@@ -123,6 +123,51 @@ class Fabric
         reg.addHistogram(prefix + ".delay_down", _delayDown);
     }
 
+    /** Checkpoint hooks: every next-free counter and ordering floor
+     *  shapes post-restore arrival ticks, so all of them serialize. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("fabric");
+        auto vec = [&](const std::vector<sim::Tick> &v) {
+            ser.u64(v.size());
+            for (sim::Tick t : v)
+                ser.u64(t);
+        };
+        vec(_clusterUp);
+        vec(_clusterDown);
+        vec(_bankIn);
+        vec(_bankOut);
+        vec(_c2bFloor);
+        vec(_b2cFloor);
+        _bytesUp.checkpointState(ser);
+        _bytesDown.checkpointState(ser);
+        _delayUp.checkpointState(ser);
+        _delayDown.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("fabric");
+        auto vec = [&](std::vector<sim::Tick> &v) {
+            if (des.u64() != v.size())
+                throw sim::SnapshotError("snapshot fabric shape mismatch");
+            for (sim::Tick &t : v)
+                t = des.u64();
+        };
+        vec(_clusterUp);
+        vec(_clusterDown);
+        vec(_bankIn);
+        vec(_bankOut);
+        vec(_c2bFloor);
+        vec(_b2cFloor);
+        _bytesUp.restoreState(des);
+        _bytesDown.restoreState(des);
+        _delayUp.restoreState(des);
+        _delayDown.restoreState(des);
+    }
+
   private:
     sim::Tick
     serialization(unsigned bytes) const

@@ -75,6 +75,13 @@ describeRecordBody(const sim::FlightRecorder::Record &r)
         os << " delivered after " << r.b
            << (r.b == 1 ? " drop" : " drops");
         break;
+      case Ev::RetransmitExhausted:
+        req_type();
+        line();
+        msg();
+        os << " retransmit budget spent (" << r.b
+           << " drops); delivery forced";
+        break;
       case Ev::RespSend:
       case Ev::RespRecv:
         req_type();

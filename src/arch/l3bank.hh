@@ -105,6 +105,61 @@ class L3Bank
     void registerStats(sim::StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /** Drop finished transaction frames (nodes recycle via _spare).
+     *  Called lazily on request arrival; the checkpoint path calls it
+     *  eagerly so a quiescent bank reads as empty. */
+    void pruneTransactions();
+
+    /**
+     * Checkpoint hooks. Only legal when no transaction coroutine is
+     * live (then every line lock is also free — locks are erased on
+     * release with no waiters). The transaction-id sequence serializes
+     * so post-restore trace/causal ids continue where they left off.
+     */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("bank");
+        if (!_running.empty() || !_txns.empty()) {
+            throw sim::SnapshotError(
+                "checkpoint with bank transactions in flight");
+        }
+        _l3.checkpointState(ser);
+        _dir.checkpointState(ser);
+        _tableCache.checkpointState(ser);
+        ser.u64(_l3PortFree);
+        ser.u64(_dirPortFree);
+        ser.u64(_txnSeq);
+        _transitions.checkpointState(ser);
+        _tableLookups.checkpointState(ser);
+        _dirEvictions.checkpointState(ser);
+        _atomics.checkpointState(ser);
+        _mergeConflicts.checkpointState(ser);
+        _l3Hits.checkpointState(ser);
+        _l3Misses.checkpointState(ser);
+        _txnsCompleted.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("bank");
+        _l3.restoreState(des);
+        _dir.restoreState(des);
+        _tableCache.restoreState(des);
+        _l3PortFree = des.u64();
+        _dirPortFree = des.u64();
+        _txnSeq = des.u64();
+        _transitions.restoreState(des);
+        _tableLookups.restoreState(des);
+        _dirEvictions.restoreState(des);
+        _atomics.restoreState(des);
+        _mergeConflicts.restoreState(des);
+        _l3Hits.restoreState(des);
+        _l3Misses.restoreState(des);
+        _txnsCompleted.restoreState(des);
+    }
+
     // --- Statistics -----------------------------------------------------
     std::uint64_t transitions() const { return _transitions.value(); }
     std::uint64_t tableLookups() const { return _tableLookups.value(); }
@@ -194,9 +249,6 @@ class L3Bank
     std::uint32_t applyAtomic(cache::Line &line, mem::Addr addr,
                               AtomicOp op, std::uint32_t operand,
                               std::uint32_t operand2);
-
-    /** Drop finished transaction frames (nodes recycle via _spare). */
-    void pruneTransactions();
 
     /** Move @p task into _running, reusing a spare list node. */
     sim::CoTask &adoptTransaction(sim::CoTask &&task);

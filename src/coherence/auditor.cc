@@ -46,6 +46,19 @@ Auditor::auditNow()
     }
 }
 
+void
+Auditor::verifyNow()
+{
+    _countStats = false;
+    try {
+        auditNow();
+    } catch (...) {
+        _countStats = true;
+        throw;
+    }
+    _countStats = true;
+}
+
 bool
 Auditor::inFlux(mem::Addr base) const
 {
@@ -100,7 +113,8 @@ Auditor::auditPass()
 {
     arch::Chip &c = _chip;
     const arch::CoherenceMode mode = c.config().mode;
-    _passes.inc();
+    if (_countStats)
+        _passes.inc();
     _tableWords.clear();
 
     struct Copy
@@ -122,10 +136,12 @@ Auditor::auditPass()
     for (unsigned ci = 0; ci < c.numClusters(); ++ci) {
         c.cluster(ci).l2().forEachValid([&](cache::Line &l) {
             if (inFlux(l.base)) {
-                _linesSkipped.inc();
+                if (_countStats)
+                    _linesSkipped.inc();
                 return;
             }
-            _linesChecked.inc();
+            if (_countStats)
+                _linesChecked.inc();
             const std::string where = sim::cat(
                 "cluster ", ci, " line 0x", std::hex, l.base, std::dec,
                 " state ", cache::cohStateName(l.hwState),
@@ -212,10 +228,12 @@ Auditor::auditPass()
             if (mode == arch::CoherenceMode::SWccOnly)
                 throw AuditError("dir-in-swcc-mode", where);
             if (inFlux(e.base)) {
-                _linesSkipped.inc();
+                if (_countStats)
+                    _linesSkipped.inc();
                 return;
             }
-            _linesChecked.inc();
+            if (_countStats)
+                _linesChecked.inc();
             if (e.state == cache::CohState::Invalid)
                 throw AuditError("dir-invalid-state", where);
             if (e.sharers.empty())

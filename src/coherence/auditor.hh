@@ -74,12 +74,40 @@ class Auditor
     /** One full invariant pass right now (throws AuditError). */
     void auditNow();
 
+    /**
+     * auditNow() without moving the chip.audit.* counters: the
+     * pre-checkpoint verification pass must be a pure observer, so a
+     * session that checkpoints stays stat-identical to one that never
+     * did.
+     */
+    void verifyNow();
+
     std::uint64_t passes() const { return _passes.value(); }
     std::uint64_t linesChecked() const { return _linesChecked.value(); }
     std::uint64_t linesSkipped() const { return _linesSkipped.value(); }
 
     void registerStats(sim::StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint hooks: the cumulative pass counters are part of the
+     *  session's statistics contract, so they travel with the machine. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("auditor");
+        _passes.checkpointState(ser);
+        _linesChecked.checkpointState(ser);
+        _linesSkipped.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("auditor");
+        _passes.restoreState(des);
+        _linesChecked.restoreState(des);
+        _linesSkipped.restoreState(des);
+    }
 
   private:
     /** The invariant walk behind auditNow() (throws AuditError). */
@@ -99,6 +127,7 @@ class Auditor
     std::unordered_map<mem::Addr, std::uint32_t> _tableWords;
 
     sim::Counter _passes, _linesChecked, _linesSkipped;
+    bool _countStats = true; ///< Cleared during verifyNow().
 };
 
 } // namespace coherence

@@ -208,6 +208,60 @@ class Directory
             fn(node.entry);
     }
 
+    /**
+     * Checkpoint hooks. Entries are written per set in LRU order
+     * (front first) so the rebuilt lists victimize identically; the
+     * unordered index is reconstructed, never serialized, so hash-map
+     * iteration order can't leak into snapshots.
+     */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("directory");
+        ser.u64(_sets.size());
+        for (const Set &set : _sets) {
+            ser.u64(set.lru.size());
+            for (mem::Addr base : set.lru) {
+                const DirEntry &e = _index.at(base).entry;
+                ser.u32(e.base);
+                ser.u8(static_cast<std::uint8_t>(e.state));
+                e.sharers.checkpointState(ser);
+            }
+        }
+        ser.u32(_peakEntries);
+        _insertions.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("directory");
+        if (des.u64() != _sets.size())
+            throw sim::SnapshotError("snapshot directory set-count mismatch");
+        _index.clear();
+        for (Set &set : _sets) {
+            set.lru.clear();
+            std::uint64_t n = des.u64();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                mem::Addr base = des.u32();
+                set.lru.push_back(base);
+                auto lru_it = std::prev(set.lru.end());
+                auto [it, ok] =
+                    _index.emplace(base, Node{DirEntry{}, lru_it});
+                if (!ok) {
+                    throw sim::SnapshotError(
+                        "snapshot corrupt: duplicate directory entry");
+                }
+                DirEntry &e = it->second.entry;
+                e.base = base;
+                e.state = static_cast<cache::CohState>(des.u8());
+                e.sharers.restoreState(des);
+            }
+        }
+        _peakEntries = des.u32();
+        _insertions.restoreState(des);
+    }
+
   private:
     std::uint32_t
     waysPerSet() const

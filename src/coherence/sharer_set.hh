@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace coherence {
 
@@ -173,6 +174,41 @@ class SharerSet
         _pointers.clear();
         _broadcast = false;
         _count = 0;
+    }
+
+    /** Checkpoint hooks. The shape fields (kind, cache count, pointer
+     *  budget) serialize too: directory entries are rebuilt from
+     *  scratch on restore, so the set must carry its own geometry. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.u8(static_cast<std::uint8_t>(_kind));
+        ser.u32(_numCaches);
+        ser.u32(_maxPointers);
+        ser.u32(_count);
+        ser.b(_broadcast);
+        ser.u64(_pointers.size());
+        for (std::uint16_t p : _pointers)
+            ser.u32(p);
+        ser.u64(_bitmap.size());
+        for (std::uint64_t w : _bitmap)
+            ser.u64(w);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        _kind = static_cast<SharerKind>(des.u8());
+        _numCaches = des.u32();
+        _maxPointers = des.u32();
+        _count = des.u32();
+        _broadcast = des.b();
+        _pointers.resize(des.u64());
+        for (std::uint16_t &p : _pointers)
+            p = static_cast<std::uint16_t>(des.u32());
+        _bitmap.resize(des.u64());
+        for (std::uint64_t &w : _bitmap)
+            w = des.u64();
     }
 
   private:

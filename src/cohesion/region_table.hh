@@ -25,6 +25,7 @@
 #include "mem/backing_store.hh"
 #include "mem/types.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace cohesion {
 
@@ -77,6 +78,33 @@ class CoarseRegionTable
 
     const std::vector<CoarseRegion> &regions() const { return _regions; }
     void clear() { _regions.clear(); }
+
+    /** Checkpoint hooks. The boot-time regions are deterministic, but
+     *  serializing them keeps the snapshot self-contained if a future
+     *  runtime registers regions dynamically. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("coarse-regions");
+        ser.u64(_regions.size());
+        for (const CoarseRegion &r : _regions) {
+            ser.u32(r.start);
+            ser.u32(r.size);
+            ser.u8(static_cast<std::uint8_t>(r.kind));
+        }
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("coarse-regions");
+        _regions.resize(des.u64());
+        for (CoarseRegion &r : _regions) {
+            r.start = des.u32();
+            r.size = des.u32();
+            r.kind = static_cast<RegionKind>(des.u8());
+        }
+    }
 
   private:
     std::vector<CoarseRegion> _regions;

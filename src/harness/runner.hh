@@ -143,6 +143,12 @@ struct RunOptions
     /** Live-progress heartbeat, invoked with (tick, events run) every
      *  ~0.25 s of host time while the machine runs (null: off). */
     arch::Chip::ProgressFn progress;
+    /** Write a CCKPT1 machine snapshot here after the run completes
+     *  (empty: off). See harness::Session. */
+    std::string checkpointAt;
+    /** Restore machine state from this CCKPT1 snapshot before running
+     *  (empty: off). Throws sim::SnapshotError on a bad snapshot. */
+    std::string restoreFrom;
 };
 
 /**

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "coherence/auditor.hh"
 #include "harness/progress.hh"
+#include "harness/session.hh"
 #include "kernels/registry.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -31,6 +34,8 @@ jobOutcomeName(JobOutcome o)
         return "verify-error";
       case JobOutcome::Unknown:
         return "unknown-error";
+      case JobOutcome::Skipped:
+        return "skipped";
     }
     return "?";
 }
@@ -154,12 +159,24 @@ SweepEngine::run(const std::vector<SweepJob> &jobs,
     std::deque<JobTelemetry> slots(live ? jobs.size() : 0);
     std::atomic<std::uint64_t> doneWallUs{0};
 
+    auto stopping = [&]() {
+        return progress.stop &&
+               progress.stop->load(std::memory_order_acquire);
+    };
+
+    std::mutex done_mutex;
+    std::vector<char> ran(jobs.size(), 0);
     auto execJob = [&](std::size_t idx) {
         JobTelemetry *t = live ? &slots[idx] : nullptr;
         results[idx] = runOne(jobs[idx], t);
+        ran[idx] = 1;
         doneWallUs.fetch_add(
             static_cast<std::uint64_t>(results[idx].wallSec * 1e6),
             std::memory_order_relaxed);
+        if (progress.onJobDone) {
+            std::lock_guard<std::mutex> g(done_mutex);
+            progress.onJobDone(idx, results[idx]);
+        }
     };
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -234,8 +251,11 @@ SweepEngine::run(const std::vector<SweepJob> &jobs,
 
     if (workers <= 1) {
         // The bit-exact serial reference (--jobs 1).
-        for (std::size_t i = 0; i < jobs.size(); ++i)
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (stopping())
+                break;
             execJob(i);
+        }
     } else {
         // Deal jobs round-robin so every worker starts with a spread
         // of the submission order (adjacent jobs are often similar
@@ -248,6 +268,8 @@ SweepEngine::run(const std::vector<SweepJob> &jobs,
 
         auto workerFn = [&](unsigned self) {
             for (;;) {
+                if (stopping())
+                    return; // finish nothing new; in-flight work done
                 std::size_t idx;
                 bool have = deques[self].popFront(&idx);
                 for (unsigned v = 1; !have && v < workers; ++v)
@@ -279,6 +301,16 @@ SweepEngine::run(const std::vector<SweepJob> &jobs,
         stop_monitor.store(true, std::memory_order_release);
         monitor.join();
     }
+
+    // Jobs a cooperative stop kept from ever starting report as
+    // Skipped (with their label, so callers can resume them later).
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!ran[i]) {
+            results[i] = JobResult{};
+            results[i].label = jobs[i].label;
+            results[i].outcome = JobOutcome::Skipped;
+        }
+    }
     return results;
 }
 
@@ -295,6 +327,138 @@ optsFor(const SweepPoint &p)
     return opts;
 }
 
+/**
+ * Process-global cache of warm-machine snapshots, keyed by everything
+ * that shapes warm-up state. The first job with a given key simulates
+ * the warm-up and publishes the snapshot; concurrent jobs with the
+ * same key wait for it instead of redundantly re-simulating. A failed
+ * build abandons the slot so a sibling can retry.
+ */
+class WarmupCache
+{
+  public:
+    /** Returns the snapshot if ready; "" if the caller should build
+     *  it (it then must publish() or abandon()). Blocks while another
+     *  thread is building the same key. */
+    std::string
+    acquire(const std::string &key)
+    {
+        std::unique_lock<std::mutex> lk(_m);
+        for (;;) {
+            Slot &s = _slots[key];
+            if (s.ready)
+                return s.blob;
+            if (!s.building) {
+                s.building = true;
+                return "";
+            }
+            _cv.wait(lk);
+        }
+    }
+
+    void
+    publish(const std::string &key, std::string blob)
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        Slot &s = _slots[key];
+        s.blob = std::move(blob);
+        s.ready = true;
+        s.building = false;
+        _cv.notify_all();
+    }
+
+    void
+    abandon(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        _slots[key].building = false;
+        _cv.notify_all();
+    }
+
+  private:
+    struct Slot
+    {
+        bool building = false;
+        bool ready = false;
+        std::string blob;
+    };
+
+    std::mutex _m;
+    std::condition_variable _cv;
+    std::map<std::string, Slot> _slots;
+};
+
+WarmupCache &
+warmupCache()
+{
+    static WarmupCache cache;
+    return cache;
+}
+
+/** Everything that shapes the warm machine, folded into a cache key.
+ *  Conservative: any field that could matter is included, so a
+ *  collision can only happen between genuinely identical warm-ups. */
+std::string
+warmupKey(const SweepPoint &p)
+{
+    std::ostringstream os;
+    os << p.kernel << '|' << p.params.seed << '|' << p.params.scale
+       << '|' << p.warmupRuns << '|'
+       << static_cast<unsigned>(p.cfg.mode) << '|' << p.cfg.numClusters
+       << '|' << p.cfg.coresPerCluster << '|' << p.cfg.numL3Banks << '|'
+       << p.cfg.numChannels << '|' << p.cfg.l1iBytes << '|'
+       << p.cfg.l1iAssoc << '|' << p.cfg.l1dBytes << '|' << p.cfg.l1dAssoc
+       << '|' << p.cfg.l2Bytes << '|' << p.cfg.l2Assoc << '|'
+       << p.cfg.l3BankBytes << '|' << p.cfg.l3Assoc << '|'
+       << p.cfg.l1Latency << '|' << p.cfg.l2Latency << '|'
+       << p.cfg.l2Ports << '|' << p.cfg.l3Latency << '|' << p.cfg.l3Ports
+       << '|' << p.cfg.netLatency << '|' << p.cfg.linkBytesPerCycle
+       << '|' << p.cfg.dram.rowHit << '|' << p.cfg.dram.rowMiss << '|'
+       << p.cfg.dram.burst << '|' << p.cfg.dram.writeRecovery << '|'
+       << p.cfg.directory.entries << '|' << p.cfg.directory.assoc << '|'
+       << static_cast<unsigned>(p.cfg.directory.sharerKind) << '|'
+       << p.cfg.directory.pointers << '|' << p.cfg.tableCacheEntries
+       << '|' << p.cfg.useMesi << '|' << p.cfg.slackWindow << '|'
+       << p.cfg.faults.seed << '|' << p.cfg.faults.pumpPeriod;
+    for (const FaultSiteConfig &s : p.cfg.faults.sites)
+        os << '|' << s.rate << ',' << s.max << ',' << s.delay;
+    return os.str();
+}
+
+/** Run one declarative point: optional (cached) warm-up runs on a
+ *  persistent machine, then the measured run. */
+harness::RunResult
+runPoint(const SweepPoint &p, const harness::RunOptions &opts)
+{
+    if (p.warmupRuns == 0) {
+        return harness::runKernel(p.cfg, kernels::kernelFactory(p.kernel),
+                                  p.params, opts);
+    }
+    kernels::KernelFactory factory = kernels::kernelFactory(p.kernel);
+    harness::Session session(p.cfg, p.params.seed);
+    const std::string key = warmupKey(p);
+    std::string blob = warmupCache().acquire(key);
+    if (!blob.empty()) {
+        session.restore(blob);
+    } else {
+        try {
+            harness::RunOptions wopts = opts;
+            wopts.statsJson = nullptr;
+            wopts.traceJson = nullptr;
+            for (unsigned i = 0; i < p.warmupRuns; ++i) {
+                auto kernel = factory(p.params);
+                session.run(*kernel, wopts);
+            }
+            warmupCache().publish(key, session.checkpoint());
+        } catch (...) {
+            warmupCache().abandon(key);
+            throw;
+        }
+    }
+    auto kernel = factory(p.params);
+    return session.run(*kernel, opts);
+}
+
 } // namespace
 
 SweepJob
@@ -302,10 +466,7 @@ makeJob(const SweepPoint &p)
 {
     SweepJob job;
     job.label = p.label;
-    job.body = [p]() {
-        return harness::runKernel(p.cfg, kernels::kernelFactory(p.kernel),
-                                  p.params, optsFor(p));
-    };
+    job.body = [p]() { return runPoint(p, optsFor(p)); };
     job.bodyT = [p](JobTelemetry *t) {
         harness::RunOptions opts = optsFor(p);
         // The hook only stores into the job's telemetry slot; the
@@ -314,8 +475,7 @@ makeJob(const SweepPoint &p)
             t->tick.store(tick, std::memory_order_relaxed);
             t->events.store(events, std::memory_order_relaxed);
         };
-        return harness::runKernel(p.cfg, kernels::kernelFactory(p.kernel),
-                                  p.params, opts);
+        return runPoint(p, opts);
     };
     return job;
 }
@@ -547,6 +707,12 @@ SweepSpec::parse(std::string_view json_text, SweepSpec *out,
             spec.tableCacheEntries =
                 static_cast<std::uint32_t>(v->number);
         }
+        if (const JsonValue *v = o->find("warmup")) {
+            if (!v->isNumber() || v->number < 0)
+                return specFail(err, "sweep spec: options.warmup "
+                                     "must be a non-negative number");
+            spec.warmupRuns = static_cast<unsigned>(v->number);
+        }
     }
 
     if (spec.kernels.empty())
@@ -598,6 +764,7 @@ SweepSpec::expand() const
                         p.sampleOccupancy = sampleOccupancy;
                         p.skipVerify = skipVerify;
                         p.audit = audit;
+                        p.warmupRuns = warmupRuns;
                         p.label = cat(kernel, ".", modeToken(mode), ".",
                                       dir.label, ".s", seed, ".",
                                       fault.label);

@@ -52,6 +52,8 @@ enum class JobOutcome : std::uint8_t
     Verify,   ///< std::runtime_error — fatal(), typically a verify
               ///< mismatch or a configuration error.
     Unknown,  ///< Any other exception type.
+    Skipped,  ///< Never ran: a cooperative stop (SIGINT/SIGTERM) was
+              ///< requested before the job started.
 };
 
 const char *jobOutcomeName(JobOutcome o);
@@ -117,6 +119,21 @@ struct SweepProgress
     std::ostream *jsonl = nullptr;
     /** Seconds between heartbeats. */
     double intervalSec = 1.0;
+    /**
+     * Cooperative stop flag (not owned; null: none). When it becomes
+     * true, jobs already running finish normally and their results are
+     * delivered, but no further job starts; never-started jobs come
+     * back with JobOutcome::Skipped. Settable from a signal handler —
+     * the engine only loads it.
+     */
+    std::atomic<bool> *stop = nullptr;
+    /**
+     * Completion hook, invoked with (submission index, result) right
+     * after each job finishes, before the engine returns. Calls are
+     * serialized under a mutex regardless of --jobs, so a journal
+     * writer needs no locking of its own. Skipped jobs do not fire it.
+     */
+    std::function<void(std::size_t, const JobResult &)> onJobDone;
 };
 
 class SweepEngine
@@ -163,6 +180,15 @@ struct SweepPoint
     bool audit = true;
     /** Enable the host-side self-profiler in each job. */
     bool hostProfile = false;
+    /**
+     * Cache-warming kernel runs executed on the job's machine before
+     * the measured run (statistics accumulate across all of them, as
+     * on hardware). Jobs sharing identical warm-up state reuse one
+     * machine snapshot via a process-global cache instead of each
+     * re-simulating the warm-up — results are bit-identical either
+     * way (see harness::Session).
+     */
+    unsigned warmupRuns = 0;
 };
 
 /** Lower a declarative point to a runnable job. */
@@ -224,6 +250,8 @@ struct SweepSpec
     bool sampleOccupancy = false;
     bool skipVerify = false;
     bool audit = true;
+    /** options.warmup: warm-up runs per job (see SweepPoint). */
+    unsigned warmupRuns = 0;
 
     /** Parse the JSON schema above. Returns false and sets @p err on
      *  malformed input. */

@@ -9,12 +9,15 @@
 #ifndef COHESION_MEM_BACKING_STORE_HH
 #define COHESION_MEM_BACKING_STORE_HH
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/types.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace mem {
 
@@ -77,6 +80,39 @@ class BackingStore
 
     /** Number of pages materialized (footprint diagnostics). */
     std::size_t pagesAllocated() const { return _pages.size(); }
+
+    /** Checkpoint hooks. Pages are written in ascending page-number
+     *  order so snapshots of identical memory images are byte-identical
+     *  regardless of hash-map iteration order. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("store");
+        std::vector<std::uint32_t> keys;
+        keys.reserve(_pages.size());
+        for (const auto &[page, data] : _pages)
+            keys.push_back(page);
+        std::sort(keys.begin(), keys.end());
+        ser.u64(keys.size());
+        for (std::uint32_t page : keys) {
+            ser.u32(page);
+            ser.bytes(_pages.at(page).get(), pageBytes);
+        }
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("store");
+        _pages.clear();
+        std::uint64_t n = des.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint32_t page = des.u32();
+            auto &slot = _pages[page];
+            slot = std::make_unique<std::uint8_t[]>(pageBytes);
+            des.bytes(slot.get(), pageBytes);
+        }
+    }
 
   private:
     static unsigned

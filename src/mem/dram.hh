@@ -78,6 +78,41 @@ class DramChannel
     std::uint64_t rowHits() const { return _rowHits.value(); }
     std::uint64_t rowMisses() const { return _rowMisses.value(); }
 
+    /** Checkpoint hooks: open-row state and next-free counters shape
+     *  every post-restore access latency. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.u64(_banks.size());
+        for (const Bank &b : _banks) {
+            ser.b(b.rowValid);
+            ser.u32(b.openRow);
+            ser.u64(b.nextFree);
+        }
+        ser.u64(_busNextFree);
+        _reads.checkpointState(ser);
+        _writes.checkpointState(ser);
+        _rowHits.checkpointState(ser);
+        _rowMisses.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        if (des.u64() != _banks.size())
+            throw sim::SnapshotError("snapshot DRAM bank count mismatch");
+        for (Bank &b : _banks) {
+            b.rowValid = des.b();
+            b.openRow = des.u32();
+            b.nextFree = des.u64();
+        }
+        _busNextFree = des.u64();
+        _reads.restoreState(des);
+        _writes.restoreState(des);
+        _rowHits.restoreState(des);
+        _rowMisses.restoreState(des);
+    }
+
   private:
     struct Bank
     {
@@ -114,6 +149,25 @@ class DramModel
 
     const DramChannel &channel(unsigned c) const { return _channels.at(c); }
     unsigned numChannels() const { return _channels.size(); }
+
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("dram");
+        ser.u64(_channels.size());
+        for (const DramChannel &c : _channels)
+            c.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("dram");
+        if (des.u64() != _channels.size())
+            throw sim::SnapshotError("snapshot DRAM channel count mismatch");
+        for (DramChannel &c : _channels)
+            c.restoreState(des);
+    }
 
     /** Aggregate accesses across channels (diagnostics). */
     std::uint64_t

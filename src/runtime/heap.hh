@@ -16,6 +16,7 @@
 
 #include "mem/types.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace runtime {
 
@@ -103,6 +104,46 @@ class Heap
     std::uint32_t bytesLive() const { return _bytesLive; }
     std::uint32_t peakBytes() const { return _peakBytes; }
     std::size_t allocations() const { return _allocated.size(); }
+
+    /** Checkpoint hooks. The free and allocated maps restore exactly,
+     *  so first-fit allocations after a restore land at the same
+     *  addresses as in an uninterrupted session — address-sensitive
+     *  workloads stay bit-identical. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("heap:" + _name);
+        auto blocks = [&](const std::map<mem::Addr, std::uint32_t> &m) {
+            ser.u64(m.size());
+            for (const auto &[start, size] : m) {
+                ser.u32(start);
+                ser.u32(size);
+            }
+        };
+        blocks(_free);
+        blocks(_allocated);
+        ser.u32(_bytesLive);
+        ser.u32(_peakBytes);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("heap:" + _name);
+        auto blocks = [&](std::map<mem::Addr, std::uint32_t> &m) {
+            m.clear();
+            std::uint64_t n = des.u64();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                mem::Addr start = des.u32();
+                std::uint32_t size = des.u32();
+                m.emplace(start, size);
+            }
+        };
+        blocks(_free);
+        blocks(_allocated);
+        _bytesLive = des.u32();
+        _peakBytes = des.u32();
+    }
 
   private:
     std::uint32_t

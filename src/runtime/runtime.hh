@@ -50,6 +50,28 @@ class Barrier
 
     std::uint64_t episodes() const { return _episode; }
 
+    /** Checkpoint hooks. The episode index picks the live counter word
+     *  (a fresh word per episode, modulo the window), so it must
+     *  survive a restore or post-restore barriers would reread a stale
+     *  counter. No core may be parked at the barrier. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("barrier");
+        if (!_waiting.empty()) {
+            throw sim::SnapshotError(
+                "checkpoint with cores parked at the barrier");
+        }
+        ser.u64(_episode);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("barrier");
+        _episode = des.u64();
+    }
+
   private:
     void releaseAll();
 
@@ -88,6 +110,35 @@ class TaskQueue
      * phase is exhausted, else fills *@p out.
      */
     sim::CoTask pop(arch::Core &core, unsigned p, TaskDesc *out, bool *got);
+
+    /** Checkpoint hooks: phase descriptors are simulated-memory
+     *  pointers plus counts — plain data, no coroutine state. */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("taskqueue");
+        ser.u64(_phases.size());
+        for (const Phase &p : _phases) {
+            ser.u32(p.counter);
+            ser.u32(p.descs);
+            ser.u32(p.count);
+        }
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("taskqueue");
+        _phases.clear();
+        std::uint64_t n = des.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Phase p;
+            p.counter = des.u32();
+            p.descs = des.u32();
+            p.count = des.u32();
+            _phases.push_back(p);
+        }
+    }
 
   private:
     struct Phase
@@ -177,6 +228,35 @@ class CohesionRuntime
 
     /** Coherent (hierarchy-aware) 32-bit read for verification. */
     std::uint32_t verifyRead32(mem::Addr a) { return _chip.coherentRead32(a); }
+
+    /**
+     * Checkpoint hooks for the runtime's own state: the three heaps
+     * (so allocation addresses continue identically), the barrier
+     * episode, and the task-queue phases. Boot-time region-table and
+     * fine-table contents live in the chip snapshot. The chip itself
+     * is checkpointed separately by the session.
+     */
+    void
+    checkpointState(sim::Serializer &ser) const
+    {
+        ser.tag("runtime");
+        _cohHeap.checkpointState(ser);
+        _incHeap.checkpointState(ser);
+        _metaHeap.checkpointState(ser);
+        _barrier.checkpointState(ser);
+        _queue.checkpointState(ser);
+    }
+
+    void
+    restoreState(sim::Deserializer &des)
+    {
+        des.tag("runtime");
+        _cohHeap.restoreState(des);
+        _incHeap.restoreState(des);
+        _metaHeap.restoreState(des);
+        _barrier.restoreState(des);
+        _queue.restoreState(des);
+    }
 
     float
     verifyReadF32(mem::Addr a)

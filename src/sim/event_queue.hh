@@ -26,6 +26,7 @@
 
 #include "sim/event.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace sim {
 
@@ -115,6 +116,36 @@ class EventQueue
         panic_if(when < _now, "advanceTo moving backwards");
         panic_if(nextEventTick() < when, "advanceTo skipping events");
         _now = when;
+    }
+
+    /**
+     * Checkpoint hooks. Snapshots are only taken at quiescent points,
+     * so the queue must be drained: the type-erased callables never
+     * serialize, only the clock and the counters that make later
+     * scheduling (sequence numbers) and reporting (events run) resume
+     * exactly where they left off.
+     */
+    void
+    checkpointState(Serializer &ser) const
+    {
+        if (_size != 0) {
+            throw SnapshotError(
+                "checkpoint requires a drained event queue");
+        }
+        ser.u64(_now);
+        ser.u64(_eventsRun);
+        ser.u64(_nextSeq);
+    }
+
+    void
+    restoreState(Deserializer &des)
+    {
+        panic_if(_size != 0 || _eventsRun != 0,
+                 "restoring into a used event queue");
+        _now = des.u64();
+        _eventsRun = des.u64();
+        _nextSeq = des.u64();
+        _base = _now;
     }
 
   private:

@@ -180,6 +180,44 @@ class FaultInjector
     /** Register per-site injected/recovered counters under @p prefix. */
     void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
+    /** Checkpoint hooks: the Rng stream and the per-site counters
+     *  resume so post-restore fault decisions replay the uninterrupted
+     *  campaign exactly. The plan itself is configuration, rebuilt by
+     *  the caller before restore. */
+    void
+    checkpointState(Serializer &ser) const
+    {
+        ser.tag("faults");
+        ser.b(_enabled);
+        ser.u64(_seed);
+        for (std::uint64_t w : _rng.rawState())
+            ser.u64(w);
+        for (std::uint64_t v : _injected)
+            ser.u64(v);
+        for (std::uint64_t v : _recovered)
+            ser.u64(v);
+    }
+
+    void
+    restoreState(Deserializer &des)
+    {
+        des.tag("faults");
+        bool enabled = des.b();
+        if (enabled != _enabled) {
+            throw SnapshotError("snapshot fault-injection state does not "
+                                "match this configuration");
+        }
+        _seed = des.u64();
+        std::array<std::uint64_t, 4> s;
+        for (std::uint64_t &w : s)
+            w = des.u64();
+        _rng.setRawState(s);
+        for (std::uint64_t &v : _injected)
+            v = des.u64();
+        for (std::uint64_t &v : _recovered)
+            v = des.u64();
+    }
+
   private:
     bool _enabled = false;
     std::uint64_t _seed = 0;

@@ -104,6 +104,40 @@ FlightRecorder::deserialize(std::string_view bytes, std::vector<Record> *out,
     return true;
 }
 
+void
+FlightRecorder::checkpointState(Serializer &ser) const
+{
+    ser.tag("recorder");
+    ser.u32(capacity());
+    ser.u64(_next);
+    if (!enabled())
+        return;
+    // Full ring in slot order: the masked-store cursor lands on the
+    // same slots after restore, so post-restore history splices onto
+    // pre-checkpoint history exactly.
+    ser.bytes(_ring.data(), _ring.size() * sizeof(Record));
+}
+
+void
+FlightRecorder::restoreState(Deserializer &des)
+{
+    des.tag("recorder");
+    std::uint32_t cap = des.u32();
+    std::uint64_t next = des.u64();
+    if (cap == 0) {
+        disable();
+        _next = next;
+        return;
+    }
+    enable(cap);
+    if (capacity() != cap) {
+        throw SnapshotError(
+            "snapshot corrupt: recorder capacity not a power of two");
+    }
+    _next = next;
+    des.bytes(_ring.data(), _ring.size() * sizeof(Record));
+}
+
 const char *
 FlightRecorder::evName(Ev e)
 {
@@ -134,6 +168,7 @@ FlightRecorder::evName(Ev e)
       case Ev::TransEnd:      return "trans.end";
       case Ev::TxnBegin:      return "txn.begin";
       case Ev::TxnEnd:        return "txn.end";
+      case Ev::RetransmitExhausted: return "msg.retransmit-exhausted";
       case Ev::numEvents:     break;
     }
     return "unknown";

@@ -66,6 +66,8 @@ class FlightRecorder
         TransEnd,   ///< transition committed for this line.
         TxnBegin,   ///< bank transaction opened. txn=bank seq, b=msgId.
         TxnEnd,     ///< bank transaction retired. txn=bank seq.
+        RetransmitExhausted, ///< drop-retransmit budget spent; message
+                             ///< force-delivered. a=ReqType, b=drops.
         numEvents,
     };
 
@@ -190,6 +192,15 @@ class FlightRecorder
     /** Stable lowercase name for an event kind ("msg.send", ...). */
     static const char *evName(Ev e);
     static const char *stepName(Step s);
+
+    /**
+     * Checkpoint hooks: the ring contents and write cursor resume so a
+     * restored machine's post-mortem history is seamless across the
+     * snapshot boundary. Restore re-allocates the ring at the
+     * checkpointed capacity (overriding any enable() done before).
+     */
+    void checkpointState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
 
   private:
     std::vector<Record> _ring;

@@ -9,6 +9,7 @@
 #ifndef COHESION_SIM_RANDOM_HH
 #define COHESION_SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -87,6 +88,20 @@ class Rng
     range(double lo, double hi)
     {
         return lo + uniform() * (hi - lo);
+    }
+
+    /** Raw generator state (checkpoint support). */
+    std::array<std::uint64_t, 4>
+    rawState() const
+    {
+        return {_state[0], _state[1], _state[2], _state[3]};
+    }
+
+    void
+    setRawState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            _state[i] = s[i];
     }
 
   private:

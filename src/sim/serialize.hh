@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Checkpoint serialization core. A machine snapshot is a flat binary
+ * payload built by a Serializer and re-read by a Deserializer, wrapped
+ * on disk in the versioned "CCKPT1" container (magic, version, payload
+ * length, FNV-1a checksum). Components implement
+ *
+ *     void checkpointState(sim::Serializer &) const;
+ *     void restoreState(sim::Deserializer &);
+ *
+ * hook pairs that write and read the exact same field sequence;
+ * section tags give corrupt or mismatched snapshots a named failure
+ * point instead of a silent misparse.
+ *
+ * Snapshots are only taken at quiescent points (event queue drained,
+ * no in-flight protocol transactions), so no type-erased event
+ * callables or coroutine frames ever need serializing — see
+ * DESIGN.md §12 for the quiescent-point rule.
+ *
+ * Encoding is explicit little-endian, independent of host byte order.
+ * Every malformed-input path throws SnapshotError; tools translate
+ * that to exit code 4 (the cohesion-trace/cohesion-diff "artifact
+ * corrupt" convention).
+ */
+
+#ifndef COHESION_SIM_SERIALIZE_HH
+#define COHESION_SIM_SERIALIZE_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sim {
+
+/** Any snapshot failure: truncated/corrupt files, version or section
+ *  mismatches, machine-shape incompatibility. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** FNV-1a over a byte string (snapshot payload checksum). */
+inline std::uint64_t
+snapshotChecksum(std::string_view bytes)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** Appends little-endian primitives to a growing payload buffer. */
+class Serializer
+{
+  public:
+    void
+    u64(std::uint64_t v)
+    {
+        char b[8];
+        for (unsigned i = 0; i < 8; ++i)
+            b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+        _buf.append(b, 8);
+    }
+
+    void u32(std::uint32_t v) { u64(v); }
+    void u8(std::uint8_t v) { u64(v); }
+    void b(bool v) { u64(v ? 1 : 0); }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        _buf.append(static_cast<const char *>(p), n);
+    }
+
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        _buf.append(s.data(), s.size());
+    }
+
+    /** Named section marker; Deserializer::tag verifies it. */
+    void tag(std::string_view name) { str(name); }
+
+    const std::string &blob() const { return _buf; }
+    std::string take() { return std::move(_buf); }
+
+  private:
+    std::string _buf;
+};
+
+/** Bounds-checked reader over a snapshot payload. */
+class Deserializer
+{
+  public:
+    explicit Deserializer(std::string_view data) : _data(data) {}
+
+    std::uint64_t
+    u64()
+    {
+        need(8, "integer");
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(_data[_pos + i]))
+                 << (8 * i);
+        }
+        _pos += 8;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint64_t v = u64();
+        if (v > 0xFFFFFFFFULL)
+            fail("32-bit field out of range");
+        return static_cast<std::uint32_t>(v);
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint64_t v = u64();
+        if (v > 0xFF)
+            fail("8-bit field out of range");
+        return static_cast<std::uint8_t>(v);
+    }
+
+    bool
+    b()
+    {
+        std::uint64_t v = u64();
+        if (v > 1)
+            fail("boolean field out of range");
+        return v != 0;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    void
+    bytes(void *p, std::size_t n)
+    {
+        need(n, "raw bytes");
+        std::memcpy(p, _data.data() + _pos, n);
+        _pos += n;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        need(n, "string body");
+        std::string s(_data.substr(_pos, n));
+        _pos += n;
+        return s;
+    }
+
+    /** Consume a section marker written by Serializer::tag. */
+    void
+    tag(std::string_view name)
+    {
+        std::string got = str();
+        if (got != name) {
+            throw SnapshotError("snapshot section mismatch: expected \"" +
+                                std::string(name) + "\", found \"" + got +
+                                "\"");
+        }
+    }
+
+    bool atEnd() const { return _pos == _data.size(); }
+    std::size_t pos() const { return _pos; }
+
+  private:
+    void
+    need(std::size_t n, const char *what)
+    {
+        if (_data.size() - _pos < n) {
+            throw SnapshotError(
+                std::string("snapshot truncated while reading ") + what);
+        }
+    }
+
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        throw SnapshotError(std::string("snapshot corrupt: ") + what);
+    }
+
+    std::string_view _data;
+    std::size_t _pos = 0;
+};
+
+/** Wrap @p payload in the CCKPT1 container (in memory). */
+std::string frameSnapshot(const std::string &payload);
+
+/** Unwrap a CCKPT1 container; throws SnapshotError on any damage. */
+std::string unframeSnapshot(std::string_view file_bytes);
+
+/** Write @p payload to @p path inside the CCKPT1 container. */
+void writeSnapshotFile(const std::string &path, const std::string &payload);
+
+/** Read and verify a CCKPT1 file; returns the payload. */
+std::string readSnapshotFile(const std::string &path);
+
+} // namespace sim
+
+#endif // COHESION_SIM_SERIALIZE_HH

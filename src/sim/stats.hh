@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/serialize.hh"
+
 namespace sim {
 
 /** A scalar event counter. */
@@ -27,6 +29,9 @@ class Counter
     void inc(std::uint64_t n = 1) { _value += n; }
     void reset() { _value = 0; }
     std::uint64_t value() const { return _value; }
+
+    void checkpointState(Serializer &ser) const { ser.u64(_value); }
+    void restoreState(Deserializer &des) { _value = des.u64(); }
 
   private:
     std::uint64_t _value = 0;
@@ -112,6 +117,36 @@ class Distribution
     double p50() const { return percentile(50); }
     double p95() const { return percentile(95); }
     double p99() const { return percentile(99); }
+
+    /** The reservoir and its LCG serialize too: percentile columns in
+     *  stat exports must be byte-identical after a restore. */
+    void
+    checkpointState(Serializer &ser) const
+    {
+        ser.u64(_count);
+        ser.f64(_sum);
+        ser.f64(_min);
+        ser.f64(_max);
+        ser.f64(_mean);
+        ser.f64(_m2);
+        ser.u64(_lcg);
+        for (double v : _reservoir)
+            ser.f64(v);
+    }
+
+    void
+    restoreState(Deserializer &des)
+    {
+        _count = des.u64();
+        _sum = des.f64();
+        _min = des.f64();
+        _max = des.f64();
+        _mean = des.f64();
+        _m2 = des.f64();
+        _lcg = des.u64();
+        for (double &v : _reservoir)
+            v = des.f64();
+    }
 
   private:
     std::uint64_t _count = 0;
@@ -241,6 +276,28 @@ class Histogram
     double p95() const { return percentile(95); }
     double p99() const { return percentile(99); }
 
+    void
+    checkpointState(Serializer &ser) const
+    {
+        for (std::uint64_t b : _buckets)
+            ser.u64(b);
+        ser.u64(_count);
+        ser.u64(_sum);
+        ser.u64(_min);
+        ser.u64(_max);
+    }
+
+    void
+    restoreState(Deserializer &des)
+    {
+        for (std::uint64_t &b : _buckets)
+            b = des.u64();
+        _count = des.u64();
+        _sum = des.u64();
+        _min = des.u64();
+        _max = des.u64();
+    }
+
   private:
     std::array<std::uint64_t, numBuckets> _buckets{};
     std::uint64_t _count = 0;
@@ -267,6 +324,9 @@ class TimeSampler
     double maximum() const { return _dist.max(); }
     std::uint64_t samples() const { return _dist.count(); }
     void reset() { _dist.reset(); }
+
+    void checkpointState(Serializer &ser) const { _dist.checkpointState(ser); }
+    void restoreState(Deserializer &des) { _dist.restoreState(des); }
 
   private:
     std::uint64_t _period;

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include "arch/cluster.hh"
 #include "harness/runner.hh"
+#include "harness/session.hh"
 #include "kernels/registry.hh"
 #include "runtime/ctx.hh"
 
@@ -98,6 +100,68 @@ TEST(FaultInjection, SobelVerifierCatchesCorruptEdgeCount)
         chip.injectFault(sim::FaultSite::MemDataFlip,
                          runtime::Layout::cohHeapBase, 0x00BC614E);
     });
+}
+
+/** The writeback-ack dedup set is hard-bounded: a hostile drop storm
+ *  can grow the set of never-acked message ids without limit, and an
+ *  unbounded set is a slow memory-exhaustion kill. The bound evicts
+ *  oldest-first and counts what it shed. */
+TEST(FaultInjection, PendingWritebackSetIsBounded)
+{
+    arch::BoundedIdSet set(4);
+    EXPECT_EQ(set.capacity(), 4u);
+    for (std::uint32_t id = 0; id < 10; ++id)
+        EXPECT_TRUE(set.insert(id));
+    EXPECT_EQ(set.size(), 4u);
+    EXPECT_EQ(set.evictions().value(), 6u);
+    // Oldest ids were evicted, newest retained.
+    EXPECT_FALSE(set.contains(0));
+    EXPECT_FALSE(set.contains(5));
+    EXPECT_TRUE(set.contains(6));
+    EXPECT_TRUE(set.contains(9));
+    // Duplicate insert neither grows nor evicts.
+    EXPECT_FALSE(set.insert(7));
+    EXPECT_EQ(set.size(), 4u);
+    EXPECT_EQ(set.evictions().value(), 6u);
+    // erase() reports whether the id was present (a duplicated ack or
+    // an evicted id comes back false).
+    EXPECT_TRUE(set.erase(8));
+    EXPECT_FALSE(set.erase(8));
+    EXPECT_FALSE(set.erase(3));
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_EQ(arch::Cluster::pendingWbCapacity, 4096u);
+}
+
+/** A message whose drop-retransmit budget is exhausted used to be
+ *  force-delivered silently. Drive every cluster-to-bank message
+ *  through the full drop budget (rate 1.0) and demand the surfacing:
+ *  the chip.retries.exhausted counter moves and the flight recorder
+ *  carries the event — while the run still completes and verifies
+ *  (forced delivery is the fault model's liveness guarantee). */
+TEST(FaultInjection, ExhaustedRetransmitBudgetIsSurfaced)
+{
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(2);
+    cfg.faults.site(sim::FaultSite::FabricC2BDrop).rate = 1.0;
+
+    harness::Session session(cfg, kernels::Params{}.seed);
+    kernels::Params params;
+    params.scale = 1;
+    auto kernel = kernels::kernelFactory("gjk")(params);
+    harness::RunResult r = session.run(*kernel);
+
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(session.chip().retriesExhausted(), 0u);
+
+    bool recorded = false;
+    session.chip().recorder().forEach(
+        [&](const sim::FlightRecorder::Record &rec) {
+            if (static_cast<sim::FlightRecorder::Ev>(rec.kind) ==
+                sim::FlightRecorder::Ev::RetransmitExhausted) {
+                recorded = true;
+            }
+        });
+    EXPECT_TRUE(recorded)
+        << "no msg.retransmit-exhausted event in the flight recorder";
 }
 
 TEST(FaultInjection, CgVerifierCatchesCorruptSolution)

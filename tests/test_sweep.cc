@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -19,6 +23,7 @@
 
 #include "arch/chip.hh"
 #include "arch/machine_config.hh"
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
 #include "kernels/registry.hh"
 #include "runtime/ctx.hh"
@@ -307,6 +312,152 @@ TEST(SweepSpec, ParsesAndExpandsCrossProduct)
     // The fault axis reaches the machine config.
     EXPECT_GT(points[1].cfg.faults
                   .site(sim::FaultSite::FabricC2BDrop).rate, 0.0);
+}
+
+/** Compose the deterministic results doc for a set of finished jobs,
+ *  the way cohesion-sweep does in journal mode. */
+std::string
+resultsDocFor(const std::vector<std::string> &objs)
+{
+    std::ostringstream os;
+    harness::writeResultsDoc(os, objs);
+    return os.str();
+}
+
+/** The crash-resume contract, in process: run a campaign to
+ *  completion for the reference document; run it again with a
+ *  cooperative stop after two jobs (journaling as cohesion-sweep
+ *  does); then resume from the journal, running only the missing jobs,
+ *  and demand the stitched document equals the reference byte for
+ *  byte. */
+TEST(SweepResume, KillAndResumeProducesByteIdenticalResults)
+{
+    const std::string journal_path = "sweep_resume_test.journal";
+    std::remove(journal_path.c_str());
+    std::vector<sim::SweepPoint> points = smallFamily();
+
+    // Reference: the uninterrupted campaign.
+    std::string want;
+    {
+        std::vector<sim::JobResult> results =
+            sim::SweepEngine(1).run(lower(points));
+        std::vector<std::string> objs;
+        for (const sim::JobResult &r : results) {
+            ASSERT_TRUE(r.ok()) << r.label << ": " << r.what;
+            objs.push_back(harness::jobObjectJson(r));
+        }
+        want = resultsDocFor(objs);
+    }
+
+    // Interrupted campaign: stop cooperatively after two jobs.
+    {
+        harness::ResultsJournal journal;
+        std::string err;
+        ASSERT_TRUE(journal.open(journal_path, &err)) << err;
+        std::atomic<bool> stop{false};
+        std::size_t done = 0;
+        sim::SweepProgress sp;
+        sp.stop = &stop;
+        sp.onJobDone = [&](std::size_t, const sim::JobResult &r) {
+            journal.append(r.label, harness::jobObjectJson(r));
+            if (++done == 2)
+                stop.store(true);
+        };
+        std::vector<sim::JobResult> results =
+            sim::SweepEngine(1).run(lower(points), sp);
+        ASSERT_EQ(results.size(), points.size());
+        EXPECT_EQ(results[0].outcome, sim::JobOutcome::Ok);
+        EXPECT_EQ(results[1].outcome, sim::JobOutcome::Ok);
+        EXPECT_EQ(results[2].outcome, sim::JobOutcome::Skipped);
+        EXPECT_EQ(results[3].outcome, sim::JobOutcome::Skipped);
+    }
+
+    // Resume: load the journal, run only what is missing, stitch.
+    {
+        std::map<std::string, std::string> journaled;
+        std::string err;
+        ASSERT_TRUE(harness::ResultsJournal::load(journal_path,
+                                                  &journaled, &err))
+            << err;
+        ASSERT_EQ(journaled.size(), 2u);
+
+        std::vector<sim::SweepJob> pending;
+        std::vector<std::size_t> pending_idx;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (journaled.count(points[i].label))
+                continue;
+            pending.push_back(sim::makeJob(points[i]));
+            pending_idx.push_back(i);
+        }
+        ASSERT_EQ(pending.size(), 2u);
+        std::vector<sim::JobResult> fresh =
+            sim::SweepEngine(1).run(pending);
+
+        std::vector<std::string> objs(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            auto it = journaled.find(points[i].label);
+            if (it != journaled.end())
+                objs[i] = it->second;
+        }
+        for (std::size_t j = 0; j < fresh.size(); ++j) {
+            ASSERT_TRUE(fresh[j].ok()) << fresh[j].what;
+            objs[pending_idx[j]] = harness::jobObjectJson(fresh[j]);
+        }
+        EXPECT_EQ(resultsDocFor(objs), want)
+            << "resumed results document diverged from the "
+               "uninterrupted reference";
+    }
+    std::remove(journal_path.c_str());
+}
+
+/** A crash mid-append leaves a torn trailing line; the loader must
+ *  keep every intact entry (verbatim bytes) and drop only the torn
+ *  one. */
+TEST(SweepResume, JournalLoadToleratesTornTrailingLine)
+{
+    const std::string path = "sweep_journal_torn_test.journal";
+    std::remove(path.c_str());
+
+    const std::string obj = R"({"label": "a", "cycles": 42})";
+    {
+        harness::ResultsJournal journal;
+        std::string err;
+        ASSERT_TRUE(journal.open(path, &err)) << err;
+        journal.append("a", obj);
+    }
+    {
+        // Simulate the crash: a half-written line with no newline.
+        std::ofstream app(path, std::ios::app | std::ios::binary);
+        app << R"({"label": "b", "job": {"cyc)";
+    }
+
+    std::map<std::string, std::string> journaled;
+    std::string err;
+    ASSERT_TRUE(harness::ResultsJournal::load(path, &journaled, &err))
+        << err;
+    EXPECT_EQ(journaled.size(), 1u);
+    ASSERT_TRUE(journaled.count("a"));
+    EXPECT_EQ(journaled["a"], obj) << "journaled bytes not verbatim";
+    std::remove(path.c_str());
+}
+
+/** Warm-up snapshot reuse must be invisible in the results: the same
+ *  point run twice in one process (second run hits the process-global
+ *  warm-up cache and restores instead of re-simulating) yields
+ *  identical measured metrics. */
+TEST(SweepWarmup, SnapshotReuseIsBitIdentical)
+{
+    sim::SweepPoint p = smallFamily()[0];
+    p.warmupRuns = 2;
+    sim::JobResult cold = sim::SweepEngine::runOne(sim::makeJob(p));
+    ASSERT_TRUE(cold.ok()) << cold.what << '\n' << cold.log;
+    sim::JobResult warm = sim::SweepEngine::runOne(sim::makeJob(p));
+    ASSERT_TRUE(warm.ok()) << warm.what << '\n' << warm.log;
+    EXPECT_EQ(cold.run.cycles, warm.run.cycles);
+    EXPECT_EQ(cold.run.eventsRun, warm.run.eventsRun);
+    EXPECT_EQ(cold.run.instructions, warm.run.instructions);
+    EXPECT_EQ(cold.run.msgs.total(), warm.run.msgs.total());
+    EXPECT_EQ(harness::jobObjectJson(cold), harness::jobObjectJson(warm));
 }
 
 TEST(SweepSpec, RejectsMalformedInput)

@@ -37,6 +37,9 @@
  *                     JSON report (per-phase host time) to F
  *   --progress[=F]    live heartbeat on stderr while the run executes;
  *                     =F also appends machine-readable JSON lines to F
+ *   --checkpoint-at F write a CCKPT1 machine snapshot after the run
+ *   --restore F       restore machine state from a snapshot before the
+ *                     run (exit 4 on a corrupt/incompatible snapshot)
  */
 
 #include <cstring>
@@ -51,6 +54,7 @@
 #include "harness/progress.hh"
 #include "harness/report.hh"
 #include "sim/fault.hh"
+#include "sim/serialize.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "harness/runner.hh"
@@ -75,6 +79,7 @@ usage(int code)
         "                    [--recorder N] [--recorder-dump FILE]\n"
         "                    [--watch-line 0xADDR]\n"
         "                    [--host-profile FILE] [--progress[=FILE]]\n"
+        "                    [--checkpoint-at FILE] [--restore FILE]\n"
         "  trace categories: protocol,cache,transition,net,dram,\n"
         "                    runtime,watchdog,fault,all\n"
         "  FILE may be \"-\" for stdout (except --trace-json)\n";
@@ -178,6 +183,10 @@ main(int argc, char **argv)
                 std::strtoul(next("--recorder"), nullptr, 0));
         } else if (!std::strcmp(argv[i], "--recorder-dump")) {
             opts.recorderDumpPath = next("--recorder-dump");
+        } else if (!std::strcmp(argv[i], "--checkpoint-at")) {
+            opts.checkpointAt = next("--checkpoint-at");
+        } else if (!std::strcmp(argv[i], "--restore")) {
+            opts.restoreFrom = next("--restore");
         } else if (!std::strcmp(argv[i], "--host-profile")) {
             host_profile = next("--host-profile");
         } else if (!std::strcmp(argv[i], "--progress")) {
@@ -301,6 +310,9 @@ main(int argc, char **argv)
             std::cout << '\n';
             harness::printReport(std::cout, cfg, r);
         }
+    } catch (const sim::SnapshotError &e) {
+        std::cerr << "snapshot error: " << e.what() << '\n';
+        return 4;
     } catch (const std::exception &e) {
         std::cerr << "simulation failed: " << e.what() << '\n';
         return 1;

@@ -42,14 +42,18 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
 #include "kernels/registry.hh"
 #include "sim/json.hh"
@@ -57,11 +61,21 @@
 
 namespace {
 
+/** Set by SIGINT/SIGTERM; the engine checks it between jobs. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    g_stop.store(true);
+}
+
 [[noreturn]] void
 usage(int code)
 {
     std::cout <<
         "usage: cohesion-sweep --spec FILE [--jobs N] [--out FILE]\n"
+        "                      [--journal FILE | --resume FILE]\n"
         "                      [--progress[=FILE]] [--host-profile]\n"
         "       cohesion-sweep --baseline FILE [--jobs N]\n"
         "                      [--tolerance-pct P] "
@@ -74,6 +88,15 @@ usage(int code)
         "  --jobs N               worker threads (default: all cores;\n"
         "                         baseline perf runs default to 1)\n"
         "  --out FILE             results JSON (\"-\" = stdout)\n"
+        "  --journal FILE         append each finished job to FILE as a\n"
+        "                         JSON line; SIGINT/SIGTERM then stop the\n"
+        "                         campaign gracefully (running jobs\n"
+        "                         finish and are journaled)\n"
+        "  --resume FILE          skip jobs already in the journal FILE,\n"
+        "                         run the rest, and write a results file\n"
+        "                         byte-identical to an uninterrupted\n"
+        "                         campaign (implies --journal FILE; the\n"
+        "                         journal omits per-job host timing)\n"
         "  --tolerance-pct P      allowed cycles/events drift "
         "(default 0)\n"
         "  --perf-tolerance-pct P allowed events/sec loss (default 30)\n"
@@ -85,7 +108,9 @@ usage(int code)
         "                         lines to FILE)\n"
         "  --host-profile         profile host time inside each job\n"
         "exit: 0 ok, 1 error/failed job, 2 metric drift, 3 perf "
-        "regression\n";
+        "regression,\n"
+        "      5 interrupted (journal holds finished jobs; rerun with "
+        "--resume)\n";
     std::exit(code);
 }
 
@@ -190,7 +215,8 @@ struct ProgressCli
 
 int
 runSpec(const std::string &spec_path, unsigned jobs,
-        const std::string &out_path, const ProgressCli &pcli)
+        const std::string &out_path, const std::string &journal_path,
+        bool resume, const ProgressCli &pcli)
 {
     sim::SweepSpec spec;
     std::string err;
@@ -200,11 +226,41 @@ runSpec(const std::string &spec_path, unsigned jobs,
     }
 
     std::vector<sim::SweepPoint> points = spec.expand();
+
+    // Jobs already journaled by an earlier, interrupted campaign are
+    // not re-run; their journaled bytes re-enter the results document
+    // verbatim, which is what makes a resumed results file
+    // byte-identical to an uninterrupted one.
+    std::map<std::string, std::string> journaled;
+    if (resume) {
+        if (!harness::ResultsJournal::load(journal_path, &journaled,
+                                           &err)) {
+            std::cerr << "cohesion-sweep: " << err << '\n';
+            return 1;
+        }
+    }
+
+    harness::ResultsJournal journal;
+    if (!journal_path.empty() &&
+        !journal.open(journal_path, &err)) {
+        std::cerr << "cohesion-sweep: " << err << '\n';
+        return 1;
+    }
+
+    std::vector<std::size_t> pending_idx;
     std::vector<sim::SweepJob> sweep_jobs;
     sweep_jobs.reserve(points.size());
-    for (sim::SweepPoint &p : points) {
-        p.hostProfile = pcli.hostProfile;
-        sweep_jobs.push_back(sim::makeJob(p));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        points[i].hostProfile = pcli.hostProfile;
+        if (journaled.count(points[i].label))
+            continue;
+        pending_idx.push_back(i);
+        sweep_jobs.push_back(sim::makeJob(points[i]));
+    }
+    if (resume) {
+        std::cerr << "cohesion-sweep: resuming — "
+                  << points.size() - pending_idx.size() << '/'
+                  << points.size() << " jobs already journaled\n";
     }
 
     sim::SweepEngine engine(jobs);
@@ -222,10 +278,23 @@ runSpec(const std::string &spec_path, unsigned jobs,
         }
         sp.jsonl = &jsonl;
     }
+    sp.stop = &g_stop;
+    std::signal(SIGINT, stopSignalHandler);
+    std::signal(SIGTERM, stopSignalHandler);
+    if (journal.isOpen()) {
+        sp.onJobDone = [&journal](std::size_t, const sim::JobResult &r) {
+            journal.append(r.label, harness::jobObjectJson(r));
+        };
+    }
     std::vector<sim::JobResult> results = engine.run(sweep_jobs, sp);
 
+    bool interrupted = false;
     unsigned failed = 0;
     for (const sim::JobResult &r : results) {
+        if (r.outcome == sim::JobOutcome::Skipped) {
+            interrupted = true;
+            continue;
+        }
         if (!r.ok()) {
             ++failed;
             std::cerr << "FAIL " << r.label << " ["
@@ -235,8 +304,58 @@ runSpec(const std::string &spec_path, unsigned jobs,
                 std::cerr << r.log;
         }
     }
+    // Journal-replayed failures count too: a deterministic failure is
+    // the same failure on resume.
+    for (const sim::SweepPoint &p : points) {
+        auto it = journaled.find(p.label);
+        if (it == journaled.end())
+            continue;
+        sim::JsonValue job;
+        std::string perr;
+        if (sim::parseJson(it->second, &job, &perr)) {
+            const sim::JsonValue *o = job.find("outcome");
+            if (o && o->isString() && o->str != "ok") {
+                ++failed;
+                std::cerr << "FAIL " << p.label << " [" << o->str
+                          << "] (journaled)\n";
+            }
+        }
+    }
 
-    if (out_path == "-") {
+    if (!journal_path.empty()) {
+        // Journaled campaigns write the deterministic document (no
+        // host-timing blocks): journaled and freshly-run jobs compose
+        // byte-stably. An interrupted campaign writes none — the
+        // journal is the partial result, --resume completes it.
+        if (interrupted) {
+            if (!out_path.empty()) {
+                std::cerr << "cohesion-sweep: interrupted; not writing "
+                          << out_path << " (resume with --resume "
+                          << journal_path << ")\n";
+            }
+        } else {
+            std::vector<std::string> objs(points.size());
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                auto it = journaled.find(points[i].label);
+                if (it != journaled.end())
+                    objs[i] = it->second;
+            }
+            for (std::size_t j = 0; j < results.size(); ++j)
+                objs[pending_idx[j]] =
+                    harness::jobObjectJson(results[j]);
+            if (out_path == "-") {
+                harness::writeResultsDoc(std::cout, objs);
+            } else if (!out_path.empty()) {
+                std::ofstream os(out_path);
+                if (!os) {
+                    std::cerr << "cohesion-sweep: cannot write "
+                              << out_path << '\n';
+                    return 1;
+                }
+                harness::writeResultsDoc(os, objs);
+            }
+        }
+    } else if (out_path == "-") {
         writeResultsJson(std::cout, results);
     } else if (!out_path.empty()) {
         std::ofstream os(out_path);
@@ -249,8 +368,19 @@ runSpec(const std::string &spec_path, unsigned jobs,
     }
 
     printHostSummary(results);
-    std::cerr << "cohesion-sweep: " << results.size() - failed << '/'
-              << results.size() << " jobs ok\n";
+    if (interrupted) {
+        std::size_t skipped = 0;
+        for (const sim::JobResult &r : results)
+            skipped += r.outcome == sim::JobOutcome::Skipped;
+        std::cerr << "cohesion-sweep: interrupted — " << skipped
+                  << " jobs not run";
+        if (!journal_path.empty())
+            std::cerr << "; resume with --resume " << journal_path;
+        std::cerr << '\n';
+        return 5;
+    }
+    std::cerr << "cohesion-sweep: " << points.size() - failed << '/'
+              << points.size() << " jobs ok\n";
     return failed ? 1 : 0;
 }
 
@@ -432,7 +562,8 @@ runBaseline(const std::string &baseline_path, unsigned jobs,
 int
 main(int argc, char **argv)
 {
-    std::string spec_path, baseline_path, out_path;
+    std::string spec_path, baseline_path, out_path, journal_path;
+    bool resume = false;
     unsigned jobs = 0;
     bool jobs_given = false;
     double tol_pct = 0.0;
@@ -458,6 +589,11 @@ main(int argc, char **argv)
             jobs_given = true;
         } else if (!std::strcmp(argv[i], "--out")) {
             out_path = next("--out");
+        } else if (!std::strcmp(argv[i], "--journal")) {
+            journal_path = next("--journal");
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            journal_path = next("--resume");
+            resume = true;
         } else if (!std::strcmp(argv[i], "--tolerance-pct")) {
             tol_pct = std::atof(next("--tolerance-pct"));
         } else if (!std::strcmp(argv[i], "--perf-tolerance-pct")) {
@@ -499,9 +635,14 @@ main(int argc, char **argv)
     }
     if (quick && kernel_filter.empty())
         kernel_filter = {"gjk", "sobel", "kmeans"};
+    if (!journal_path.empty() && spec_path.empty()) {
+        std::cerr << "--journal/--resume require --spec\n";
+        usage(1);
+    }
 
     if (!spec_path.empty())
-        return runSpec(spec_path, jobs, out_path, pcli);
+        return runSpec(spec_path, jobs, out_path, journal_path, resume,
+                       pcli);
     return runBaseline(baseline_path, jobs, jobs_given, tol_pct,
                        perf_tol_pct, metrics_only, perf_only,
                        std::move(kernel_filter), out_path, pcli);
