@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Intra-run sharding bench: wall-time and events/sec for the paper
+ * kernels at --shards 1/2/4 on one machine, with the determinism
+ * contract checked on every row (same cycles, same event count as the
+ * serial reference — a sharded run that is fast but wrong fails here
+ * before it fails a golden test).
+ *
+ * The speedup column is *advisory*: it depends on the host's core
+ * count (recorded in the JSON) and on how much concurrent work the
+ * kernel exposes per lookahead window. CI containers with 2-4 cores
+ * cannot demonstrate the big-machine numbers, so the only hard gate
+ * is bit-identity; the committed BENCH_shard.json documents what a
+ * given host achieved. --quick runs a reduced matrix (wired as the
+ * `perf`-labeled ctest); --json FILE writes the snapshot.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+struct Row
+{
+    std::string kernel;
+    unsigned shards = 1;
+    double wallSec = 0;
+    std::uint64_t events = 0;
+    sim::Tick cycles = 0;
+    double speedup = 1.0; ///< serial wall / this wall, same kernel.
+};
+
+void
+writeJson(const std::string &path, const std::string &machine,
+          unsigned scale, const std::vector<Row> &rows)
+{
+    std::ofstream os(path);
+    os << "{\n  \"bench\": \"perf_shard\",\n";
+    os << "  \"machine\": \"" << machine << "\",\n";
+    os << "  \"workload_scale\": " << scale << ",\n";
+    os << "  \"host_cores\": " << std::thread::hardware_concurrency()
+       << ",\n";
+    os << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        os << "    {\"kernel\": \"" << r.kernel << "\", \"shards\": "
+           << r.shards << ", \"wall_sec\": " << r.wallSec
+           << ", \"events\": " << r.events << ", \"cycles\": " << r.cycles
+           << ", \"speedup\": " << r.speedup << "}"
+           << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool paper = false;
+    unsigned clusters = 4;
+    unsigned scale = 2;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(argv[i], "--clusters") && i + 1 < argc) {
+            clusters = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+            scale = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--paper")) {
+            paper = true;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cout << "usage: " << argv[0]
+                      << " [--quick] [--clusters N] [--scale N] [--paper]"
+                         " [--json FILE]\n";
+            return !std::strcmp(argv[i], "--help") ? 0 : 1;
+        }
+    }
+
+    arch::MachineConfig cfg = paper ? arch::MachineConfig::paper1024()
+                                    : arch::MachineConfig::scaled(clusters);
+    kernels::Params params;
+    params.scale = quick ? 1 : scale;
+    harness::RunOptions opts;
+    opts.audit = false; // measure the window loop, not the checker
+
+    std::vector<std::string> names =
+        quick ? std::vector<std::string>{"heat", "gjk"}
+              : kernels::allKernelNames();
+    std::vector<unsigned> shard_counts =
+        quick ? std::vector<unsigned>{1, 4}
+              : std::vector<unsigned>{1, 2, 4};
+    if (quick)
+        cfg = arch::MachineConfig::scaled(2);
+
+    std::cout << "intra-run sharding on " << cfg.summary()
+              << ", workload scale " << params.scale << ", "
+              << std::thread::hardware_concurrency() << " host cores\n";
+    std::cout << "  kernel     shards   wall(s)        events      cycles"
+                 "   speedup\n";
+
+    std::vector<Row> rows;
+    bool identical = true;
+    bench::GeoMean best;
+    for (const std::string &k : names) {
+        Row serial;
+        for (unsigned s : shard_counts) {
+            harness::RunOptions o = opts;
+            o.shards = s;
+            auto t0 = std::chrono::steady_clock::now();
+            harness::RunResult r = harness::runKernel(
+                cfg, kernels::kernelFactory(k), params, o);
+            Row row;
+            row.kernel = k;
+            row.shards = s;
+            row.wallSec = seconds(t0);
+            row.events = r.eventsRun;
+            row.cycles = r.cycles;
+            if (s == 1) {
+                serial = row;
+            } else {
+                row.speedup = serial.wallSec / row.wallSec;
+                if (row.events != serial.events ||
+                    row.cycles != serial.cycles) {
+                    std::cerr << "FAIL: " << k << " --shards " << s
+                              << " diverged from serial: events "
+                              << row.events << " vs " << serial.events
+                              << ", cycles " << row.cycles << " vs "
+                              << serial.cycles << "\n";
+                    identical = false;
+                }
+            }
+            std::printf("  %-10s %6u  %8.3f  %12llu  %10llu    %5.2fx\n",
+                        k.c_str(), s, row.wallSec,
+                        static_cast<unsigned long long>(row.events),
+                        static_cast<unsigned long long>(row.cycles),
+                        row.speedup);
+            rows.push_back(row);
+        }
+        double k_best = 0;
+        for (const Row &r : rows)
+            if (r.kernel == k && r.speedup > k_best)
+                k_best = r.speedup;
+        best.add(k_best);
+    }
+
+    if (!json_path.empty())
+        writeJson(json_path, cfg.summary(), params.scale, rows);
+
+    if (!identical) {
+        std::cerr << "FAIL: sharded runs are not bit-identical\n";
+        return 1;
+    }
+    std::printf("\nbest-shard-count geomean speedup: %.2fx (advisory;"
+                " host-dependent)\n", best.value());
+    std::cout << "PASS: every sharded run matched the serial reference"
+                 " event-for-event\n";
+    return 0;
+}

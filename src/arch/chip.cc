@@ -25,21 +25,104 @@ constexpr unsigned maxDropRetransmits = 8;
 constexpr sim::Tick dropBackoffBase = 16;
 constexpr sim::Tick dropBackoffCap = 2048;
 
+/** Clamp the shard count to the schedulable components: clusters plus
+ *  DRAM-channel bank groups — more shards than that would only idle. */
+MachineConfig
+withClampedShards(MachineConfig c)
+{
+    unsigned most = c.numClusters + c.numChannels;
+    if (c.shards < 1)
+        c.shards = 1;
+    if (c.shards > most)
+        c.shards = most;
+    return c;
+}
+
+std::vector<std::unique_ptr<sim::EventQueue>>
+makeQueues(unsigned n)
+{
+    std::vector<std::unique_ptr<sim::EventQueue>> qs;
+    qs.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        qs.push_back(std::make_unique<sim::EventQueue>());
+    return qs;
+}
+
+/** Canonical merge order for staged flight-recorder records, used
+ *  under stable_sort. Key is (tick, comp) only: every cluster/bank
+ *  component is pinned to one shard, so its staged records already sit
+ *  in its deterministic processing order for every shard count, and
+ *  stability preserves that causal order (a full-content key would
+ *  reorder e.g. a TransBegin after the ProbeSends it caused at the
+ *  same tick). compChip records alone are emitted from whichever shard
+ *  holds the sender/receiver, so they get a full-content tiebreak to
+ *  stay shard-count invariant. */
+bool
+recordBefore(const sim::FlightRecorder::Record &x,
+             const sim::FlightRecorder::Record &y)
+{
+    if (x.tick != y.tick)
+        return x.tick < y.tick;
+    if (x.comp != y.comp)
+        return x.comp < y.comp;
+    if (x.comp != sim::FlightRecorder::compChip)
+        return false;
+    if (x.kind != y.kind)
+        return x.kind < y.kind;
+    if (x.line != y.line)
+        return x.line < y.line;
+    if (x.txn != y.txn)
+        return x.txn < y.txn;
+    if (x.a != y.a)
+        return x.a < y.a;
+    return x.b < y.b;
+}
+
 } // namespace
 
 Chip::Chip(const MachineConfig &config, mem::Addr table_base)
-    : _config(config),
-      _map(config.numL3Banks, config.numChannels, table_base),
-      _dram(_map, config.dram), _fabric(config)
+    : _config(withClampedShards(config)),
+      _eqs(makeQueues(_config.shards)),
+      _router(_config.shards,
+              _config.numClusters + _config.numL3Banks + 1),
+      _tracer(*_eqs[0]),
+      _map(_config.numL3Banks, _config.numChannels, table_base),
+      _dram(_map, _config.dram), _fabric(_config),
+      _timeSeries(*_eqs[0]), _latLanes(_config.shards),
+      _recStage(_config.shards)
 {
-    _faults.configure(config.faults);
-    for (unsigned c = 0; c < config.numClusters; ++c)
+    _faults.configure(_config.faults, _config.numClusters,
+                      _config.numL3Banks);
+    // Components capture queue references at construction (e.g. the
+    // bank line-lock tables); bind them to their home shard's queue.
+    for (unsigned c = 0; c < _config.numClusters; ++c) {
+        sim::ShardGuard g(shardOfCluster(c));
         _clusters.push_back(std::make_unique<Cluster>(*this, c));
-    for (unsigned b = 0; b < config.numL3Banks; ++b)
+    }
+    for (unsigned b = 0; b < _config.numL3Banks; ++b) {
+        sim::ShardGuard g(shardOfBank(b));
         _banks.push_back(std::make_unique<L3Bank>(*this, b));
+    }
+    _crew = std::make_unique<sim::ShardCrew>(_config.shards);
 }
 
 Chip::~Chip() = default;
+
+std::uint64_t
+Chip::totalEventsRun() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : _eqs)
+        n += q->eventsRun();
+    return n;
+}
+
+void
+Chip::postBarrierWake(unsigned cluster, sim::Tick when, sim::Event cb)
+{
+    _router.post(srcKeyBarrier(), shardOfCluster(cluster), when,
+                 std::move(cb));
+}
 
 void
 Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
@@ -51,22 +134,22 @@ Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
     if (req.sendTick == 0)
         req.sendTick = depart;
     unsigned bank_id = _map.bankOf(req.addr);
-    sim::Tick arrive = _fabric.clusterToBank(cluster_id, bank_id,
-                                             msgBytes(data_words), depart);
+    sim::Tick nominal =
+        _fabric.c2bSend(cluster_id, msgBytes(data_words), depart);
     unsigned drops = 0;
     bool dup = false;
     if (_faults.enabled()) {
         using sim::FaultSite;
-        if (_faults.fire(FaultSite::FabricC2BDelay))
-            arrive += _faults.delayTicks(FaultSite::FabricC2BDelay);
+        if (_faults.fire(FaultSite::FabricC2BDelay, cluster_id))
+            nominal += _faults.delayTicks(FaultSite::FabricC2BDelay);
         sim::Tick backoff = dropBackoffBase;
         while (drops < maxDropRetransmits &&
-               _faults.fire(FaultSite::FabricC2BDrop)) {
+               _faults.fire(FaultSite::FabricC2BDrop, cluster_id)) {
             ++drops;
             rec(sim::FlightRecorder::Ev::MsgDrop, sim::FlightRecorder::compChip,
                 mem::lineBase(req.addr), req.msgId,
                 static_cast<std::uint8_t>(req.type), drops);
-            arrive += backoff;
+            nominal += backoff;
             backoff = std::min(backoff * 2, dropBackoffCap);
         }
         if (drops == maxDropRetransmits) {
@@ -74,14 +157,14 @@ Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
             // the last computed arrival tick. This used to happen
             // silently; surface it so fault campaigns can see how
             // often the bound actually engages.
-            _retryExhausted.inc();
+            _retryExhausted.fetch_add(1, std::memory_order_relaxed);
             rec(sim::FlightRecorder::Ev::RetransmitExhausted,
                 sim::FlightRecorder::compChip, mem::lineBase(req.addr),
                 req.msgId, static_cast<std::uint8_t>(req.type), drops);
         }
         // Atomics are excluded: a duplicated RMW executes twice.
         dup = req.type != ReqType::Atomic &&
-              _faults.fire(FaultSite::FabricC2BDup);
+              _faults.fire(FaultSite::FabricC2BDup, cluster_id);
         if (drops || dup) {
             TRACE(_tracer, sim::Category::Fault, "c2b ",
                   reqTypeName(req.type), " 0x", std::hex, req.addr,
@@ -89,52 +172,69 @@ Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
         }
     }
     req.retries = static_cast<std::uint8_t>(drops);
-    if (drops)
-        _reqRetries[static_cast<unsigned>(msgClassFor(req.type))].inc(drops);
-    arrive = _fabric.orderC2B(cluster_id, bank_id, arrive);
-    _eq.schedule(arrive, [this, bank_id, req, drops]() {
-        for (unsigned i = 0; i < drops; ++i)
-            _faults.countRecovered(sim::FaultSite::FabricC2BDrop);
-        if (drops) {
-            rec(sim::FlightRecorder::Ev::MsgRetransmit,
-                sim::FlightRecorder::compChip, mem::lineBase(req.addr),
-                req.msgId, static_cast<std::uint8_t>(req.type), drops);
-        }
-        bank(bank_id).receiveRequest(req);
-    });
-    if (dup) {
-        sim::Tick at = _fabric.orderC2B(cluster_id, bank_id, arrive + 1);
-        _eq.schedule(at, [this, bank_id, req]() {
-            bank(bank_id).receiveRequest(req);
-        });
+    if (drops) {
+        _reqRetries[static_cast<unsigned>(msgClassFor(req.type))].fetch_add(
+            drops, std::memory_order_relaxed);
     }
+    nominal = _fabric.orderC2B(cluster_id, bank_id, nominal);
+    routeRequest(cluster_id, bank_id, req, nominal, depart, drops);
+    if (dup) {
+        sim::Tick at = _fabric.orderC2B(cluster_id, bank_id, nominal + 1);
+        routeRequest(cluster_id, bank_id, req, at, depart, 0);
+    }
+}
+
+void
+Chip::routeRequest(unsigned cluster_id, unsigned bank_id, Request req,
+                   sim::Tick nominal, sim::Tick depart, unsigned drops)
+{
+    _router.post(
+        srcKeyCluster(cluster_id), shardOfBank(bank_id), nominal,
+        [this, bank_id, req, nominal, depart, drops]() {
+            sim::Tick accept = _fabric.c2bAccept(bank_id, nominal, depart);
+            auto deliver = [this, bank_id, req, drops]() {
+                for (unsigned i = 0; i < drops; ++i)
+                    _faults.countRecovered(sim::FaultSite::FabricC2BDrop);
+                if (drops) {
+                    rec(sim::FlightRecorder::Ev::MsgRetransmit,
+                        sim::FlightRecorder::compChip,
+                        mem::lineBase(req.addr), req.msgId,
+                        static_cast<std::uint8_t>(req.type), drops);
+                }
+                bank(bank_id).receiveRequest(req);
+            };
+            if (accept == eq().now())
+                deliver();
+            else
+                eq().schedule(accept, std::move(deliver));
+        });
 }
 
 void
 Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
                    unsigned data_words)
 {
-    resp.sendTick = _eq.now();
-    sim::Tick arrive = _fabric.bankToCluster(
-        bank_id, cluster_id, msgBytes(data_words), _eq.now());
+    sim::Tick depart = eq().now();
+    resp.sendTick = depart;
+    sim::Tick nominal = _fabric.b2cSend(bank_id, msgBytes(data_words), depart);
     unsigned drops = 0;
     bool dup = false;
     if (_faults.enabled()) {
         using sim::FaultSite;
-        if (_faults.fire(FaultSite::FabricB2CDelay))
-            arrive += _faults.delayTicks(FaultSite::FabricB2CDelay);
+        if (_faults.fire(FaultSite::FabricB2CDelay, bank_id))
+            nominal += _faults.delayTicks(FaultSite::FabricB2CDelay);
         sim::Tick backoff = dropBackoffBase;
         while (drops < maxDropRetransmits &&
-               _faults.fire(FaultSite::FabricB2CDrop)) {
+               _faults.fire(FaultSite::FabricB2CDrop, bank_id)) {
             ++drops;
             rec(sim::FlightRecorder::Ev::MsgDrop, sim::FlightRecorder::compChip,
                 mem::lineBase(resp.addr), resp.msgId,
                 static_cast<std::uint8_t>(resp.type), 0x80000000u | drops);
-            arrive += backoff;
+            nominal += backoff;
             backoff = std::min(backoff * 2, dropBackoffCap);
         }
         if (drops == maxDropRetransmits) {
-            _retryExhausted.inc();
+            _retryExhausted.fetch_add(1, std::memory_order_relaxed);
             rec(sim::FlightRecorder::Ev::RetransmitExhausted,
                 sim::FlightRecorder::compChip, mem::lineBase(resp.addr),
                 resp.msgId, static_cast<std::uint8_t>(resp.type), drops);
@@ -142,7 +242,7 @@ Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
         // A duplicated Atomic ack would complete the core's op twice;
         // all other responses are deduplicated by msgId at the cluster.
         dup = resp.type != ReqType::Atomic &&
-              _faults.fire(FaultSite::FabricB2CDup);
+              _faults.fire(FaultSite::FabricB2CDup, bank_id);
         if (drops || dup) {
             TRACE(_tracer, sim::Category::Fault, "b2c ",
                   reqTypeName(resp.type), " 0x", std::hex, resp.addr,
@@ -151,24 +251,38 @@ Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
     }
     resp.retries = static_cast<std::uint8_t>(drops);
     if (drops)
-        _respRetries.inc(drops);
-    arrive = _fabric.orderB2C(bank_id, cluster_id, arrive);
-    _eq.schedule(arrive, [this, cluster_id, resp, drops]() {
-        for (unsigned i = 0; i < drops; ++i)
-            _faults.countRecovered(sim::FaultSite::FabricB2CDrop);
-        if (drops) {
-            rec(sim::FlightRecorder::Ev::MsgRetransmit,
-                sim::FlightRecorder::compChip, mem::lineBase(resp.addr),
-                resp.msgId, static_cast<std::uint8_t>(resp.type), drops);
-        }
-        ++_respDelivered;
-        cluster(cluster_id).handleResponse(resp);
-    });
+        _respRetries.fetch_add(drops, std::memory_order_relaxed);
+    nominal = _fabric.orderB2C(bank_id, cluster_id, nominal);
+    auto route = [this, cluster_id, resp, depart](sim::Tick at,
+                                                  unsigned n_drops) {
+        _router.post(
+            srcKeyBank(_map.bankOf(resp.addr)), shardOfCluster(cluster_id),
+            at, [this, cluster_id, resp, at, depart, n_drops]() {
+                sim::Tick accept = _fabric.b2cAccept(cluster_id, at, depart);
+                auto deliver = [this, cluster_id, resp, n_drops]() {
+                    for (unsigned i = 0; i < n_drops; ++i) {
+                        _faults.countRecovered(
+                            sim::FaultSite::FabricB2CDrop);
+                    }
+                    if (n_drops) {
+                        rec(sim::FlightRecorder::Ev::MsgRetransmit,
+                            sim::FlightRecorder::compChip,
+                            mem::lineBase(resp.addr), resp.msgId,
+                            static_cast<std::uint8_t>(resp.type), n_drops);
+                    }
+                    _respDelivered.fetch_add(1, std::memory_order_relaxed);
+                    cluster(cluster_id).handleResponse(resp);
+                };
+                if (accept == eq().now())
+                    deliver();
+                else
+                    eq().schedule(accept, std::move(deliver));
+            });
+    };
+    route(nominal, drops);
     if (dup) {
-        sim::Tick at = _fabric.orderB2C(bank_id, cluster_id, arrive + 1);
-        _eq.schedule(at, [this, cluster_id, resp]() {
-            cluster(cluster_id).handleResponse(resp);
-        });
+        sim::Tick at = _fabric.orderB2C(bank_id, cluster_id, nominal + 1);
+        route(at, 0);
     }
 }
 
@@ -180,40 +294,73 @@ Chip::sendProbe(unsigned bank_id, unsigned cluster_id, ProbeType type,
     using FR = sim::FlightRecorder;
     rec(FR::Ev::ProbeSend, FR::compBank(bank_id), mem::lineBase(addr), txn,
         static_cast<std::uint8_t>(type), cluster_id);
-    sim::Tick arrive =
-        _fabric.bankToCluster(bank_id, cluster_id, msgBytes(0), _eq.now());
+    sim::Tick depart = eq().now();
+    sim::Tick nominal = _fabric.b2cSend(bank_id, msgBytes(0), depart);
     // Probes participate in AckGate fan-ins: a dropped or duplicated
     // probe would underflow/overflow the gate, so probes only suffer
     // delay faults (on either leg).
-    if (_faults.enabled() && _faults.fire(sim::FaultSite::FabricB2CDelay))
-        arrive += _faults.delayTicks(sim::FaultSite::FabricB2CDelay);
-    arrive = _fabric.orderB2C(bank_id, cluster_id, arrive);
-    _probeLatency.sample(arrive - _eq.now());
-    _eq.schedule(arrive, [this, bank_id, cluster_id, type, addr, txn,
-                          done = std::move(done)]() {
-        ProbeResult r = cluster(cluster_id).handleProbe(type, addr);
-        rec(FR::Ev::ProbeRecv, FR::compCluster(cluster_id),
-            mem::lineBase(addr), txn, static_cast<std::uint8_t>(type),
-            (r.found ? FR::probeFound : 0) | (r.dirty ? FR::probeDirty : 0));
-        cluster(cluster_id).msgCounters().count(MsgClass::ProbeResponse);
-        unsigned words =
-            r.dirty ? std::popcount(static_cast<unsigned>(r.dirtyMask)) : 0;
-        sim::Tick back = _fabric.clusterToBank(cluster_id, bank_id,
-                                               msgBytes(words), _eq.now());
-        if (_faults.enabled() &&
-            _faults.fire(sim::FaultSite::FabricC2BDelay))
-            back += _faults.delayTicks(sim::FaultSite::FabricC2BDelay);
-        back = _fabric.orderC2B(cluster_id, bank_id, back);
-        sampleReqLatency(MsgClass::ProbeResponse, back - _eq.now());
-        _eq.schedule(back, [this, done, bank_id, cluster_id, type, addr,
-                            txn, r]() {
-            rec(FR::Ev::ProbeAck, FR::compBank(bank_id), mem::lineBase(addr),
-                txn, static_cast<std::uint8_t>(type), cluster_id);
-            // The ack continuation runs bank-side transaction logic.
-            sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::BankMsg);
-            done(cluster_id, r);
+    if (_faults.enabled() &&
+        _faults.fire(sim::FaultSite::FabricB2CDelay, bank_id))
+        nominal += _faults.delayTicks(sim::FaultSite::FabricB2CDelay);
+    nominal = _fabric.orderB2C(bank_id, cluster_id, nominal);
+    _router.post(
+        srcKeyBank(bank_id), shardOfCluster(cluster_id), nominal,
+        [this, bank_id, cluster_id, type, addr, txn, depart, nominal,
+         done = std::move(done)]() mutable {
+            sim::Tick accept = _fabric.b2cAccept(cluster_id, nominal, depart);
+            _latLanes[sim::tlsShard].probe.sample(accept - depart);
+            auto apply = [this, bank_id, cluster_id, type, addr, txn,
+                          done = std::move(done)]() mutable {
+                probeArrived(bank_id, cluster_id, type, addr, txn,
+                             std::move(done));
+            };
+            if (accept == eq().now())
+                apply();
+            else
+                eq().schedule(accept, std::move(apply));
         });
-    });
+}
+
+void
+Chip::probeArrived(unsigned bank_id, unsigned cluster_id, ProbeType type,
+                   mem::Addr addr, std::uint32_t txn,
+                   std::function<void(unsigned, const ProbeResult &)> done)
+{
+    using FR = sim::FlightRecorder;
+    ProbeResult r = cluster(cluster_id).handleProbe(type, addr);
+    rec(FR::Ev::ProbeRecv, FR::compCluster(cluster_id), mem::lineBase(addr),
+        txn, static_cast<std::uint8_t>(type),
+        (r.found ? FR::probeFound : 0) | (r.dirty ? FR::probeDirty : 0));
+    cluster(cluster_id).msgCounters().count(MsgClass::ProbeResponse);
+    unsigned words =
+        r.dirty ? std::popcount(static_cast<unsigned>(r.dirtyMask)) : 0;
+    sim::Tick depart = eq().now();
+    sim::Tick back = _fabric.c2bSend(cluster_id, msgBytes(words), depart);
+    if (_faults.enabled() &&
+        _faults.fire(sim::FaultSite::FabricC2BDelay, cluster_id))
+        back += _faults.delayTicks(sim::FaultSite::FabricC2BDelay);
+    back = _fabric.orderC2B(cluster_id, bank_id, back);
+    _router.post(
+        srcKeyCluster(cluster_id), shardOfBank(bank_id), back,
+        [this, bank_id, cluster_id, type, addr, txn, r, back, depart,
+         done = std::move(done)]() mutable {
+            sim::Tick accept = _fabric.c2bAccept(bank_id, back, depart);
+            sampleReqLatency(MsgClass::ProbeResponse, accept - depart);
+            auto ack = [this, bank_id, cluster_id, type, addr, txn, r,
+                        done = std::move(done)]() {
+                rec(FR::Ev::ProbeAck, FR::compBank(bank_id),
+                    mem::lineBase(addr), txn,
+                    static_cast<std::uint8_t>(type), cluster_id);
+                // The ack continuation runs bank-side transaction logic.
+                sim::HostProfiler::Scope hp(
+                    sim::HostProfiler::Phase::BankMsg);
+                done(cluster_id, r);
+            };
+            if (accept == eq().now())
+                ack();
+            else
+                eq().schedule(accept, std::move(ack));
+        });
 }
 
 std::uint32_t
@@ -326,7 +473,9 @@ void
 Chip::faultPump()
 {
     using sim::FaultSite;
-    sim::Rng &rng = _faults.rng();
+    // The pump's own Rng stream: victim picks must not perturb the
+    // per-component fault lanes.
+    sim::Rng &rng = _faults.pumpRng();
 
     auto flip_in = [&](cache::CacheArray &arr, FaultSite site, bool meta) {
         // Hand-rolled fire(): the injection only counts if the chosen
@@ -477,7 +626,10 @@ Chip::enableOccupancySampling(sim::Tick period)
     // time-series consumers should not see new columns by default.
     if (sim::HostProfiler::enabled()) {
         _timeSeries.add("host.eq.pending", [this]() {
-            return static_cast<double>(_eq.pending());
+            double n = 0;
+            for (const auto &q : _eqs)
+                n += static_cast<double>(q->pending());
+            return n;
         });
         _timeSeries.add("host.mshr.occupancy", [this]() {
             double n = 0;
@@ -517,25 +669,48 @@ Chip::updateRecAny()
 {
     _recSlow = _profiler != nullptr || _watchLine != ~mem::Addr(0);
     _recAny = _recorder.enabled() || _recSlow;
+    // Staging is unconditional whenever anything records: the ring (and
+    // with it recorder dumps and machine snapshots) must hold the same
+    // byte sequence for every shard count, and only the canonical
+    // barrier merge delivers that — at one shard the ring would
+    // otherwise fill in execution order, which the merge key is not.
+    _recStaged = _recAny;
 }
 
 void
-Chip::recImpl(sim::FlightRecorder::Ev kind, std::uint16_t comp,
-              mem::Addr line, std::uint32_t txn, std::uint8_t a,
-              std::uint32_t b)
+Chip::recImpl(const sim::FlightRecorder::Record &r)
 {
-    if (_profiler)
-        _profiler->observe(kind, line, a, b);
-    if (line == _watchLine) {
-        sim::FlightRecorder::Record r;
-        r.tick = _eq.now();
-        r.line = line;
-        r.txn = txn;
-        r.comp = comp;
-        r.kind = static_cast<std::uint8_t>(kind);
-        r.a = a;
-        r.b = b;
+    if (_profiler) {
+        _profiler->observe(static_cast<sim::FlightRecorder::Ev>(r.kind),
+                           r.line, r.a, r.b);
+    }
+    if (r.line == _watchLine)
         inform("watch: ", describeRecord(r));
+}
+
+void
+Chip::drainRecStage()
+{
+    std::size_t total = 0;
+    for (const auto &v : _recStage)
+        total += v.size();
+    if (!total)
+        return;
+    std::vector<sim::FlightRecorder::Record> batch;
+    batch.reserve(total);
+    for (auto &v : _recStage) {
+        batch.insert(batch.end(), v.begin(), v.end());
+        v.clear();
+    }
+    std::stable_sort(batch.begin(), batch.end(), recordBefore);
+    for (const sim::FlightRecorder::Record &r : batch) {
+        if (_recorder.enabled()) {
+            _recorder.record(r.tick,
+                             static_cast<sim::FlightRecorder::Ev>(r.kind),
+                             r.comp, r.line, r.txn, r.a, r.b);
+        }
+        if (_recSlow)
+            recImpl(r);
     }
 }
 
@@ -596,6 +771,10 @@ Chip::postMortemHistory() const
 void
 Chip::attachJson(sim::TraceJsonWriter *w)
 {
+    if (w && _config.shards > 1) {
+        warn("JSON tracing is not supported with --shards > 1; ignoring");
+        return;
+    }
     _tracer.setJson(w);
     if (!w) {
         _timeSeries.setSink({});
@@ -615,23 +794,70 @@ Chip::attachJson(sim::TraceJsonWriter *w)
 }
 
 void
+Chip::degradeDebugSinks()
+{
+    if (_config.shards <= 1)
+        return;
+    if (_tracer.mask() != sim::Category::None) {
+        warn("text tracing is not supported with --shards > 1; disabling");
+        _tracer.setMask(sim::Category::None);
+    }
+}
+
+const sim::Histogram &
+Chip::reqLatency(MsgClass cls) const
+{
+    unsigned c = static_cast<unsigned>(cls);
+    _reqLatencyFolded[c].reset();
+    for (const LatencyLanes &l : _latLanes)
+        _reqLatencyFolded[c].merge(l.req[c]);
+    return _reqLatencyFolded[c];
+}
+
+const sim::Histogram &
+Chip::respLatency() const
+{
+    _respLatencyFolded.reset();
+    for (const LatencyLanes &l : _latLanes)
+        _respLatencyFolded.merge(l.resp);
+    return _respLatencyFolded;
+}
+
+const sim::Histogram &
+Chip::probeLatency() const
+{
+    _probeLatencyFolded.reset();
+    for (const LatencyLanes &l : _latLanes)
+        _probeLatencyFolded.merge(l.probe);
+    return _probeLatencyFolded;
+}
+
+void
 Chip::registerStats(sim::StatRegistry &reg) const
 {
+    const_cast<Chip *>(this)->drainRecStage();
     for (unsigned c = 0; c < numMsgClasses; ++c) {
         reg.addHistogram(
             sim::cat("chip.latency.req.",
                      msgClassName(static_cast<MsgClass>(c))),
-            _reqLatency[c]);
+            reqLatency(static_cast<MsgClass>(c)));
     }
-    reg.addHistogram("chip.latency.resp", _respLatency);
-    reg.addHistogram("chip.latency.probe", _probeLatency);
+    reg.addHistogram("chip.latency.resp", respLatency());
+    reg.addHistogram("chip.latency.probe", probeLatency());
     for (unsigned c = 0; c < numMsgClasses; ++c) {
+        _reqRetriesStat[c].reset();
+        _reqRetriesStat[c].inc(
+            _reqRetries[c].load(std::memory_order_relaxed));
         reg.addCounter(sim::cat("chip.retries.req.",
                                 msgClassName(static_cast<MsgClass>(c))),
-                       _reqRetries[c]);
+                       _reqRetriesStat[c]);
     }
-    reg.addCounter("chip.retries.resp", _respRetries);
-    reg.addCounter("chip.retries.exhausted", _retryExhausted);
+    _respRetriesStat.reset();
+    _respRetriesStat.inc(respRetries());
+    reg.addCounter("chip.retries.resp", _respRetriesStat);
+    _retryExhaustedStat.reset();
+    _retryExhaustedStat.inc(retriesExhausted());
+    reg.addCounter("chip.retries.exhausted", _retryExhaustedStat);
     reg.addScalar("chip.retries.wb_evicted", [this]() {
         double total = 0;
         for (const auto &cl : _clusters)
@@ -663,8 +889,19 @@ Chip::checkpointState(sim::Serializer &ser) const
     // Structural quiescence: every component hook below also asserts
     // its own slice, but check the machine-level conditions up front
     // so the failure names the real problem instead of a section tag.
-    if (!_eq.empty())
-        throw sim::SnapshotError("checkpoint with events pending");
+    const_cast<Chip *>(this)->drainRecStage();
+    if (!_router.empty()) {
+        throw sim::SnapshotError(
+            "checkpoint with cross-shard messages in flight");
+    }
+    for (const auto &q : _eqs) {
+        if (!q->empty())
+            throw sim::SnapshotError("checkpoint with events pending");
+        if (q->now() != _eqs[0]->now()) {
+            throw sim::SnapshotError(
+                "checkpoint with unsynchronized shard clocks");
+        }
+    }
     for (const auto &b : _banks) {
         // Finished coroutine frames linger in the running list until
         // the next request arrives; they are not in-flight work.
@@ -683,14 +920,28 @@ Chip::checkpointState(sim::Serializer &ser) const
 
     // Geometry fingerprint: a snapshot only restores into a machine
     // built from the same topology (cache shapes are re-validated
-    // per-array by their own hooks).
+    // per-array by their own hooks). The shard count is deliberately
+    // absent — snapshots are shard-count-independent.
     ser.u32(_config.numClusters);
     ser.u32(_config.coresPerCluster);
     ser.u32(_config.numL3Banks);
     ser.u32(_config.numChannels);
     ser.u8(static_cast<std::uint8_t>(_config.mode));
 
-    _eq.checkpointState(ser);
+    // Canonical queue record: same wire shape as one queue's
+    // (now, eventsRun, nextSeq) triple.
+    ser.u64(_eqs[0]->now());
+    ser.u64(totalEventsRun());
+    // The summed sequence origin is shard-count-invariant (every
+    // schedule increments exactly one queue) and >= any per-queue
+    // value, so restoring it into every queue preserves tie-break
+    // order; a per-queue max would leak the shard count into the
+    // snapshot bytes.
+    std::uint64_t seq = 0;
+    for (const auto &q : _eqs)
+        seq += q->nextSeq();
+    ser.u64(seq);
+
     _store.checkpointState(ser);
     _dram.checkpointState(ser);
     _fabric.checkpointState(ser);
@@ -702,16 +953,16 @@ Chip::checkpointState(sim::Serializer &ser) const
         b->checkpointState(ser);
 
     ser.tag("chip-stats");
-    for (const auto &h : _reqLatency)
-        h.checkpointState(ser);
-    _respLatency.checkpointState(ser);
-    _probeLatency.checkpointState(ser);
+    for (unsigned c = 0; c < numMsgClasses; ++c)
+        reqLatency(static_cast<MsgClass>(c)).checkpointState(ser);
+    respLatency().checkpointState(ser);
+    probeLatency().checkpointState(ser);
     for (const auto &c : _reqRetries)
-        c.checkpointState(ser);
-    _respRetries.checkpointState(ser);
-    _retryExhausted.checkpointState(ser);
-    ser.u64(_respDelivered);
-    ser.u64(_traceIdSeq);
+        ser.u64(c.load(std::memory_order_relaxed));
+    ser.u64(respRetries());
+    ser.u64(retriesExhausted());
+    ser.u64(responsesDelivered());
+    ser.u64(_traceIdSeq.load(std::memory_order_relaxed));
     for (const auto &s : _occupancy)
         s.checkpointState(ser);
     _occupancyTotal.checkpointState(ser);
@@ -742,7 +993,14 @@ Chip::restoreState(sim::Deserializer &des)
             "snapshot coherence mode does not match this configuration");
     }
 
-    _eq.restoreState(des);
+    // Every queue adopts the canonical tick and sequence origin; the
+    // event total lands on queue 0 so the sum is preserved.
+    sim::Tick t = des.u64();
+    std::uint64_t events = des.u64();
+    std::uint64_t seq = des.u64();
+    for (unsigned s = 0; s < _eqs.size(); ++s)
+        _eqs[s]->adopt(t, seq, s == 0 ? events : 0);
+
     _store.restoreState(des);
     _dram.restoreState(des);
     _fabric.restoreState(des);
@@ -754,16 +1012,22 @@ Chip::restoreState(sim::Deserializer &des)
         b->restoreState(des);
 
     des.tag("chip-stats");
-    for (auto &h : _reqLatency)
-        h.restoreState(des);
-    _respLatency.restoreState(des);
-    _probeLatency.restoreState(des);
+    for (auto &l : _latLanes) {
+        for (auto &h : l.req)
+            h.reset();
+        l.resp.reset();
+        l.probe.reset();
+    }
+    for (unsigned c = 0; c < numMsgClasses; ++c)
+        _latLanes[0].req[c].restoreState(des);
+    _latLanes[0].resp.restoreState(des);
+    _latLanes[0].probe.restoreState(des);
     for (auto &c : _reqRetries)
-        c.restoreState(des);
-    _respRetries.restoreState(des);
-    _retryExhausted.restoreState(des);
-    _respDelivered = des.u64();
-    _traceIdSeq = des.u64();
+        c.store(des.u64(), std::memory_order_relaxed);
+    _respRetries.store(des.u64(), std::memory_order_relaxed);
+    _retryExhausted.store(des.u64(), std::memory_order_relaxed);
+    _respDelivered.store(des.u64(), std::memory_order_relaxed);
+    _traceIdSeq.store(des.u64(), std::memory_order_relaxed);
     for (auto &s : _occupancy)
         s.restoreState(des);
     _occupancyTotal.restoreState(des);
@@ -783,111 +1047,77 @@ Chip::progress() const
     p.instructions = totalInstructions();
     for (const auto &b : _banks)
         p.txnsCompleted += b->txnsCompleted();
-    p.respDelivered = _respDelivered;
+    p.respDelivered = responsesDelivered();
     return p;
+}
+
+void
+Chip::runShardWindow(unsigned shard, sim::Tick stop)
+{
+    sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::EqDispatch);
+    _router.flush(shard, stop, *_eqs[shard]);
+    _eqs[shard]->run(stop);
 }
 
 sim::Tick
 Chip::runUntilQuiescent()
 {
+    degradeDebugSinks();
     const sim::Tick limit = _config.maxCycles;
     const sim::Tick window =
         _config.watchdogWindow ? std::min(_config.watchdogWindow, limit)
                                : limit;
     // Audit passes, the fault pump and the time-series sampler are all
-    // driven from this loop rather than from self-re-arming queue
-    // events: a pair of such events would keep each other pending
+    // driven from the window barrier rather than from self-re-arming
+    // queue events: a pair of such events would keep each other pending
     // forever and hold a quiesced machine alive, and a lone one stops
-    // for good the first time the queue drains. Loop-driven cadences
+    // for good the first time the queues drain. Barrier-driven cadences
     // instead survive quiescent gaps — sampling resumes when new work
-    // arrives in a later runUntilQuiescent call.
+    // arrives in a later runUntilQuiescent call. Every cadence tick is
+    // a pure function of the simulation, so the window boundaries (and
+    // with them every event order) are shard-count-invariant.
     const sim::Tick audit_period = _auditor ? _auditPeriod : 0;
     const sim::Tick pump_period =
         pumpEligible() ? _faults.plan().pumpPeriod : 0;
+    const sim::Tick entry = _eqs[0]->now();
     sim::Tick next_audit =
-        audit_period ? _eq.now() + audit_period : sim::maxTick;
-    sim::Tick next_pump =
-        pump_period ? _eq.now() + pump_period : sim::maxTick;
-    sim::Tick window_end = _eq.now() + window;
+        audit_period ? entry + audit_period : sim::maxTick;
+    sim::Tick next_pump = pump_period ? entry + pump_period : sim::maxTick;
+    sim::Tick window_end = entry + window;
     Progress last = progress();
 
-    // Live-progress bookkeeping. The heartbeat only bounds how far a
-    // dispatch burst may run before the host clock is consulted; every
-    // cadence check below fires on >=, so the extra burst boundaries
-    // cannot reorder or drop events. The chunk adapts toward one host
-    // check per ~1/4 of the reporting interval.
-    using host_clock = std::chrono::steady_clock;
-    sim::Tick next_beat = _progressFn ? _eq.now() : sim::maxTick;
-    host_clock::time_point last_emit = host_clock::now();
-    sim::Tick last_emit_tick = _eq.now();
+    // Conservative lookahead: a window [B, B + horizon] is safe because
+    // every cross-component message departs at >= B and arrives at
+    // >= B + lookahead + 1 — strictly beyond the window.
+    const sim::Tick horizon =
+        _fabric.lookahead() ? _fabric.lookahead() - 1 : 0;
 
-    auto heartbeat = [&]() {
-        host_clock::time_point now_h = host_clock::now();
-        double el = std::chrono::duration<double>(now_h - last_emit).count();
-        if (el >= _progressIntervalSec) {
-            _progressFn(_eq.now(), _eq.eventsRun());
-            // Re-aim the chunk so ~4 host-clock checks span one
-            // reporting interval.
-            double tps =
-                static_cast<double>(_eq.now() - last_emit_tick) / el;
-            double want = tps * _progressIntervalSec / 4.0;
-            if (want >= 1.0) {
-                _progressChunk = static_cast<sim::Tick>(
-                    std::min(want, double(sim::Tick(1) << 26)));
-            }
-            last_emit = now_h;
-            last_emit_tick = _eq.now();
-        } else if (el < _progressIntervalSec / 8.0) {
-            // Checking far too often: grow geometrically.
-            _progressChunk = std::min(_progressChunk * 2,
-                                      sim::Tick(1) << 26);
+    // Live-progress heartbeat. The host clock is consulted only at
+    // barriers (and only every few windows); it never shapes a window
+    // boundary, so the heartbeat cannot perturb simulated results.
+    using host_clock = std::chrono::steady_clock;
+    host_clock::time_point last_emit = host_clock::now();
+    unsigned beat_countdown = 0;
+
+    auto run_windows = [&](sim::Tick stop) {
+        if (_config.shards == 1) {
+            runShardWindow(0, stop);
+            return;
         }
-        next_beat = _eq.now() + _progressChunk;
+        sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::EqDispatch);
+        _crew->runWindow([this, stop](unsigned s) {
+            runShardWindow(s, stop);
+        });
     };
 
     while (true) {
-        sim::Tick next_sample = _timeSeries.nextSampleAt();
-        sim::Tick stop =
-            std::min(std::min(std::min(limit, window_end), next_beat),
-                     std::min(std::min(next_audit, next_pump), next_sample));
-        bool drained;
-        {
-            sim::HostProfiler::Scope hp(
-                sim::HostProfiler::Phase::EqDispatch);
-            drained = _eq.run(stop);
-        }
-        if (drained) {
-            // The final event may land exactly on the sampling cadence.
-            if (_eq.now() >= next_sample) {
-                sim::HostProfiler::Scope hp(
-                    sim::HostProfiler::Phase::Sampler);
-                _timeSeries.tick();
-            }
-            if (_progressFn)
-                _progressFn(_eq.now(), _eq.eventsRun());
-            return _eq.now();
-        }
-        if (_eq.now() >= next_audit) {
-            sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Audit);
-            _auditor->auditNow();
-            next_audit += audit_period;
-        }
-        if (_eq.now() >= next_pump) {
-            sim::HostProfiler::Scope hp(
-                sim::HostProfiler::Phase::FaultPump);
-            faultPump();
-            next_pump += pump_period;
-        }
-        if (_eq.now() >= next_sample) {
-            sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Sampler);
-            _timeSeries.tick();
-        }
-        if (_eq.now() >= next_beat)
-            heartbeat();
-        if (_eq.now() < window_end && _eq.now() < limit)
-            continue;
-        Progress cur = progress();
-        if (_eq.now() >= limit) {
+        _router.collect();
+        sim::Tick bound = _router.minInboxHead();
+        for (const auto &q : _eqs)
+            bound = std::min(bound, q->nextEventTick());
+        if (bound == sim::maxTick)
+            break; // quiescent
+        if (bound > limit) {
             std::string dump = inFlightDump() + postMortemHistory();
             TRACE(_tracer, sim::Category::Watchdog,
                   "watchdog: cycle limit hit; in-flight:\n", dump);
@@ -896,19 +1126,95 @@ Chip::runUntilQuiescent()
                          " cycles (deadlock or runaway workload)"),
                 std::move(dump));
         }
-        if (_config.watchdogWindow && cur == last) {
-            std::string dump = inFlightDump() + postMortemHistory();
-            TRACE(_tracer, sim::Category::Watchdog,
-                  "watchdog: no forward progress; in-flight:\n", dump);
-            throw DeadlockError(
-                sim::cat("watchdog: no forward progress in ", window,
-                         " ticks at t=", _eq.now(),
-                         " (deadlock or livelock)"),
-                std::move(dump));
+
+        sim::Tick next_sample = _timeSeries.nextSampleAt();
+        sim::Tick stop = std::min(
+            std::min(std::min(limit, window_end), bound + horizon),
+            std::min(std::min(next_audit, next_pump), next_sample));
+
+        run_windows(stop);
+
+        // --- Window barrier (single-threaded) ------------------------
+        drainRecStage();
+        bool cadence_due = stop >= next_audit || stop >= next_pump ||
+                           stop >= next_sample || stop >= window_end;
+        if (cadence_due) {
+            // Legal: every event <= stop ran in the window, and no
+            // pending message or event is <= stop any more.
+            _router.collect();
+            for (auto &q : _eqs)
+                q->advanceTo(stop);
+            if (stop >= next_audit) {
+                sim::HostProfiler::Scope hp(
+                    sim::HostProfiler::Phase::Audit);
+                _auditor->auditNow();
+                next_audit += audit_period;
+            }
+            if (stop >= next_pump) {
+                sim::HostProfiler::Scope hp(
+                    sim::HostProfiler::Phase::FaultPump);
+                faultPump();
+                next_pump += pump_period;
+            }
+            if (stop >= next_sample) {
+                sim::HostProfiler::Scope hp(
+                    sim::HostProfiler::Phase::Sampler);
+                _timeSeries.tick();
+            }
+            if (stop >= window_end) {
+                Progress cur = progress();
+                if (_config.watchdogWindow && cur == last) {
+                    std::string dump =
+                        inFlightDump() + postMortemHistory();
+                    TRACE(_tracer, sim::Category::Watchdog,
+                          "watchdog: no forward progress; in-flight:\n",
+                          dump);
+                    throw DeadlockError(
+                        sim::cat("watchdog: no forward progress in ",
+                                 window, " ticks at t=", stop,
+                                 " (deadlock or livelock)"),
+                        std::move(dump));
+                }
+                last = cur;
+                window_end = stop + window;
+            }
         }
-        last = cur;
-        window_end = _eq.now() + window;
+        if (_progressFn && beat_countdown-- == 0) {
+            beat_countdown = 32;
+            host_clock::time_point now_h = host_clock::now();
+            double el =
+                std::chrono::duration<double>(now_h - last_emit).count();
+            if (el >= _progressIntervalSec) {
+                _progressFn(stop, totalEventsRun());
+                last_emit = now_h;
+            }
+        }
     }
+
+    // End normalization: every queue's clock lands on the last fired
+    // event, so a later run (or a checkpoint) continues from one
+    // well-defined point regardless of the shard count.
+    sim::Tick final_tick = entry;
+    for (const auto &q : _eqs) {
+        // A cadence barrier may already have advanced a queue's clock
+        // past its last fired event (quiescence is only detected one
+        // iteration later), so the final tick covers both. The stop
+        // sequence is itself shard-count-invariant, so this stays
+        // bit-identical across shard counts.
+        final_tick = std::max(final_tick,
+                              std::max(q->lastFired(), q->now()));
+    }
+    for (auto &q : _eqs)
+        q->advanceTo(final_tick);
+    drainRecStage();
+    // The final event may land exactly on the sampling cadence.
+    if (final_tick >= _timeSeries.nextSampleAt()) {
+        sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::Sampler);
+        _timeSeries.tick();
+    }
+    if (_progressFn)
+        _progressFn(final_tick, totalEventsRun());
+    return final_tick;
 }
 
 MsgCounters

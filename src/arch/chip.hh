@@ -5,12 +5,23 @@
  * store holding architectural memory contents. Also provides untimed
  * debug access for workload setup/verification and the directory
  * occupancy sampler used by Fig. 9c.
+ *
+ * Sharded execution (DESIGN.md §13): the chip owns one calendar queue
+ * per shard and partitions components over them — cluster c on shard
+ * c % S, bank b co-sharded with its DRAM channel on shard
+ * channelOf(b) % S. A persistent ShardCrew advances all queues in
+ * lockstep windows bounded by conservative lookahead over the fabric
+ * latency; every cross-component message (requests, responses, both
+ * probe legs, barrier wakeups) travels through the ShardRouter in a
+ * canonical (tick, source, sequence) order that does not depend on the
+ * shard count, so `--shards N` is bit-identical to `--shards 1`.
  */
 
 #ifndef COHESION_ARCH_CHIP_HH
 #define COHESION_ARCH_CHIP_HH
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -28,6 +39,7 @@
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/flight_recorder.hh"
+#include "sim/shard.hh"
 #include "sim/stat_registry.hh"
 #include "sim/timeseries.hh"
 #include "sim/trace.hh"
@@ -72,7 +84,13 @@ class Chip
     ~Chip();
 
     const MachineConfig &config() const { return _config; }
-    sim::EventQueue &eq() { return _eq; }
+
+    /** The executing shard's event queue. Components always schedule
+     *  into the queue of the shard they run on, which the window loop
+     *  (and the construction/setup ShardGuards) keeps equal to their
+     *  home shard; cross-shard delivery goes through the router. */
+    sim::EventQueue &eq() { return *_eqs[sim::tlsShard]; }
+
     mem::AddressMap &map() { return _map; }
     mem::BackingStore &store() { return _store; }
     mem::DramModel &dram() { return _dram; }
@@ -100,6 +118,33 @@ class Chip
         return _config.mode == CoherenceMode::Cohesion;
     }
 
+    // --- Sharding ---------------------------------------------------------
+
+    /** Effective shard count (the config value, clamped). */
+    unsigned numShards() const { return _config.shards; }
+
+    unsigned shardOfCluster(unsigned c) const { return c % _config.shards; }
+
+    /** Banks are co-sharded with their DRAM channel so each channel's
+     *  timing state has exactly one writing shard (channelOf is a pure
+     *  function of the bank index). */
+    unsigned
+    shardOfBank(unsigned b) const
+    {
+        return (b & (_config.numChannels - 1)) % _config.shards;
+    }
+
+    /** Events executed across all shard queues. */
+    std::uint64_t totalEventsRun() const;
+
+    /** The run's final tick. Valid at quiescence (runUntilQuiescent
+     *  normalizes every queue's clock to the last fired event). */
+    sim::Tick finalTick() const { return _eqs[0]->now(); }
+
+    /** Cross-shard wakeup used by the runtime barrier: run @p cb on
+     *  @p cluster's home shard at @p when (canonical router order). */
+    void postBarrierWake(unsigned cluster, sim::Tick when, sim::Event cb);
+
     // --- Messaging helpers (used by clusters and banks) -----------------
 
     /**
@@ -107,6 +152,7 @@ class Chip
      * All L2->L3 fault sites (drop/duplicate/delay) live here; dropped
      * messages are retransmitted with bounded exponential backoff and
      * per-channel FIFO is preserved via the fabric's delivery floors.
+     * Runs on the cluster's shard; delivery crosses via the router.
      */
     void deliverRequest(unsigned cluster, Request req, unsigned data_words,
                         sim::Tick depart);
@@ -201,28 +247,32 @@ class Chip
     std::string inFlightDump() const;
 
     /** Responses delivered to clusters (watchdog progress signal). */
-    std::uint64_t responsesDelivered() const { return _respDelivered; }
+    std::uint64_t
+    responsesDelivered() const
+    {
+        return _respDelivered.load(std::memory_order_relaxed);
+    }
 
     // --- Observability ---------------------------------------------------
 
     /** Latency of a request/probe-response message of class @p cls,
-     *  measured depart-to-arrival through the fabric. */
+     *  measured depart-to-accept through the fabric. Sampled on the
+     *  receiving shard into a per-shard lane. */
     void
     sampleReqLatency(MsgClass cls, sim::Tick lat)
     {
-        _reqLatency[static_cast<unsigned>(cls)].sample(lat);
+        _latLanes[sim::tlsShard].req[static_cast<unsigned>(cls)].sample(lat);
     }
 
-    void sampleRespLatency(sim::Tick lat) { _respLatency.sample(lat); }
-
-    const sim::Histogram &
-    reqLatency(MsgClass cls) const
+    void
+    sampleRespLatency(sim::Tick lat)
     {
-        return _reqLatency[static_cast<unsigned>(cls)];
+        _latLanes[sim::tlsShard].resp.sample(lat);
     }
 
-    const sim::Histogram &respLatency() const { return _respLatency; }
-    const sim::Histogram &probeLatency() const { return _probeLatency; }
+    const sim::Histogram &reqLatency(MsgClass cls) const;
+    const sim::Histogram &respLatency() const;
+    const sim::Histogram &probeLatency() const;
 
     sim::TimeSeries &timeSeries() { return _timeSeries; }
     const sim::TimeSeries &timeSeries() const { return _timeSeries; }
@@ -250,9 +300,12 @@ class Chip
      * Emit one protocol event. The disabled path is this single byte
      * test, so instrumented hot paths stay effectively free when
      * neither the recorder, the profiler nor a watched line is active.
-     * The recorder-only path (the always-on default) inlines the
-     * masked ring store here; the profiler and watch-line cases take
-     * the out-of-line recImpl().
+     * The direct path (one shard, no profiler/watch) inlines the
+     * masked ring store here. Sharded runs (and any run feeding the
+     * line profiler or a watch line) instead *stage* records per shard
+     * and merge them at every window barrier in a canonical
+     * content-sorted order, so the ring, the profiler and the watch
+     * log observe the same stream for every shard count.
      */
     void
     rec(sim::FlightRecorder::Ev kind, std::uint16_t comp, mem::Addr line,
@@ -260,10 +313,20 @@ class Chip
     {
         if (!_recAny)
             return;
+        if (_recStaged) {
+            sim::FlightRecorder::Record r;
+            r.tick = eq().now();
+            r.line = line;
+            r.txn = txn;
+            r.comp = comp;
+            r.kind = static_cast<std::uint8_t>(kind);
+            r.a = a;
+            r.b = b;
+            _recStage[sim::tlsShard].push_back(r);
+            return;
+        }
         if (_recorder.enabled())
-            _recorder.record(_eq.now(), kind, comp, line, txn, a, b);
-        if (_recSlow)
-            recImpl(kind, comp, line, txn, a, b);
+            _recorder.record(eq().now(), kind, comp, line, txn, a, b);
     }
 
     /** Decoded recorder history for one line (newest @p max_records),
@@ -279,18 +342,28 @@ class Chip
     std::uint64_t
     reqRetries(MsgClass cls) const
     {
-        return _reqRetries[static_cast<unsigned>(cls)].value();
+        return _reqRetries[static_cast<unsigned>(cls)].load(
+            std::memory_order_relaxed);
     }
 
-    std::uint64_t respRetries() const { return _respRetries.value(); }
+    std::uint64_t
+    respRetries() const
+    {
+        return _respRetries.load(std::memory_order_relaxed);
+    }
 
     /** Fresh id for an async trace span (chip-global sequence). */
-    std::uint64_t nextTraceId() { return ++_traceIdSeq; }
+    std::uint64_t
+    nextTraceId()
+    {
+        return _traceIdSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     /**
      * Attach (or detach, with nullptr) a structured trace sink: names
      * the per-component tracks and mirrors time-series samples as
      * counter events. The writer is not owned and must outlive the run.
+     * Ignored (with a warning) when the chip runs more than one shard.
      */
     void attachJson(sim::TraceJsonWriter *w);
 
@@ -327,10 +400,9 @@ class Chip
     /**
      * Live-progress heartbeat: called from inside runUntilQuiescent
      * roughly every @p interval_sec of host time with (current tick,
-     * events run so far). Implemented by bounding dispatch bursts with
-     * an adaptive tick chunk — the cadence checks below all use >=, so
-     * an extra burst boundary never reorders events and the simulated
-     * results stay byte-identical with the hook installed.
+     * events run so far). The host clock is only consulted at window
+     * barriers and never feeds back into window boundaries, so the
+     * simulated results stay byte-identical with the hook installed.
      */
     using ProgressFn = std::function<void(sim::Tick, std::uint64_t)>;
 
@@ -342,14 +414,19 @@ class Chip
     }
 
     /**
-     * Run until the event queue drains (all cores quiescent). The run
-     * is chopped into watchdog windows: if a window passes with zero
-     * forward progress (instructions retired, bank transactions
-     * completed, responses delivered all stagnant) or the absolute
-     * maxCycles limit is exceeded, DeadlockError is thrown carrying
-     * the in-flight transaction dump. Periodic sampling and auditing
-     * ride on the event queue itself, so a single run suffices.
-     * @return final tick.
+     * Run until every shard queue (and the router) drains. Execution
+     * proceeds in conservative-lookahead windows: each window runs all
+     * shards in parallel up to
+     *   stop = min(B + netLatency - 1, next cadence tick, limits)
+     * where B is the earliest pending event/message anywhere — every
+     * cross-shard message arrives at least netLatency+1 past its
+     * departure, so nothing scheduled inside a window can land inside
+     * it. Audit passes, the fault pump, the sampler, the watchdog and
+     * the heartbeat all run at the single-threaded window barrier.
+     * Throws DeadlockError on stagnation or the maxCycles limit.
+     * @return final tick (the last fired event; every queue's clock is
+     * normalized to it, so a later run or checkpoint continues
+     * identically for any shard count).
      */
     sim::Tick runUntilQuiescent();
 
@@ -360,9 +437,35 @@ class Chip
     std::uint64_t totalInstructions() const;
 
   private:
-    void recImpl(sim::FlightRecorder::Ev kind, std::uint16_t comp,
-                 mem::Addr line, std::uint32_t txn, std::uint8_t a,
-                 std::uint32_t b);
+    struct LatencyLanes
+    {
+        std::array<sim::Histogram, numMsgClasses> req;
+        sim::Histogram resp;
+        sim::Histogram probe;
+    };
+
+    /** Route one request (or its duplicate) to the bank's shard. */
+    void routeRequest(unsigned cluster_id, unsigned bank_id, Request req,
+                      sim::Tick nominal, sim::Tick depart, unsigned drops);
+
+    /** Probe application at the cluster + response leg back. */
+    void probeArrived(unsigned bank_id, unsigned cluster_id, ProbeType type,
+                      mem::Addr addr, std::uint32_t txn,
+                      std::function<void(unsigned, const ProbeResult &)> done);
+
+    /** One parallel window on shard @p shard: flush due router
+     *  messages, then run the shard queue to @p stop. */
+    void runShardWindow(unsigned shard, sim::Tick stop);
+
+    /** Merge staged flight-recorder records (canonical content order)
+     *  into the ring / profiler / watch log. Barrier-only. */
+    void drainRecStage();
+
+    /** Disable debug sinks that are not shard-safe (text trace mask,
+     *  JSON writer) when running more than one shard. */
+    void degradeDebugSinks();
+
+    void recImpl(const sim::FlightRecorder::Record &r);
     void updateRecAny();
 
     void sampleOccupancy();
@@ -371,6 +474,14 @@ class Chip
      *  invokes faultPump() at the plan's pump cadence. */
     bool pumpEligible() const;
     void faultPump();
+
+    unsigned srcKeyCluster(unsigned c) const { return c; }
+    unsigned srcKeyBank(unsigned b) const { return _config.numClusters + b; }
+    unsigned
+    srcKeyBarrier() const
+    {
+        return _config.numClusters + _config.numL3Banks;
+    }
 
     /** Watchdog progress signature: stagnation across a full window
      *  means deadlock or livelock (retry storms keep event counts and
@@ -384,9 +495,10 @@ class Chip
     };
     Progress progress() const;
 
-    MachineConfig _config;
-    sim::EventQueue _eq;
-    sim::Tracer _tracer{_eq};
+    MachineConfig _config; ///< shards clamped at construction.
+    std::vector<std::unique_ptr<sim::EventQueue>> _eqs; ///< [shard]
+    sim::ShardRouter _router;
+    sim::Tracer _tracer;
     mem::AddressMap _map;
     mem::BackingStore _store;
     mem::DramModel _dram;
@@ -395,13 +507,13 @@ class Chip
     cohesion::CoarseRegionTable _coarseTable;
     std::vector<std::unique_ptr<Cluster>> _clusters;
     std::vector<std::unique_ptr<L3Bank>> _banks;
+    std::unique_ptr<sim::ShardCrew> _crew;
     std::unique_ptr<coherence::Auditor> _auditor;
     sim::Tick _auditPeriod = 0;
-    std::uint64_t _respDelivered = 0;
+    std::atomic<std::uint64_t> _respDelivered{0};
 
     ProgressFn _progressFn;
     double _progressIntervalSec = 0.25;
-    sim::Tick _progressChunk = 1 << 13;
 
     SegmentClassifier _classifier;
     sim::Tick _samplePeriod = 0;
@@ -413,33 +525,49 @@ class Chip
     std::array<double, numSegments> _lastOccupancy{};
     double _lastOccupancyTotal = 0;
 
-    sim::TimeSeries _timeSeries{_eq};
-    std::array<sim::Histogram, numMsgClasses> _reqLatency;
-    sim::Histogram _respLatency;
-    sim::Histogram _probeLatency;
-    std::uint64_t _traceIdSeq = 0;
+    sim::TimeSeries _timeSeries;
+    std::vector<LatencyLanes> _latLanes; ///< [shard]
+    /** Export scratch: the registry stores pointers, so folded views
+     *  must live here (refreshed by every accessor call). */
+    mutable std::array<sim::Histogram, numMsgClasses> _reqLatencyFolded;
+    mutable sim::Histogram _respLatencyFolded;
+    mutable sim::Histogram _probeLatencyFolded;
+    mutable std::array<sim::Counter, numMsgClasses> _reqRetriesStat;
+    mutable sim::Counter _respRetriesStat, _retryExhaustedStat,
+        _respDeliveredStat;
+    std::atomic<std::uint64_t> _traceIdSeq{0};
 
     sim::FlightRecorder _recorder;
+    std::vector<std::vector<sim::FlightRecorder::Record>> _recStage;
     std::unique_ptr<coherence::LineProfiler> _profiler;
     mem::Addr _watchLine = ~mem::Addr(0);
-    bool _recAny = false;  ///< recorder, profiler or watch line active
-    bool _recSlow = false; ///< profiler or watch line active
-    std::array<sim::Counter, numMsgClasses> _reqRetries;
-    sim::Counter _respRetries;
-    sim::Counter _retryExhausted;
+    bool _recAny = false;    ///< recorder, profiler or watch line active
+    bool _recSlow = false;   ///< profiler or watch line active
+    bool _recStaged = false; ///< staged (canonical-merge) mode active
+    std::array<std::atomic<std::uint64_t>, numMsgClasses> _reqRetries{};
+    std::atomic<std::uint64_t> _respRetries{0};
+    std::atomic<std::uint64_t> _retryExhausted{0};
 
   public:
     /** Messages force-delivered after the drop-retransmit budget was
      *  spent (previously silent; see deliverRequest/sendResponse). */
-    std::uint64_t retriesExhausted() const { return _retryExhausted.value(); }
+    std::uint64_t
+    retriesExhausted() const
+    {
+        return _retryExhausted.load(std::memory_order_relaxed);
+    }
 
     /**
      * Checkpoint hooks (tentpole of the crash-resilience work). Only
-     * legal at a quiescent point: the event queue must be drained and
-     * no bank transaction, cluster MSHR, or parked core may exist —
-     * coroutine frames cannot serialize. Callers should run a full
-     * audit pass first; checkpointState() enforces the structural
-     * conditions itself and throws sim::SnapshotError otherwise.
+     * legal at a quiescent point: every shard queue and the router
+     * must be drained and no bank transaction, cluster MSHR, or parked
+     * core may exist — coroutine frames cannot serialize. The queue
+     * record is one canonical (tick, events run, next seq) triple, so
+     * snapshots are shard-count-independent: a run checkpointed at
+     * --shards 4 restores bit-exactly into --shards 1 and vice versa.
+     * Callers should run a full audit pass first; checkpointState()
+     * enforces the structural conditions itself and throws
+     * sim::SnapshotError otherwise.
      */
     void checkpointState(sim::Serializer &ser) const;
     void restoreState(sim::Deserializer &des);

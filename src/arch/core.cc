@@ -1,7 +1,9 @@
 #include "arch/core.hh"
 
+#include "arch/chip.hh"
 #include "arch/cluster.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 
 namespace arch {
 
@@ -16,6 +18,9 @@ Core::Core(Cluster &cluster, unsigned global_id, unsigned local_id,
 MemOp
 Core::perform(const OpDesc &d)
 {
+    // Core activity runs on its cluster's shard; bind the thread-local
+    // shard id so every eq()/stat touch below lands on the right lane.
+    sim::ShardGuard g(_cluster.chip().shardOfCluster(_cluster.id()));
     switch (d.kind) {
       case OpDesc::Kind::Load:
         return _cluster.coreLoad(*this, d.addr, d.bytes);

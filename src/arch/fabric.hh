@@ -7,17 +7,33 @@
  * per-bank port serialization with next-free counters. Latencies are
  * symmetric and constant, so point-to-point ordering is preserved —
  * the property the home-bank serialization argument relies on.
+ *
+ * Sharded execution splits each hop into a *send* half and an *accept*
+ * half. The send half runs on the source component's shard and owns the
+ * source-side next-free counters (_clusterUp/_bankOut) plus the
+ * ordering floors; it returns the nominal arrival tick
+ * (start + serialization + latency), which is always at least
+ * netLatency+1 beyond the departure — the conservative-lookahead bound
+ * the window scheduler relies on. The accept half runs on the
+ * destination shard when the routed message is delivered and owns the
+ * destination-side counters (_bankIn/_clusterDown). Every counter is
+ * therefore written by exactly one shard; the byte counters are shared
+ * commutative sums (relaxed atomics) and the delay histograms are
+ * per-shard lanes folded on export.
  */
 
 #ifndef COHESION_ARCH_FABRIC_HH
 #define COHESION_ARCH_FABRIC_HH
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "arch/machine_config.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 
@@ -35,49 +51,71 @@ class Fabric
           _bankIn(config.numL3Banks, 0),
           _bankOut(config.numL3Banks, 0),
           _c2bFloor(config.numClusters * config.numL3Banks, 0),
-          _b2cFloor(config.numClusters * config.numL3Banks, 0)
+          _b2cFloor(config.numClusters * config.numL3Banks, 0),
+          _delayUpLanes(std::max(1u, config.shards)),
+          _delayDownLanes(std::max(1u, config.shards))
     {}
 
+    /** Minimum send-to-delivery distance of any hop: every nominal
+     *  arrival is > depart + lookahead(). */
+    sim::Tick lookahead() const { return _latency; }
+
     /**
-     * Send a message from cluster @p cluster to bank @p bank.
-     * @return the tick at which the message is available at the bank.
+     * Send half, cluster->bank: claim the cluster uplink and return
+     * the nominal arrival tick at the bank. Runs on the cluster's
+     * shard.
      */
     sim::Tick
-    clusterToBank(unsigned cluster, unsigned bank, unsigned bytes,
-                  sim::Tick depart)
+    c2bSend(unsigned cluster, unsigned bytes, sim::Tick depart)
     {
         sim::Tick start = std::max(depart, _clusterUp[cluster]);
         sim::Tick ser = serialization(bytes);
         _clusterUp[cluster] = start + ser;
-        sim::Tick at_bank = start + ser + _latency;
-        sim::Tick accept = std::max(at_bank, _bankIn[bank]);
-        _bankIn[bank] = accept + 1; // one message accepted per cycle
-        _bytesUp.inc(bytes);
-        _delayUp.sample(accept - depart);
-        return accept;
+        _bytesUp.fetch_add(bytes, std::memory_order_relaxed);
+        return start + ser + _latency;
     }
 
     /**
-     * Send a message from bank @p bank to cluster @p cluster.
-     * @return the arrival tick at the cluster.
+     * Accept half, cluster->bank: serialize on the bank's input port.
+     * Runs on the bank's shard at delivery; @p depart is carried from
+     * the send for the delay histogram.
+     * @return the tick at which the message is available at the bank.
      */
     sim::Tick
-    bankToCluster(unsigned bank, unsigned cluster, unsigned bytes,
-                  sim::Tick depart)
+    c2bAccept(unsigned bank, sim::Tick nominal, sim::Tick depart)
+    {
+        sim::Tick accept = std::max(nominal, _bankIn[bank]);
+        _bankIn[bank] = accept + 1; // one message accepted per cycle
+        _delayUpLanes[sim::tlsShard].sample(accept - depart);
+        return accept;
+    }
+
+    /** Send half, bank->cluster (see c2bSend). Runs on the bank's
+     *  shard. */
+    sim::Tick
+    b2cSend(unsigned bank, unsigned bytes, sim::Tick depart)
     {
         sim::Tick start = std::max(depart, _bankOut[bank]);
         sim::Tick ser = serialization(bytes);
         _bankOut[bank] = start + ser;
-        sim::Tick at_cluster = start + ser + _latency;
-        sim::Tick accept = std::max(at_cluster, _clusterDown[cluster]);
+        _bytesDown.fetch_add(bytes, std::memory_order_relaxed);
+        return start + ser + _latency;
+    }
+
+    /** Accept half, bank->cluster (see c2bAccept). Runs on the
+     *  cluster's shard at delivery. */
+    sim::Tick
+    b2cAccept(unsigned cluster, sim::Tick nominal, sim::Tick depart)
+    {
+        sim::Tick accept = std::max(nominal, _clusterDown[cluster]);
         _clusterDown[cluster] = accept + 1;
-        _bytesDown.inc(bytes);
-        _delayDown.sample(accept - depart);
+        _delayDownLanes[sim::tlsShard].sample(accept - depart);
         return accept;
     }
 
     /**
-     * Per-(cluster,bank) delivery floors. Baseline timing already
+     * Per-(cluster,bank) delivery floors, applied to the nominal
+     * arrival on the *sender's* shard. Baseline timing already
      * delivers each channel's messages in send order (the next-free
      * counters are monotone), but fault injection perturbs arrival
      * ticks — a delayed or retransmitted message must not overtake a
@@ -107,24 +145,51 @@ class Fabric
         return arrive;
     }
 
-    std::uint64_t bytesUp() const { return _bytesUp.value(); }
-    std::uint64_t bytesDown() const { return _bytesDown.value(); }
+    std::uint64_t
+    bytesUp() const
+    {
+        return _bytesUp.load(std::memory_order_relaxed);
+    }
 
-    /** Depart-to-accept delay (serialization + hops + contention). */
-    const sim::Histogram &delayUp() const { return _delayUp; }
-    const sim::Histogram &delayDown() const { return _delayDown; }
+    std::uint64_t
+    bytesDown() const
+    {
+        return _bytesDown.load(std::memory_order_relaxed);
+    }
+
+    /** Depart-to-accept delay (serialization + hops + contention),
+     *  folded across shard lanes. */
+    const sim::Histogram &
+    delayUp() const
+    {
+        foldLanes(_delayUpLanes, _delayUpFolded);
+        return _delayUpFolded;
+    }
+
+    const sim::Histogram &
+    delayDown() const
+    {
+        foldLanes(_delayDownLanes, _delayDownFolded);
+        return _delayDownFolded;
+    }
 
     void
     registerStats(sim::StatRegistry &reg, const std::string &prefix) const
     {
-        reg.addCounter(prefix + ".bytes_up", _bytesUp);
-        reg.addCounter(prefix + ".bytes_down", _bytesDown);
-        reg.addHistogram(prefix + ".delay_up", _delayUp);
-        reg.addHistogram(prefix + ".delay_down", _delayDown);
+        _bytesUpStat.reset();
+        _bytesUpStat.inc(bytesUp());
+        _bytesDownStat.reset();
+        _bytesDownStat.inc(bytesDown());
+        reg.addCounter(prefix + ".bytes_up", _bytesUpStat);
+        reg.addCounter(prefix + ".bytes_down", _bytesDownStat);
+        reg.addHistogram(prefix + ".delay_up", delayUp());
+        reg.addHistogram(prefix + ".delay_down", delayDown());
     }
 
     /** Checkpoint hooks: every next-free counter and ordering floor
-     *  shapes post-restore arrival ticks, so all of them serialize. */
+     *  shapes post-restore arrival ticks, so all of them serialize.
+     *  Histogram lanes fold into one record, so the wire format is
+     *  shard-count-independent (restore refills lane 0). */
     void
     checkpointState(sim::Serializer &ser) const
     {
@@ -140,10 +205,10 @@ class Fabric
         vec(_bankOut);
         vec(_c2bFloor);
         vec(_b2cFloor);
-        _bytesUp.checkpointState(ser);
-        _bytesDown.checkpointState(ser);
-        _delayUp.checkpointState(ser);
-        _delayDown.checkpointState(ser);
+        ser.u64(bytesUp());
+        ser.u64(bytesDown());
+        delayUp().checkpointState(ser);
+        delayDown().checkpointState(ser);
     }
 
     void
@@ -162,10 +227,14 @@ class Fabric
         vec(_bankOut);
         vec(_c2bFloor);
         vec(_b2cFloor);
-        _bytesUp.restoreState(des);
-        _bytesDown.restoreState(des);
-        _delayUp.restoreState(des);
-        _delayDown.restoreState(des);
+        _bytesUp.store(des.u64(), std::memory_order_relaxed);
+        _bytesDown.store(des.u64(), std::memory_order_relaxed);
+        for (sim::Histogram &h : _delayUpLanes)
+            h.reset();
+        for (sim::Histogram &h : _delayDownLanes)
+            h.reset();
+        _delayUpLanes[0].restoreState(des);
+        _delayDownLanes[0].restoreState(des);
     }
 
   private:
@@ -173,6 +242,15 @@ class Fabric
     serialization(unsigned bytes) const
     {
         return (bytes + _bytesPerCycle - 1) / _bytesPerCycle;
+    }
+
+    static void
+    foldLanes(const std::vector<sim::Histogram> &lanes,
+              sim::Histogram &folded)
+    {
+        folded.reset();
+        for (const sim::Histogram &h : lanes)
+            folded.merge(h);
     }
 
     sim::Tick _latency;
@@ -184,8 +262,12 @@ class Fabric
     std::vector<sim::Tick> _bankOut;
     std::vector<sim::Tick> _c2bFloor;
     std::vector<sim::Tick> _b2cFloor;
-    sim::Counter _bytesUp, _bytesDown;
-    sim::Histogram _delayUp, _delayDown;
+    std::atomic<std::uint64_t> _bytesUp{0}, _bytesDown{0};
+    std::vector<sim::Histogram> _delayUpLanes, _delayDownLanes;
+    /** Export scratch: the registry stores pointers, so the folded
+     *  views must live here (refreshed by every accessor call). */
+    mutable sim::Histogram _delayUpFolded, _delayDownFolded;
+    mutable sim::Counter _bytesUpStat, _bytesDownStat;
 };
 
 } // namespace arch

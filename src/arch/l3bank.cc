@@ -7,6 +7,7 @@
 #include "cohesion/region_table.hh"
 #include "sim/host_profiler.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 #include "sim/trace.hh"
 #include "sim/trace_json.hh"
 
@@ -50,7 +51,7 @@ L3Bank::L3Bank(Chip &chip, unsigned id)
       _dir(chip.config().directory, chip.config().numClusters),
       _tableCache(chip.config().tableCacheEntries), _locks(chip.eq())
 {
-    _tableCache.setFaultInjector(&chip.faults());
+    _tableCache.setFaultInjector(&chip.faults(), id);
     _txns.reserve(64);
 }
 
@@ -961,6 +962,9 @@ L3Bank::handleTableUpdate(Request req)
 void
 L3Bank::debugWedgeLine(mem::Addr base)
 {
+    // Called from test harness context, outside any shard window; the
+    // wedge transaction must park on this bank's home queue.
+    sim::ShardGuard g(_chip.shardOfBank(_id));
     pruneTransactions();
     adoptTransaction(wedge(mem::lineBase(base))).start();
 }

@@ -43,8 +43,14 @@ class TableCache
     bool enabled() const { return !_entries.empty(); }
     std::uint32_t capacity() const { return _entries.size(); }
 
-    /** Attach the chip's fault injector (table.stale site). */
-    void setFaultInjector(sim::FaultInjector *f) { _faults = f; }
+    /** Attach the chip's fault injector (table.stale site); @p lane
+     *  is the owning bank's fault lane. */
+    void
+    setFaultInjector(sim::FaultInjector *f, unsigned lane)
+    {
+        _faults = f;
+        _faultLane = lane;
+    }
 
     /** Look up the cached table word at @p word_addr. Under fault
      *  injection a hit may return the *previous* committed value,
@@ -58,7 +64,7 @@ class TableCache
         if (e.valid && e.addr == word_addr) {
             _hits.inc();
             if (_faults && e.prev != e.word &&
-                _faults->fire(sim::FaultSite::TableStale)) {
+                _faults->fire(sim::FaultSite::TableStale, _faultLane)) {
                 return e.prev;
             }
             return e.word;
@@ -151,6 +157,7 @@ class TableCache
 
     std::vector<Entry> _entries;
     sim::FaultInjector *_faults = nullptr;
+    unsigned _faultLane = 0;
     sim::Counter _hits, _misses;
 };
 

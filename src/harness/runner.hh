@@ -149,6 +149,11 @@ struct RunOptions
     /** Restore machine state from this CCKPT1 snapshot before running
      *  (empty: off). Throws sim::SnapshotError on a bad snapshot. */
     std::string restoreFrom;
+    /** Intra-run parallelism: shard the machine's event processing
+     *  across this many worker threads (0: keep cfg.shards; 1: serial).
+     *  Results are bit-identical for every value — see DESIGN.md §13.
+     *  Overrides MachineConfig::shards before the machine is built. */
+    unsigned shards = 0;
 };
 
 /**

@@ -186,7 +186,7 @@ Session::run(kernels::Kernel &kernel, const RunOptions &opts)
     RunResult r;
     r.cycles = end;
     r.instructions = chip.totalInstructions();
-    r.eventsRun = chip.eq().eventsRun();
+    r.eventsRun = chip.totalEventsRun();
     r.msgs = chip.aggregateMessages();
 
     for (unsigned c = 0; c < chip.numClusters(); ++c) {

@@ -9,10 +9,9 @@
 #ifndef COHESION_MEM_BACKING_STORE_HH
 #define COHESION_MEM_BACKING_STORE_HH
 
-#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/types.hh"
@@ -21,12 +20,30 @@
 
 namespace mem {
 
-/** Sparse page-granular byte store over the 32-bit space. */
+/**
+ * Sparse page-granular byte store over the 32-bit space.
+ *
+ * Thread model (sharded runs): each L3 bank only ever touches bytes of
+ * its own 2 KB-interleaved address slices, so concurrent shard threads
+ * never race on *data*. The only shared mutation is lazy page
+ * materialization — two banks homed on different shards faulting in
+ * disjoint slices of the same 64 KB page — so the page table is a
+ * fixed array of atomic pointers published with a CAS.
+ */
 class BackingStore
 {
   public:
     static constexpr unsigned pageShift = 16; // 64 KB pages
     static constexpr unsigned pageBytes = 1u << pageShift;
+    static constexpr std::size_t numPages = std::size_t(1)
+                                            << (32 - pageShift);
+
+    BackingStore() : _pages(numPages) {}
+
+    ~BackingStore() { releaseAll(); }
+
+    BackingStore(const BackingStore &) = delete;
+    BackingStore &operator=(const BackingStore &) = delete;
 
     /** Read @p bytes at @p a into @p out. Untouched memory reads zero. */
     void
@@ -79,24 +96,27 @@ class BackingStore
     }
 
     /** Number of pages materialized (footprint diagnostics). */
-    std::size_t pagesAllocated() const { return _pages.size(); }
+    std::size_t
+    pagesAllocated() const
+    {
+        return _allocated.load(std::memory_order_relaxed);
+    }
 
     /** Checkpoint hooks. Pages are written in ascending page-number
      *  order so snapshots of identical memory images are byte-identical
-     *  regardless of hash-map iteration order. */
+     *  regardless of allocation order. */
     void
     checkpointState(sim::Serializer &ser) const
     {
         ser.tag("store");
-        std::vector<std::uint32_t> keys;
-        keys.reserve(_pages.size());
-        for (const auto &[page, data] : _pages)
-            keys.push_back(page);
-        std::sort(keys.begin(), keys.end());
-        ser.u64(keys.size());
-        for (std::uint32_t page : keys) {
-            ser.u32(page);
-            ser.bytes(_pages.at(page).get(), pageBytes);
+        ser.u64(pagesAllocated());
+        for (std::size_t page = 0; page < numPages; ++page) {
+            const std::uint8_t *p =
+                _pages[page].load(std::memory_order_acquire);
+            if (!p)
+                continue;
+            ser.u32(static_cast<std::uint32_t>(page));
+            ser.bytes(p, pageBytes);
         }
     }
 
@@ -104,14 +124,15 @@ class BackingStore
     restoreState(sim::Deserializer &des)
     {
         des.tag("store");
-        _pages.clear();
+        releaseAll();
         std::uint64_t n = des.u64();
         for (std::uint64_t i = 0; i < n; ++i) {
             std::uint32_t page = des.u32();
-            auto &slot = _pages[page];
-            slot = std::make_unique<std::uint8_t[]>(pageBytes);
-            des.bytes(slot.get(), pageBytes);
+            auto *p = new std::uint8_t[pageBytes];
+            des.bytes(p, pageBytes);
+            _pages[page].store(p, std::memory_order_release);
         }
+        _allocated.store(n, std::memory_order_relaxed);
     }
 
   private:
@@ -125,24 +146,43 @@ class BackingStore
     const std::uint8_t *
     peek(Addr a) const
     {
-        auto it = _pages.find(a >> pageShift);
-        if (it == _pages.end())
+        const std::uint8_t *p =
+            _pages[a >> pageShift].load(std::memory_order_acquire);
+        if (!p)
             return nullptr;
-        return it->second.get() + (a & (pageBytes - 1));
+        return p + (a & (pageBytes - 1));
     }
 
     std::uint8_t *
     poke(Addr a)
     {
-        auto &page = _pages[a >> pageShift];
-        if (!page) {
-            page = std::make_unique<std::uint8_t[]>(pageBytes);
-            std::memset(page.get(), 0, pageBytes);
+        auto &slot = _pages[a >> pageShift];
+        std::uint8_t *p = slot.load(std::memory_order_acquire);
+        if (!p) {
+            auto *fresh = new std::uint8_t[pageBytes]();
+            if (slot.compare_exchange_strong(p, fresh,
+                                             std::memory_order_acq_rel)) {
+                p = fresh;
+                _allocated.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                delete[] fresh; // another shard published first
+            }
         }
-        return page.get() + (a & (pageBytes - 1));
+        return p + (a & (pageBytes - 1));
     }
 
-    std::unordered_map<std::uint32_t, std::unique_ptr<std::uint8_t[]>> _pages;
+    void
+    releaseAll()
+    {
+        for (auto &slot : _pages) {
+            delete[] slot.load(std::memory_order_relaxed);
+            slot.store(nullptr, std::memory_order_relaxed);
+        }
+        _allocated.store(0, std::memory_order_relaxed);
+    }
+
+    std::vector<std::atomic<std::uint8_t *>> _pages;
+    std::atomic<std::size_t> _allocated{0};
 };
 
 } // namespace mem

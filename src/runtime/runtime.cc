@@ -12,9 +12,13 @@ namespace runtime {
 sim::CoTask
 Barrier::wait(arch::Core &core)
 {
-    // Fresh counter word per episode: no reset message needed.
-    fatal_if(_episode >= 4096, "barrier episode window exhausted");
-    std::uint64_t my_episode = _episode;
+    // Fresh counter word per episode: no reset message needed. The
+    // episode index is tracked per core (written only on the core's
+    // own shard); the winner is decided by the bank-serialized
+    // fetch-add below, never by host-side state.
+    unsigned id = core.globalId();
+    std::uint64_t my_episode = _coreEpisode[id]++;
+    fatal_if(my_episode >= 4096, "barrier episode window exhausted");
     mem::Addr counter =
         _counterBase + static_cast<mem::Addr>((my_episode % 4096) * 4);
 
@@ -22,35 +26,47 @@ Barrier::wait(arch::Core &core)
         co_await core.atomic(arch::AtomicOp::AddU32, counter, 1);
 
     if (old + 1 == _parties) {
-        ++_episode;
-        releaseAll();
+        ++_episodesReleased;
+        releaseAll(my_episode);
         co_return;
     }
-    if (_episode != my_episode) {
-        // Release happened while our arrival ack was in flight.
+    unsigned cl = id / _chip.config().coresPerCluster;
+    if (_released[cl] > my_episode) {
+        // Release reached this cluster while our arrival ack was in
+        // flight.
         co_return;
     }
-    _waiting.push_back(&core);
+    _waiting[cl].push_back({&core, my_episode});
     co_await arch::MemOp::pending(core);
 }
 
 void
-Barrier::releaseAll()
+Barrier::releaseAll(std::uint64_t episode)
 {
     TRACE(_chip.tracer(), sim::Category::Runtime, "barrier: episode ",
-          _episode, " released (", _waiting.size(), " parked)");
+          episode + 1, " released");
     if (sim::TraceJsonWriter *w = _chip.tracer().json()) {
         w->instant(_chip.eq().now(), sim::TraceJsonWriter::machineTid,
-                   sim::cat("barrier.release ep", _episode), "runtime");
+                   sim::cat("barrier.release ep", episode + 1), "runtime");
     }
-    sim::EventQueue &eq = _chip.eq();
-    sim::Tick when = eq.now() + _chip.config().netLatency;
-    std::vector<arch::Core *> waiters;
-    waiters.swap(_waiting);
-    for (arch::Core *c : waiters) {
-        eq.schedule(when, [c, when]() {
-            c->advanceLocalTime(when);
-            c->completeOp(0);
+    sim::Tick when = _chip.eq().now() + _chip.config().netLatency;
+    for (unsigned cl = 0; cl < _chip.numClusters(); ++cl) {
+        _chip.postBarrierWake(cl, when, [this, cl, when]() {
+            std::uint64_t upto = ++_released[cl];
+            std::vector<arch::Core *> ready;
+            auto &w = _waiting[cl];
+            std::size_t keep = 0;
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                if (w[i].episode < upto)
+                    ready.push_back(w[i].core);
+                else
+                    w[keep++] = w[i];
+            }
+            w.resize(keep);
+            for (arch::Core *c : ready) {
+                c->advanceLocalTime(when);
+                c->completeOp(0);
+            }
         });
     }
 }

@@ -37,49 +37,97 @@ struct TaskDesc
  * Atomic message class); release is a hardware-style wakeup broadcast
  * one network latency later. A fresh counter word is used per episode
  * so no reset traffic is needed.
+ *
+ * Shard safety: the winner is decided by the fetch-add's result at the
+ * counter's home bank (bank-serialized, so exactly one arrival sees
+ * old+1 == parties regardless of shard interleaving). All host-side
+ * bookkeeping is partitioned by the shard that writes it — each core's
+ * episode count is written only on its own cluster's shard, and the
+ * parked-waiter lists and release counters are per cluster. The winner
+ * broadcasts the release to every cluster's shard through the chip's
+ * router (Chip::postBarrierWake), which is also what gives the wakeup
+ * its one-network-latency timing.
  */
 class Barrier
 {
   public:
     Barrier(arch::Chip &chip, mem::Addr counter_base, unsigned parties)
-        : _chip(chip), _counterBase(counter_base), _parties(parties)
+        : _chip(chip), _counterBase(counter_base), _parties(parties),
+          _coreEpisode(parties, 0), _waiting(chip.numClusters()),
+          _released(chip.numClusters(), 0)
     {}
 
     /** Block @p core until all parties have arrived. */
     sim::CoTask wait(arch::Core &core);
 
-    std::uint64_t episodes() const { return _episode; }
+    /** Completed episodes. Stable only at quiescence (between kernel
+     *  phases every core agrees). */
+    std::uint64_t episodes() const { return _episodesReleased; }
 
     /** Checkpoint hooks. The episode index picks the live counter word
      *  (a fresh word per episode, modulo the window), so it must
      *  survive a restore or post-restore barriers would reread a stale
-     *  counter. No core may be parked at the barrier. */
+     *  counter. No core may be parked at the barrier, and at a
+     *  quiescent point all per-core/per-cluster views agree — the
+     *  record stays the single episode word of the unsharded model. */
     void
     checkpointState(sim::Serializer &ser) const
     {
         ser.tag("barrier");
-        if (!_waiting.empty()) {
-            throw sim::SnapshotError(
-                "checkpoint with cores parked at the barrier");
+        for (const auto &w : _waiting) {
+            if (!w.empty()) {
+                throw sim::SnapshotError(
+                    "checkpoint with cores parked at the barrier");
+            }
         }
-        ser.u64(_episode);
+        std::uint64_t ep = _episodesReleased;
+        for (std::uint64_t e : _coreEpisode) {
+            if (e != ep) {
+                throw sim::SnapshotError(
+                    "checkpoint with barrier arrivals in flight");
+            }
+        }
+        for (std::uint64_t r : _released) {
+            if (r != ep) {
+                throw sim::SnapshotError(
+                    "checkpoint with barrier releases in flight");
+            }
+        }
+        ser.u64(ep);
     }
 
     void
     restoreState(sim::Deserializer &des)
     {
         des.tag("barrier");
-        _episode = des.u64();
+        std::uint64_t ep = des.u64();
+        _episodesReleased = ep;
+        for (std::uint64_t &e : _coreEpisode)
+            e = ep;
+        for (std::uint64_t &r : _released)
+            r = ep;
+        for (auto &w : _waiting)
+            w.clear();
     }
 
   private:
-    void releaseAll();
+    struct Waiter
+    {
+        arch::Core *core;
+        std::uint64_t episode;
+    };
+
+    void releaseAll(std::uint64_t episode);
 
     arch::Chip &_chip;
     mem::Addr _counterBase;
     unsigned _parties;
-    std::uint64_t _episode = 0;
-    std::vector<arch::Core *> _waiting;
+    /** Episodes this barrier has released (winner-written; episodes
+     *  are serialized in simulated time, so no two writes race). */
+    std::uint64_t _episodesReleased = 0;
+    std::vector<std::uint64_t> _coreEpisode;       ///< [global core id]
+    std::vector<std::vector<Waiter>> _waiting;     ///< [cluster]
+    std::vector<std::uint64_t> _released;          ///< [cluster]
 };
 
 /**

@@ -93,23 +93,65 @@ FaultPlan::parse(std::string_view json_text)
     return plan;
 }
 
+namespace {
+
+/** Lane count for @p s: C2B fabric sites are laned by source cluster,
+ *  B2C sites and TableStale by bank, flip sites share one lane (their
+ *  opportunities happen at the single-threaded fault pump). */
+unsigned
+laneCountFor(FaultSite s, unsigned clusters, unsigned banks)
+{
+    switch (s) {
+      case FaultSite::FabricC2BDrop:
+      case FaultSite::FabricC2BDup:
+      case FaultSite::FabricC2BDelay:
+        return clusters;
+      case FaultSite::FabricB2CDrop:
+      case FaultSite::FabricB2CDup:
+      case FaultSite::FabricB2CDelay:
+      case FaultSite::TableStale:
+        return banks;
+      default:
+        return 1;
+    }
+}
+
+} // namespace
+
 void
-FaultInjector::configure(const FaultPlan &plan)
+FaultInjector::configure(const FaultPlan &plan, unsigned clusters,
+                         unsigned banks)
 {
     _plan = plan;
     _seed = plan.seed ? plan.seed : deriveSeed(12345, "fault");
-    _rng = Rng(_seed);
     _enabled = plan.anyEnabled();
-    _injected.fill(0);
-    _recovered.fill(0);
+    if (clusters < 1)
+        clusters = 1;
+    if (banks < 1)
+        banks = 1;
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        FaultSite s = static_cast<FaultSite>(i);
+        unsigned n = laneCountFor(s, clusters, banks);
+        _lanes[i].clear();
+        _lanes[i].reserve(n);
+        for (unsigned lane = 0; lane < n; ++lane) {
+            Lane l;
+            l.rng = Rng(deriveSeed(
+                _seed, cat(faultSiteName(s), ".", lane)));
+            _lanes[i].push_back(std::move(l));
+        }
+    }
+    for (auto &v : _recovered)
+        v.store(0, std::memory_order_relaxed);
+    _pumpRng = Rng(deriveSeed(_seed, "pump"));
 }
 
 std::uint64_t
 FaultInjector::totalInjected() const
 {
     std::uint64_t n = 0;
-    for (std::uint64_t v : _injected)
-        n += v;
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        n += injected(static_cast<FaultSite>(i));
     return n;
 }
 
@@ -117,8 +159,8 @@ std::uint64_t
 FaultInjector::totalRecovered() const
 {
     std::uint64_t n = 0;
-    for (std::uint64_t v : _recovered)
-        n += v;
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        n += recovered(static_cast<FaultSite>(i));
     return n;
 }
 
@@ -133,7 +175,7 @@ FaultInjector::registerStats(StatRegistry &reg,
                   [this]() { return double(totalRecovered()); });
     for (unsigned i = 0; i < numFaultSites; ++i) {
         FaultSite s = static_cast<FaultSite>(i);
-        if (!(_plan.site(s).rate > 0.0) && _injected[i] == 0)
+        if (!(_plan.site(s).rate > 0.0) && injected(s) == 0)
             continue; // keep quiet sites out of the report
         std::string base = prefix + ".site." + faultSiteName(s);
         reg.addScalar(base + ".injected",

@@ -31,9 +31,11 @@
 #define COHESION_SIM_FAULT_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -106,40 +108,90 @@ struct FaultPlan
     static FaultPlan parse(std::string_view json_text);
 };
 
+/**
+ * Sharded-determinism note: a single shared Rng stream would make fault
+ * decisions depend on the host interleaving of shard threads. Each site
+ * therefore owns one independent Rng *lane* per source component —
+ * C2B fabric sites are laned by source cluster, B2C fabric sites and
+ * TableStale by bank, and the flip sites (whose opportunities happen at
+ * the orchestrator's fault pump) share one lane. Each lane's seed is
+ * derived from (fault seed, site name, lane index), so a lane's draw
+ * sequence depends only on the simulated traffic through that one
+ * component — which the conservative window scheduler already keeps
+ * identical for every shard count.
+ *
+ * Semantics change vs. the pre-sharded model: per-site injection caps
+ * (`max`) apply *per lane*, because checking a global cap from
+ * concurrent shards would race the decision itself.
+ */
 class FaultInjector
 {
   public:
-    /** Install @p plan and reset all counters and the Rng stream. */
-    void configure(const FaultPlan &plan);
+    /**
+     * Install @p plan and reset all counters and Rng lanes.
+     * @p clusters / @p banks define the lane geometry (both are
+     * machine topology, independent of the shard count).
+     */
+    void configure(const FaultPlan &plan, unsigned clusters = 1,
+                   unsigned banks = 1);
+
+    FaultInjector() = default;
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
 
     bool enabled() const { return _enabled; }
     const FaultPlan &plan() const { return _plan; }
     /** The effective (post-derivation) fault seed. */
     std::uint64_t seed() const { return _seed; }
 
-    /** True if @p s can still fire (nonzero rate, under its cap). */
+    unsigned
+    lanes(FaultSite s) const
+    {
+        return static_cast<unsigned>(_lanes[static_cast<unsigned>(s)].size());
+    }
+
+    /** True if @p s can still fire in lane @p lane. */
+    bool
+    armed(FaultSite s, unsigned lane) const
+    {
+        const FaultSiteConfig &c = _plan.site(s);
+        return _enabled && c.rate > 0.0 &&
+               (c.max == 0 || laneAt(s, lane).injected < c.max);
+    }
+
+    /** True if @p s can still fire in *any* lane (pump eligibility). */
     bool
     armed(FaultSite s) const
     {
         const FaultSiteConfig &c = _plan.site(s);
-        return _enabled && c.rate > 0.0 &&
-               (c.max == 0 || injected(s) < c.max);
+        if (!_enabled || c.rate <= 0.0)
+            return false;
+        if (c.max == 0)
+            return true;
+        for (const Lane &l : _lanes[static_cast<unsigned>(s)]) {
+            if (l.injected < c.max)
+                return true;
+        }
+        return false;
     }
 
     /**
-     * One injection opportunity at @p s: draws the Rng and returns
-     * true (counting the injection) if a fault fires. Every call
-     * consumes at most one Rng draw, at a deterministic point in the
-     * event schedule, so campaigns replay exactly.
+     * One injection opportunity at @p s in lane @p lane: draws the
+     * lane's Rng and returns true (counting the injection) if a fault
+     * fires. Every call consumes at most one draw from that lane, at a
+     * deterministic point in the component's event order, so campaigns
+     * replay exactly at any shard count. Must run on the shard that
+     * owns the lane's component.
      */
     bool
-    fire(FaultSite s)
+    fire(FaultSite s, unsigned lane)
     {
-        if (!armed(s))
+        if (!armed(s, lane))
             return false;
-        if (_rng.uniform() >= _plan.site(s).rate)
+        Lane &l = laneAt(s, lane);
+        if (l.rng.uniform() >= _plan.site(s).rate)
             return false;
-        countInjected(s);
+        ++l.injected;
         return true;
     }
 
@@ -147,55 +199,70 @@ class FaultInjector
 
     /** Count a directed (test-driven) injection at @p s. */
     void
-    countInjected(FaultSite s)
+    countInjected(FaultSite s, unsigned lane = 0)
     {
-        ++_injected[static_cast<unsigned>(s)];
+        ++laneAt(s, lane).injected;
     }
 
-    /** The machinery absorbed one fault injected at @p s. */
+    /** The machinery absorbed one fault injected at @p s. May be
+     *  called from any shard (recovery is observed at the receiver). */
     void
     countRecovered(FaultSite s)
     {
-        ++_recovered[static_cast<unsigned>(s)];
+        _recovered[static_cast<unsigned>(s)].fetch_add(
+            1, std::memory_order_relaxed);
     }
 
+    /** Total injections at @p s, summed over lanes. Quiescent-only. */
     std::uint64_t
     injected(FaultSite s) const
     {
-        return _injected[static_cast<unsigned>(s)];
+        std::uint64_t n = 0;
+        for (const Lane &l : _lanes[static_cast<unsigned>(s)])
+            n += l.injected;
+        return n;
     }
 
     std::uint64_t
     recovered(FaultSite s) const
     {
-        return _recovered[static_cast<unsigned>(s)];
+        return _recovered[static_cast<unsigned>(s)].load(
+            std::memory_order_relaxed);
     }
 
     std::uint64_t totalInjected() const;
     std::uint64_t totalRecovered() const;
 
-    /** The fault stream's Rng (victim selection for flip sites). */
-    Rng &rng() { return _rng; }
+    /** The fault pump's dedicated Rng stream (victim selection for
+     *  flip sites; orchestrator-only). */
+    Rng &pumpRng() { return _pumpRng; }
 
     /** Register per-site injected/recovered counters under @p prefix. */
     void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
-    /** Checkpoint hooks: the Rng stream and the per-site counters
-     *  resume so post-restore fault decisions replay the uninterrupted
-     *  campaign exactly. The plan itself is configuration, rebuilt by
-     *  the caller before restore. */
+    /** Checkpoint hooks: every lane's Rng stream and counters resume
+     *  so post-restore fault decisions replay the uninterrupted
+     *  campaign exactly. Lane geometry is machine topology, so the
+     *  record is shard-count-independent. The plan itself is
+     *  configuration, rebuilt by the caller before restore. */
     void
     checkpointState(Serializer &ser) const
     {
         ser.tag("faults");
         ser.b(_enabled);
         ser.u64(_seed);
-        for (std::uint64_t w : _rng.rawState())
+        for (const auto &site : _lanes) {
+            ser.u64(site.size());
+            for (const Lane &l : site) {
+                for (std::uint64_t w : l.rng.rawState())
+                    ser.u64(w);
+                ser.u64(l.injected);
+            }
+        }
+        for (const auto &v : _recovered)
+            ser.u64(v.load(std::memory_order_relaxed));
+        for (std::uint64_t w : _pumpRng.rawState())
             ser.u64(w);
-        for (std::uint64_t v : _injected)
-            ser.u64(v);
-        for (std::uint64_t v : _recovered)
-            ser.u64(v);
     }
 
     void
@@ -208,23 +275,53 @@ class FaultInjector
                                 "match this configuration");
         }
         _seed = des.u64();
+        for (auto &site : _lanes) {
+            if (des.u64() != site.size()) {
+                throw SnapshotError(
+                    "snapshot fault-lane geometry does not match this "
+                    "machine configuration");
+            }
+            for (Lane &l : site) {
+                std::array<std::uint64_t, 4> s;
+                for (std::uint64_t &w : s)
+                    w = des.u64();
+                l.rng.setRawState(s);
+                l.injected = des.u64();
+            }
+        }
+        for (auto &v : _recovered)
+            v.store(des.u64(), std::memory_order_relaxed);
         std::array<std::uint64_t, 4> s;
         for (std::uint64_t &w : s)
             w = des.u64();
-        _rng.setRawState(s);
-        for (std::uint64_t &v : _injected)
-            v = des.u64();
-        for (std::uint64_t &v : _recovered)
-            v = des.u64();
+        _pumpRng.setRawState(s);
     }
 
   private:
+    struct Lane
+    {
+        Rng rng;
+        std::uint64_t injected = 0;
+    };
+
+    Lane &
+    laneAt(FaultSite s, unsigned lane)
+    {
+        return _lanes[static_cast<unsigned>(s)][lane];
+    }
+
+    const Lane &
+    laneAt(FaultSite s, unsigned lane) const
+    {
+        return _lanes[static_cast<unsigned>(s)][lane];
+    }
+
     bool _enabled = false;
     std::uint64_t _seed = 0;
     FaultPlan _plan;
-    Rng _rng;
-    std::array<std::uint64_t, numFaultSites> _injected{};
-    std::array<std::uint64_t, numFaultSites> _recovered{};
+    std::array<std::vector<Lane>, numFaultSites> _lanes;
+    std::array<std::atomic<std::uint64_t>, numFaultSites> _recovered{};
+    Rng _pumpRng;
 };
 
 } // namespace sim

@@ -7,7 +7,8 @@
 namespace sim {
 
 std::atomic<bool> HostProfiler::_on{false};
-unsigned HostProfiler::_sampleShift = HostProfiler::defaultSampleShift;
+std::atomic<unsigned> HostProfiler::_sampleShift{
+    HostProfiler::defaultSampleShift};
 thread_local HostProfiler::Phase HostProfiler::_tlPhase =
     HostProfiler::Phase::None;
 
@@ -48,7 +49,8 @@ HostProfiler::threadAcc()
 void
 HostProfiler::enable(unsigned sample_shift)
 {
-    _sampleShift = sample_shift < 16 ? sample_shift : 15;
+    _sampleShift.store(sample_shift < 16 ? sample_shift : 15,
+                       std::memory_order_relaxed);
     _on.store(true, std::memory_order_relaxed);
 }
 
@@ -73,7 +75,7 @@ HostProfiler::Profile
 HostProfiler::processSnapshot()
 {
     Profile p;
-    p.sampleShift = _sampleShift;
+    p.sampleShift = sampleShift();
     AccRegistry &r = registry();
     std::lock_guard<std::mutex> g(r.mu);
     for (const auto &acc : r.accs) {
@@ -90,10 +92,43 @@ HostProfiler::Profile
 HostProfiler::threadSnapshot()
 {
     Profile p;
-    p.sampleShift = _sampleShift;
-    if (_tlAcc)
-        p.phases = _tlAcc->phases;
+    p.sampleShift = sampleShift();
+    if (!_tlAcc) {
+        // Never profiled and owns no group: nothing to report, and
+        // registering an accumulator just to scan for members that
+        // cannot exist would be wasted work.
+        return p;
+    }
+    const void *self = _tlAcc->group.load(std::memory_order_acquire);
+    const void *key = self ? self : _tlAcc;
+    AccRegistry &r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    for (const auto &acc : r.accs) {
+        const void *g_ = acc->group.load(std::memory_order_acquire);
+        const void *accKey = g_ ? g_ : acc.get();
+        if (accKey != key)
+            continue;
+        for (unsigned i = 0; i < numPhases; ++i) {
+            p.phases[i].count += acc->phases[i].count;
+            p.phases[i].timedCount += acc->phases[i].timedCount;
+            p.phases[i].timedNs += acc->phases[i].timedNs;
+        }
+    }
     return p;
+}
+
+const void *
+HostProfiler::groupKey()
+{
+    ThreadAcc &a = threadAcc();
+    const void *g = a.group.load(std::memory_order_acquire);
+    return g ? g : &a;
+}
+
+void
+HostProfiler::joinGroup(const void *key)
+{
+    threadAcc().group.store(key, std::memory_order_release);
 }
 
 std::uint64_t

@@ -109,7 +109,11 @@ class HostProfiler
         return _on.load(std::memory_order_relaxed);
     }
 
-    static unsigned sampleShift() { return _sampleShift; }
+    static unsigned
+    sampleShift()
+    {
+        return _sampleShift.load(std::memory_order_relaxed);
+    }
     static constexpr unsigned defaultSampleShift = 7;
 
     /** Zero every thread's accumulator (threads stay registered). */
@@ -170,10 +174,25 @@ class HostProfiler
     /** Merge every registered thread's accumulator. */
     static Profile processSnapshot();
 
-    /** This thread's accumulator only. Pair two calls around a region
-     *  (e.g. one sweep job) and subtract with Profile::since to get a
-     *  per-job profile even while sibling workers run. */
+    /**
+     * This thread's accumulation *group*: its own accumulator plus
+     * every thread that joined its group (shard crew workers). Pair
+     * two calls around a region (e.g. one sweep job) and subtract with
+     * Profile::since to get a per-job profile even while sibling
+     * workers run — a sweep worker's group never includes another
+     * job's threads.
+     */
     static Profile threadSnapshot();
+
+    /** Opaque identity of this thread's group (its own accumulator
+     *  unless it joined another thread's group). */
+    static const void *groupKey();
+
+    /** Fold this thread's accumulation into the group identified by
+     *  @p key (from the owning thread's groupKey()). Shard crew
+     *  threads call this once at startup so host.* attribution and
+     *  attributed_pct cover shard work under --shards N. */
+    static void joinGroup(const void *key);
 
     // --- Scoped timer ---------------------------------------------------
 
@@ -256,7 +275,7 @@ class HostProfiler
             PhaseAcc &acc = t->phases[idx];
             ++acc.count;
             if (phaseSampled(p)) {
-                if ((t->stride[idx]++ & ((1u << _sampleShift) - 1)) != 0)
+                if ((t->stride[idx]++ & ((1u << sampleShift()) - 1)) != 0)
                     return; // count-only entry; close() is a no-op
                 // Timed entry: the thread-phase marker makes coroutine
                 // continuations of *this* entry re-open the phase (see
@@ -302,13 +321,22 @@ class HostProfiler
     {
         std::array<PhaseAcc, numPhases> phases{};
         std::array<std::uint32_t, numPhases> stride{};
+        /** Group identity; null means "my own group" (self). Atomic
+         *  because a shard crew worker joins its orchestrator's group
+         *  at startup, concurrently with a baseline threadSnapshot()
+         *  taken before the first window barrier orders the two
+         *  threads (phase accumulators need no such care: they are
+         *  only written inside windows, which end in a barrier). */
+        std::atomic<const void *> group{nullptr};
     };
 
   private:
     static ThreadAcc &threadAcc();
 
     static std::atomic<bool> _on;
-    static unsigned _sampleShift;
+    /** Atomic: concurrent sweep jobs may each enable() the profiler
+     *  (last writer wins; they pass the same shift in practice). */
+    static std::atomic<unsigned> _sampleShift;
     static thread_local Phase _tlPhase;
     static thread_local ThreadAcc *_tlAcc;
 };

@@ -1,0 +1,142 @@
+#include "sim/shard.hh"
+
+#include "sim/host_profiler.hh"
+
+namespace sim {
+
+thread_local unsigned tlsShard = 0;
+
+// --------------------------------------------------------------------
+// ShardRouter
+// --------------------------------------------------------------------
+
+void
+ShardRouter::collect()
+{
+    for (unsigned src = 0; src < _numShards; ++src) {
+        for (unsigned dst = 0; dst < _numShards; ++dst) {
+            auto &out = _outbox[std::size_t(src) * _numShards + dst];
+            if (out.empty())
+                continue;
+            auto &in = _inbox[dst];
+            for (Msg &m : out) {
+                in.push_back(std::move(m));
+                std::push_heap(in.begin(), in.end(), Later{});
+            }
+            out.clear();
+        }
+    }
+}
+
+Tick
+ShardRouter::minInboxHead() const
+{
+    Tick t = maxTick;
+    for (unsigned s = 0; s < _numShards; ++s)
+        t = std::min(t, inboxHead(s));
+    return t;
+}
+
+void
+ShardRouter::flush(unsigned shard, Tick stop, EventQueue &eq)
+{
+    auto &in = _inbox[shard];
+    while (!in.empty() && in.front().when <= stop) {
+        std::pop_heap(in.begin(), in.end(), Later{});
+        Msg m = std::move(in.back());
+        in.pop_back();
+        eq.schedule(m.when, std::move(m.cb));
+    }
+}
+
+bool
+ShardRouter::empty() const
+{
+    for (const auto &v : _outbox)
+        if (!v.empty())
+            return false;
+    for (const auto &v : _inbox)
+        if (!v.empty())
+            return false;
+    return true;
+}
+
+// --------------------------------------------------------------------
+// ShardCrew
+// --------------------------------------------------------------------
+
+ShardCrew::ShardCrew(unsigned num_shards)
+    : _numShards(num_shards),
+      _ownerGroup(HostProfiler::groupKey()),
+      _start(num_shards),
+      _end(num_shards),
+      _errors(num_shards)
+{
+    _threads.reserve(num_shards > 0 ? num_shards - 1 : 0);
+    for (unsigned s = 1; s < num_shards; ++s)
+        _threads.emplace_back([this, s] { workerMain(s); });
+}
+
+ShardCrew::~ShardCrew()
+{
+    if (!_threads.empty()) {
+        _quit = true;
+        _start.arrive_and_wait();
+        for (std::thread &t : _threads)
+            t.join();
+    }
+}
+
+void
+ShardCrew::workerMain(unsigned shard)
+{
+    // Fold this thread's host-profiler accumulation into the owning
+    // run's group so threadSnapshot() attributes shard work correctly.
+    HostProfiler::joinGroup(_ownerGroup);
+    for (;;) {
+        _start.arrive_and_wait();
+        if (_quit)
+            return;
+        // Route panic/fatal/warn text into the orchestrator's capture
+        // (if any) for the window's duration.
+        LogSinkAdoption adopt(_sink);
+        try {
+            ShardGuard g(shard);
+            (*_fn)(shard);
+        } catch (...) {
+            _errors[shard] = std::current_exception();
+        }
+        _end.arrive_and_wait();
+    }
+}
+
+void
+ShardCrew::runWindow(const std::function<void(unsigned)> &fn)
+{
+    if (_numShards <= 1) {
+        ShardGuard g(0);
+        fn(0);
+        return;
+    }
+    _fn = &fn;
+    _sink = LogCapture::current();
+    _start.arrive_and_wait();
+    try {
+        ShardGuard g(0);
+        fn(0);
+    } catch (...) {
+        _errors[0] = std::current_exception();
+    }
+    _end.arrive_and_wait();
+    _fn = nullptr;
+    for (unsigned s = 0; s < _numShards; ++s) {
+        if (_errors[s]) {
+            std::exception_ptr e = _errors[s];
+            for (auto &err : _errors)
+                err = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+} // namespace sim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Intra-run parallel-simulation primitives: the thread-local shard
+ * index, the deterministic cross-shard message router, and the
+ * persistent per-run worker crew.
+ *
+ * The chip is partitioned by component (clusters, and L3 banks grouped
+ * by DRAM channel) onto S shards, each with its own calendar queue.
+ * Shards advance in lockstep *windows* bounded by conservative
+ * lookahead over the fabric link latency; everything that crosses a
+ * component boundary travels through the ShardRouter, whose canonical
+ * (tick, source, sequence) delivery order is a pure function of the
+ * simulation — not of the shard count or of host thread timing. That
+ * single property is what makes `--shards N` bit-identical to
+ * `--shards 1` (DESIGN.md §13).
+ */
+
+#ifndef COHESION_SIM_SHARD_HH
+#define COHESION_SIM_SHARD_HH
+
+#include <algorithm>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace sim {
+
+/**
+ * Shard executing on this thread. Components ask the chip for "their"
+ * event queue; the chip answers with the queue of the executing shard,
+ * which the window loop guarantees is the component's home shard.
+ * Single-threaded phases (setup, harvest, tests) run with shard 0
+ * unless a ShardGuard says otherwise.
+ */
+extern thread_local unsigned tlsShard;
+
+/** RAII shard-context switch (used by Core::perform so kernel-worker
+ *  coroutines started from the main thread schedule into their core's
+ *  home queue, and by the chip during construction so components bind
+ *  captured queue references to their home shard). */
+class ShardGuard
+{
+  public:
+    explicit ShardGuard(unsigned shard) : _prev(tlsShard)
+    {
+        tlsShard = shard;
+    }
+
+    ~ShardGuard() { tlsShard = _prev; }
+
+    ShardGuard(const ShardGuard &) = delete;
+    ShardGuard &operator=(const ShardGuard &) = delete;
+
+  private:
+    unsigned _prev;
+};
+
+/**
+ * Deterministic cross-shard mailbox. Senders append to a per-(source
+ * shard, destination shard) outbox row — each row is written by
+ * exactly one thread, so posting is lock-free. At every window barrier
+ * the orchestrator moves outboxes into per-destination inbox heaps
+ * ordered by (tick, srcKey, srcSeq); at window start each shard
+ * flushes the inbox messages due inside the window into its queue in
+ * that canonical order. Because *all* component-to-component messages
+ * take this path — at --shards 1 too — the schedule order of every
+ * queue is identical for every shard count.
+ */
+class ShardRouter
+{
+  public:
+    /** @p num_src_keys: one key per message source (clusters, banks,
+     *  plus singleton sources like the runtime barrier); per-key
+     *  sequence numbers break same-tick ties deterministically. */
+    ShardRouter(unsigned num_shards, unsigned num_src_keys)
+        : _numShards(num_shards),
+          _seq(num_src_keys, 0),
+          _outbox(std::size_t(num_shards) * num_shards),
+          _inbox(num_shards)
+    {}
+
+    /** Post @p cb for delivery at @p when on @p dst_shard. Runs on the
+     *  sender's executing shard; @p src_key must be owned by it. */
+    void
+    post(unsigned src_key, unsigned dst_shard, Tick when, Event cb)
+    {
+        _outbox[std::size_t(tlsShard) * _numShards + dst_shard].push_back(
+            Msg{when, src_key, _seq[src_key]++, std::move(cb)});
+    }
+
+    /** Move every outbox into the destination inbox heaps. Window
+     *  barrier only (single-threaded). */
+    void collect();
+
+    /** Earliest pending delivery for @p shard (maxTick when none). */
+    Tick
+    inboxHead(unsigned shard) const
+    {
+        return _inbox[shard].empty() ? maxTick : _inbox[shard].front().when;
+    }
+
+    /** Earliest pending delivery across all shards. */
+    Tick minInboxHead() const;
+
+    /** Schedule shard @p shard's messages with tick <= @p stop into
+     *  @p eq in canonical order. Runs on @p shard at window start. */
+    void flush(unsigned shard, Tick stop, EventQueue &eq);
+
+    /** No messages anywhere (outboxes or inboxes): part of the
+     *  quiescence condition. */
+    bool empty() const;
+
+  private:
+    struct Msg
+    {
+        Tick when;
+        unsigned srcKey;
+        std::uint64_t srcSeq;
+        Event cb;
+    };
+
+    /** Heap comparator: the (when, srcKey, srcSeq)-smallest in front. */
+    struct Later
+    {
+        bool
+        operator()(const Msg &a, const Msg &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.srcKey != b.srcKey)
+                return a.srcKey > b.srcKey;
+            return a.srcSeq > b.srcSeq;
+        }
+    };
+
+    unsigned _numShards;
+    std::vector<std::uint64_t> _seq;      ///< Per-source sequence.
+    std::vector<std::vector<Msg>> _outbox; ///< [src * S + dst].
+    std::vector<std::vector<Msg>> _inbox;  ///< [dst], min-heap (Later).
+};
+
+/**
+ * The per-run worker pool: S-1 persistent threads plus the calling
+ * thread as shard 0, synchronized by two std::barriers per window.
+ * Workers adopt the orchestrator's log-capture sink (so a panic inside
+ * a shard worker lands in the owning job's buffer, not raw stderr) and
+ * join its host-profiler group (so host.* attribution covers shard
+ * work). A worker exception is stashed and rethrown on the calling
+ * thread, lowest shard first.
+ */
+class ShardCrew
+{
+  public:
+    explicit ShardCrew(unsigned num_shards);
+    ~ShardCrew();
+
+    ShardCrew(const ShardCrew &) = delete;
+    ShardCrew &operator=(const ShardCrew &) = delete;
+
+    unsigned shards() const { return _numShards; }
+
+    /** Run @p fn(shard) on every shard concurrently and wait. */
+    void runWindow(const std::function<void(unsigned)> &fn);
+
+  private:
+    void workerMain(unsigned shard);
+
+    unsigned _numShards;
+    const void *_ownerGroup;
+    const std::function<void(unsigned)> *_fn = nullptr;
+    LogCapture *_sink = nullptr;
+    bool _quit = false;
+    std::barrier<> _start;
+    std::barrier<> _end;
+    std::vector<std::exception_ptr> _errors;
+    std::vector<std::thread> _threads;
+};
+
+} // namespace sim
+
+#endif // COHESION_SIM_SHARD_HH

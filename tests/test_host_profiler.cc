@@ -222,6 +222,33 @@ TEST(HostProfiler, SweepJobsProfileIndependently)
     HostProfiler::disable();
 }
 
+/** Sharded attribution: shard workers join the orchestrator's
+ *  profiler group at crew startup, and the orchestrator's EqDispatch
+ *  scope brackets every parallel window (barrier waits included), so
+ *  a --shards 4 job still attributes >99% of its wall time — nothing
+ *  the worker threads do may vanish from host.*. The ratio can exceed
+ *  1.0 on a multi-core host (four shard threads accrue exact phase
+ *  time concurrently against one wall clock); that is expected and
+ *  not a failure. */
+TEST(HostProfiler, ShardedRunAttributionStaysComplete)
+{
+    sim::SweepPoint pt;
+    pt.label = "heat-sharded";
+    pt.kernel = "heat";
+    pt.cfg = arch::MachineConfig::scaled(2);
+    pt.cfg.shards = 4;
+    pt.params.scale = 1;
+    pt.hostProfile = true;
+    sim::JobResult r = sim::SweepEngine::runOne(sim::makeJob(pt));
+    ASSERT_TRUE(r.ok()) << r.what;
+    EXPECT_FALSE(r.run.hostProfile.empty());
+    EXPECT_GT(r.run.hostProfile[Phase::EqDispatch].count, 0u);
+    EXPECT_GT(r.run.hostWallSec, 0.0);
+    double attributed = double(r.run.hostProfile.attributedNs()) / 1e9;
+    EXPECT_GT(attributed / r.run.hostWallSec, 0.99);
+    HostProfiler::disable();
+}
+
 TEST(HostProfiler, JsonReportIsWellFormed)
 {
     ProfilerGuard guard(/*shift=*/0);

@@ -446,8 +446,8 @@ TEST(FaultInjector, SameSeedReplaysTheSameFireSequence)
     b.configure(plan);
     for (unsigned i = 0; i < 512; ++i) {
         SCOPED_TRACE(i);
-        ASSERT_EQ(a.fire(sim::FaultSite::FabricC2BDrop),
-                  b.fire(sim::FaultSite::FabricC2BDrop));
+        ASSERT_EQ(a.fire(sim::FaultSite::FabricC2BDrop, 0),
+                  b.fire(sim::FaultSite::FabricC2BDrop, 0));
     }
     EXPECT_EQ(a.injected(sim::FaultSite::FabricC2BDrop),
               b.injected(sim::FaultSite::FabricC2BDrop));
@@ -466,8 +466,8 @@ TEST(FaultInjector, DifferentSeedsDiverge)
     b.configure(plan);
     bool diverged = false;
     for (unsigned i = 0; i < 256 && !diverged; ++i) {
-        diverged = a.fire(sim::FaultSite::FabricC2BDrop) !=
-                   b.fire(sim::FaultSite::FabricC2BDrop);
+        diverged = a.fire(sim::FaultSite::FabricC2BDrop, 0) !=
+                   b.fire(sim::FaultSite::FabricC2BDrop, 0);
     }
     EXPECT_TRUE(diverged);
 }
@@ -481,7 +481,7 @@ TEST(FaultInjector, MaxCapDisarmsTheSite)
     sim::FaultInjector inj;
     inj.configure(plan);
     for (unsigned i = 0; i < 100; ++i)
-        inj.fire(sim::FaultSite::FabricB2CDup);
+        inj.fire(sim::FaultSite::FabricB2CDup, 0);
     EXPECT_EQ(inj.injected(sim::FaultSite::FabricB2CDup), 5u);
     EXPECT_FALSE(inj.armed(sim::FaultSite::FabricB2CDup));
 }

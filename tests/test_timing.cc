@@ -17,13 +17,33 @@ namespace {
 using arch::CoherenceMode;
 using test::Rig;
 
+/** Full cluster->bank hop through the split send/accept halves, the
+ *  way Chip routes it. */
+sim::Tick
+c2bHop(arch::Fabric &f, unsigned cluster, unsigned bank, unsigned bytes,
+       sim::Tick depart)
+{
+    sim::Tick nominal =
+        f.orderC2B(cluster, bank, f.c2bSend(cluster, bytes, depart));
+    return f.c2bAccept(bank, nominal, depart);
+}
+
+sim::Tick
+b2cHop(arch::Fabric &f, unsigned bank, unsigned cluster, unsigned bytes,
+       sim::Tick depart)
+{
+    sim::Tick nominal =
+        f.orderB2C(bank, cluster, f.b2cSend(bank, bytes, depart));
+    return f.b2cAccept(cluster, nominal, depart);
+}
+
 TEST(Fabric, PointToPointOrderIsPreserved)
 {
     arch::MachineConfig cfg = arch::MachineConfig::scaled(4);
     arch::Fabric fabric(cfg);
     sim::Tick prev = 0;
     for (int i = 0; i < 32; ++i) {
-        sim::Tick arrive = fabric.clusterToBank(0, 1, 16, 10 * i);
+        sim::Tick arrive = c2bHop(fabric, 0, 1, 16, 10 * i);
         EXPECT_GT(arrive, prev) << "message " << i << " reordered";
         prev = arrive;
     }
@@ -35,14 +55,14 @@ TEST(Fabric, SerializationLimitsBandwidth)
     arch::Fabric fabric(cfg);
     // Two 40-byte messages at the same tick: the second waits for the
     // first's serialization (40/8 = 5 cycles).
-    sim::Tick a = fabric.clusterToBank(0, 0, 40, 100);
-    sim::Tick b = fabric.clusterToBank(0, 0, 40, 100);
+    sim::Tick a = c2bHop(fabric, 0, 0, 40, 100);
+    sim::Tick b = c2bHop(fabric, 0, 0, 40, 100);
     EXPECT_EQ(b - a, 5u);
     // A different cluster's uplink is independent (only the bank
     // accept port is shared).
     arch::Fabric f2(cfg);
-    sim::Tick c = f2.clusterToBank(0, 0, 40, 100);
-    sim::Tick d = f2.clusterToBank(1, 0, 40, 100);
+    sim::Tick c = c2bHop(f2, 0, 0, 40, 100);
+    sim::Tick d = c2bHop(f2, 1, 0, 40, 100);
     EXPECT_LT(d - c, 5u);
 }
 
@@ -50,18 +70,33 @@ TEST(Fabric, LatencyIsSymmetric)
 {
     arch::MachineConfig cfg = arch::MachineConfig::scaled(4);
     arch::Fabric fabric(cfg);
-    sim::Tick up = fabric.clusterToBank(2, 1, 8, 0);
+    sim::Tick up = c2bHop(fabric, 2, 1, 8, 0);
     arch::Fabric f2(cfg);
-    sim::Tick down = f2.bankToCluster(1, 2, 8, 0);
+    sim::Tick down = b2cHop(f2, 1, 2, 8, 0);
     EXPECT_EQ(up, down);
+}
+
+TEST(Fabric, SendIsAlwaysBeyondTheLookahead)
+{
+    // The conservative window [B, B + lookahead - 1] is only safe if
+    // every nominal arrival is strictly past depart + lookahead.
+    arch::MachineConfig cfg = arch::MachineConfig::scaled(4);
+    arch::Fabric fabric(cfg);
+    for (int i = 0; i < 16; ++i) {
+        sim::Tick depart = 7 * i;
+        EXPECT_GT(fabric.c2bSend(0, 8, depart),
+                  depart + fabric.lookahead());
+        EXPECT_GT(fabric.b2cSend(0, 8, depart),
+                  depart + fabric.lookahead());
+    }
 }
 
 TEST(Fabric, CountsBytes)
 {
     arch::MachineConfig cfg = arch::MachineConfig::scaled(4);
     arch::Fabric fabric(cfg);
-    fabric.clusterToBank(0, 0, 40, 0);
-    fabric.bankToCluster(0, 0, 8, 0);
+    c2bHop(fabric, 0, 0, 40, 0);
+    b2cHop(fabric, 0, 0, 8, 0);
     EXPECT_EQ(fabric.bytesUp(), 40u);
     EXPECT_EQ(fabric.bytesDown(), 8u);
 }
