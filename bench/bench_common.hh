@@ -16,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "coherence/backend.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -31,6 +32,7 @@ struct Args
                            ///< paper datasets exceed its 8 MB of L2).
     bool paper = false;    ///< Full 1024-core Table 3 machine.
     unsigned jobs = 0;     ///< Sweep worker threads (0 = all cores).
+    std::string backend;   ///< Coherence backend ("" = config default).
 
     static Args
     parse(int argc, char **argv)
@@ -45,10 +47,20 @@ struct Args
                 a.paper = true;
             } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
                 a.jobs = std::atoi(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--backend") &&
+                       i + 1 < argc) {
+                a.backend = argv[++i];
+                if (!coherence::backendKnown(a.backend)) {
+                    std::cerr << "unknown coherence backend '"
+                              << a.backend << "' (registered: "
+                              << coherence::backendListString()
+                              << ")\n";
+                    std::exit(2);
+                }
             } else if (!std::strcmp(argv[i], "--help")) {
                 std::cout << "usage: " << argv[0]
                           << " [--clusters N] [--scale N] [--paper]"
-                             " [--jobs N]\n";
+                             " [--jobs N] [--backend NAME]\n";
                 std::exit(0);
             }
         }
@@ -58,8 +70,11 @@ struct Args
     arch::MachineConfig
     base() const
     {
-        return paper ? arch::MachineConfig::paper1024()
-                     : arch::MachineConfig::scaled(clusters);
+        arch::MachineConfig cfg =
+            paper ? arch::MachineConfig::paper1024()
+                  : arch::MachineConfig::scaled(clusters);
+        cfg.backend = backend;
+        return cfg;
     }
 
     kernels::Params

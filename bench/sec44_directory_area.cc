@@ -37,6 +37,11 @@ main(int, char **)
               harness::Table::fmt(100 * lim.fractionOfL2, 1) + "%",
               "2.88 MB (35.1%)"});
 
+    auto dls = coherence::dlsArea(in);
+    t.addRow({"Directoryless write-through (dls)", fmt_mb(dls.bytes),
+              harness::Table::fmt(100 * dls.fractionOfL2, 1) + "%",
+              "n/a (no sharer state)"});
+
     for (unsigned replicas : {1u, 2u, 4u, 8u}) {
         auto dup = coherence::duplicateTagArea(in, replicas);
         t.addRow({sim::cat("Duplicate tags x", replicas),

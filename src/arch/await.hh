@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/event_queue.hh"
 #include "sim/host_profiler.hh"
@@ -214,6 +215,38 @@ class LineLockTable
 
     sim::EventQueue &_eq;
     std::unordered_map<std::uint32_t, LineState> _lines;
+};
+
+/**
+ * RAII guard releasing a line lock when a transaction coroutine
+ * finishes (normally or via exception unwind). Movable so ownership
+ * can be handed between scopes; shared by the bank and the coherence
+ * backends.
+ */
+class [[nodiscard]] Held
+{
+  public:
+    Held(LineLockTable &table, std::uint32_t line)
+        : _table(&table), _line(line)
+    {}
+
+    Held(Held &&other) noexcept
+        : _table(std::exchange(other._table, nullptr)), _line(other._line)
+    {}
+
+    Held(const Held &) = delete;
+    Held &operator=(const Held &) = delete;
+    Held &operator=(Held &&) = delete;
+
+    ~Held()
+    {
+        if (_table)
+            _table->release(_line);
+    }
+
+  private:
+    LineLockTable *_table;
+    std::uint32_t _line;
 };
 
 } // namespace arch

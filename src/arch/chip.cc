@@ -38,6 +38,24 @@ withClampedShards(MachineConfig c)
     return c;
 }
 
+/**
+ * Clamp shards and resolve the coherence-backend name (throws
+ * std::runtime_error listing the registered backends if unknown). An
+ * explicit MSI variant forces the matching sharer representation so
+ * `--backend dir4b` alone selects limited pointers.
+ */
+MachineConfig
+normalized(MachineConfig c)
+{
+    c = withClampedShards(std::move(c));
+    c.backend = coherence::resolveBackendName(c.backend, c.directory);
+    if (c.backend == "dir4b")
+        c.directory.sharerKind = coherence::SharerKind::LimitedPtr;
+    else if (c.backend == "msi-fullmap")
+        c.directory.sharerKind = coherence::SharerKind::FullMap;
+    return c;
+}
+
 std::vector<std::unique_ptr<sim::EventQueue>>
 makeQueues(unsigned n)
 {
@@ -81,7 +99,8 @@ recordBefore(const sim::FlightRecorder::Record &x,
 } // namespace
 
 Chip::Chip(const MachineConfig &config, mem::Addr table_base)
-    : _config(withClampedShards(config)),
+    : _config(normalized(config)),
+      _backendTraits(*coherence::backendTraits(_config.backend)),
       _eqs(makeQueues(_config.shards)),
       _router(_config.shards,
               _config.numClusters + _config.numL3Banks + 1),
@@ -579,7 +598,10 @@ Chip::sampleOccupancy()
     std::array<double, numSegments> counts{};
     double total = 0;
     for (auto &b : _banks) {
-        b->directory().forEach([&](const coherence::DirEntry &e) {
+        const coherence::Directory *dir = b->directoryOrNull();
+        if (!dir)
+            continue; // directoryless backend: occupancy is zero
+        dir->forEach([&](const coherence::DirEntry &e) {
             Segment seg = _classifier ? _classifier(e.base)
                                       : Segment::HeapGlobal;
             counts[static_cast<unsigned>(seg)] += 1;

@@ -118,6 +118,23 @@ class Chip
         return _config.mode == CoherenceMode::Cohesion;
     }
 
+    // --- Coherence backend ------------------------------------------------
+
+    /** Resolved backend name (never empty after construction). */
+    const std::string &backendName() const { return _config.backend; }
+
+    /** Registry traits of the resolved backend. */
+    const coherence::BackendTraits &backendTraits() const
+    {
+        return _backendTraits;
+    }
+
+    /** Clusters must write through (no M/E grants, no upgrades). */
+    bool writeThroughBackend() const { return _backendTraits.writeThrough; }
+
+    /** Auditor applicability mask for the resolved backend. */
+    std::uint32_t auditMask() const { return _backendTraits.auditMask; }
+
     // --- Sharding ---------------------------------------------------------
 
     /** Effective shard count (the config value, clamped). */
@@ -495,7 +512,8 @@ class Chip
     };
     Progress progress() const;
 
-    MachineConfig _config; ///< shards clamped at construction.
+    MachineConfig _config; ///< shards clamped, backend resolved.
+    coherence::BackendTraits _backendTraits;
     std::vector<std::unique_ptr<sim::EventQueue>> _eqs; ///< [shard]
     sim::ShardRouter _router;
     sim::Tracer _tracer;

@@ -187,13 +187,17 @@ Cluster::evictLine(cache::Line &line, sim::Tick when)
                   r.mask);
     } else if (line.hwState == cache::CohState::Shared ||
                line.hwState == cache::CohState::Exclusive) {
-        // No silent evictions under HWcc: notify the directory (a
-        // clean Exclusive line releases like a Shared one).
-        Request r;
-        r.type = ReqType::ReadRelease;
-        r.cluster = _id;
-        r.addr = line.base;
-        sendRequest(r, MsgClass::ReadRelease, when, 0);
+        if (!_chip.writeThroughBackend()) {
+            // No silent evictions under HWcc: notify the directory (a
+            // clean Exclusive line releases like a Shared one).
+            Request r;
+            r.type = ReqType::ReadRelease;
+            r.cluster = _id;
+            r.addr = line.base;
+            sendRequest(r, MsgClass::ReadRelease, when, 0);
+        }
+        // Directoryless backend: nothing tracks this copy, so a clean
+        // Shared line drops silently like an SWcc one.
     }
     backInvalidateL1(line.base, true);
     line.reset();
@@ -406,7 +410,6 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
             return finish(_chip, core, 0);
         }
         if (l2line->hwState == cache::CohState::Shared) {
-            // S -> M upgrade through the directory.
             _l2Misses.inc();
             core.setLocalTime(t);
             auto it = _mshrs.find(base);
@@ -415,6 +418,32 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
                     Waiter{&core, true, addr, bytes, value});
                 return MemOp::pending(core);
             }
+            if (_chip.writeThroughBackend()) {
+                // Directoryless write-through: apply the store to the
+                // local Shared copy (which stays clean) and push the
+                // written words to the home bank; the bank invalidates
+                // every other copy and acks with the merged line. The
+                // core blocks until that ack — the store is globally
+                // ordered only once the bank serializes it.
+                applyStore(*l2line, addr, value, bytes);
+                mem::WordMask wmask = l2line->dirtyMask;
+                MshrEntry &m = _mshrs[base];
+                m.sentType = ReqType::Write;
+                m.waiters.push_back(
+                    Waiter{&core, true, addr, bytes, value, true});
+                Request r;
+                r.type = ReqType::Write;
+                r.cluster = _id;
+                r.core = core.localId();
+                r.addr = base;
+                r.mask = wmask;
+                r.data = l2line->data;
+                l2line->dirtyMask = 0; // write-through: L2 stays clean
+                m.expectId = sendRequest(r, MsgClass::WriteRequest, t,
+                                         maskWords(wmask));
+                return MemOp::pending(core);
+            }
+            // S -> M upgrade through the directory.
             MshrEntry &m = _mshrs[base];
             m.sentType = ReqType::Write;
             m.upgradeSent = true;
@@ -716,8 +745,12 @@ Cluster::installFill(const Response &resp)
             if (can_store) {
                 applyStore(*line, w.addr, w.value, w.bytes);
                 completions.emplace_back(w.core, 0);
+            } else if (w.sent) {
+                // Write-through ack: the bank already merged this
+                // store's words into the line it just returned.
+                completions.emplace_back(w.core, 0);
             } else {
-                upgrade_waiters.push_back(w); // granted S; need M
+                upgrade_waiters.push_back(w); // granted S; need M/WT
             }
         } else {
             completions.emplace_back(w.core,
@@ -727,20 +760,49 @@ Cluster::installFill(const Response &resp)
     }
 
     if (!upgrade_waiters.empty()) {
-        MshrEntry up;
-        up.sentType = ReqType::Write;
-        up.upgradeSent = true;
-        unsigned core_id = upgrade_waiters.front().core->localId();
-        up.waiters = std::move(upgrade_waiters);
-        MshrEntry &slot = _mshrs.emplace(base, std::move(up)).first->second;
-        Request r;
-        r.type = ReqType::Write;
-        r.cluster = _id;
-        r.core = core_id;
-        r.addr = base;
-        r.upgrade = true;
-        slot.expectId =
-            sendRequest(r, MsgClass::WriteRequest, _chip.eq().now(), 0);
+        if (_chip.writeThroughBackend()) {
+            // Stores that queued behind this fill (or behind an
+            // earlier write-through) combine into one follow-up
+            // write-through carrying all their words.
+            for (Waiter &w : upgrade_waiters) {
+                applyStore(*line, w.addr, w.value, w.bytes);
+                w.sent = true;
+            }
+            mem::WordMask wmask = line->dirtyMask;
+            MshrEntry wt;
+            wt.sentType = ReqType::Write;
+            unsigned core_id = upgrade_waiters.front().core->localId();
+            wt.waiters = std::move(upgrade_waiters);
+            MshrEntry &slot =
+                _mshrs.emplace(base, std::move(wt)).first->second;
+            Request r;
+            r.type = ReqType::Write;
+            r.cluster = _id;
+            r.core = core_id;
+            r.addr = base;
+            r.mask = wmask;
+            r.data = line->data;
+            line->dirtyMask = 0; // write-through: L2 stays clean
+            slot.expectId = sendRequest(r, MsgClass::WriteRequest,
+                                        _chip.eq().now(),
+                                        maskWords(wmask));
+        } else {
+            MshrEntry up;
+            up.sentType = ReqType::Write;
+            up.upgradeSent = true;
+            unsigned core_id = upgrade_waiters.front().core->localId();
+            up.waiters = std::move(upgrade_waiters);
+            MshrEntry &slot =
+                _mshrs.emplace(base, std::move(up)).first->second;
+            Request r;
+            r.type = ReqType::Write;
+            r.cluster = _id;
+            r.core = core_id;
+            r.addr = base;
+            r.upgrade = true;
+            slot.expectId =
+                sendRequest(r, MsgClass::WriteRequest, _chip.eq().now(), 0);
+        }
     }
 
     for (auto &[c, value] : completions) {

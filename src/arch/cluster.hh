@@ -218,6 +218,11 @@ class Cluster
         mem::Addr addr;
         unsigned bytes;
         std::uint32_t value;
+        /** Write-through backends only: this store's words already
+         *  rode out on the in-flight Write, so the ack completes it
+         *  without re-applying (unless the fill came back SWcc — the
+         *  bank ignores write data on the incoherent path). */
+        bool sent = false;
     };
 
     struct MshrEntry

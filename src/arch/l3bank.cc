@@ -17,39 +17,14 @@ namespace {
 
 using FR = sim::FlightRecorder;
 
-/** RAII line-lock holder (release on scope exit, move-only). */
-class [[nodiscard]] Held
-{
-  public:
-    Held(LineLockTable &t, std::uint32_t line) : _table(&t), _line(line) {}
-
-    Held(Held &&o) noexcept
-        : _table(std::exchange(o._table, nullptr)), _line(o._line)
-    {}
-
-    Held(const Held &) = delete;
-    Held &operator=(const Held &) = delete;
-    Held &operator=(Held &&) = delete;
-
-    ~Held()
-    {
-        if (_table)
-            _table->release(_line);
-    }
-
-  private:
-    LineLockTable *_table;
-    std::uint32_t _line;
-};
-
 } // namespace
 
 L3Bank::L3Bank(Chip &chip, unsigned id)
     : _chip(chip), _id(id),
       _l3(sim::cat("l3bank", id), chip.config().l3BankBytes,
           chip.config().l3Assoc),
-      _dir(chip.config().directory, chip.config().numClusters),
-      _tableCache(chip.config().tableCacheEntries), _locks(chip.eq())
+      _tableCache(chip.config().tableCacheEntries), _locks(chip.eq()),
+      _backend(coherence::makeBackend(chip.config().backend, *this))
 {
     _tableCache.setFaultInjector(&chip.faults(), id);
     _txns.reserve(64);
@@ -132,10 +107,10 @@ L3Bank::transaction(Request req, std::uint64_t trace_id)
         switch (req.type) {
           case ReqType::Read:
           case ReqType::Instr:
-            co_await handleRead(req);
+            co_await _backend->read(req);
             break;
           case ReqType::Write:
-            co_await handleWrite(req);
+            co_await _backend->write(req);
             break;
           case ReqType::Atomic:
             co_await handleAtomic(req);
@@ -185,13 +160,13 @@ L3Bank::registerStats(sim::StatRegistry &reg,
     reg.addCounter(prefix + ".merge_conflicts", _mergeConflicts);
     reg.addCounter(prefix + ".txns_completed", _txnsCompleted);
     reg.addScalar(prefix + ".dir.entries", [this]() {
-        return static_cast<double>(_dir.size());
+        return static_cast<double>(_backend->dirEntries());
     });
     reg.addScalar(prefix + ".dir.peak", [this]() {
-        return static_cast<double>(_dir.peakEntries());
+        return static_cast<double>(_backend->dirPeakEntries());
     });
     reg.addScalar(prefix + ".dir.insertions", [this]() {
-        return static_cast<double>(_dir.insertions());
+        return static_cast<double>(_backend->dirInsertions());
     });
 }
 
@@ -298,84 +273,6 @@ L3Bank::applyAtomic(cache::Line &line, mem::Addr addr, AtomicOp op,
 }
 
 sim::CoTask
-L3Bank::recallEntry(mem::Addr base, std::uint32_t txn, bool *incomplete)
-{
-    *incomplete = false;
-    coherence::DirEntry *e = _dir.find(base);
-    if (!e || e->sharers.empty())
-        co_return;
-
-    bool modified = e->state == cache::CohState::Modified ||
-                    e->state == cache::CohState::Exclusive;
-    std::vector<unsigned> targets = e->sharers.probeTargets();
-    ProbeType pt = modified ? ProbeType::WritebackInvalidate
-                            : ProbeType::Invalidate;
-    std::vector<std::pair<unsigned, ProbeResult>> results;
-    AckGate gate;
-    gate.expect(targets.size());
-    sendProbes(targets, pt, base, txn, &results, &gate);
-    co_await gate.wait();
-
-    bool any_found = false;
-    for (const auto &[cl, r] : results) {
-        any_found |= r.found;
-        if (r.dirty)
-            co_await mergeIntoL3(base, r.data, r.dirtyMask);
-    }
-    if (modified && !any_found) {
-        // The owner evicted concurrently: its WrRel carries the dirty
-        // data and is in flight to this bank. The caller must let it
-        // acquire the line and merge before retrying.
-        *incomplete = true;
-    }
-}
-
-sim::CoTask
-L3Bank::recallEntryRetry(mem::Addr base, std::uint32_t txn,
-                         std::uint32_t lock_key)
-{
-    Backoff bo;
-    while (true) {
-        bool incomplete = false;
-        co_await recallEntry(base, txn, &incomplete);
-        if (!incomplete)
-            co_return;
-        _locks.release(lock_key);
-        co_await Delay{_chip.eq(), _chip.eq().now() + bo.next()};
-        co_await _locks.acquire(lock_key);
-    }
-}
-
-sim::CoTask
-L3Bank::makeRoom(mem::Addr base, std::uint32_t txn)
-{
-    base = mem::lineBase(base);
-    Backoff bo;
-    while (_dir.needsVictim(base)) {
-        coherence::DirEntry *v = _dir.victimExcluding(
-            base, [this](mem::Addr a) {
-                return _locks.busy(mem::lineNumber(a));
-            });
-        if (!v) {
-            // Every candidate is mid-transaction; retry with backoff.
-            co_await Delay{_chip.eq(), _chip.eq().now() + bo.next()};
-            continue;
-        }
-        mem::Addr vbase = v->base;
-        co_await _locks.acquire(mem::lineNumber(vbase));
-        Held held(_locks, mem::lineNumber(vbase));
-        // Entries evicted from the directory have all sharers
-        // invalidated (Section 3.2).
-        co_await recallEntryRetry(vbase, txn, mem::lineNumber(vbase));
-        if (_dir.find(vbase)) {
-            _chip.rec(FR::Ev::DirErase, FR::compBank(_id), vbase, txn);
-            _dir.erase(vbase);
-        }
-        _dirEvictions.inc();
-    }
-}
-
-sim::CoTask
 L3Bank::lookupDomain(mem::Addr base, std::uint32_t txn, bool *out_swcc)
 {
     // Host-profiler scopes in this coroutine are closed explicitly
@@ -425,245 +322,6 @@ L3Bank::lookupDomain(mem::Addr base, std::uint32_t txn, bool *out_swcc)
 }
 
 sim::CoTask
-L3Bank::handleRead(Request req)
-{
-    const mem::Addr base = mem::lineBase(req.addr);
-    const std::uint32_t key = mem::lineNumber(base);
-    co_await _locks.acquire(key);
-    Held held(_locks, key);
-
-    sim::EventQueue &eq = _chip.eq();
-    const CoherenceMode mode = _chip.config().mode;
-
-    // Directory lookup (one cycle through the directory port).
-    sim::Tick dstart = std::max(eq.now(), _dirPortFree);
-    _dirPortFree = dstart + 1;
-    co_await Delay{eq, dstart + 1};
-
-    coherence::DirEntry *e =
-        mode == CoherenceMode::SWccOnly ? nullptr : _dir.find(base);
-
-    Response resp;
-    resp.type = req.type;
-    resp.core = req.core;
-    resp.addr = base;
-
-    Backoff bo;
-    while (e && (e->state == cache::CohState::Modified ||
-                 e->state == cache::CohState::Exclusive)) {
-        if (e->sharers.contains(req.cluster) &&
-            e->sharers.count() == 1 && !e->sharers.broadcast()) {
-            // The owner itself is filling invalid words of a
-            // partially-valid line (post-MakeOwner): serve from
-            // the L3 and keep its exclusive state.
-            auto [line, t] = l3AccessPrep(base, false, eq.now());
-            resp.grant = e->state;
-            resp.data = line->data;
-            co_await Delay{eq, t};
-            respond(req, resp, mem::wordsPerLine);
-            co_return;
-        }
-        // Downgrade the owner; its dirty data moves to the L3.
-        std::vector<unsigned> targets = e->sharers.probeTargets();
-        std::vector<std::pair<unsigned, ProbeResult>> results;
-        AckGate gate;
-        gate.expect(targets.size());
-        sendProbes(targets, ProbeType::Downgrade, base, req.msgId, &results,
-                   &gate);
-        co_await gate.wait();
-        bool any_found = false;
-        for (const auto &[cl, r] : results) {
-            any_found |= r.found;
-            if (r.dirty)
-                co_await mergeIntoL3(base, r.data, r.dirtyMask);
-        }
-        if (!any_found) {
-            // The owner evicted concurrently; wait for its in-flight
-            // WrRel to land (it needs the line lock) and re-evaluate.
-            _locks.release(key);
-            co_await Delay{eq, eq.now() + bo.next()};
-            co_await _locks.acquire(key);
-            e = _dir.find(base);
-            continue;
-        }
-        e = _dir.find(base);
-        panic_if(!e, "directory entry vanished during downgrade");
-        e->state = cache::CohState::Shared;
-        _chip.rec(FR::Ev::DirState, FR::compBank(_id), base, req.msgId,
-                  static_cast<std::uint8_t>(e->state), e->sharers.count());
-        break;
-    }
-    if (e) {
-        e->sharers.add(req.cluster);
-        _chip.rec(FR::Ev::DirState, FR::compBank(_id), base, req.msgId,
-                  static_cast<std::uint8_t>(e->state), e->sharers.count());
-        auto [line, t] = l3AccessPrep(base, false, eq.now());
-        resp.grant = cache::CohState::Shared;
-        resp.data = line->data;
-        co_await Delay{eq, t};
-        respond(req, resp, mem::wordsPerLine);
-        co_return;
-    }
-
-    // Directory miss: decide the coherence domain.
-    bool swcc = false;
-    if (mode == CoherenceMode::SWccOnly) {
-        swcc = true;
-    } else if (mode == CoherenceMode::Cohesion) {
-        co_await lookupDomain(base, req.msgId, &swcc);
-    }
-
-    if (swcc) {
-        auto [line, t] = l3AccessPrep(base, false, eq.now());
-        resp.incoherent = true;
-        resp.data = line->data;
-        co_await Delay{eq, t};
-        respond(req, resp, mem::wordsPerLine);
-        co_return;
-    }
-
-    co_await makeRoom(base, req.msgId);
-    coherence::DirEntry &ne = _dir.insert(base);
-    // MESI extension: a sole reader takes Exclusive and can later
-    // upgrade to Modified silently; MSI (the paper) grants Shared.
-    ne.state = _chip.config().useMesi ? cache::CohState::Exclusive
-                                      : cache::CohState::Shared;
-    ne.sharers.add(req.cluster);
-    _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, req.msgId,
-              static_cast<std::uint8_t>(ne.state), req.cluster);
-    auto [line, t] = l3AccessPrep(base, false, eq.now());
-    resp.grant = ne.state;
-    resp.data = line->data;
-    co_await Delay{eq, t};
-    respond(req, resp, mem::wordsPerLine);
-}
-
-sim::CoTask
-L3Bank::handleWrite(Request req)
-{
-    const mem::Addr base = mem::lineBase(req.addr);
-    const std::uint32_t key = mem::lineNumber(base);
-    co_await _locks.acquire(key);
-    Held held(_locks, key);
-
-    sim::EventQueue &eq = _chip.eq();
-    const CoherenceMode mode = _chip.config().mode;
-
-    sim::Tick dstart = std::max(eq.now(), _dirPortFree);
-    _dirPortFree = dstart + 1;
-    co_await Delay{eq, dstart + 1};
-
-    coherence::DirEntry *e =
-        mode == CoherenceMode::SWccOnly ? nullptr : _dir.find(base);
-
-    Response resp;
-    resp.type = ReqType::Write;
-    resp.core = req.core;
-    resp.addr = base;
-
-    if (!e) {
-        bool swcc = false;
-        if (mode == CoherenceMode::SWccOnly) {
-            swcc = true;
-        } else if (mode == CoherenceMode::Cohesion) {
-            co_await lookupDomain(base, req.msgId, &swcc);
-        }
-        if (swcc) {
-            // SWcc fill: the cluster allocates with the incoherent bit.
-            auto [line, t] = l3AccessPrep(base, false, eq.now());
-            resp.incoherent = true;
-            resp.data = line->data;
-            co_await Delay{eq, t};
-            respond(req, resp, mem::wordsPerLine);
-            co_return;
-        }
-        co_await makeRoom(base, req.msgId);
-        coherence::DirEntry &ne = _dir.insert(base);
-        ne.state = cache::CohState::Modified;
-        ne.sharers.add(req.cluster);
-        _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, req.msgId,
-                  static_cast<std::uint8_t>(ne.state), req.cluster);
-        auto [line, t] = l3AccessPrep(base, false, eq.now());
-        resp.grant = cache::CohState::Modified;
-        resp.data = line->data;
-        co_await Delay{eq, t};
-        respond(req, resp, mem::wordsPerLine);
-        co_return;
-    }
-
-    // Invalidate every other holder; collect a dirty owner's data.
-    Backoff bo;
-    while (e) {
-        std::vector<unsigned> targets;
-        for (unsigned cl : e->sharers.probeTargets()) {
-            if (cl != req.cluster)
-                targets.push_back(cl);
-        }
-        if (targets.empty())
-            break;
-        bool expect_dirty = e->state == cache::CohState::Modified ||
-                            e->state == cache::CohState::Exclusive;
-        ProbeType pt = expect_dirty ? ProbeType::WritebackInvalidate
-                                    : ProbeType::Invalidate;
-        std::vector<std::pair<unsigned, ProbeResult>> results;
-        AckGate gate;
-        gate.expect(targets.size());
-        sendProbes(targets, pt, base, req.msgId, &results, &gate);
-        co_await gate.wait();
-        bool any_found = false;
-        for (const auto &[cl, r] : results) {
-            any_found |= r.found;
-            if (r.dirty)
-                co_await mergeIntoL3(base, r.data, r.dirtyMask);
-        }
-        if (expect_dirty && !any_found) {
-            // Owner evicted concurrently: wait for its WrRel.
-            _locks.release(key);
-            co_await Delay{eq, eq.now() + bo.next()};
-            co_await _locks.acquire(key);
-            e = _dir.find(base);
-            continue;
-        }
-        e = _dir.find(base);
-        panic_if(!e, "directory entry vanished during invalidation");
-        break;
-    }
-    if (!e) {
-        // The entry was erased while we waited for an in-flight WrRel.
-        // A concurrent HWcc=>SWcc transition may also have changed the
-        // line's domain in that window, so the domain decision must be
-        // redone — blindly re-inserting would resurrect an HWcc entry
-        // for a now-SWcc line.
-        bool swcc = false;
-        if (mode == CoherenceMode::Cohesion)
-            co_await lookupDomain(base, req.msgId, &swcc);
-        if (swcc) {
-            auto [line, t] = l3AccessPrep(base, false, eq.now());
-            resp.incoherent = true;
-            resp.data = line->data;
-            co_await Delay{eq, t};
-            respond(req, resp, mem::wordsPerLine);
-            co_return;
-        }
-        co_await makeRoom(base, req.msgId);
-        e = &_dir.insert(base);
-        _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, req.msgId,
-                  static_cast<std::uint8_t>(cache::CohState::Modified),
-                  req.cluster);
-    }
-    e->sharers.clear();
-    e->sharers.add(req.cluster);
-    e->state = cache::CohState::Modified;
-    _chip.rec(FR::Ev::DirState, FR::compBank(_id), base, req.msgId,
-              static_cast<std::uint8_t>(e->state), e->sharers.count());
-    auto [line, t] = l3AccessPrep(base, false, eq.now());
-    resp.grant = cache::CohState::Modified;
-    resp.data = line->data;
-    co_await Delay{eq, t};
-    respond(req, resp, mem::wordsPerLine);
-}
-
-sim::CoTask
 L3Bank::handleAtomic(Request req)
 {
     const mem::Addr base = mem::lineBase(req.addr);
@@ -674,19 +332,10 @@ L3Bank::handleAtomic(Request req)
     sim::EventQueue &eq = _chip.eq();
 
     if (_chip.config().mode != CoherenceMode::SWccOnly) {
-        sim::Tick dstart = std::max(eq.now(), _dirPortFree);
-        _dirPortFree = dstart + 1;
-        co_await Delay{eq, dstart + 1};
-        if (_dir.find(base)) {
-            // Cached HWcc copies must be recalled so the RMW is
-            // globally ordered.
-            co_await recallEntryRetry(base, req.msgId, key);
-            if (_dir.find(base)) {
-                _chip.rec(FR::Ev::DirErase, FR::compBank(_id), base,
-                          req.msgId);
-                _dir.erase(base);
-            }
-        }
+        // Cached HWcc copies must be recalled (or, for directoryless
+        // backends, broadcast-invalidated) so the RMW is globally
+        // ordered.
+        co_await _backend->recallForAtomic(base, req.msgId, key);
     }
 
     auto [line, t] = l3AccessPrep(base, true, eq.now());
@@ -714,27 +363,12 @@ L3Bank::handleWriteback(Request req)
     switch (req.type) {
       case ReqType::WriteRelease: {
           co_await mergeIntoL3(base, req.data, req.mask);
-          if (_chip.config().mode != CoherenceMode::SWccOnly) {
-              if (coherence::DirEntry *e = _dir.find(base)) {
-                  e->sharers.remove(req.cluster);
-                  if (e->sharers.empty()) {
-                      _chip.rec(FR::Ev::DirErase, FR::compBank(_id), base,
-                                req.msgId);
-                      _dir.erase(base);
-                  }
-              }
-          }
+          if (_chip.config().mode != CoherenceMode::SWccOnly)
+              _backend->writeRelease(req);
           break;
       }
       case ReqType::ReadRelease: {
-          if (coherence::DirEntry *e = _dir.find(base)) {
-              e->sharers.remove(req.cluster);
-              if (e->sharers.empty()) {
-                  _chip.rec(FR::Ev::DirErase, FR::compBank(_id), base,
-                            req.msgId);
-                  _dir.erase(base);
-              }
-          }
+          _backend->readRelease(req);
           break;
       }
       case ReqType::Eviction:
@@ -789,71 +423,10 @@ L3Bank::swccToHwcc(mem::Addr base, std::uint32_t txn)
         }
     }
 
-    if (dirty_holders.empty()) {
-        // Cases 1b/2b: clean copies (if any) joined HWcc as sharers
-        // during the query; allocate the matching entry.
-        if (!clean_sharers.empty()) {
-            co_await makeRoom(base, txn);
-            coherence::DirEntry &e = _dir.insert(base);
-            e.state = cache::CohState::Shared;
-            for (unsigned cl : clean_sharers) {
-                e.sharers.add(cl);
-                step(FR::Step::CleanSharer, cl);
-            }
-            _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, txn,
-                      static_cast<std::uint8_t>(e.state),
-                      static_cast<std::uint32_t>(clean_sharers.size()));
-        }
-        co_return;
-    }
-
-    if (dirty_holders.size() == 1 && clean_sharers.empty()) {
-        // Case 3b: single writer, no readers — upgrade in place, no
-        // writeback ("saving bandwidth").
-        step(FR::Step::MakeOwner, dirty_holders.front());
-        std::vector<std::pair<unsigned, ProbeResult>> r2;
-        AckGate g2;
-        g2.expect(1);
-        sendProbes({dirty_holders.front()}, ProbeType::MakeOwner, base,
-                   txn, &r2, &g2);
-        co_await g2.wait();
-        if (r2.front().second.found && r2.front().second.dirty) {
-            co_await makeRoom(base, txn);
-            coherence::DirEntry &e = _dir.insert(base);
-            e.state = cache::CohState::Modified;
-            e.sharers.add(dirty_holders.front());
-            _chip.rec(FR::Ev::DirInsert, FR::compBank(_id), base, txn,
-                      static_cast<std::uint8_t>(e.state),
-                      dirty_holders.front());
-        }
-        co_return;
-    }
-
-    // Cases 4b/5b: invalidate the readers, write back every writer,
-    // merge disjoint write sets at the L3. Overlapping write sets are
-    // the Fig. 7b case 5b hardware race (last merge wins).
-    if (overlap) {
-        _mergeConflicts.inc();
-        step(FR::Step::Conflict,
-             static_cast<std::uint32_t>(dirty_holders.size()));
-    }
-    for (unsigned cl : clean_sharers)
-        step(FR::Step::Invalidate, cl);
-    for (unsigned cl : dirty_holders)
-        step(FR::Step::WritebackInv, cl);
-    std::vector<std::pair<unsigned, ProbeResult>> r2;
-    AckGate g2;
-    g2.expect(clean_sharers.size() + dirty_holders.size());
-    sendProbes(clean_sharers, ProbeType::Invalidate, base, txn, &r2, &g2);
-    sendProbes(dirty_holders, ProbeType::WritebackInvalidate, base, txn,
-               &r2, &g2);
-    co_await g2.wait();
-    for (const auto &[cl, r] : r2) {
-        if (r.dirty) {
-            step(FR::Step::Merge, cl);
-            co_await mergeIntoL3(base, r.data, r.dirtyMask);
-        }
-    }
+    // Rounds 2+ depend on the protocol: the backend absorbs the
+    // classified holders (cases 1b-5b) into its own tracking.
+    co_await _backend->adoptLine(base, txn, clean_sharers, dirty_holders,
+                                 overlap);
     (void)eq;
 }
 
@@ -908,20 +481,9 @@ L3Bank::handleTableUpdate(Request req)
         _chip.rec(FR::Ev::TransBegin, FR::compBank(_id), lb, req.msgId,
                   to_swcc ? 1 : 0, bit);
         if (to_swcc) {
-            // HWcc => SWcc (Fig. 7a): flush any directory state.
-            if (_dir.find(lb)) {
-                _chip.rec(FR::Ev::TransStep, FR::compBank(_id), lb,
-                          req.msgId,
-                          static_cast<std::uint8_t>(FR::Step::Recall));
-                co_await recallEntryRetry(lb, req.msgId, lkey);
-                if (_dir.find(lb)) {
-                    TRACE(_chip.tracer(), sim::Category::Transition,
-                          "bank", _id, ": erase 0x", std::hex, lb);
-                    _chip.rec(FR::Ev::DirErase, FR::compBank(_id), lb,
-                              req.msgId);
-                    _dir.erase(lb);
-                }
-            }
+            // HWcc => SWcc (Fig. 7a): flush cached copies and any
+            // sharer-tracking state.
+            co_await _backend->flushLine(lb, req.msgId, lkey);
         } else {
             // SWcc => HWcc (Fig. 7b): broadcast clean request.
             co_await swccToHwcc(lb, req.msgId);

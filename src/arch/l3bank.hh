@@ -6,9 +6,10 @@
  * request runs as a coroutine transaction under a per-line lock.
  *
  * The bank implements:
- *  - the home side of the MSI directory protocol (reads, writes with
- *    invalidation/recall, read releases, writebacks, directory-entry
- *    evictions with sharer invalidation);
+ *  - the home side of the HWcc protocol via a pluggable
+ *    coherence::Backend (reads, writes with invalidation/recall, read
+ *    releases, writebacks, directory-entry evictions with sharer
+ *    invalidation — see backend_msi.hh and backend_dls.hh);
  *  - SWcc support (incoherent fills, per-word merge of flushes and
  *    dirty evictions);
  *  - Cohesion lookups (coarse region table in parallel with the
@@ -26,6 +27,7 @@
 
 #include <functional>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -33,12 +35,18 @@
 #include "arch/await.hh"
 #include "arch/protocol.hh"
 #include "cache/cache_array.hh"
+#include "coherence/backend.hh"
 #include "coherence/directory.hh"
 #include "cohesion/table_cache.hh"
 #include "mem/types.hh"
 #include "sim/cotask.hh"
 #include "sim/stat_registry.hh"
 #include "sim/stats.hh"
+
+namespace coherence {
+class MsiBackend;
+class DlsBackend;
+} // namespace coherence
 
 namespace arch {
 
@@ -50,8 +58,39 @@ class L3Bank
     L3Bank(Chip &chip, unsigned id);
 
     unsigned id() const { return _id; }
-    coherence::Directory &directory() { return _dir; }
-    const coherence::Directory &directory() const { return _dir; }
+
+    /** The protocol engine behind this bank. */
+    coherence::Backend &backend() { return *_backend; }
+    const coherence::Backend &backend() const { return *_backend; }
+
+    /** The backend's directory, or null (DLS). */
+    coherence::Directory *directoryOrNull()
+    {
+        return _backend->directoryOrNull();
+    }
+    const coherence::Directory *
+    directoryOrNull() const
+    {
+        return _backend->directoryOrNull();
+    }
+
+    /** The backend's directory; panics for directoryless backends
+     *  (callers that know they configured one keep this shorthand). */
+    coherence::Directory &
+    directory()
+    {
+        coherence::Directory *d = _backend->directoryOrNull();
+        panic_if(!d, "backend '", _backend->name(), "' has no directory");
+        return *d;
+    }
+    const coherence::Directory &
+    directory() const
+    {
+        const coherence::Directory *d = _backend->directoryOrNull();
+        panic_if(!d, "backend '", _backend->name(), "' has no directory");
+        return *d;
+    }
+
     cache::CacheArray &l3() { return _l3; }
 
     /** Accept a request (called at the fabric arrival event). */
@@ -125,10 +164,9 @@ class L3Bank
                 "checkpoint with bank transactions in flight");
         }
         _l3.checkpointState(ser);
-        _dir.checkpointState(ser);
+        _backend->checkpointState(ser);
         _tableCache.checkpointState(ser);
         ser.u64(_l3PortFree);
-        ser.u64(_dirPortFree);
         ser.u64(_txnSeq);
         _transitions.checkpointState(ser);
         _tableLookups.checkpointState(ser);
@@ -145,10 +183,9 @@ class L3Bank
     {
         des.tag("bank");
         _l3.restoreState(des);
-        _dir.restoreState(des);
+        _backend->restoreState(des);
         _tableCache.restoreState(des);
         _l3PortFree = des.u64();
-        _dirPortFree = des.u64();
         _txnSeq = des.u64();
         _transitions.restoreState(des);
         _tableLookups.restoreState(des);
@@ -171,46 +208,31 @@ class L3Bank
     std::uint64_t l3Misses() const { return _l3Misses.value(); }
     const cohesion::TableCache &tableCache() const { return _tableCache; }
 
+    /** Directory occupancy, routed through the backend (zero when
+     *  directoryless). */
+    std::uint32_t dirEntries() const { return _backend->dirEntries(); }
+    std::uint32_t
+    dirPeakEntries() const
+    {
+        return _backend->dirPeakEntries();
+    }
+    std::uint64_t
+    dirInsertions() const
+    {
+        return _backend->dirInsertions();
+    }
+
   private:
     /** Top-level protocol transaction for one request. @p trace_id is
      *  the nonzero async-span id when a JSON trace sink is attached. */
     sim::CoTask transaction(Request req, std::uint64_t trace_id);
 
-    /** Read/Instr request flow. */
-    sim::CoTask handleRead(Request req);
-    /** Write request flow (miss or S->M upgrade). */
-    sim::CoTask handleWrite(Request req);
     /** Atomic RMW at the bank (non-table addresses). */
     sim::CoTask handleAtomic(Request req);
     /** Snooped fine-table update: coherence domain transitions. */
     sim::CoTask handleTableUpdate(Request req);
     /** Writebacks / releases / flushes. */
     sim::CoTask handleWriteback(Request req);
-
-    /**
-     * Invalidate every sharer of @p base's directory entry, writing
-     * back a dirty owner into the L3 (directory eviction and
-     * HWcc=>SWcc cases 2a/3a). The caller erases the entry.
-     *
-     * If the modified owner NACKs the probe, its WrRel is already in
-     * flight; *@p incomplete is set and the caller must release the
-     * line lock, wait, and retry so the writeback can land first.
-     *
-     * @p txn is the causal id of the triggering request (its msgId),
-     * threaded into every probe's flight-recorder events.
-     */
-    sim::CoTask recallEntry(mem::Addr base, std::uint32_t txn,
-                            bool *incomplete);
-
-    /** Retry wrapper: recall under @p lock_key until complete. */
-    sim::CoTask recallEntryRetry(mem::Addr base, std::uint32_t txn,
-                                 std::uint32_t lock_key);
-
-    /**
-     * Make room for a new directory entry covering @p base, evicting
-     * (and recalling) a victim entry if required.
-     */
-    sim::CoTask makeRoom(mem::Addr base, std::uint32_t txn);
 
     /** SWcc => HWcc transition for one line (Fig. 7b). */
     sim::CoTask swccToHwcc(mem::Addr base, std::uint32_t txn);
@@ -256,14 +278,19 @@ class L3Bank
     /** The coroutine behind debugWedgeLine. */
     sim::CoTask wedge(mem::Addr base);
 
+    // Backends are the other half of this class: they own the sharer
+    // metadata and the read/write/recall flows, but drive the bank's
+    // L3 port, lock table, probes, and responses directly.
+    friend class coherence::MsiBackend;
+    friend class coherence::DlsBackend;
+
     Chip &_chip;
     unsigned _id;
     cache::CacheArray _l3;
-    coherence::Directory _dir;
     cohesion::TableCache _tableCache;
     LineLockTable _locks;
+    std::unique_ptr<coherence::Backend> _backend;
     sim::Tick _l3PortFree = 0;
-    sim::Tick _dirPortFree = 0;
     std::list<sim::CoTask> _running;
     std::list<sim::CoTask> _spare; ///< Recycled _running nodes.
     std::unordered_map<std::uint64_t, TxnRecord> _txns;

@@ -64,6 +64,14 @@ struct MachineConfig
     coherence::DirectoryConfig directory =
         coherence::DirectoryConfig::optimistic();
     /**
+     * Registered coherence-backend name ("msi-fullmap", "dir4b",
+     * "dls"). Empty selects the legacy default derived from the
+     * directory's sharer kind; Chip's constructor resolves and
+     * validates the name (see coherence::resolveBackendName) and
+     * forces the sharer kind to match an explicit MSI variant.
+     */
+    std::string backend;
+    /**
      * Per-bank on-die cache of fine-grain table words (Section 3.4's
      * optional optimization); 0 disables it and every fine-grain
      * lookup goes through the L3.

@@ -83,6 +83,18 @@ limitedArea(const AreaInputs &in)
 }
 
 /**
+ * Directoryless (DLS-style) backend: coherence is enforced by
+ * write-through-invalidate at the bank, so there is no per-line sharer
+ * metadata at all — zero directory storage. (The cost moves from area
+ * to traffic: every store rides out to the bank; see backend_dls.hh.)
+ */
+inline AreaResult
+dlsArea(const AreaInputs &)
+{
+    return AreaResult{0.0, 0.0};
+}
+
+/**
  * Duplicate tags: a copy of every L2 tag (21 bits per line), times the
  * number of replicas needed across L3 banks.
  */

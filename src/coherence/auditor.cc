@@ -113,6 +113,15 @@ Auditor::auditPass()
 {
     arch::Chip &c = _chip;
     const arch::CoherenceMode mode = c.config().mode;
+    const std::uint32_t amask = c.auditMask();
+    // True when @p inv is in the backend's applicability mask;
+    // otherwise records the skip so it is visibly by-design.
+    auto applicable = [&](Invariant inv) {
+        if (amask & invariantBit(inv))
+            return true;
+        ++_invariantSkips[static_cast<unsigned>(inv)];
+        return false;
+    };
     if (_countStats)
         _passes.inc();
     _tableWords.clear();
@@ -129,8 +138,10 @@ Auditor::auditPass()
     // this side table to keep the pass free of side effects.
     std::unordered_map<mem::Addr, const DirEntry *> dirIndex;
     for (unsigned bi = 0; bi < c.numBanks(); ++bi) {
-        c.bank(bi).directory().forEach(
-            [&](const DirEntry &e) { dirIndex.emplace(e.base, &e); });
+        if (const Directory *dir = c.bank(bi).directoryOrNull()) {
+            dir->forEach(
+                [&](const DirEntry &e) { dirIndex.emplace(e.base, &e); });
+        }
     }
 
     for (unsigned ci = 0; ci < c.numClusters(); ++ci) {
@@ -149,53 +160,76 @@ Auditor::auditPass()
                 unsigned(l.validMask), " dirty=0x", unsigned(l.dirtyMask),
                 std::dec);
 
-            if ((l.dirtyMask & ~l.validMask) != 0)
+            if (applicable(Invariant::DirtySubsetValid) &&
+                (l.dirtyMask & ~l.validMask) != 0)
                 throw AuditError("dirty-subset-valid", where);
-            if (l.incoherent && l.hwState != cache::CohState::Invalid)
+            if (applicable(Invariant::IncoherentXorHwstate) &&
+                l.incoherent && l.hwState != cache::CohState::Invalid)
                 throw AuditError("incoherent-xor-hwstate", where);
-            if (!l.incoherent && l.hwState == cache::CohState::Invalid)
+            if (applicable(Invariant::ValidLineStateless) &&
+                !l.incoherent && l.hwState == cache::CohState::Invalid)
                 throw AuditError("valid-line-stateless", where);
-            if (l.dirty() && !l.incoherent &&
-                l.hwState != cache::CohState::Modified)
+            if (applicable(Invariant::DirtyNeedsOwner) && l.dirty() &&
+                !l.incoherent && l.hwState != cache::CohState::Modified)
                 throw AuditError("dirty-needs-owner", where);
-            if (mode == arch::CoherenceMode::HWccOnly && l.incoherent)
-                throw AuditError("mode-domain", where + " (HWccOnly)");
-            if (mode == arch::CoherenceMode::SWccOnly && !l.incoherent)
-                throw AuditError("mode-domain", where + " (SWccOnly)");
+            if (applicable(Invariant::ModeDomain)) {
+                if (mode == arch::CoherenceMode::HWccOnly && l.incoherent)
+                    throw AuditError("mode-domain", where + " (HWccOnly)");
+                if (mode == arch::CoherenceMode::SWccOnly && !l.incoherent)
+                    throw AuditError("mode-domain", where + " (SWccOnly)");
+            }
 
             if (!l.incoherent) {
-                // HWcc copy: the home directory must know about it.
                 hwccCopies[l.base].push_back(Copy{ci, l.hwState});
-                auto di = dirIndex.find(l.base);
-                if (di == dirIndex.end())
-                    throw AuditError("l2-without-directory", where);
-                const DirEntry &e = *di->second;
-                if (!e.sharers.contains(ci))
+                if (applicable(Invariant::DlsCleanShared) &&
+                    (l.hwState != cache::CohState::Shared ||
+                     l.dirtyMask != 0)) {
+                    // Directoryless bank writes through and grants
+                    // Shared only: an HWcc L2 copy is always a clean
+                    // Shared one.
+                    throw AuditError("dls-clean-shared", where);
+                }
+                // HWcc copy: the home directory must know about it
+                // (directory-backed backends only).
+                const DirEntry *e = nullptr;
+                if (applicable(Invariant::L2WithoutDirectory)) {
+                    auto di = dirIndex.find(l.base);
+                    if (di == dirIndex.end())
+                        throw AuditError("l2-without-directory", where);
+                    e = di->second;
+                }
+                if (applicable(Invariant::SharerMissing) && e &&
+                    !e->sharers.contains(ci))
                     throw AuditError(
                         "sharer-missing",
                         where + sim::cat(" (dir state ",
-                                         cache::cohStateName(e.state),
-                                         ", ", e.sharers.count(),
+                                         cache::cohStateName(e->state),
+                                         ", ", e->sharers.count(),
                                          " sharer(s))"));
-                bool l2_owner =
-                    l.hwState == cache::CohState::Modified ||
-                    l.hwState == cache::CohState::Exclusive;
-                bool dir_owner =
-                    e.state == cache::CohState::Modified ||
-                    e.state == cache::CohState::Exclusive;
-                if (l2_owner && !dir_owner)
-                    throw AuditError(
-                        "state-mismatch",
-                        where + sim::cat(" (dir state ",
-                                         cache::cohStateName(e.state),
+                if (applicable(Invariant::StateMismatch) && e) {
+                    bool l2_owner =
+                        l.hwState == cache::CohState::Modified ||
+                        l.hwState == cache::CohState::Exclusive;
+                    bool dir_owner =
+                        e->state == cache::CohState::Modified ||
+                        e->state == cache::CohState::Exclusive;
+                    if (l2_owner && !dir_owner)
+                        throw AuditError(
+                            "state-mismatch",
+                            where +
+                                sim::cat(" (dir state ",
+                                         cache::cohStateName(e->state),
                                          ")"));
-                if (mode == arch::CoherenceMode::Cohesion &&
+                }
+                if (applicable(Invariant::DomainMismatch) &&
+                    mode == arch::CoherenceMode::Cohesion &&
                     lineIsSwcc(l.base)) {
                     throw AuditError("domain-mismatch",
                                      where + " (table says SWcc)");
                 }
             } else if (mode == arch::CoherenceMode::Cohesion) {
-                if (!lineIsSwcc(l.base))
+                if (applicable(Invariant::DomainMismatch) &&
+                    !lineIsSwcc(l.base))
                     throw AuditError("domain-mismatch",
                                      where + " (table says HWcc)");
             }
@@ -203,6 +237,8 @@ Auditor::auditPass()
     }
 
     for (const auto &[base, copies] : hwccCopies) {
+        if (!applicable(Invariant::OwnerExclusive))
+            break;
         bool owned = false;
         for (const Copy &cp : copies) {
             owned |= cp.state == cache::CohState::Modified ||
@@ -220,12 +256,16 @@ Auditor::auditPass()
     }
 
     for (unsigned bi = 0; bi < c.numBanks(); ++bi) {
-        c.bank(bi).directory().forEach([&](const DirEntry &e) {
+        const Directory *dir = c.bank(bi).directoryOrNull();
+        if (!dir)
+            continue; // directoryless backend: nothing to walk
+        dir->forEach([&](const DirEntry &e) {
             const std::string where = sim::cat(
                 "bank ", bi, " entry 0x", std::hex, e.base, std::dec,
                 " state ", cache::cohStateName(e.state), " ",
                 e.sharers.count(), " sharer(s)");
-            if (mode == arch::CoherenceMode::SWccOnly)
+            if (applicable(Invariant::DirInSwccMode) &&
+                mode == arch::CoherenceMode::SWccOnly)
                 throw AuditError("dir-in-swcc-mode", where);
             if (inFlux(e.base)) {
                 if (_countStats)
@@ -234,15 +274,20 @@ Auditor::auditPass()
             }
             if (_countStats)
                 _linesChecked.inc();
-            if (e.state == cache::CohState::Invalid)
+            if (applicable(Invariant::DirInvalidState) &&
+                e.state == cache::CohState::Invalid)
                 throw AuditError("dir-invalid-state", where);
-            if (e.sharers.empty())
+            if (applicable(Invariant::DirEmptySharers) &&
+                e.sharers.empty())
                 throw AuditError("dir-empty-sharers", where);
             bool owner = e.state == cache::CohState::Modified ||
                          e.state == cache::CohState::Exclusive;
-            if (owner && !e.sharers.broadcast() && e.sharers.count() != 1)
+            if (applicable(Invariant::DirMultiOwner) && owner &&
+                !e.sharers.broadcast() && e.sharers.count() != 1)
                 throw AuditError("dir-multi-owner", where);
-            if (mode == arch::CoherenceMode::Cohesion && lineIsSwcc(e.base))
+            if (applicable(Invariant::DirCoversSwcc) &&
+                mode == arch::CoherenceMode::Cohesion &&
+                lineIsSwcc(e.base))
                 throw AuditError("dir-covers-swcc", where);
         });
     }

@@ -23,15 +23,23 @@
  * skipped: the protocol is allowed to be mid-transition there. A
  * violation throws AuditError with a state dump, so silent corruption
  * from fault injection becomes a loud, attributable failure.
+ *
+ * Each check is gated by the active backend's applicability mask
+ * (BackendTraits::auditMask): a directoryless backend masks off the
+ * directory-backed invariants, and every masked-off evaluation is
+ * counted per invariant (invariantSkips) so tests can prove a check
+ * was skipped by design rather than vacuously passed.
  */
 
 #ifndef COHESION_COHERENCE_AUDITOR_HH
 #define COHESION_COHERENCE_AUDITOR_HH
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 
+#include "coherence/backend.hh"
 #include "mem/types.hh"
 #include "sim/event_queue.hh"
 #include "sim/stat_registry.hh"
@@ -86,6 +94,21 @@ class Auditor
     std::uint64_t linesChecked() const { return _linesChecked.value(); }
     std::uint64_t linesSkipped() const { return _linesSkipped.value(); }
 
+    /**
+     * How many times invariant @p inv was masked off (not evaluated)
+     * because the active backend's applicability mask excludes it.
+     * Distinguishes "skipped by design" from "silently passed":
+     * under a directoryless backend the directory-backed invariants
+     * accumulate skips here instead of vacuous passes. Diagnostic
+     * only — deliberately not stat-registered, so golden stat hashes
+     * are identical across backends that differ only in their masks.
+     */
+    std::uint64_t
+    invariantSkips(Invariant inv) const
+    {
+        return _invariantSkips[static_cast<unsigned>(inv)];
+    }
+
     void registerStats(sim::StatRegistry &reg,
                        const std::string &prefix) const;
 
@@ -127,6 +150,8 @@ class Auditor
     std::unordered_map<mem::Addr, std::uint32_t> _tableWords;
 
     sim::Counter _passes, _linesChecked, _linesSkipped;
+    std::uint64_t _invariantSkips[static_cast<unsigned>(
+        Invariant::Count)] = {};
     bool _countStats = true; ///< Cleared during verifyNow().
 };
 

@@ -1,0 +1,142 @@
+#include "coherence/backend.hh"
+
+#include <stdexcept>
+
+#include "coherence/backend_dls.hh"
+#include "coherence/backend_msi.hh"
+#include "coherence/directory.hh"
+#include "sim/logging.hh"
+
+namespace coherence {
+
+const char *
+invariantName(Invariant i)
+{
+    switch (i) {
+      case Invariant::DirtySubsetValid:
+        return "dirty-subset-valid";
+      case Invariant::IncoherentXorHwstate:
+        return "incoherent-xor-hwstate";
+      case Invariant::ValidLineStateless:
+        return "valid-line-stateless";
+      case Invariant::DirtyNeedsOwner:
+        return "dirty-needs-owner";
+      case Invariant::ModeDomain:
+        return "mode-domain";
+      case Invariant::L2WithoutDirectory:
+        return "l2-without-directory";
+      case Invariant::SharerMissing:
+        return "sharer-missing";
+      case Invariant::StateMismatch:
+        return "state-mismatch";
+      case Invariant::DomainMismatch:
+        return "domain-mismatch";
+      case Invariant::OwnerExclusive:
+        return "owner-exclusive";
+      case Invariant::DirInSwccMode:
+        return "dir-in-swcc-mode";
+      case Invariant::DirInvalidState:
+        return "dir-invalid-state";
+      case Invariant::DirEmptySharers:
+        return "dir-empty-sharers";
+      case Invariant::DirMultiOwner:
+        return "dir-multi-owner";
+      case Invariant::DirCoversSwcc:
+        return "dir-covers-swcc";
+      case Invariant::DlsCleanShared:
+        return "dls-clean-shared";
+      case Invariant::Count:
+        break;
+    }
+    panic("bad invariant id ", static_cast<unsigned>(i));
+}
+
+namespace {
+
+constexpr std::uint32_t kMsiMask =
+    kAllInvariants & ~invariantBit(Invariant::DlsCleanShared);
+constexpr std::uint32_t kDlsMask = kAllInvariants & ~kDirectoryInvariants;
+
+struct BackendInfo
+{
+    const char *name;
+    BackendTraits traits;
+};
+
+// Registration order is display order ("--list-backends", errors).
+const BackendInfo kRegistry[] = {
+    {"msi-fullmap", {false, false, kMsiMask}},
+    {"dir4b", {false, false, kMsiMask}},
+    {"dls", {true, true, kDlsMask}},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+backendNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const BackendInfo &b : kRegistry)
+            v.emplace_back(b.name);
+        return v;
+    }();
+    return names;
+}
+
+bool
+backendKnown(const std::string &name)
+{
+    return backendTraits(name) != nullptr;
+}
+
+const BackendTraits *
+backendTraits(const std::string &name)
+{
+    for (const BackendInfo &b : kRegistry) {
+        if (name == b.name)
+            return &b.traits;
+    }
+    return nullptr;
+}
+
+std::string
+backendListString()
+{
+    std::string out;
+    for (const BackendInfo &b : kRegistry) {
+        if (!out.empty())
+            out += ", ";
+        out += b.name;
+    }
+    return out;
+}
+
+std::string
+resolveBackendName(const std::string &requested,
+                   const DirectoryConfig &dir)
+{
+    if (requested.empty()) {
+        return dir.sharerKind == SharerKind::LimitedPtr ? "dir4b"
+                                                        : "msi-fullmap";
+    }
+    if (!backendKnown(requested)) {
+        throw std::runtime_error("unknown coherence backend '" + requested +
+                                 "' (registered: " + backendListString() +
+                                 ")");
+    }
+    return requested;
+}
+
+std::unique_ptr<Backend>
+makeBackend(const std::string &name, arch::L3Bank &bank)
+{
+    if (name == "msi-fullmap" || name == "dir4b")
+        return std::make_unique<MsiBackend>(name, bank);
+    if (name == "dls")
+        return std::make_unique<DlsBackend>(bank);
+    throw std::runtime_error("unknown coherence backend '" + name +
+                             "' (registered: " + backendListString() + ")");
+}
+
+} // namespace coherence

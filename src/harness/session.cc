@@ -208,8 +208,8 @@ Session::run(kernels::Kernel &kernel, const RunOptions &opts)
         r.dirEvictions += bank.dirEvictions();
         r.atomics += bank.atomics();
         r.mergeConflicts += bank.mergeConflicts();
-        r.dirInsertions += bank.directory().insertions();
-        r.dirPeak += bank.directory().peakEntries();
+        r.dirInsertions += bank.dirInsertions();
+        r.dirPeak += bank.dirPeakEntries();
         r.l3Hits += bank.l3Hits();
         r.l3Misses += bank.l3Misses();
     }

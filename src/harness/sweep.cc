@@ -417,7 +417,8 @@ warmupKey(const SweepPoint &p)
        << p.cfg.dram.burst << '|' << p.cfg.dram.writeRecovery << '|'
        << p.cfg.directory.entries << '|' << p.cfg.directory.assoc << '|'
        << static_cast<unsigned>(p.cfg.directory.sharerKind) << '|'
-       << p.cfg.directory.pointers << '|' << p.cfg.tableCacheEntries
+       << p.cfg.directory.pointers << '|' << p.cfg.backend << '|'
+       << p.cfg.tableCacheEntries
        << '|' << p.cfg.useMesi << '|' << p.cfg.slackWindow << '|'
        << p.cfg.faults.seed << '|' << p.cfg.faults.pumpPeriod;
     for (const FaultSiteConfig &s : p.cfg.faults.sites)
@@ -592,6 +593,27 @@ SweepSpec::parse(std::string_view json_text, SweepSpec *out,
         }
     }
 
+    if (const JsonValue *b = doc.find("backends")) {
+        if (!b->isArray())
+            return specFail(err, "sweep spec: backends must be an array");
+        for (const JsonValue &v : b->arr) {
+            if (!v.isString())
+                return specFail(err,
+                                "sweep spec: backends entries are strings");
+            if (v.str == "all") {
+                for (const std::string &name : coherence::backendNames())
+                    spec.backends.push_back(name);
+            } else if (!coherence::backendKnown(v.str)) {
+                return specFail(err, "sweep spec: unknown backend \"" +
+                                         v.str + "\" (registered: " +
+                                         coherence::backendListString() +
+                                         ")");
+            } else {
+                spec.backends.push_back(v.str);
+            }
+        }
+    }
+
     if (const JsonValue *s = doc.find("seeds")) {
         if (!s->isArray())
             return specFail(err, "sweep spec: seeds must be an array");
@@ -745,6 +767,11 @@ SweepSpec::expand() const
                       : seeds;
     std::vector<FaultAxis> faults_eff =
         faults.empty() ? std::vector<FaultAxis>{FaultAxis{}} : faults;
+    // An empty backend string keeps the legacy default (derived from
+    // the directory's sharer kind) and keeps legacy labels unchanged.
+    std::vector<std::string> backends_eff =
+        backends.empty() ? std::vector<std::string>{std::string()}
+                         : backends;
 
     arch::MachineConfig base = paper
                                    ? arch::MachineConfig::paper1024()
@@ -754,28 +781,40 @@ SweepSpec::expand() const
 
     std::vector<SweepPoint> points;
     points.reserve(kernels.size() * modes_eff.size() * dirs_eff.size() *
-                   seeds_eff.size() * faults_eff.size());
+                   backends_eff.size() * seeds_eff.size() *
+                   faults_eff.size());
     for (const std::string &kernel : kernels) {
         for (arch::CoherenceMode mode : modes_eff) {
             for (const DirAxis &dir : dirs_eff) {
-                for (std::uint64_t seed : seeds_eff) {
-                    for (const FaultAxis &fault : faults_eff) {
-                        SweepPoint p;
-                        p.kernel = kernel;
-                        p.cfg = base;
-                        p.cfg.mode = mode;
-                        p.cfg.directory = dir.dir;
-                        p.cfg.faults = fault.plan;
-                        p.params.scale = scale;
-                        p.params.seed = seed;
-                        p.sampleOccupancy = sampleOccupancy;
-                        p.skipVerify = skipVerify;
-                        p.audit = audit;
-                        p.warmupRuns = warmupRuns;
-                        p.label = cat(kernel, ".", modeToken(mode), ".",
-                                      dir.label, ".s", seed, ".",
-                                      fault.label);
-                        points.push_back(std::move(p));
+                for (const std::string &backend : backends_eff) {
+                    for (std::uint64_t seed : seeds_eff) {
+                        for (const FaultAxis &fault : faults_eff) {
+                            SweepPoint p;
+                            p.kernel = kernel;
+                            p.cfg = base;
+                            p.cfg.mode = mode;
+                            p.cfg.directory = dir.dir;
+                            p.cfg.backend = backend;
+                            p.cfg.faults = fault.plan;
+                            p.params.scale = scale;
+                            p.params.seed = seed;
+                            p.sampleOccupancy = sampleOccupancy;
+                            p.skipVerify = skipVerify;
+                            p.audit = audit;
+                            p.warmupRuns = warmupRuns;
+                            // The backend token appears only when the
+                            // axis is in play, so legacy specs keep
+                            // their labels (journals, baselines).
+                            p.label =
+                                backend.empty()
+                                    ? cat(kernel, ".", modeToken(mode),
+                                          ".", dir.label, ".s", seed, ".",
+                                          fault.label)
+                                    : cat(kernel, ".", modeToken(mode),
+                                          ".", dir.label, ".", backend,
+                                          ".s", seed, ".", fault.label);
+                            points.push_back(std::move(p));
+                        }
                     }
                 }
             }

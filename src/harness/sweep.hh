@@ -206,6 +206,7 @@ SweepJob makeJob(const SweepPoint &p);
  *     "machine":     {"clusters": 4, "paper": false, "scale": 1},
  *     "kernels":     ["heat", "dmm"],         // or ["all"]
  *     "modes":       ["cohesion", "hwcc", "swcc"],
+ *     "backends":    ["msi-fullmap", "dir4b", "dls"],  // or ["all"]
  *     "seeds":       [12345, 99],
  *     "directories": [
  *        {"label": "opt"},                    // infinite full-map
@@ -244,6 +245,13 @@ struct SweepSpec
     std::vector<std::string> kernels;
     std::vector<arch::CoherenceMode> modes;
     std::vector<DirAxis> dirs;
+    /**
+     * Coherence-backend axis (registered names; see
+     * coherence::backendNames()). Empty keeps the legacy default
+     * backend and — for label/journal stability — omits the backend
+     * token from job labels entirely.
+     */
+    std::vector<std::string> backends;
     std::vector<std::uint64_t> seeds;
     std::vector<FaultAxis> faults;
 
@@ -262,7 +270,8 @@ struct SweepSpec
                       std::string *err);
 
     /** Expand the cross-product into fully-specified points, in the
-     *  deterministic order kernel > mode > directory > seed > fault. */
+     *  deterministic order kernel > mode > directory > backend > seed
+     *  > fault. */
     std::vector<SweepPoint> expand() const;
 };
 

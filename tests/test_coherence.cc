@@ -198,6 +198,19 @@ TEST(AreaModel, Dir4BMatchesPaper)
     EXPECT_NEAR(r.fractionOfL2, 0.351, 0.015);
 }
 
+TEST(AreaModel, DirectorylessIsFree)
+{
+    coherence::AreaInputs in;
+    // The DLS-style backend keeps no sharer metadata: its directory
+    // area is exactly zero regardless of machine size.
+    auto r = coherence::dlsArea(in);
+    EXPECT_EQ(r.bytes, 0.0);
+    EXPECT_EQ(r.fractionOfL2, 0.0);
+    in.numL2s = 1024;
+    auto big = coherence::dlsArea(in);
+    EXPECT_EQ(big.bytes, 0.0);
+}
+
 TEST(AreaModel, DuplicateTagsMatchPaper)
 {
     coherence::AreaInputs in;

@@ -11,6 +11,9 @@
  * Options:
  *   --kernel NAME     cg|dmm|gjk|heat|kmeans|mri|sobel|stencil
  *   --mode MODE       swcc | hwcc | cohesion  (default cohesion)
+ *   --backend NAME    coherence backend (msi-fullmap | dir4b | dls;
+ *                     default derives from the directory config)
+ *   --list-backends   print the registered backend names and exit
  *   --clusters N      clusters of 8 cores (default 4)
  *   --paper           full 1024-core Table 3 machine
  *   --shards N        run one simulation on N worker threads
@@ -52,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "coherence/backend.hh"
 #include "harness/hostprof.hh"
 #include "harness/progress.hh"
 #include "harness/report.hh"
@@ -69,6 +73,7 @@ usage(int code)
 {
     std::cout <<
         "usage: cohesion-sim [--kernel NAME] [--mode swcc|hwcc|cohesion]\n"
+        "                    [--backend NAME] [--list-backends]\n"
         "                    [--clusters N] [--paper] [--shards N]\n"
         "                    [--scale N]\n"
         "                    [--seed N] [--dir-entries N] [--dir-assoc N]\n"
@@ -111,6 +116,7 @@ main(int argc, char **argv)
 {
     std::string kernel = "heat";
     std::string mode = "cohesion";
+    std::string backend;
     unsigned clusters = 4;
     bool paper = false;
     kernels::Params params;
@@ -141,6 +147,12 @@ main(int argc, char **argv)
             kernel = next("--kernel");
         } else if (!std::strcmp(argv[i], "--mode")) {
             mode = next("--mode");
+        } else if (!std::strcmp(argv[i], "--backend")) {
+            backend = next("--backend");
+        } else if (!std::strcmp(argv[i], "--list-backends")) {
+            for (const auto &b : coherence::backendNames())
+                std::cout << b << '\n';
+            return 0;
         } else if (!std::strcmp(argv[i], "--clusters")) {
             clusters = std::atoi(next("--clusters"));
         } else if (!std::strcmp(argv[i], "--paper")) {
@@ -236,6 +248,14 @@ main(int argc, char **argv)
         dir.sharerKind = coherence::SharerKind::LimitedPtr;
     cfg.directory = dir;
     cfg.tableCacheEntries = table_cache;
+    if (!backend.empty() && !coherence::backendKnown(backend)) {
+        // Exit 2: a usage error CI can tell apart from a sim failure.
+        std::cerr << "unknown coherence backend '" << backend
+                  << "' (registered: " << coherence::backendListString()
+                  << ")\n";
+        return 2;
+    }
+    cfg.backend = backend;
 
     if (!fault_plan_path.empty()) {
         std::ifstream in(fault_plan_path);

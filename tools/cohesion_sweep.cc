@@ -20,6 +20,12 @@
  *    identical. --host-profile enables the in-simulator host profiler
  *    in every job and reports per-job attribution in the results.
  *
+ *    --backend a,b|all overrides the spec's "backends" axis; without
+ *    --spec it runs a built-in backend-ablation campaign (every
+ *    kernel — or the --quick trio — under cohesion and hwcc modes,
+ *    once per requested coherence backend). Unknown backend names
+ *    exit 2 listing the registered ones.
+ *
  * 2. Baseline mode — re-run the committed perf/paper-metric baseline
  *    and gate on drift:
  *
@@ -53,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "coherence/backend.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
 #include "kernels/registry.hh"
@@ -75,8 +82,12 @@ usage(int code)
 {
     std::cout <<
         "usage: cohesion-sweep --spec FILE [--jobs N] [--out FILE]\n"
+        "                      [--backend a,b|all]\n"
         "                      [--journal FILE | --resume FILE]\n"
         "                      [--progress[=FILE]] [--host-profile]\n"
+        "       cohesion-sweep --backend a,b|all [--quick] [--jobs N]\n"
+        "                      [--out FILE]    (built-in ablation "
+        "campaign)\n"
         "       cohesion-sweep --baseline FILE [--jobs N]\n"
         "                      [--tolerance-pct P] "
         "[--perf-tolerance-pct P]\n"
@@ -85,6 +96,11 @@ usage(int code)
         "  --spec FILE            declarative sweep (harness/sweep.hh "
         "schema)\n"
         "  --baseline FILE        BENCH_simcore.json drift gate\n"
+        "  --backend a,b|all      coherence-backend axis: overrides the\n"
+        "                         spec's \"backends\"; without --spec "
+        "runs\n"
+        "                         the built-in ablation campaign\n"
+        "  --list-backends        print registered backends and exit\n"
         "  --jobs N               worker threads (default: all cores;\n"
         "                         baseline perf runs default to 1)\n"
         "  --shards N             intra-run shard threads per job\n"
@@ -105,8 +121,9 @@ usage(int code)
         "  --perf-tolerance-pct P allowed events/sec loss (default 30)\n"
         "  --metrics-only         gate only the deterministic metrics\n"
         "  --perf-only            gate only throughput\n"
-        "  --kernels a,b,c        restrict baseline kernels\n"
-        "  --quick                baseline: three fastest kernels only\n"
+        "  --kernels a,b,c        restrict baseline/ablation kernels\n"
+        "  --quick                baseline/ablation: three fastest "
+        "kernels only\n"
         "  --progress[=FILE]      live heartbeat on stderr (and JSON\n"
         "                         lines to FILE)\n"
         "  --host-profile         profile host time inside each job\n"
@@ -219,14 +236,28 @@ struct ProgressCli
 int
 runSpec(const std::string &spec_path, unsigned jobs, unsigned shards,
         const std::string &out_path, const std::string &journal_path,
-        bool resume, const ProgressCli &pcli)
+        bool resume, const ProgressCli &pcli,
+        const std::vector<std::string> &backends,
+        const std::vector<std::string> &kernel_filter)
 {
     sim::SweepSpec spec;
     std::string err;
-    if (!sim::SweepSpec::parse(readFile(spec_path), &spec, &err)) {
+    if (spec_path.empty()) {
+        // Built-in backend-ablation campaign: every requested kernel
+        // under both coherence modes, once per backend.
+        spec.kernels = kernel_filter.empty() ? kernels::allKernelNames()
+                                             : kernel_filter;
+        spec.modes = {arch::CoherenceMode::Cohesion,
+                      arch::CoherenceMode::HWccOnly};
+    } else if (!sim::SweepSpec::parse(readFile(spec_path), &spec,
+                                      &err)) {
         std::cerr << "cohesion-sweep: " << err << '\n';
-        return 1;
+        // A bad backend name is a usage error, distinct from a broken
+        // spec file or a failed job.
+        return err.find("unknown backend") != std::string::npos ? 2 : 1;
     }
+    if (!backends.empty())
+        spec.backends = backends; // CLI overrides the spec's axis
     if (shards)
         spec.shards = shards; // CLI overrides options.shards
 
@@ -576,6 +607,7 @@ main(int argc, char **argv)
     double perf_tol_pct = 30.0;
     bool metrics_only = false, perf_only = false, quick = false;
     std::vector<std::string> kernel_filter;
+    std::vector<std::string> backend_args;
     ProgressCli pcli;
 
     for (int i = 1; i < argc; ++i) {
@@ -623,6 +655,16 @@ main(int argc, char **argv)
             pcli.jsonlPath = argv[i] + 11;
         } else if (!std::strcmp(argv[i], "--host-profile")) {
             pcli.hostProfile = true;
+        } else if (!std::strcmp(argv[i], "--backend")) {
+            std::stringstream ss(next("--backend"));
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                if (!tok.empty())
+                    backend_args.push_back(tok);
+        } else if (!std::strcmp(argv[i], "--list-backends")) {
+            for (const auto &b : coherence::backendNames())
+                std::cout << b << '\n';
+            return 0;
         } else if (!std::strcmp(argv[i], "--kernels")) {
             std::stringstream ss(next("--kernels"));
             std::string tok;
@@ -637,8 +679,33 @@ main(int argc, char **argv)
         }
     }
 
-    if (spec_path.empty() == baseline_path.empty()) {
-        std::cerr << "exactly one of --spec / --baseline is required\n";
+    // Expand and validate --backend before picking a mode, so a typo
+    // fails fast with the registered list (exit 2, a usage error CI
+    // can tell apart from a failed job).
+    std::vector<std::string> backends;
+    for (const std::string &b : backend_args) {
+        if (b == "all") {
+            for (const std::string &name : coherence::backendNames())
+                backends.push_back(name);
+        } else if (!coherence::backendKnown(b)) {
+            std::cerr << "cohesion-sweep: unknown backend '" << b
+                      << "' (registered: "
+                      << coherence::backendListString() << ")\n";
+            return 2;
+        } else {
+            backends.push_back(b);
+        }
+    }
+
+    bool ablation = spec_path.empty() && !backends.empty() &&
+                    baseline_path.empty();
+    if (!ablation && spec_path.empty() == baseline_path.empty()) {
+        std::cerr << "exactly one of --spec / --baseline / --backend "
+                     "is required\n";
+        usage(1);
+    }
+    if (!baseline_path.empty() && !backends.empty()) {
+        std::cerr << "--backend is not supported with --baseline\n";
         usage(1);
     }
     if (metrics_only && perf_only) {
@@ -647,14 +714,14 @@ main(int argc, char **argv)
     }
     if (quick && kernel_filter.empty())
         kernel_filter = {"gjk", "sobel", "kmeans"};
-    if (!journal_path.empty() && spec_path.empty()) {
+    if (!journal_path.empty() && spec_path.empty() && !ablation) {
         std::cerr << "--journal/--resume require --spec\n";
         usage(1);
     }
 
-    if (!spec_path.empty())
+    if (!spec_path.empty() || ablation)
         return runSpec(spec_path, jobs, shards, out_path, journal_path,
-                       resume, pcli);
+                       resume, pcli, backends, kernel_filter);
     return runBaseline(baseline_path, jobs, jobs_given, tol_pct,
                        perf_tol_pct, metrics_only, perf_only,
                        std::move(kernel_filter), out_path, pcli);
