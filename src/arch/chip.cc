@@ -75,6 +75,14 @@ makeQueues(unsigned n)
  *  same tick). compChip records alone are emitted from whichever shard
  *  holds the sender/receiver, so they get a full-content tiebreak to
  *  stay shard-count invariant. */
+/** Class-bucket namer handed to the accountant (sim/ cannot name
+ *  arch::MsgClass, so the binding happens here). */
+const char *
+latClassName(unsigned c)
+{
+    return msgClassName(static_cast<MsgClass>(c));
+}
+
 bool
 recordBefore(const sim::FlightRecorder::Record &x,
              const sim::FlightRecorder::Record &y)
@@ -112,6 +120,7 @@ Chip::Chip(const MachineConfig &config, mem::Addr table_base)
 {
     _faults.configure(_config.faults, _config.numClusters,
                       _config.numL3Banks);
+    _latAcc.configure(numMsgClasses, _config.shards);
     // Components capture queue references at construction (e.g. the
     // bank line-lock tables); bind them to their home shard's queue.
     for (unsigned c = 0; c < _config.numClusters; ++c) {
@@ -169,6 +178,9 @@ Chip::deliverRequest(unsigned cluster_id, Request req, unsigned data_words,
                 mem::lineBase(req.addr), req.msgId,
                 static_cast<std::uint8_t>(req.type), drops);
             nominal += backoff;
+            // Backoff ticks are blamed to the Retry stage, not the
+            // fabric hop, by the bank-side accounting.
+            req.retryPenalty += static_cast<std::uint32_t>(backoff);
             backoff = std::min(backoff * 2, dropBackoffCap);
         }
         if (drops == maxDropRetransmits) {
@@ -250,6 +262,7 @@ Chip::sendResponse(unsigned bank_id, unsigned cluster_id, Response resp,
                 mem::lineBase(resp.addr), resp.msgId,
                 static_cast<std::uint8_t>(resp.type), 0x80000000u | drops);
             nominal += backoff;
+            resp.retryPenalty += static_cast<std::uint32_t>(backoff);
             backoff = std::min(backoff * 2, dropBackoffCap);
         }
         if (drops == maxDropRetransmits) {
@@ -886,6 +899,11 @@ Chip::registerStats(sim::StatRegistry &reg) const
             total += static_cast<double>(cl->pendingWbEvictions());
         return total;
     });
+    // Stage-blame breakdown only exists when accounting was enabled:
+    // the keys' absence when off is what keeps existing stat
+    // fingerprints (and cohesion-diff goldens) byte-identical.
+    if (_latAcc.enabled())
+        _latAcc.registerStats(reg, "chip.latency", latClassName);
     if (_recorder.enabled()) {
         reg.addScalar("chip.recorder.recorded",
                       static_cast<double>(_recorder.recorded()));

@@ -39,6 +39,7 @@
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/flight_recorder.hh"
+#include "sim/latency_accounting.hh"
 #include "sim/shard.hh"
 #include "sim/stat_registry.hh"
 #include "sim/timeseries.hh"
@@ -290,6 +291,17 @@ class Chip
     const sim::Histogram &reqLatency(MsgClass cls) const;
     const sim::Histogram &respLatency() const;
     const sim::Histogram &probeLatency() const;
+
+    /**
+     * Turn on per-transaction cycle accounting (chip.latency.*; see
+     * sim/latency_accounting.hh). Observer-only like the recorder:
+     * off (the default) leaves the hot path untouched and exports no
+     * new keys, so existing stat fingerprints are unchanged.
+     */
+    void enableLatencyAccounting() { _latAcc.enable(); }
+    bool latencyOn() const { return _latAcc.enabled(); }
+    sim::LatencyAccountant &latAcc() { return _latAcc; }
+    const sim::LatencyAccountant &latAcc() const { return _latAcc; }
 
     sim::TimeSeries &timeSeries() { return _timeSeries; }
     const sim::TimeSeries &timeSeries() const { return _timeSeries; }
@@ -545,6 +557,9 @@ class Chip
 
     sim::TimeSeries _timeSeries;
     std::vector<LatencyLanes> _latLanes; ///< [shard]
+    /** Stage-blame aggregation (per-shard lanes inside); deliberately
+     *  not checkpointed — aggregates restart at restore (§15). */
+    sim::LatencyAccountant _latAcc;
     /** Export scratch: the registry stores pointers, so folded views
      *  must live here (refreshed by every accessor call). */
     mutable std::array<sim::Histogram, numMsgClasses> _reqLatencyFolded;

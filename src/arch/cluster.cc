@@ -213,6 +213,11 @@ Cluster::sendRequest(const Request &req, MsgClass cls, sim::Tick depart,
     // Authoritative departure stamp: the fabric layer never re-stamps
     // it, so retransmit backoff shows up in the latency histograms.
     stamped.sendTick = depart;
+    // Accounting anchor, same fill-if-zero convention: requests with
+    // no explicit operation start (ifetch, evictions) get a zero-width
+    // Issue stage.
+    if (stamped.opStart == 0)
+        stamped.opStart = depart;
     _chip.rec(FR::Ev::MsgSend, FR::compCluster(_id),
               mem::lineBase(stamped.addr), stamped.msgId,
               static_cast<std::uint8_t>(stamped.type),
@@ -324,6 +329,10 @@ Cluster::coreLoad(Core &core, mem::Addr addr, unsigned bytes)
     // An idle core cannot issue in the past: sync to global time.
     core.advanceLocalTime(_chip.eq().now());
     panic_if(!mem::withinLine(addr, bytes), "load crosses a line");
+    // Accounting anchor: the op exists from here; everything up to the
+    // request's departure is the Issue stage (L1/L2 lookup, port
+    // arbitration, any ifetch stall).
+    const sim::Tick op_start = core.localTime();
     core.countInstructions(1);
     ifetch(core, 1);
 
@@ -351,18 +360,21 @@ Cluster::coreLoad(Core &core, mem::Addr addr, unsigned bytes)
 
     auto it = _mshrs.find(base);
     if (it != _mshrs.end()) {
-        it->second.waiters.push_back(Waiter{&core, false, addr, bytes, 0});
+        it->second.waiters.push_back(
+            Waiter{&core, false, addr, bytes, 0, false, _chip.eq().now()});
         return MemOp::pending(core);
     }
     MshrEntry &m = _mshrs[base];
     m.sentType = ReqType::Read;
-    m.waiters.push_back(Waiter{&core, false, addr, bytes, 0});
+    m.waiters.push_back(
+        Waiter{&core, false, addr, bytes, 0, false, _chip.eq().now()});
 
     Request r;
     r.type = ReqType::Read;
     r.cluster = _id;
     r.core = core.localId();
     r.addr = base;
+    r.opStart = op_start;
     m.expectId = sendRequest(r, MsgClass::ReadRequest, t, 0);
     return MemOp::pending(core);
 }
@@ -374,6 +386,7 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
     // An idle core cannot issue in the past: sync to global time.
     core.advanceLocalTime(_chip.eq().now());
     panic_if(!mem::withinLine(addr, bytes), "store crosses a line");
+    const sim::Tick op_start = core.localTime();
     core.countInstructions(1);
     ifetch(core, 1);
 
@@ -414,8 +427,9 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
             core.setLocalTime(t);
             auto it = _mshrs.find(base);
             if (it != _mshrs.end()) {
-                it->second.waiters.push_back(
-                    Waiter{&core, true, addr, bytes, value});
+                it->second.waiters.push_back(Waiter{
+                    &core, true, addr, bytes, value, false,
+                    _chip.eq().now()});
                 return MemOp::pending(core);
             }
             if (_chip.writeThroughBackend()) {
@@ -429,8 +443,8 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
                 mem::WordMask wmask = l2line->dirtyMask;
                 MshrEntry &m = _mshrs[base];
                 m.sentType = ReqType::Write;
-                m.waiters.push_back(
-                    Waiter{&core, true, addr, bytes, value, true});
+                m.waiters.push_back(Waiter{&core, true, addr, bytes,
+                                           value, true, _chip.eq().now()});
                 Request r;
                 r.type = ReqType::Write;
                 r.cluster = _id;
@@ -438,6 +452,7 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
                 r.addr = base;
                 r.mask = wmask;
                 r.data = l2line->data;
+                r.opStart = op_start;
                 l2line->dirtyMask = 0; // write-through: L2 stays clean
                 m.expectId = sendRequest(r, MsgClass::WriteRequest, t,
                                          maskWords(wmask));
@@ -447,13 +462,15 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
             MshrEntry &m = _mshrs[base];
             m.sentType = ReqType::Write;
             m.upgradeSent = true;
-            m.waiters.push_back(Waiter{&core, true, addr, bytes, value});
+            m.waiters.push_back(Waiter{&core, true, addr, bytes, value,
+                                       false, _chip.eq().now()});
             Request r;
             r.type = ReqType::Write;
             r.cluster = _id;
             r.core = core.localId();
             r.addr = base;
             r.upgrade = true;
+            r.opStart = op_start;
             m.expectId = sendRequest(r, MsgClass::WriteRequest, t, 0);
             return MemOp::pending(core);
         }
@@ -468,8 +485,8 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
         // locally dirty words.
         auto it = _mshrs.find(base);
         if (it != _mshrs.end()) {
-            it->second.waiters.push_back(
-                Waiter{&core, true, addr, bytes, value});
+            it->second.waiters.push_back(Waiter{
+                &core, true, addr, bytes, value, false, _chip.eq().now()});
             return MemOp::pending(core);
         }
         cache::Line &v = selectVictim(base);
@@ -485,6 +502,7 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
         r.cluster = _id;
         r.core = core.localId();
         r.addr = base;
+        r.opStart = op_start;
         m.expectId = sendRequest(r, MsgClass::WriteRequest, t, 0);
         return finish(_chip, core, 0);
     }
@@ -493,18 +511,20 @@ Cluster::coreStore(Core &core, mem::Addr addr, std::uint32_t value,
     // (M grant or an incoherent fill for SWcc-domain data).
     auto it = _mshrs.find(base);
     if (it != _mshrs.end()) {
-        it->second.waiters.push_back(Waiter{&core, true, addr, bytes,
-                                            value});
+        it->second.waiters.push_back(Waiter{
+            &core, true, addr, bytes, value, false, _chip.eq().now()});
         return MemOp::pending(core);
     }
     MshrEntry &m = _mshrs[base];
     m.sentType = ReqType::Write;
-    m.waiters.push_back(Waiter{&core, true, addr, bytes, value});
+    m.waiters.push_back(Waiter{&core, true, addr, bytes, value, false,
+                               _chip.eq().now()});
     Request r;
     r.type = ReqType::Write;
     r.cluster = _id;
     r.core = core.localId();
     r.addr = base;
+    r.opStart = op_start;
     m.expectId = sendRequest(r, MsgClass::WriteRequest, t, 0);
     return MemOp::pending(core);
 }
@@ -549,6 +569,7 @@ Cluster::coreAtomic(Core &core, AtomicOp op, mem::Addr addr,
     r.op = op;
     r.operand = operand;
     r.operand2 = operand2;
+    r.opStart = core.localTime();
     sendRequest(r, MsgClass::UncachedAtomic, depart, 1);
     core.setLocalTime(depart);
     return MemOp::pending(core);
@@ -640,11 +661,11 @@ Cluster::coreCompute(Core &core, std::uint64_t instrs)
 // Network-facing handlers
 // --------------------------------------------------------------------
 
-void
+bool
 Cluster::writebackAcked(std::uint32_t msg_id)
 {
     if (!_pendingWb.erase(msg_id))
-        return; // duplicated ack, or an id the bound evicted: ignore
+        return false; // duplicated ack, or an id the bound evicted
     if (_pendingWb.empty() && !_drainWaiters.empty()) {
         std::vector<Core *> waiters;
         waiters.swap(_drainWaiters);
@@ -653,6 +674,33 @@ Cluster::writebackAcked(std::uint32_t msg_id)
             c->completeOp(0);
         }
     }
+    return true;
+}
+
+void
+Cluster::recordLatency(const Response &resp)
+{
+    sim::Tick now = _chip.eq().now();
+    std::array<std::uint32_t, sim::lat::numStages> stages =
+        resp.latStages;
+    // Close the reply-fabric leg: the backoff portion of the hop is
+    // blamed to Retry, the rest to RespFabric. The arrival tick always
+    // covers the accumulated backoffs (delivery floors only delay
+    // further), so the subtraction cannot go negative; clamp anyway so
+    // an anomaly shows up as a stage-sum violation, not a wrapped u32.
+    std::uint64_t resp_leg = now - resp.sendTick;
+    std::uint64_t rp = std::min<std::uint64_t>(resp.retryPenalty, resp_leg);
+    stages[static_cast<unsigned>(sim::lat::Stage::RespFabric)] +=
+        static_cast<std::uint32_t>(resp_leg - rp);
+    stages[static_cast<unsigned>(sim::lat::Stage::Retry)] +=
+        static_cast<std::uint32_t>(rp);
+    std::uint64_t e2e = now - resp.opStart;
+    std::uint64_t sum = 0;
+    for (std::uint32_t s : stages)
+        sum += s;
+    _chip.latAcc().record(
+        sim::tlsShard, static_cast<unsigned>(msgClassFor(resp.type)),
+        resp.latMode, stages, e2e, sum == e2e);
 }
 
 void
@@ -668,25 +716,31 @@ Cluster::handleResponse(const Response &resp)
                            resp.grant == cache::CohState::Modified
                        ? FR::respGrant
                        : 0));
+    // Only *accepted* responses retire a transaction timeline: a
+    // duplicated or stale response (fault injection) must not count a
+    // second completion.
+    bool accepted = true;
     switch (resp.type) {
       case ReqType::Atomic: {
           Core &c = core(resp.core);
           c.advanceLocalTime(_chip.eq().now());
           c.completeOp(resp.atomicOld);
-          return;
+          break;
       }
       case ReqType::Flush:
       case ReqType::Eviction:
         _chip.rec(FR::Ev::WbAck, FR::compCluster(_id),
                   mem::lineBase(resp.addr), resp.msgId);
-        writebackAcked(resp.msgId);
-        return;
+        accepted = writebackAcked(resp.msgId);
+        break;
       default:
-        installFill(resp);
+        accepted = installFill(resp);
     }
+    if (accepted && _chip.latencyOn())
+        recordLatency(resp);
 }
 
-void
+bool
 Cluster::installFill(const Response &resp)
 {
     TRACE(_chip.tracer(), sim::Category::Cache, "cluster", _id,
@@ -695,7 +749,7 @@ Cluster::installFill(const Response &resp)
     mem::Addr base = mem::lineBase(resp.addr);
     auto it = _mshrs.find(base);
     if (it == _mshrs.end() || it->second.expectId != resp.msgId)
-        return; // duplicated or stale fill (fault injection): drop it
+        return false; // duplicated or stale fill (fault injection)
     auto node = _mshrs.extract(it);
 
     cache::Line *line = _l2.probe(base);
@@ -760,6 +814,12 @@ Cluster::installFill(const Response &resp)
     }
 
     if (!upgrade_waiters.empty()) {
+        // The follow-up's accounting anchor: the earliest waiter has
+        // been parked in the MSHR since its born tick, so the pre-send
+        // span of the synthesized request is MSHR wait, not core issue.
+        sim::Tick earliest = _chip.eq().now();
+        for (const Waiter &w : upgrade_waiters)
+            earliest = std::min(earliest, w.born);
         if (_chip.writeThroughBackend()) {
             // Stores that queued behind this fill (or behind an
             // earlier write-through) combine into one follow-up
@@ -782,6 +842,8 @@ Cluster::installFill(const Response &resp)
             r.addr = base;
             r.mask = wmask;
             r.data = line->data;
+            r.opStart = earliest;
+            r.fromMshr = true;
             line->dirtyMask = 0; // write-through: L2 stays clean
             slot.expectId = sendRequest(r, MsgClass::WriteRequest,
                                         _chip.eq().now(),
@@ -800,6 +862,8 @@ Cluster::installFill(const Response &resp)
             r.core = core_id;
             r.addr = base;
             r.upgrade = true;
+            r.opStart = earliest;
+            r.fromMshr = true;
             slot.expectId =
                 sendRequest(r, MsgClass::WriteRequest, _chip.eq().now(), 0);
         }
@@ -809,6 +873,7 @@ Cluster::installFill(const Response &resp)
         c->advanceLocalTime(_chip.eq().now());
         c->completeOp(value);
     }
+    return true;
 }
 
 ProbeResult

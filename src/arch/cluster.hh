@@ -223,6 +223,11 @@ class Cluster
          *  without re-applying (unless the fill came back SWcc — the
          *  bank ignores write data on the incoherent path). */
         bool sent = false;
+        /** Tick the waiter joined the MSHR: the anchor for follow-up
+         *  requests synthesized at fill time (their pre-send span is
+         *  MSHR wait, not core issue). Needs no serialization — MSHRs
+         *  are empty at any checkpoint. */
+        sim::Tick born = 0;
     };
 
     struct MshrEntry
@@ -248,8 +253,10 @@ class Cluster
     std::uint32_t sendRequest(const Request &req, MsgClass cls,
                               sim::Tick depart, unsigned data_words);
 
-    /** Install a fill response into the L2 and service MSHR waiters. */
-    void installFill(const Response &resp);
+    /** Install a fill response into the L2 and service MSHR waiters.
+     *  Returns false when the response was stale/duplicated and was
+     *  ignored (latency accounting must not count it). */
+    bool installFill(const Response &resp);
 
     /** Choose an L2 victim way for @p base, avoiding MSHR-busy lines. */
     cache::Line &selectVictim(mem::Addr base);
@@ -271,8 +278,14 @@ class Cluster
                     unsigned bytes);
 
     /** One SWcc writeback ack arrived (duplicates are ignored via the
-     *  pending-id set); wake drain waiters at zero. */
-    void writebackAcked(std::uint32_t msg_id);
+     *  pending-id set); wake drain waiters at zero. Returns false for
+     *  a duplicate/evicted id that changed nothing. */
+    bool writebackAcked(std::uint32_t msg_id);
+
+    /** Close an accepted response's timeline (reply-fabric + retry
+     *  legs), check the stage-sum invariant, and record it into the
+     *  chip's LatencyAccountant. Called only when accounting is on. */
+    void recordLatency(const Response &resp);
 
     Chip &_chip;
     unsigned _id;

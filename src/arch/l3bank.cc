@@ -100,23 +100,43 @@ L3Bank::transaction(Request req, std::uint64_t trace_id)
     // msgId so the decoder can stitch the two id spaces together.
     _chip.rec(FR::Ev::TxnBegin, FR::compBank(_id), mem::lineBase(req.addr),
               static_cast<std::uint32_t>(txn), 0, req.msgId);
+    // Latency accounting: the stage cursor lives on this frame and is
+    // threaded by pointer through the whole flow, so the bank span
+    // tiles exactly between arrival and the response send. The
+    // request leg (issue/MSHR wait, fabric hop, retransmit backoff)
+    // is settled here from the message's own stamps.
+    sim::lat::Cursor cursor;
+    sim::lat::Cursor *lat = nullptr;
+    if (_chip.latencyOn()) {
+        lat = &cursor;
+        const sim::Tick t1 = _chip.eq().now();
+        std::uint64_t req_leg = t1 - req.sendTick;
+        std::uint64_t rp =
+            std::min<std::uint64_t>(req.retryPenalty, req_leg);
+        cursor.add(sim::lat::Stage::ReqFabric, req_leg - rp);
+        cursor.add(sim::lat::Stage::Retry, rp);
+        cursor.add(req.fromMshr ? sim::lat::Stage::Mshr
+                                : sim::lat::Stage::Issue,
+                   req.sendTick - req.opStart);
+        cursor.last = t1;
+    }
     if (req.type == ReqType::Atomic && _chip.cohesionEnabled() &&
         _chip.map().inTable(req.addr)) {
-        co_await handleTableUpdate(req);
+        co_await handleTableUpdate(req, lat);
     } else {
         switch (req.type) {
           case ReqType::Read:
           case ReqType::Instr:
-            co_await _backend->read(req);
+            co_await _backend->read(req, lat);
             break;
           case ReqType::Write:
-            co_await _backend->write(req);
+            co_await _backend->write(req, lat);
             break;
           case ReqType::Atomic:
-            co_await handleAtomic(req);
+            co_await handleAtomic(req, lat);
             break;
           default:
-            co_await handleWriteback(req);
+            co_await handleWriteback(req, lat);
             break;
         }
     }
@@ -134,9 +154,21 @@ L3Bank::transaction(Request req, std::uint64_t trace_id)
 }
 
 void
-L3Bank::respond(const Request &req, Response resp, unsigned data_words)
+L3Bank::respond(const Request &req, Response resp, unsigned data_words,
+                sim::lat::Cursor *lat)
 {
     resp.msgId = req.msgId; // echo for cluster-side dedup
+    if (lat) {
+        // Close the residual bank span to Service: sendResponse below
+        // stamps resp.sendTick with this same tick, so the timeline
+        // tiles [opStart, sendTick) exactly and the cluster settles
+        // the reply leg at retire.
+        lat->mark(sim::lat::Stage::Service, _chip.eq().now());
+        resp.latStages = lat->cycles;
+        resp.opStart = req.opStart;
+        if (resp.incoherent)
+            resp.latMode = sim::lat::Mode::Swcc;
+    }
     _chip.rec(FR::Ev::RespSend, FR::compBank(_id), mem::lineBase(resp.addr),
               resp.msgId, static_cast<std::uint8_t>(resp.type),
               (resp.incoherent ? FR::respIncoherent : 0u) |
@@ -189,13 +221,16 @@ L3Bank::sendProbes(const std::vector<unsigned> &targets, ProbeType type,
 }
 
 std::pair<cache::Line *, sim::Tick>
-L3Bank::l3AccessPrep(mem::Addr base, bool write, sim::Tick start)
+L3Bank::l3AccessPrep(mem::Addr base, bool write, sim::Tick start,
+                     sim::Tick *dram)
 {
     (void)write;
     base = mem::lineBase(base);
     start = std::max(start, _l3PortFree);
     _l3PortFree = start + 1;
     sim::Tick ready = start + _chip.config().l3Latency;
+    if (dram)
+        *dram = 0;
 
     if (cache::Line *line = _l3.probe(base)) {
         _l3.touch(*line);
@@ -220,6 +255,8 @@ L3Bank::l3AccessPrep(mem::Addr base, bool write, sim::Tick start)
     v.dirtyMask = 0;
 
     sim::Tick fill_done = _chip.dram().access(base, false, ready);
+    if (dram)
+        *dram = fill_done + 1 - ready;
     return {&v, fill_done + 1};
 }
 
@@ -322,7 +359,7 @@ L3Bank::lookupDomain(mem::Addr base, std::uint32_t txn, bool *out_swcc)
 }
 
 sim::CoTask
-L3Bank::handleAtomic(Request req)
+L3Bank::handleAtomic(Request req, sim::lat::Cursor *lat)
 {
     const mem::Addr base = mem::lineBase(req.addr);
     const std::uint32_t key = mem::lineNumber(base);
@@ -330,38 +367,51 @@ L3Bank::handleAtomic(Request req)
     Held held(_locks, key);
 
     sim::EventQueue &eq = _chip.eq();
+    if (lat)
+        lat->mark(sim::lat::Stage::BankLock, eq.now());
 
     if (_chip.config().mode != CoherenceMode::SWccOnly) {
         // Cached HWcc copies must be recalled (or, for directoryless
         // backends, broadcast-invalidated) so the RMW is globally
         // ordered.
-        co_await _backend->recallForAtomic(base, req.msgId, key);
+        co_await _backend->recallForAtomic(base, req.msgId, key, lat);
     }
 
-    auto [line, t] = l3AccessPrep(base, true, eq.now());
+    sim::Tick dram = 0;
+    auto [line, t] = l3AccessPrep(base, true, eq.now(), &dram);
     std::uint32_t old =
         applyAtomic(*line, req.addr, req.op, req.operand, req.operand2);
     _atomics.inc();
     co_await Delay{eq, t};
+    if (lat)
+        lat->markAccess(eq.now(), dram);
 
     Response resp;
     resp.type = ReqType::Atomic;
     resp.core = req.core;
     resp.addr = req.addr;
     resp.atomicOld = old;
-    respond(req, resp, 1);
+    // In SWcc-only machines the atomic unit is the software-managed
+    // ordering point; blame its cycles to the SWcc cut.
+    if (_chip.config().mode == CoherenceMode::SWccOnly)
+        resp.latMode = sim::lat::Mode::Swcc;
+    respond(req, resp, 1, lat);
 }
 
 sim::CoTask
-L3Bank::handleWriteback(Request req)
+L3Bank::handleWriteback(Request req, sim::lat::Cursor *lat)
 {
     const mem::Addr base = mem::lineBase(req.addr);
     const std::uint32_t key = mem::lineNumber(base);
     co_await _locks.acquire(key);
     Held held(_locks, key);
+    if (lat)
+        lat->mark(sim::lat::Stage::BankLock, _chip.eq().now());
 
     switch (req.type) {
       case ReqType::WriteRelease: {
+          // Fire-and-forget (no ack message, nothing retires at the
+          // cluster), so the cursor is dropped with the frame.
           co_await mergeIntoL3(base, req.data, req.mask);
           if (_chip.config().mode != CoherenceMode::SWccOnly)
               _backend->writeRelease(req);
@@ -374,11 +424,16 @@ L3Bank::handleWriteback(Request req)
       case ReqType::Eviction:
       case ReqType::Flush: {
           co_await mergeIntoL3(base, req.data, req.mask);
+          if (lat)
+              lat->mark(sim::lat::Stage::Service, _chip.eq().now());
           Response resp;
           resp.type = req.type;
           resp.core = req.core;
           resp.addr = base;
-          respond(req, resp, 0);
+          // Flushes and dirty evictions are the SWcc writeback
+          // machinery (HWcc writebacks are unacked WriteReleases).
+          resp.latMode = sim::lat::Mode::Swcc;
+          respond(req, resp, 0, lat);
           break;
       }
       default:
@@ -387,7 +442,8 @@ L3Bank::handleWriteback(Request req)
 }
 
 sim::CoTask
-L3Bank::swccToHwcc(mem::Addr base, std::uint32_t txn)
+L3Bank::swccToHwcc(mem::Addr base, std::uint32_t txn,
+                   sim::lat::Cursor *lat)
 {
     sim::EventQueue &eq = _chip.eq();
     const auto step = [&](FR::Step s, std::uint32_t b = 0) {
@@ -405,6 +461,8 @@ L3Bank::swccToHwcc(mem::Addr base, std::uint32_t txn)
     gate.expect(all.size());
     sendProbes(all, ProbeType::CleanQuery, base, txn, &results, &gate);
     co_await gate.wait();
+    if (lat)
+        lat->mark(sim::lat::Stage::Probe, eq.now());
 
     std::vector<unsigned> clean_sharers;
     std::vector<unsigned> dirty_holders;
@@ -426,12 +484,12 @@ L3Bank::swccToHwcc(mem::Addr base, std::uint32_t txn)
     // Rounds 2+ depend on the protocol: the backend absorbs the
     // classified holders (cases 1b-5b) into its own tracking.
     co_await _backend->adoptLine(base, txn, clean_sharers, dirty_holders,
-                                 overlap);
+                                 overlap, lat);
     (void)eq;
 }
 
 sim::CoTask
-L3Bank::handleTableUpdate(Request req)
+L3Bank::handleTableUpdate(Request req, sim::lat::Cursor *lat)
 {
     sim::EventQueue &eq = _chip.eq();
     const mem::AddressMap &map = _chip.map();
@@ -443,6 +501,8 @@ L3Bank::handleTableUpdate(Request req)
     const std::uint32_t tbl_key = mem::lineNumber(tbl_base);
     co_await _locks.acquire(tbl_key);
     Held held(_locks, tbl_key);
+    if (lat)
+        lat->mark(sim::lat::Stage::BankLock, eq.now());
 
     // Read the current word to find which bits change.
     sim::HostProfiler::Scope hp(sim::HostProfiler::Phase::RegionTable);
@@ -451,6 +511,9 @@ L3Bank::handleTableUpdate(Request req)
     tline->read(word_addr, &old, 4);
     hp.close();
     co_await Delay{eq, t0};
+    // Table reads/commits are domain machinery: blame them to Dir.
+    if (lat)
+        lat->mark(sim::lat::Stage::Dir, eq.now());
 
     std::uint32_t next =
         req.op == AtomicOp::Or ? (old | req.operand) : (old & req.operand);
@@ -465,8 +528,11 @@ L3Bank::handleTableUpdate(Request req)
         mem::Addr lb = block_base + bit * mem::lineBytes;
         std::uint32_t lkey = mem::lineNumber(lb);
         bool self = (lkey == tbl_key);
-        if (!self)
+        if (!self) {
             co_await _locks.acquire(lkey);
+            if (lat)
+                lat->mark(sim::lat::Stage::BankLock, eq.now());
+        }
 
         bool to_swcc = (next >> bit) & 1u;
         TRACE(_chip.tracer(), sim::Category::Transition, "bank", _id,
@@ -483,10 +549,10 @@ L3Bank::handleTableUpdate(Request req)
         if (to_swcc) {
             // HWcc => SWcc (Fig. 7a): flush cached copies and any
             // sharer-tracking state.
-            co_await _backend->flushLine(lb, req.msgId, lkey);
+            co_await _backend->flushLine(lb, req.msgId, lkey, lat);
         } else {
             // SWcc => HWcc (Fig. 7b): broadcast clean request.
-            co_await swccToHwcc(lb, req.msgId);
+            co_await swccToHwcc(lb, req.msgId, lat);
         }
 
         // Commit this line's bit under its lock. The table line may
@@ -506,6 +572,8 @@ L3Bank::handleTableUpdate(Request req)
                   to_swcc ? 1 : 0);
         hpc.close();
         co_await Delay{eq, tt};
+        if (lat)
+            lat->mark(sim::lat::Stage::Dir, eq.now());
 
         if (!self)
             _locks.release(lkey);
@@ -518,7 +586,8 @@ L3Bank::handleTableUpdate(Request req)
     resp.core = req.core;
     resp.addr = req.addr;
     resp.atomicOld = old;
-    respond(req, resp, 1);
+    resp.latMode = sim::lat::Mode::Transition;
+    respond(req, resp, 1, lat);
 }
 
 void

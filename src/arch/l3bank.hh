@@ -228,14 +228,15 @@ class L3Bank
     sim::CoTask transaction(Request req, std::uint64_t trace_id);
 
     /** Atomic RMW at the bank (non-table addresses). */
-    sim::CoTask handleAtomic(Request req);
+    sim::CoTask handleAtomic(Request req, sim::lat::Cursor *lat);
     /** Snooped fine-table update: coherence domain transitions. */
-    sim::CoTask handleTableUpdate(Request req);
+    sim::CoTask handleTableUpdate(Request req, sim::lat::Cursor *lat);
     /** Writebacks / releases / flushes. */
-    sim::CoTask handleWriteback(Request req);
+    sim::CoTask handleWriteback(Request req, sim::lat::Cursor *lat);
 
     /** SWcc => HWcc transition for one line (Fig. 7b). */
-    sim::CoTask swccToHwcc(mem::Addr base, std::uint32_t txn);
+    sim::CoTask swccToHwcc(mem::Addr base, std::uint32_t txn,
+                           sim::lat::Cursor *lat);
 
     /** Decide SWcc/HWcc domain for a directory miss; may touch the
      *  fine table through the L3. Result via @p out_swcc. */
@@ -253,10 +254,12 @@ class L3Bank
      * writing back a dirty victim as needed); returns the line and
      * the tick at which the access completes. State changes are
      * applied immediately; the caller awaits the returned tick.
+     * @p dram, when non-null, receives the DRAM-fill portion of the
+     * access (zero on an L3 hit) for the latency-accounting split.
      */
-    std::pair<cache::Line *, sim::Tick> l3AccessPrep(mem::Addr base,
-                                                     bool write,
-                                                     sim::Tick start);
+    std::pair<cache::Line *, sim::Tick>
+    l3AccessPrep(mem::Addr base, bool write, sim::Tick start,
+                 sim::Tick *dram = nullptr);
 
     /** Merge @p mask words of @p data into the L3 copy of @p base. */
     sim::CoTask mergeIntoL3(mem::Addr base,
@@ -264,8 +267,11 @@ class L3Bank
                                              mem::lineBytes> &data,
                             mem::WordMask mask);
 
-    /** Reply to the requester (data words sized by @p data_words). */
-    void respond(const Request &req, Response resp, unsigned data_words);
+    /** Reply to the requester (data words sized by @p data_words).
+     *  With a live @p lat cursor, closes the residual span to Service
+     *  and copies the stage timeline into the response. */
+    void respond(const Request &req, Response resp, unsigned data_words,
+                 sim::lat::Cursor *lat);
 
     /** Apply one atomic op; returns the old value. */
     std::uint32_t applyAtomic(cache::Line &line, mem::Addr addr,

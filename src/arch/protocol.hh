@@ -16,6 +16,7 @@
 #include "cache/cache_array.hh"
 #include "mem/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/latency_accounting.hh"
 
 namespace arch {
 
@@ -67,6 +68,23 @@ struct Request
     AtomicOp op = AtomicOp::AddU32;
     std::uint32_t operand = 0;
     std::uint32_t operand2 = 0;      ///< CAS expected value.
+
+    // Latency-accounting fields (sim/latency_accounting.hh). Written
+    // only when accounting is on; pure observers otherwise.
+    /**
+     * Anchor tick of the operation this request serves: when the core
+     * started the access (before L1/L2), or when the earliest waiter
+     * joined the MSHR for fill-time follow-ups. Same fill-if-zero
+     * convention as sendTick: the send path defaults it to the
+     * departure tick, making the Issue stage zero.
+     */
+    sim::Tick opStart = 0;
+    /** The pre-send span [opStart, sendTick) was an MSHR wait (a
+     *  follow-up/upgrade synthesized at fill time), not core issue. */
+    bool fromMshr = false;
+    /** Drop-retransmit backoff ticks accumulated en route; the bank
+     *  splits the request-fabric leg into ReqFabric + Retry with it. */
+    std::uint32_t retryPenalty = 0;
 };
 
 /** A response from the home bank back to the requesting cluster. */
@@ -82,6 +100,16 @@ struct Response
     sim::Tick sendTick = 0;          ///< Departure stamp (latency stats).
     std::uint32_t msgId = 0;         ///< Echo of Request::msgId.
     std::uint8_t retries = 0;        ///< Fabric drops survived en route.
+
+    // Latency-accounting fields: the bank-side stage timeline rides
+    // home in the response (no shared per-txn map — duplicated
+    // messages under fault injection each carry a self-consistent
+    // copy and the cluster's dedup picks the survivor). Written only
+    // when accounting is on.
+    std::array<std::uint32_t, sim::lat::numStages> latStages{};
+    sim::Tick opStart = 0;           ///< Echo of Request::opStart.
+    std::uint32_t retryPenalty = 0;  ///< Response-leg backoff ticks.
+    sim::lat::Mode latMode = sim::lat::Mode::Hwcc; ///< Blame cut.
 };
 
 /** Directory -> L2 probe types. */

@@ -35,6 +35,10 @@ class L3Bank;
 struct Request;
 } // namespace arch
 
+namespace sim::lat {
+struct Cursor;
+} // namespace sim::lat
+
 namespace coherence {
 
 class Directory;
@@ -106,6 +110,12 @@ struct BackendTraits
  * Home-side protocol engine for one L3 bank. Each flow coroutine owns
  * its whole transaction: line-lock acquisition, probes, directory (or
  * no) bookkeeping, the L3 data access, and the response.
+ *
+ * Every flow takes a latency-accounting cursor (@p lat, null when
+ * accounting is off): the flow marks the cursor after each await so
+ * the bank span tiles into lock/directory/probe/DRAM/service stages
+ * (DESIGN.md SS15). Marking is observer-only — no timing decision may
+ * read the cursor.
  */
 class Backend
 {
@@ -117,9 +127,11 @@ class Backend
     virtual const BackendTraits &traits() const = 0;
 
     /** Read/Instr request flow. */
-    virtual sim::CoTask read(arch::Request req) = 0;
+    virtual sim::CoTask read(arch::Request req,
+                             sim::lat::Cursor *lat) = 0;
     /** Write request flow (miss or S->M upgrade / write-through). */
-    virtual sim::CoTask write(arch::Request req) = 0;
+    virtual sim::CoTask write(arch::Request req,
+                              sim::lat::Cursor *lat) = 0;
 
     /**
      * Ensure no cluster holds an HWcc copy of @p base before an
@@ -128,7 +140,8 @@ class Backend
      * in-flight writeback land.
      */
     virtual sim::CoTask recallForAtomic(mem::Addr base, std::uint32_t txn,
-                                        std::uint32_t lock_key) = 0;
+                                        std::uint32_t lock_key,
+                                        sim::lat::Cursor *lat) = 0;
 
     /**
      * HWcc => SWcc transition for one line (Fig. 7a): flush every
@@ -136,7 +149,8 @@ class Backend
      * matches recallForAtomic().
      */
     virtual sim::CoTask flushLine(mem::Addr base, std::uint32_t txn,
-                                  std::uint32_t lock_key) = 0;
+                                  std::uint32_t lock_key,
+                                  sim::lat::Cursor *lat) = 0;
 
     /**
      * SWcc => HWcc adoption (Fig. 7b, after the bank's CleanQuery
@@ -148,7 +162,8 @@ class Backend
     virtual sim::CoTask
     adoptLine(mem::Addr base, std::uint32_t txn,
               const std::vector<unsigned> &clean_sharers,
-              const std::vector<unsigned> &dirty_holders, bool overlap) = 0;
+              const std::vector<unsigned> &dirty_holders, bool overlap,
+              sim::lat::Cursor *lat) = 0;
 
     /** Sharer bookkeeping for a WriteRelease (after the data merge). */
     virtual void writeRelease(const arch::Request &req) = 0;

@@ -43,7 +43,7 @@ DlsBackend::domainOf(mem::Addr base, std::uint32_t txn, bool *out_swcc)
 
 sim::CoTask
 DlsBackend::invalidateAll(mem::Addr base, std::uint32_t txn,
-                          unsigned exclude)
+                          unsigned exclude, sim::lat::Cursor *lat)
 {
     std::vector<unsigned> targets;
     for (unsigned cl = 0; cl < _bank._chip.numClusters(); ++cl) {
@@ -56,6 +56,8 @@ DlsBackend::invalidateAll(mem::Addr base, std::uint32_t txn,
     _bank.sendProbes(targets, ProbeType::Invalidate, base, txn, &results,
                      &gate);
     co_await gate.wait();
+    if (lat)
+        lat->mark(sim::lat::Stage::Probe, _bank._chip.eq().now());
     // HWcc copies are always clean under write-through, but an SWcc
     // straggler hit by the collateral broadcast (atomic recall or a
     // 7a flush) can return dirty words; merge them so nothing is lost.
@@ -63,10 +65,12 @@ DlsBackend::invalidateAll(mem::Addr base, std::uint32_t txn,
         if (r.dirty)
             co_await _bank.mergeIntoL3(base, r.data, r.dirtyMask);
     }
+    if (lat)
+        lat->mark(sim::lat::Stage::Service, _bank._chip.eq().now());
 }
 
 sim::CoTask
-DlsBackend::read(Request req)
+DlsBackend::read(Request req, sim::lat::Cursor *lat)
 {
     const mem::Addr base = mem::lineBase(req.addr);
     const std::uint32_t key = mem::lineNumber(base);
@@ -74,6 +78,8 @@ DlsBackend::read(Request req)
     Held held(_bank._locks, key);
 
     sim::EventQueue &eq = _bank._chip.eq();
+    if (lat)
+        lat->mark(sim::lat::Stage::BankLock, eq.now());
 
     Response resp;
     resp.type = req.type;
@@ -82,21 +88,26 @@ DlsBackend::read(Request req)
 
     bool swcc = false;
     co_await domainOf(base, req.msgId, &swcc);
+    if (lat)
+        lat->mark(sim::lat::Stage::Dir, eq.now());
 
     // No directory port, no sharer lookup: the L3 itself is the
     // ordering point and every HWcc read is granted Shared.
-    auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+    sim::Tick dram = 0;
+    auto [line, t] = _bank.l3AccessPrep(base, false, eq.now(), &dram);
     if (swcc)
         resp.incoherent = true;
     else
         resp.grant = cache::CohState::Shared;
     resp.data = line->data;
     co_await Delay{eq, t};
-    _bank.respond(req, resp, mem::wordsPerLine);
+    if (lat)
+        lat->markAccess(eq.now(), dram);
+    _bank.respond(req, resp, mem::wordsPerLine, lat);
 }
 
 sim::CoTask
-DlsBackend::write(Request req)
+DlsBackend::write(Request req, sim::lat::Cursor *lat)
 {
     const mem::Addr base = mem::lineBase(req.addr);
     const std::uint32_t key = mem::lineNumber(base);
@@ -104,6 +115,8 @@ DlsBackend::write(Request req)
     Held held(_bank._locks, key);
 
     sim::EventQueue &eq = _bank._chip.eq();
+    if (lat)
+        lat->mark(sim::lat::Stage::BankLock, eq.now());
 
     Response resp;
     resp.type = ReqType::Write;
@@ -112,14 +125,19 @@ DlsBackend::write(Request req)
 
     bool swcc = false;
     co_await domainOf(base, req.msgId, &swcc);
+    if (lat)
+        lat->mark(sim::lat::Stage::Dir, eq.now());
 
     if (swcc) {
         // SWcc fill: the cluster allocates with the incoherent bit.
-        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+        sim::Tick dram = 0;
+        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now(), &dram);
         resp.incoherent = true;
         resp.data = line->data;
         co_await Delay{eq, t};
-        _bank.respond(req, resp, mem::wordsPerLine);
+        if (lat)
+            lat->markAccess(eq.now(), dram);
+        _bank.respond(req, resp, mem::wordsPerLine, lat);
         co_return;
     }
 
@@ -128,20 +146,23 @@ DlsBackend::write(Request req)
     // in the L3 and the ack re-grants a clean Shared line. The
     // bank->cluster FIFO (Chip::orderB2C) guarantees a stale copy's
     // invalidation cannot arrive after the refreshed fill.
-    co_await invalidateAll(base, req.msgId, req.cluster);
+    co_await invalidateAll(base, req.msgId, req.cluster, lat);
 
-    auto [line, t] = _bank.l3AccessPrep(base, true, eq.now());
+    sim::Tick dram = 0;
+    auto [line, t] = _bank.l3AccessPrep(base, true, eq.now(), &dram);
     if (req.mask)
         line->merge(req.data.data(), req.mask);
     resp.grant = cache::CohState::Shared;
     resp.data = line->data;
     co_await Delay{eq, t};
-    _bank.respond(req, resp, mem::wordsPerLine);
+    if (lat)
+        lat->markAccess(eq.now(), dram);
+    _bank.respond(req, resp, mem::wordsPerLine, lat);
 }
 
 sim::CoTask
 DlsBackend::recallForAtomic(mem::Addr base, std::uint32_t txn,
-                            std::uint32_t lock_key)
+                            std::uint32_t lock_key, sim::lat::Cursor *lat)
 {
     (void)lock_key;
     // Without sharer metadata the only way to order an RMW against
@@ -150,13 +171,15 @@ DlsBackend::recallForAtomic(mem::Addr base, std::uint32_t txn,
     // point already).
     bool swcc = false;
     co_await domainOf(base, txn, &swcc);
+    if (lat)
+        lat->mark(sim::lat::Stage::Dir, _bank._chip.eq().now());
     if (!swcc)
-        co_await invalidateAll(base, txn, kNoExclude);
+        co_await invalidateAll(base, txn, kNoExclude, lat);
 }
 
 sim::CoTask
 DlsBackend::flushLine(mem::Addr base, std::uint32_t txn,
-                      std::uint32_t lock_key)
+                      std::uint32_t lock_key, sim::lat::Cursor *lat)
 {
     (void)lock_key;
     // HWcc => SWcc (Fig. 7a): no directory state to drop, but cached
@@ -164,14 +187,14 @@ DlsBackend::flushLine(mem::Addr base, std::uint32_t txn,
     // L3 holding the authoritative data.
     _bank._chip.rec(FR::Ev::TransStep, FR::compBank(_bank._id), base, txn,
                     static_cast<std::uint8_t>(FR::Step::Recall));
-    co_await invalidateAll(base, txn, kNoExclude);
+    co_await invalidateAll(base, txn, kNoExclude, lat);
 }
 
 sim::CoTask
 DlsBackend::adoptLine(mem::Addr base, std::uint32_t txn,
                       const std::vector<unsigned> &clean_sharers,
                       const std::vector<unsigned> &dirty_holders,
-                      bool overlap)
+                      bool overlap, sim::lat::Cursor *lat)
 {
     arch::Chip &chip = _bank._chip;
     const auto step = [&](FR::Step s, std::uint32_t b = 0) {
@@ -206,12 +229,16 @@ DlsBackend::adoptLine(mem::Addr base, std::uint32_t txn,
     _bank.sendProbes(dirty_holders, ProbeType::WritebackInvalidate, base,
                      txn, &r2, &g2);
     co_await g2.wait();
+    if (lat)
+        lat->mark(sim::lat::Stage::Probe, chip.eq().now());
     for (const auto &[cl, r] : r2) {
         if (r.dirty) {
             step(FR::Step::Merge, cl);
             co_await _bank.mergeIntoL3(base, r.data, r.dirtyMask);
         }
     }
+    if (lat)
+        lat->mark(sim::lat::Stage::Service, chip.eq().now());
 }
 
 void

@@ -25,16 +25,18 @@ class DlsBackend : public Backend
     const std::string &name() const override { return _name; }
     const BackendTraits &traits() const override { return _traits; }
 
-    sim::CoTask read(arch::Request req) override;
-    sim::CoTask write(arch::Request req) override;
+    sim::CoTask read(arch::Request req, sim::lat::Cursor *lat) override;
+    sim::CoTask write(arch::Request req, sim::lat::Cursor *lat) override;
     sim::CoTask recallForAtomic(mem::Addr base, std::uint32_t txn,
-                                std::uint32_t lock_key) override;
+                                std::uint32_t lock_key,
+                                sim::lat::Cursor *lat) override;
     sim::CoTask flushLine(mem::Addr base, std::uint32_t txn,
-                          std::uint32_t lock_key) override;
+                          std::uint32_t lock_key,
+                          sim::lat::Cursor *lat) override;
     sim::CoTask adoptLine(mem::Addr base, std::uint32_t txn,
                           const std::vector<unsigned> &clean_sharers,
                           const std::vector<unsigned> &dirty_holders,
-                          bool overlap) override;
+                          bool overlap, sim::lat::Cursor *lat) override;
     void writeRelease(const arch::Request &) override {}
     void readRelease(const arch::Request &) override {}
 
@@ -53,7 +55,7 @@ class DlsBackend : public Backend
      * merge any dirty (SWcc) data returned into the L3.
      */
     sim::CoTask invalidateAll(mem::Addr base, std::uint32_t txn,
-                              unsigned exclude);
+                              unsigned exclude, sim::lat::Cursor *lat);
 
     std::string _name;
     BackendTraits _traits;

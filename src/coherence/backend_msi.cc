@@ -34,7 +34,7 @@ MsiBackend::MsiBackend(std::string name, arch::L3Bank &bank)
 {}
 
 sim::CoTask
-MsiBackend::read(Request req)
+MsiBackend::read(Request req, sim::lat::Cursor *lat)
 {
     const mem::Addr base = mem::lineBase(req.addr);
     const std::uint32_t key = mem::lineNumber(base);
@@ -44,11 +44,15 @@ MsiBackend::read(Request req)
     arch::Chip &chip = _bank._chip;
     sim::EventQueue &eq = chip.eq();
     const CoherenceMode mode = chip.config().mode;
+    if (lat)
+        lat->mark(sim::lat::Stage::BankLock, eq.now());
 
     // Directory lookup (one cycle through the directory port).
     sim::Tick dstart = std::max(eq.now(), _dirPortFree);
     _dirPortFree = dstart + 1;
     co_await Delay{eq, dstart + 1};
+    if (lat)
+        lat->mark(sim::lat::Stage::Dir, eq.now());
 
     DirEntry *e =
         mode == CoherenceMode::SWccOnly ? nullptr : _dir.find(base);
@@ -66,11 +70,15 @@ MsiBackend::read(Request req)
             // The owner itself is filling invalid words of a
             // partially-valid line (post-MakeOwner): serve from
             // the L3 and keep its exclusive state.
-            auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+            sim::Tick dram = 0;
+            auto [line, t] =
+                _bank.l3AccessPrep(base, false, eq.now(), &dram);
             resp.grant = e->state;
             resp.data = line->data;
             co_await Delay{eq, t};
-            _bank.respond(req, resp, mem::wordsPerLine);
+            if (lat)
+                lat->markAccess(eq.now(), dram);
+            _bank.respond(req, resp, mem::wordsPerLine, lat);
             co_return;
         }
         // Downgrade the owner; its dirty data moves to the L3.
@@ -81,18 +89,24 @@ MsiBackend::read(Request req)
         _bank.sendProbes(targets, ProbeType::Downgrade, base, req.msgId,
                          &results, &gate);
         co_await gate.wait();
+        if (lat)
+            lat->mark(sim::lat::Stage::Probe, eq.now());
         bool any_found = false;
         for (const auto &[cl, r] : results) {
             any_found |= r.found;
             if (r.dirty)
                 co_await _bank.mergeIntoL3(base, r.data, r.dirtyMask);
         }
+        if (lat)
+            lat->mark(sim::lat::Stage::Service, eq.now());
         if (!any_found) {
             // The owner evicted concurrently; wait for its in-flight
             // WrRel to land (it needs the line lock) and re-evaluate.
             _bank._locks.release(key);
             co_await Delay{eq, eq.now() + bo.next()};
             co_await _bank._locks.acquire(key);
+            if (lat)
+                lat->mark(sim::lat::Stage::BankLock, eq.now());
             e = _dir.find(base);
             continue;
         }
@@ -107,11 +121,14 @@ MsiBackend::read(Request req)
         e->sharers.add(req.cluster);
         chip.rec(FR::Ev::DirState, FR::compBank(_bank._id), base, req.msgId,
                  static_cast<std::uint8_t>(e->state), e->sharers.count());
-        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+        sim::Tick dram = 0;
+        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now(), &dram);
         resp.grant = cache::CohState::Shared;
         resp.data = line->data;
         co_await Delay{eq, t};
-        _bank.respond(req, resp, mem::wordsPerLine);
+        if (lat)
+            lat->markAccess(eq.now(), dram);
+        _bank.respond(req, resp, mem::wordsPerLine, lat);
         co_return;
     }
 
@@ -121,18 +138,23 @@ MsiBackend::read(Request req)
         swcc = true;
     } else if (mode == CoherenceMode::Cohesion) {
         co_await _bank.lookupDomain(base, req.msgId, &swcc);
+        if (lat)
+            lat->mark(sim::lat::Stage::Dir, eq.now());
     }
 
     if (swcc) {
-        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+        sim::Tick dram = 0;
+        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now(), &dram);
         resp.incoherent = true;
         resp.data = line->data;
         co_await Delay{eq, t};
-        _bank.respond(req, resp, mem::wordsPerLine);
+        if (lat)
+            lat->markAccess(eq.now(), dram);
+        _bank.respond(req, resp, mem::wordsPerLine, lat);
         co_return;
     }
 
-    co_await makeRoom(base, req.msgId);
+    co_await makeRoom(base, req.msgId, lat);
     DirEntry &ne = _dir.insert(base);
     // MESI extension: a sole reader takes Exclusive and can later
     // upgrade to Modified silently; MSI (the paper) grants Shared.
@@ -141,15 +163,18 @@ MsiBackend::read(Request req)
     ne.sharers.add(req.cluster);
     chip.rec(FR::Ev::DirInsert, FR::compBank(_bank._id), base, req.msgId,
              static_cast<std::uint8_t>(ne.state), req.cluster);
-    auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+    sim::Tick dram = 0;
+    auto [line, t] = _bank.l3AccessPrep(base, false, eq.now(), &dram);
     resp.grant = ne.state;
     resp.data = line->data;
     co_await Delay{eq, t};
-    _bank.respond(req, resp, mem::wordsPerLine);
+    if (lat)
+        lat->markAccess(eq.now(), dram);
+    _bank.respond(req, resp, mem::wordsPerLine, lat);
 }
 
 sim::CoTask
-MsiBackend::write(Request req)
+MsiBackend::write(Request req, sim::lat::Cursor *lat)
 {
     const mem::Addr base = mem::lineBase(req.addr);
     const std::uint32_t key = mem::lineNumber(base);
@@ -159,10 +184,14 @@ MsiBackend::write(Request req)
     arch::Chip &chip = _bank._chip;
     sim::EventQueue &eq = chip.eq();
     const CoherenceMode mode = chip.config().mode;
+    if (lat)
+        lat->mark(sim::lat::Stage::BankLock, eq.now());
 
     sim::Tick dstart = std::max(eq.now(), _dirPortFree);
     _dirPortFree = dstart + 1;
     co_await Delay{eq, dstart + 1};
+    if (lat)
+        lat->mark(sim::lat::Stage::Dir, eq.now());
 
     DirEntry *e =
         mode == CoherenceMode::SWccOnly ? nullptr : _dir.find(base);
@@ -178,28 +207,37 @@ MsiBackend::write(Request req)
             swcc = true;
         } else if (mode == CoherenceMode::Cohesion) {
             co_await _bank.lookupDomain(base, req.msgId, &swcc);
+            if (lat)
+                lat->mark(sim::lat::Stage::Dir, eq.now());
         }
         if (swcc) {
             // SWcc fill: the cluster allocates with the incoherent bit.
-            auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+            sim::Tick dram = 0;
+            auto [line, t] =
+                _bank.l3AccessPrep(base, false, eq.now(), &dram);
             resp.incoherent = true;
             resp.data = line->data;
             co_await Delay{eq, t};
-            _bank.respond(req, resp, mem::wordsPerLine);
+            if (lat)
+                lat->markAccess(eq.now(), dram);
+            _bank.respond(req, resp, mem::wordsPerLine, lat);
             co_return;
         }
-        co_await makeRoom(base, req.msgId);
+        co_await makeRoom(base, req.msgId, lat);
         DirEntry &ne = _dir.insert(base);
         ne.state = cache::CohState::Modified;
         ne.sharers.add(req.cluster);
         chip.rec(FR::Ev::DirInsert, FR::compBank(_bank._id), base,
                  req.msgId, static_cast<std::uint8_t>(ne.state),
                  req.cluster);
-        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+        sim::Tick dram = 0;
+        auto [line, t] = _bank.l3AccessPrep(base, false, eq.now(), &dram);
         resp.grant = cache::CohState::Modified;
         resp.data = line->data;
         co_await Delay{eq, t};
-        _bank.respond(req, resp, mem::wordsPerLine);
+        if (lat)
+            lat->markAccess(eq.now(), dram);
+        _bank.respond(req, resp, mem::wordsPerLine, lat);
         co_return;
     }
 
@@ -222,17 +260,23 @@ MsiBackend::write(Request req)
         gate.expect(targets.size());
         _bank.sendProbes(targets, pt, base, req.msgId, &results, &gate);
         co_await gate.wait();
+        if (lat)
+            lat->mark(sim::lat::Stage::Probe, eq.now());
         bool any_found = false;
         for (const auto &[cl, r] : results) {
             any_found |= r.found;
             if (r.dirty)
                 co_await _bank.mergeIntoL3(base, r.data, r.dirtyMask);
         }
+        if (lat)
+            lat->mark(sim::lat::Stage::Service, eq.now());
         if (expect_dirty && !any_found) {
             // Owner evicted concurrently: wait for its WrRel.
             _bank._locks.release(key);
             co_await Delay{eq, eq.now() + bo.next()};
             co_await _bank._locks.acquire(key);
+            if (lat)
+                lat->mark(sim::lat::Stage::BankLock, eq.now());
             e = _dir.find(base);
             continue;
         }
@@ -247,17 +291,24 @@ MsiBackend::write(Request req)
         // redone — blindly re-inserting would resurrect an HWcc entry
         // for a now-SWcc line.
         bool swcc = false;
-        if (mode == CoherenceMode::Cohesion)
+        if (mode == CoherenceMode::Cohesion) {
             co_await _bank.lookupDomain(base, req.msgId, &swcc);
+            if (lat)
+                lat->mark(sim::lat::Stage::Dir, eq.now());
+        }
         if (swcc) {
-            auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+            sim::Tick dram = 0;
+            auto [line, t] =
+                _bank.l3AccessPrep(base, false, eq.now(), &dram);
             resp.incoherent = true;
             resp.data = line->data;
             co_await Delay{eq, t};
-            _bank.respond(req, resp, mem::wordsPerLine);
+            if (lat)
+                lat->markAccess(eq.now(), dram);
+            _bank.respond(req, resp, mem::wordsPerLine, lat);
             co_return;
         }
-        co_await makeRoom(base, req.msgId);
+        co_await makeRoom(base, req.msgId, lat);
         e = &_dir.insert(base);
         chip.rec(FR::Ev::DirInsert, FR::compBank(_bank._id), base,
                  req.msgId,
@@ -269,26 +320,31 @@ MsiBackend::write(Request req)
     e->state = cache::CohState::Modified;
     chip.rec(FR::Ev::DirState, FR::compBank(_bank._id), base, req.msgId,
              static_cast<std::uint8_t>(e->state), e->sharers.count());
-    auto [line, t] = _bank.l3AccessPrep(base, false, eq.now());
+    sim::Tick dram = 0;
+    auto [line, t] = _bank.l3AccessPrep(base, false, eq.now(), &dram);
     resp.grant = cache::CohState::Modified;
     resp.data = line->data;
     co_await Delay{eq, t};
-    _bank.respond(req, resp, mem::wordsPerLine);
+    if (lat)
+        lat->markAccess(eq.now(), dram);
+    _bank.respond(req, resp, mem::wordsPerLine, lat);
 }
 
 sim::CoTask
 MsiBackend::recallForAtomic(mem::Addr base, std::uint32_t txn,
-                            std::uint32_t lock_key)
+                            std::uint32_t lock_key, sim::lat::Cursor *lat)
 {
     arch::Chip &chip = _bank._chip;
     sim::EventQueue &eq = chip.eq();
     sim::Tick dstart = std::max(eq.now(), _dirPortFree);
     _dirPortFree = dstart + 1;
     co_await Delay{eq, dstart + 1};
+    if (lat)
+        lat->mark(sim::lat::Stage::Dir, eq.now());
     if (_dir.find(base)) {
         // Cached HWcc copies must be recalled so the RMW is
         // globally ordered.
-        co_await recallEntryRetry(base, txn, lock_key);
+        co_await recallEntryRetry(base, txn, lock_key, lat);
         if (_dir.find(base)) {
             chip.rec(FR::Ev::DirErase, FR::compBank(_bank._id), base, txn);
             _dir.erase(base);
@@ -298,14 +354,14 @@ MsiBackend::recallForAtomic(mem::Addr base, std::uint32_t txn,
 
 sim::CoTask
 MsiBackend::flushLine(mem::Addr base, std::uint32_t txn,
-                      std::uint32_t lock_key)
+                      std::uint32_t lock_key, sim::lat::Cursor *lat)
 {
     arch::Chip &chip = _bank._chip;
     // HWcc => SWcc (Fig. 7a): flush any directory state.
     if (_dir.find(base)) {
         chip.rec(FR::Ev::TransStep, FR::compBank(_bank._id), base, txn,
                  static_cast<std::uint8_t>(FR::Step::Recall));
-        co_await recallEntryRetry(base, txn, lock_key);
+        co_await recallEntryRetry(base, txn, lock_key, lat);
         if (_dir.find(base)) {
             TRACE(chip.tracer(), sim::Category::Transition, "bank",
                   _bank._id, ": erase 0x", std::hex, base);
@@ -319,7 +375,7 @@ sim::CoTask
 MsiBackend::adoptLine(mem::Addr base, std::uint32_t txn,
                       const std::vector<unsigned> &clean_sharers,
                       const std::vector<unsigned> &dirty_holders,
-                      bool overlap)
+                      bool overlap, sim::lat::Cursor *lat)
 {
     arch::Chip &chip = _bank._chip;
     const auto step = [&](FR::Step s, std::uint32_t b = 0) {
@@ -331,7 +387,7 @@ MsiBackend::adoptLine(mem::Addr base, std::uint32_t txn,
         // Cases 1b/2b: clean copies (if any) joined HWcc as sharers
         // during the query; allocate the matching entry.
         if (!clean_sharers.empty()) {
-            co_await makeRoom(base, txn);
+            co_await makeRoom(base, txn, lat);
             DirEntry &e = _dir.insert(base);
             e.state = cache::CohState::Shared;
             for (unsigned cl : clean_sharers) {
@@ -355,8 +411,10 @@ MsiBackend::adoptLine(mem::Addr base, std::uint32_t txn,
         _bank.sendProbes({dirty_holders.front()}, ProbeType::MakeOwner,
                          base, txn, &r2, &g2);
         co_await g2.wait();
+        if (lat)
+            lat->mark(sim::lat::Stage::Probe, chip.eq().now());
         if (r2.front().second.found && r2.front().second.dirty) {
-            co_await makeRoom(base, txn);
+            co_await makeRoom(base, txn, lat);
             DirEntry &e = _dir.insert(base);
             e.state = cache::CohState::Modified;
             e.sharers.add(dirty_holders.front());
@@ -387,12 +445,16 @@ MsiBackend::adoptLine(mem::Addr base, std::uint32_t txn,
     _bank.sendProbes(dirty_holders, ProbeType::WritebackInvalidate, base,
                      txn, &r2, &g2);
     co_await g2.wait();
+    if (lat)
+        lat->mark(sim::lat::Stage::Probe, chip.eq().now());
     for (const auto &[cl, r] : r2) {
         if (r.dirty) {
             step(FR::Step::Merge, cl);
             co_await _bank.mergeIntoL3(base, r.data, r.dirtyMask);
         }
     }
+    if (lat)
+        lat->mark(sim::lat::Stage::Service, chip.eq().now());
 }
 
 void
@@ -423,7 +485,7 @@ MsiBackend::readRelease(const Request &req)
 
 sim::CoTask
 MsiBackend::recallEntry(mem::Addr base, std::uint32_t txn,
-                        bool *incomplete)
+                        bool *incomplete, sim::lat::Cursor *lat)
 {
     *incomplete = false;
     DirEntry *e = _dir.find(base);
@@ -440,6 +502,8 @@ MsiBackend::recallEntry(mem::Addr base, std::uint32_t txn,
     gate.expect(targets.size());
     _bank.sendProbes(targets, pt, base, txn, &results, &gate);
     co_await gate.wait();
+    if (lat)
+        lat->mark(sim::lat::Stage::Probe, _bank._chip.eq().now());
 
     bool any_found = false;
     for (const auto &[cl, r] : results) {
@@ -447,6 +511,8 @@ MsiBackend::recallEntry(mem::Addr base, std::uint32_t txn,
         if (r.dirty)
             co_await _bank.mergeIntoL3(base, r.data, r.dirtyMask);
     }
+    if (lat)
+        lat->mark(sim::lat::Stage::Service, _bank._chip.eq().now());
     if (modified && !any_found) {
         // The owner evicted concurrently: its WrRel carries the dirty
         // data and is in flight to this bank. The caller must let it
@@ -457,23 +523,27 @@ MsiBackend::recallEntry(mem::Addr base, std::uint32_t txn,
 
 sim::CoTask
 MsiBackend::recallEntryRetry(mem::Addr base, std::uint32_t txn,
-                             std::uint32_t lock_key)
+                             std::uint32_t lock_key,
+                             sim::lat::Cursor *lat)
 {
     Backoff bo;
     while (true) {
         bool incomplete = false;
-        co_await recallEntry(base, txn, &incomplete);
+        co_await recallEntry(base, txn, &incomplete, lat);
         if (!incomplete)
             co_return;
         _bank._locks.release(lock_key);
         co_await Delay{_bank._chip.eq(),
                        _bank._chip.eq().now() + bo.next()};
         co_await _bank._locks.acquire(lock_key);
+        if (lat)
+            lat->mark(sim::lat::Stage::BankLock, _bank._chip.eq().now());
     }
 }
 
 sim::CoTask
-MsiBackend::makeRoom(mem::Addr base, std::uint32_t txn)
+MsiBackend::makeRoom(mem::Addr base, std::uint32_t txn,
+                     sim::lat::Cursor *lat)
 {
     base = mem::lineBase(base);
     Backoff bo;
@@ -485,14 +555,19 @@ MsiBackend::makeRoom(mem::Addr base, std::uint32_t txn)
             // Every candidate is mid-transaction; retry with backoff.
             co_await Delay{_bank._chip.eq(),
                            _bank._chip.eq().now() + bo.next()};
+            if (lat)
+                lat->mark(sim::lat::Stage::BankLock,
+                          _bank._chip.eq().now());
             continue;
         }
         mem::Addr vbase = v->base;
         co_await _bank._locks.acquire(mem::lineNumber(vbase));
         Held held(_bank._locks, mem::lineNumber(vbase));
+        if (lat)
+            lat->mark(sim::lat::Stage::BankLock, _bank._chip.eq().now());
         // Entries evicted from the directory have all sharers
         // invalidated (Section 3.2).
-        co_await recallEntryRetry(vbase, txn, mem::lineNumber(vbase));
+        co_await recallEntryRetry(vbase, txn, mem::lineNumber(vbase), lat);
         if (_dir.find(vbase)) {
             _bank._chip.rec(FR::Ev::DirErase, FR::compBank(_bank._id),
                             vbase, txn);

@@ -23,16 +23,18 @@ class MsiBackend : public Backend
     const std::string &name() const override { return _name; }
     const BackendTraits &traits() const override { return _traits; }
 
-    sim::CoTask read(arch::Request req) override;
-    sim::CoTask write(arch::Request req) override;
+    sim::CoTask read(arch::Request req, sim::lat::Cursor *lat) override;
+    sim::CoTask write(arch::Request req, sim::lat::Cursor *lat) override;
     sim::CoTask recallForAtomic(mem::Addr base, std::uint32_t txn,
-                                std::uint32_t lock_key) override;
+                                std::uint32_t lock_key,
+                                sim::lat::Cursor *lat) override;
     sim::CoTask flushLine(mem::Addr base, std::uint32_t txn,
-                          std::uint32_t lock_key) override;
+                          std::uint32_t lock_key,
+                          sim::lat::Cursor *lat) override;
     sim::CoTask adoptLine(mem::Addr base, std::uint32_t txn,
                           const std::vector<unsigned> &clean_sharers,
                           const std::vector<unsigned> &dirty_holders,
-                          bool overlap) override;
+                          bool overlap, sim::lat::Cursor *lat) override;
     void writeRelease(const arch::Request &req) override;
     void readRelease(const arch::Request &req) override;
 
@@ -62,17 +64,19 @@ class MsiBackend : public Backend
      * line lock, wait, and retry so the writeback can land first.
      */
     sim::CoTask recallEntry(mem::Addr base, std::uint32_t txn,
-                            bool *incomplete);
+                            bool *incomplete, sim::lat::Cursor *lat);
 
     /** Retry wrapper: recall under @p lock_key until complete. */
     sim::CoTask recallEntryRetry(mem::Addr base, std::uint32_t txn,
-                                 std::uint32_t lock_key);
+                                 std::uint32_t lock_key,
+                                 sim::lat::Cursor *lat);
 
     /**
      * Make room for a new directory entry covering @p base, evicting
      * (and recalling) a victim entry if required.
      */
-    sim::CoTask makeRoom(mem::Addr base, std::uint32_t txn);
+    sim::CoTask makeRoom(mem::Addr base, std::uint32_t txn,
+                         sim::lat::Cursor *lat);
 
     /** Drop @p req.cluster from @p base's sharers; erase when empty. */
     void removeSharer(mem::Addr base, unsigned cluster,

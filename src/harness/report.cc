@@ -1,7 +1,9 @@
 #include "harness/report.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <vector>
 
 #include "harness/table.hh"
 
@@ -96,6 +98,17 @@ buildStatRegistry(const arch::MachineConfig &cfg, const RunResult &r,
                   r.cycles ? double(r.fabricBytes) / r.cycles : 0.0);
     reg.addHistogram("net.delay_up", r.fabricDelayUp);
     reg.addHistogram("net.delay_down", r.fabricDelayDown);
+
+    // Cycle-blame breakdown: only present when latency accounting ran
+    // (zero transactions means the run had it off), so default CSV and
+    // report output stays byte-identical.
+    if (r.latency.completed() || r.latency.violations) {
+        sim::registerLatencyTotals(
+            reg, "latency", r.latency, +[](unsigned c) {
+                return arch::msgClassName(
+                    static_cast<arch::MsgClass>(c));
+            });
+    }
 }
 
 sim::StatSet
@@ -142,6 +155,82 @@ printCsv(std::ostream &os, const arch::MachineConfig &cfg,
     os << "stat,value\n";
     for (const auto &[name, value] : s.values())
         os << name << ',' << value << '\n';
+}
+
+void
+printLatencyTopN(std::ostream &os, const RunResult &r, unsigned n)
+{
+    const sim::LatencyTotals &t = r.latency;
+    std::uint64_t total_e2e = 0;
+    for (const auto &b : t.mode)
+        total_e2e += b.e2e;
+    banner(os, "Latency blame: top contended stages");
+    if (!t.completed()) {
+        os << "  (no completed transactions — was --latency on?)\n";
+        return;
+    }
+
+    struct Row
+    {
+        unsigned cls, stage;
+        std::uint64_t cycles, count;
+    };
+    std::vector<Row> rows;
+    for (unsigned c = 0; c < t.cls.size(); ++c) {
+        for (unsigned s = 0; s < sim::lat::numStages; ++s) {
+            if (t.cls[c].stage[s])
+                rows.push_back({c, s, t.cls[c].stage[s], t.cls[c].count});
+        }
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.cycles != b.cycles)
+            return a.cycles > b.cycles;
+        return a.cls != b.cls ? a.cls < b.cls : a.stage < b.stage;
+    });
+    if (rows.size() > n)
+        rows.resize(n);
+
+    os << "  " << std::left << std::setw(22) << "class" << std::setw(12)
+       << "stage" << std::right << std::setw(14) << "cycles"
+       << std::setw(9) << "share" << std::setw(12) << "avg/txn" << '\n';
+    for (const Row &row : rows) {
+        os << "  " << std::left << std::setw(22)
+           << arch::msgClassName(static_cast<arch::MsgClass>(row.cls))
+           << std::setw(12)
+           << sim::lat::stageName(static_cast<sim::lat::Stage>(row.stage))
+           << std::right << std::setw(14) << row.cycles << std::setw(8)
+           << std::fixed << std::setprecision(1)
+           << (total_e2e ? 100.0 * double(row.cycles) / double(total_e2e)
+                         : 0.0)
+           << '%' << std::setw(12) << std::setprecision(1)
+           << (row.count ? double(row.cycles) / double(row.count) : 0.0)
+           << std::defaultfloat << '\n';
+    }
+
+    os << "\n  per-mode waterfall (cycles by stage):\n";
+    for (unsigned m = 0; m < sim::lat::numModes; ++m) {
+        const auto &b = t.mode[m];
+        if (!b.count)
+            continue;
+        os << "  " << std::left << std::setw(12)
+           << sim::lat::modeName(static_cast<sim::lat::Mode>(m))
+           << std::right << " txns=" << b.count << " e2e=" << b.e2e
+           << '\n';
+        for (unsigned s = 0; s < sim::lat::numStages; ++s) {
+            if (!b.stage[s])
+                continue;
+            os << "    " << std::left << std::setw(12)
+               << sim::lat::stageName(static_cast<sim::lat::Stage>(s))
+               << std::right << std::setw(14) << b.stage[s]
+               << std::setw(8) << std::fixed << std::setprecision(1)
+               << (b.e2e ? 100.0 * double(b.stage[s]) / double(b.e2e)
+                         : 0.0)
+               << '%' << std::defaultfloat << '\n';
+        }
+    }
+    if (t.violations)
+        os << "  WARNING: " << t.violations
+           << " transaction(s) violated the stage-sum invariant\n";
 }
 
 } // namespace harness

@@ -43,6 +43,13 @@ void printReport(std::ostream &os, const arch::MachineConfig &cfg,
 void printCsv(std::ostream &os, const arch::MachineConfig &cfg,
               const RunResult &r);
 
+/**
+ * "Where did the cycles go?" — print the top @p n most contended
+ * (message class, stage) cells of @p r's latency-accounting breakdown,
+ * plus a per-mode waterfall. Requires a run with RunOptions::latency.
+ */
+void printLatencyTopN(std::ostream &os, const RunResult &r, unsigned n);
+
 } // namespace harness
 
 #endif // COHESION_HARNESS_REPORT_HH

@@ -98,6 +98,11 @@ struct RunResult
     sim::HostProfiler::Profile hostProfile;
     /** Host wall-clock seconds spent inside runKernel (always set). */
     double hostWallSec = 0;
+
+    /** Folded per-stage cycle-blame breakdown (all buckets zero unless
+     *  RunOptions::latency was on). Deterministic and shard-count
+     *  invariant — see DESIGN.md SS15. */
+    sim::LatencyTotals latency;
 };
 
 /** Options controlling a run. New members go at the END: call sites
@@ -154,6 +159,10 @@ struct RunOptions
      *  Results are bit-identical for every value — see DESIGN.md §13.
      *  Overrides MachineConfig::shards before the machine is built. */
     unsigned shards = 0;
+    /** Enable per-transaction latency accounting (chip.latency.* stats
+     *  and RunResult::latency). Observer-only: simulated results are
+     *  byte-identical with it on or off. */
+    bool latency = false;
 };
 
 /**

@@ -132,6 +132,8 @@ Session::run(kernels::Kernel &kernel, const RunOptions &opts)
     if (unsigned top_n = opts.profileTopN ? opts.profileTopN
                                           : (opts.statsJson ? 8u : 0u))
         chip.enableLineProfiler(top_n);
+    if (opts.latency)
+        chip.enableLatencyAccounting();
 
     std::optional<sim::TraceJsonWriter> trace_json;
     if (opts.traceJson) {
@@ -250,6 +252,9 @@ Session::run(kernels::Kernel &kernel, const RunOptions &opts)
         }
     }
 
+    if (chip.latencyOn())
+        r.latency = chip.latAcc().fold();
+
     for (unsigned c = 0; c < arch::numMsgClasses; ++c)
         r.reqLatency[c] = chip.reqLatency(static_cast<arch::MsgClass>(c));
     r.respLatency = chip.respLatency();
@@ -271,6 +276,13 @@ Session::run(kernels::Kernel &kernel, const RunOptions &opts)
                 reg, sim::HostProfiler::threadSnapshot().since(prof0),
                 wallSec());
         }
+        // Wall-clock companion to chip.latency.*: registered only by
+        // the runner (never the chip, same rule as host.*) so the
+        // deterministic breakdown and the nondeterministic host timing
+        // live under distinct prefixes ("latency.host_*" is in
+        // cohesion-diff's default ignore set).
+        if (opts.latency)
+            reg.addScalar("latency.host_wall_sec", wallSec());
         reg.dumpJson(*opts.statsJson);
     }
     if (trace_json) {

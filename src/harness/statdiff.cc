@@ -98,7 +98,13 @@ diffStats(const sim::JsonValue &a, const sim::JsonValue &b,
     DiffResult d;
     std::size_t ia = 0, ib = 0;
     auto skip = [&](const StatEntry &e) {
-        return pathIgnored(e.path, opts.ignoreSegments);
+        if (pathIgnored(e.path, opts.ignoreSegments))
+            return true;
+        for (const std::string &p : opts.ignorePrefixes) {
+            if (e.path.compare(0, p.size(), p) == 0)
+                return true;
+        }
+        return false;
     };
     while (ia < fa.size() || ib < fb.size()) {
         if (ia < fa.size() && skip(fa[ia])) {

@@ -45,6 +45,12 @@ struct DiffOptions
     /** Path segments whose subtree is ignored entirely. Defaults to
      *  the nondeterministic host-side names. */
     std::vector<std::string> ignoreSegments{"host", "wall_sec"};
+    /** Flattened-path prefixes ignored entirely. Defaults to the
+     *  runner-side latency accounting wall-clock scalars
+     *  (latency.host_wall_sec and friends) — the simulated
+     *  latency.mode.* / latency.class.* breakdown is deterministic
+     *  and deliberately NOT covered by this default. */
+    std::vector<std::string> ignorePrefixes{"latency.host_"};
 };
 
 /** One difference between the two documents. */

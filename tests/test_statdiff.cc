@@ -102,6 +102,47 @@ TEST(StatDiff, DefaultIgnoreListSkipsHostSubtrees)
     EXPECT_FALSE(harness::diffStats(a, b, strict).identical());
 }
 
+TEST(StatDiff, DefaultPrefixIgnoreSkipsLatencyHostOnly)
+{
+    // The latency-accounting runner stamps wall-clock scalars under
+    // latency.host_*; they drift run to run and are ignored by
+    // default. The simulated latency.mode.* / latency.class.* blame
+    // is deterministic and must stay compared — a changed stage sum
+    // is a real diff, never collateral of the host-time ignore.
+    sim::JsonValue a = parse(
+        R"({"latency": {"host_wall_sec": 1.2,
+                        "mode": {"hwcc": {"e2e": 100}}}})");
+    sim::JsonValue b = parse(
+        R"({"latency": {"host_wall_sec": 7.7,
+                        "mode": {"hwcc": {"e2e": 100}}}})");
+    harness::DiffResult d = harness::diffStats(a, b, {});
+    EXPECT_TRUE(d.identical());
+    EXPECT_EQ(d.compared, 1u); // latency.mode.hwcc.e2e only
+
+    sim::JsonValue c = parse(
+        R"({"latency": {"host_wall_sec": 1.2,
+                        "mode": {"hwcc": {"e2e": 101}}}})");
+    harness::DiffResult changed = harness::diffStats(a, c, {});
+    ASSERT_EQ(changed.entries.size(), 1u);
+    EXPECT_EQ(changed.entries[0].path, "latency.mode.hwcc.e2e");
+
+    // Prefix matching is on the flattened path: chip.latency.* does
+    // not start with "latency.host_" and is always compared.
+    sim::JsonValue d0 = parse(R"({"chip": {"latency": {"violations": 0}}})");
+    sim::JsonValue d1 = parse(R"({"chip": {"latency": {"violations": 2}}})");
+    EXPECT_FALSE(harness::diffStats(d0, d1, {}).identical());
+
+    // An explicitly cleared prefix list sees the host drift again.
+    harness::DiffOptions strict;
+    strict.ignorePrefixes.clear();
+    EXPECT_FALSE(harness::diffStats(a, b, strict).identical());
+
+    // And a user-supplied prefix composes with the default.
+    harness::DiffOptions extra;
+    extra.ignorePrefixes.push_back("latency.mode.");
+    EXPECT_TRUE(harness::diffStats(a, c, extra).identical());
+}
+
 TEST(StatDiff, NonNumericLeavesCompareByText)
 {
     sim::JsonValue a = parse(R"({"outcome": "ok", "flag": true})");

@@ -10,17 +10,22 @@
  *   cohesion-diff --rel-tol 0.02 base.json candidate.json
  *   cohesion-diff --no-ignore-host a.json b.json
  *
- * Host-side self-observation (`host.*` subtrees, per-job `wall_sec`)
+ * Host-side self-observation (`host.*` subtrees, per-job `wall_sec`,
+ * the `latency.host_*` scalars the latency-accounting runner stamps)
  * is wall-clock data and differs run to run by nature; those paths
  * are ignored by default so "byte-identical modulo host time" is exit
  * code 0 — the property CI gates `--jobs 1` vs `--jobs 8` sweeps on.
+ * The simulated latency.mode.* / latency.class.* cycle blame is
+ * deterministic and always compared.
  *
  * Options:
  *   --abs-tol X        numeric leaves pass when |a-b| <= X
  *   --rel-tol X        ... or |a-b| <= X * max(|a|,|b|)
  *   --ignore SEG       also ignore paths containing segment SEG
  *                      (repeatable)
- *   --no-ignore-host   compare host.* and wall_sec too
+ *   --ignore-prefix P  also ignore flattened paths starting with P
+ *                      (repeatable)
+ *   --no-ignore-host   compare host.*, wall_sec and latency.host_* too
  *   --quiet            summary line only, no per-stat lines
  *
  * Exit codes: 0 documents match, 1 differences found, 2 usage error,
@@ -46,8 +51,9 @@ usage(int code)
 {
     std::cout <<
         "usage: cohesion-diff [--abs-tol X] [--rel-tol X]\n"
-        "                     [--ignore SEG] [--no-ignore-host]\n"
-        "                     [--quiet] A.json B.json\n"
+        "                     [--ignore SEG] [--ignore-prefix P]\n"
+        "                     [--no-ignore-host] [--quiet]\n"
+        "                     A.json B.json\n"
         "exit: 0 match, 1 differ, 2 usage, 3 missing file, 4 bad "
         "JSON\n";
     std::exit(code);
@@ -83,6 +89,7 @@ main(int argc, char **argv)
     bool quiet = false;
     bool ignore_host = true;
     std::vector<std::string> extra_ignores;
+    std::vector<std::string> extra_prefixes;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) -> const char * {
@@ -98,6 +105,8 @@ main(int argc, char **argv)
             opts.relTol = std::atof(next("--rel-tol"));
         } else if (!std::strcmp(argv[i], "--ignore")) {
             extra_ignores.push_back(next("--ignore"));
+        } else if (!std::strcmp(argv[i], "--ignore-prefix")) {
+            extra_prefixes.push_back(next("--ignore-prefix"));
         } else if (!std::strcmp(argv[i], "--no-ignore-host")) {
             ignore_host = false;
         } else if (!std::strcmp(argv[i], "--quiet")) {
@@ -115,11 +124,16 @@ main(int argc, char **argv)
         std::cerr << "cohesion-diff: need exactly two files\n";
         usage(2);
     }
-    if (!ignore_host)
+    if (!ignore_host) {
         opts.ignoreSegments.clear();
+        opts.ignorePrefixes.clear();
+    }
     opts.ignoreSegments.insert(opts.ignoreSegments.end(),
                                extra_ignores.begin(),
                                extra_ignores.end());
+    opts.ignorePrefixes.insert(opts.ignorePrefixes.end(),
+                               extra_prefixes.begin(),
+                               extra_prefixes.end());
 
     sim::JsonValue a = loadDoc(files[0]);
     sim::JsonValue b = loadDoc(files[1]);

@@ -38,6 +38,11 @@
  *   --recorder-dump F write the binary recorder dump after the run
  *                     (decode with cohesion-trace)
  *   --watch-line A    narrate recorded events touching line A live
+ *   --latency         per-transaction latency accounting (adds the
+ *                     chip.latency.* / latency.* blame breakdown;
+ *                     observer-only, results are byte-identical)
+ *   --latency-topn N  print the top-N contended (class, stage) cells
+ *                     and the per-mode waterfall (implies --latency)
  *   --host-profile F  enable the host-side self-profiler and write its
  *                     JSON report (per-phase host time) to F
  *   --progress[=F]    live heartbeat on stderr while the run executes;
@@ -86,6 +91,7 @@ usage(int code)
         "                    [--fault-drop-rate R] [--no-audit]\n"
         "                    [--recorder N] [--recorder-dump FILE]\n"
         "                    [--watch-line 0xADDR]\n"
+        "                    [--latency] [--latency-topn N]\n"
         "                    [--host-profile FILE] [--progress[=FILE]]\n"
         "                    [--checkpoint-at FILE] [--restore FILE]\n"
         "  trace categories: protocol,cache,transition,net,dram,\n"
@@ -125,6 +131,7 @@ main(int argc, char **argv)
     bool dir4b = false;
     std::uint32_t table_cache = 0;
     harness::RunOptions opts;
+    int latency_topn = 0;
     bool csv = false;
     std::string trace;
     std::string stats_json, trace_json, timeseries_csv;
@@ -215,6 +222,15 @@ main(int argc, char **argv)
         } else if (!std::strncmp(argv[i], "--progress=", 11)) {
             progress = true;
             progress_jsonl = argv[i] + 11;
+        } else if (!std::strcmp(argv[i], "--latency")) {
+            opts.latency = true;
+        } else if (!std::strcmp(argv[i], "--latency-topn")) {
+            latency_topn = std::atoi(next("--latency-topn"));
+            if (latency_topn < 1) {
+                std::cerr << "--latency-topn must be >= 1\n";
+                usage(1);
+            }
+            opts.latency = true;
         } else if (!std::strcmp(argv[i], "--watch-line")) {
             opts.watchLine =
                 std::strtoull(next("--watch-line"), nullptr, 0);
@@ -338,6 +354,17 @@ main(int argc, char **argv)
             }
             std::cout << '\n';
             harness::printReport(std::cout, cfg, r);
+        }
+        if (latency_topn > 0) {
+            // When a "-" sink owns stdout the table goes to stderr so
+            // the machine-readable stream stays parseable.
+            bool stdout_claimed = stats_json == "-" ||
+                                  timeseries_csv == "-" ||
+                                  host_profile == "-";
+            harness::printLatencyTopN(stdout_claimed ? std::cerr
+                                                     : std::cout,
+                                      r,
+                                      static_cast<unsigned>(latency_topn));
         }
     } catch (const sim::SnapshotError &e) {
         std::cerr << "snapshot error: " << e.what() << '\n';
